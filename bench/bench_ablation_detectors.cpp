@@ -1,0 +1,47 @@
+// Ablation A5 — detector algorithm families compared on equal footing:
+// the four Table-5 tools plus the reference Eraser lockset detector, on
+// both language suites. No LLM training involved — this isolates how the
+// *analysis algorithm* (static dependence testing, exact happens-before,
+// degraded happens-before, pure lockset) shapes the Table-5 trade-offs.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/eval/metrics.hpp"
+#include "hpcgpt/race/detector.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner(
+      "Ablation A5 — detection algorithm families (tools + Eraser)");
+
+  std::vector<eval::ToolRow> rows;
+  for (const minilang::Flavor flavor :
+       {minilang::Flavor::C, minilang::Flavor::Fortran}) {
+    const auto suite = drb::evaluation_suite(flavor);
+    auto tools = race::make_all_tools();
+    tools.push_back(race::make_eraser());
+    for (const auto& tool : tools) {
+      eval::ToolRow row;
+      row.tool = tool->info().name;
+      row.language = minilang::flavor_name(flavor);
+      row.confusion = core::evaluate_detector(*tool, suite);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::printf("%s", eval::render_table5(rows).c_str());
+
+  bench::section("reading");
+  std::printf(
+      "Eraser checks lock discipline only. On this suite that costs it\n"
+      "recall, not precision: a cross-thread write-then-read race parks the\n"
+      "location in the benign Shared state (the same absorption that\n"
+      "tolerates init-then-share hand-offs), so those races are missed,\n"
+      "while the suite's race-free programs follow lock discipline and\n"
+      "draw no false alarms. Compare Intel Inspector's hybrid: restoring\n"
+      "recall with relaxed ordering buys back the false positives.\n");
+  return 0;
+}

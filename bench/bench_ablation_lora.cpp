@@ -1,0 +1,94 @@
+// §4.1 ablation — LoRA/PEFT vs full fine-tuning: trainable parameter
+// count, wall time, and race-classification accuracy. The paper adopts
+// LoRA to cut trainable parameters; this bench quantifies the trade-off
+// at the repository's miniature scale (where the low-rank bottleneck is
+// proportionally tighter than at 13B).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/eval/metrics.hpp"
+#include "hpcgpt/kb/kb.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  std::size_t lora_rank;  // 0 = full fine-tuning
+  float learning_rate;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A4 — LoRA/PEFT vs full fine-tuning");
+
+  datagen::TeacherOptions topts;
+  topts.seed = 51;
+  datagen::TeacherModel teacher(topts);
+  const datagen::InstructionDataset dataset =
+      datagen::collect_task2(teacher, {.seed = 52});
+
+  const text::BpeTokenizer tokenizer = core::build_shared_tokenizer();
+  drb::SuiteSpec eval_spec;
+  eval_spec.per_racy_category = bench::fast_mode() ? 2 : 6;
+  eval_spec.per_free_category = bench::fast_mode() ? 2 : 6;
+  eval_spec.seed = 53;
+  const auto suite = drb::generate_suite(minilang::Flavor::C, eval_spec);
+
+  const std::vector<Variant> variants{
+      {"full fine-tuning", 0, 2e-3f},
+      {"LoRA rank 16", 16, 1e-3f},
+      {"LoRA rank 8", 8, 1e-3f},
+      {"LoRA rank 4", 4, 1e-3f},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Variant& v : variants) {
+    core::ModelOptions spec = core::spec_for(core::BaseModel::Llama2);
+    if (bench::fast_mode()) spec.pretrain_steps /= 10;
+    core::HpcGpt model(spec, tokenizer);
+    model.pretrain(kb::unstructured_corpus(), {});
+    if (v.lora_rank > 0) {
+      model.model().attach_lora(v.lora_rank, 2.0f * v.lora_rank,
+                                /*train_lora_only=*/true);
+    }
+    core::FinetuneOptions fopts;
+    fopts.epochs = bench::fast_mode() ? 1 : 3;
+    fopts.learning_rate = v.learning_rate;
+    fopts.max_records = bench::fast_mode() ? 100 : 700;
+    const core::FinetuneReport report =
+        model.finetune(dataset.records, fopts);
+    const eval::Confusion c = core::evaluate_llm(model, suite, 256);
+    const std::size_t total =
+        nn::parameter_count(model.model().parameters());
+    rows.push_back(
+        {v.name, std::to_string(report.trainable_parameters),
+         eval::fmt4(100.0 * static_cast<double>(report.trainable_parameters) /
+                    static_cast<double>(total)) +
+             "%",
+         eval::fmt4(report.wall_seconds) + "s",
+         eval::fmt4(c.accuracy()), eval::fmt4(c.adjusted_f1())});
+  }
+  std::printf("%s", eval::render_table({"Variant", "Trainable params",
+                                        "Share", "SFT wall time",
+                                        "Accuracy", "Adjusted F1"},
+                                       rows)
+                        .c_str());
+
+  bench::section("reading");
+  std::printf(
+      "LoRA cuts trainable parameters sharply, as in the paper's setup.\n"
+      "At 13B scale the adapters match full fine-tuning; at this miniature\n"
+      "scale the low-rank bottleneck costs accuracy relative to full\n"
+      "fine-tuning, with visible run-to-run variance across ranks (the\n"
+      "adapters sit at the edge of trainability for a 110k-parameter\n"
+      "model). Note also that fewer trainable parameters does not mean\n"
+      "less wall time here: the adapter matmuls add forward/backward work\n"
+      "and nothing is saved by skipping tiny weight updates on CPU.\n");
+  return 0;
+}

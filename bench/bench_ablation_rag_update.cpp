@@ -1,0 +1,85 @@
+// §5 ablation — "How to update HPC-GPT with Latest Data": the LangChain
+// route. New MLPerf results (absent from every training corpus) are
+// chunked into the vector store; questions about them are answered by
+// retrieval, while the frozen fine-tuned model alone cannot know them.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/retrieval/vector_store.hpp"
+#include "hpcgpt/support/strings.hpp"
+#include "hpcgpt/text/chunker.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner("Ablation A3 — RAG update with latest data (paper §5)");
+
+  // "Latest" MLPerf rows: a newer hardware generation, unseen anywhere.
+  const std::vector<kb::MlperfEntry> fresh{
+      {"NVIDIA", "gb200_nvl72", "NVIDIA Grace CPU", "NVIDIA GB200",
+       "PyTorch NVIDIA Release 24.10", "GPT-3 175B"},
+      {"AMD", "mi300x_n8", "AMD EPYC 9554", "AMD Instinct MI300X",
+       "ROCm PyTorch 24.09", "Llama-2-70B"},
+      {"Intel", "gaudi3_n16", "Intel(R) Xeon(R) Platinum 8580",
+       "Intel Gaudi3", "PyTorch 2.4 Intel Release", "Stable Diffusion"},
+  };
+
+  // A frozen HPC-GPT: pre-trained on the *old* corpus only.
+  const text::BpeTokenizer tokenizer = core::build_shared_tokenizer();
+  core::ModelOptions spec = core::spec_for(core::BaseModel::Llama2);
+  if (bench::fast_mode()) spec.pretrain_steps /= 10;
+  core::HpcGpt model(spec, tokenizer);
+  model.pretrain(kb::unstructured_corpus(), {});
+
+  // Vector store seeded with the old knowledge, then updated in place.
+  retrieval::TfidfEmbedder embedder;
+  std::vector<std::string> corpus;
+  for (const kb::MlperfEntry& e : kb::KnowledgeBase::builtin().mlperf) {
+    corpus.push_back(kb::flatten(e, 1));
+  }
+  for (const kb::MlperfEntry& e : fresh) corpus.push_back(kb::flatten(e, 1));
+  embedder.fit(corpus);
+  retrieval::VectorStore store(embedder);
+  for (const kb::MlperfEntry& e : kb::KnowledgeBase::builtin().mlperf) {
+    store.add(kb::flatten(e, 1));
+  }
+  const std::size_t before_update = store.size();
+  for (const kb::MlperfEntry& e : fresh) store.add(kb::flatten(e, 1));
+
+  std::printf("vector store: %zu chunks before update, %zu after\n\n",
+              before_update, store.size());
+
+  bench::section("questions about data newer than the model");
+  std::size_t model_hits = 0;
+  std::size_t rag_hits = 0;
+  for (const kb::MlperfEntry& e : fresh) {
+    const std::string question = "What is the System if the Accelerator "
+                                 "used is " + e.accelerator +
+                                 " and the Software used is " + e.software +
+                                 "?";
+    const std::string from_model = model.ask(question);
+    const auto hits = store.top_k(question, 1);
+    const std::string from_rag = hits.empty() ? "" : hits[0].text;
+    const bool model_ok = strings::icontains(from_model, e.system);
+    const bool rag_ok = strings::icontains(from_rag, e.system);
+    model_hits += model_ok;
+    rag_hits += rag_ok;
+    std::printf("Q: %s\n  frozen model: %s  [%s]\n  RAG context : %s  [%s]\n",
+                question.c_str(), from_model.c_str(),
+                model_ok ? "contains answer" : "wrong",
+                from_rag.c_str(), rag_ok ? "contains answer" : "wrong");
+  }
+  std::printf("\nfrozen model: %zu/%zu | RAG retrieval: %zu/%zu\n",
+              model_hits, fresh.size(), rag_hits, fresh.size());
+
+  bench::section("reading");
+  std::printf(
+      "The frozen model cannot answer about hardware released after its\n"
+      "training cut-off; adding three flattened rows to the vector store\n"
+      "makes every question answerable without touching a single weight —\n"
+      "the LangChain-style update path the paper proposes.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// §5 ablation — "The Token Length of Existing LLMs": sweeps the model's
+// context limit and reports TSR / accuracy / adjusted F1 on the C/C++
+// evaluation suite. Shrinking the limit excludes ever more programs
+// (TSR drops) and drags the adjusted F1 down with it, which is exactly
+// the failure mode the paper highlights for the 8k-token ceiling.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/eval/metrics.hpp"
+#include "hpcgpt/kb/kb.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner("Ablation A1 — token limit vs TSR / adjusted F1 (paper §5)");
+
+  // One fine-tuned HPC-GPT, reused across the sweep.
+  datagen::TeacherOptions topts;
+  topts.seed = 31;
+  datagen::TeacherModel teacher(topts);
+  const datagen::InstructionDataset dataset =
+      datagen::collect_task2(teacher, {.seed = 32});
+
+  const text::BpeTokenizer tokenizer = core::build_shared_tokenizer();
+  core::ModelOptions spec = core::spec_for(core::BaseModel::Llama2);
+  spec.name = "HPC-GPT (L2)";
+  if (bench::fast_mode()) spec.pretrain_steps /= 10;
+  core::HpcGpt model(spec, tokenizer);
+  model.pretrain(kb::unstructured_corpus(), {});
+  model.model().attach_lora(16, 32.0f, true);
+  core::FinetuneOptions fopts;
+  fopts.epochs = bench::fast_mode() ? 1 : 3;
+  fopts.learning_rate = 1e-3f;
+  fopts.max_records = bench::fast_mode() ? 100 : 800;
+  model.finetune(dataset.records, fopts);
+
+  const auto suite = drb::evaluation_suite(minilang::Flavor::C);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::size_t limit : {64u, 96u, 128u, 192u, 256u, 286u}) {
+    const eval::Confusion c = core::evaluate_llm(model, suite, limit);
+    rows.push_back({std::to_string(limit),
+                    std::to_string(c.unsupported),
+                    eval::fmt4(c.tsr()), eval::fmt4(c.accuracy()),
+                    eval::fmt4(c.f1()), eval::fmt4(c.adjusted_f1())});
+  }
+  std::printf("%s",
+              eval::render_table({"Token limit", "Excluded", "TSR",
+                                  "Accuracy", "F1", "Adjusted F1"},
+                                 rows)
+                  .c_str());
+
+  bench::section("reading");
+  std::printf(
+      "The paper reports TSR 0.9209 for every LLM method on C/C++ because\n"
+      "14 of 177 cases exceed 8k tokens. Here the analogous ceiling is the\n"
+      "miniature model's context: at the full window only the oversized\n"
+      "cases drop out; tightening the window excludes progressively more\n"
+      "of the suite and adjusted F1 decays with TSR even while accuracy\n"
+      "on the surviving cases stays roughly flat.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints (a) the paper's reference artifact where useful and
+// (b) the regenerated numbers from this repository's implementation, so
+// the two can be compared side by side (EXPERIMENTS.md records the
+// comparison). Benches honour HPCGPT_FAST=1 for smoke runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hpcgpt::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("HPCGPT_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n==========================================================="
+              "=====================\n%s\n============================"
+              "====================================================\n\n",
+              title.c_str());
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n---- %s ----\n", title.c_str());
+}
+
+}  // namespace hpcgpt::bench

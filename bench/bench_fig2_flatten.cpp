@@ -1,0 +1,44 @@
+// Reproduces Figure 2: transformation of unsupervised structured data —
+// a catalog table row is flattened into sentence text by slot-filling,
+// which is what the teacher model consumes as "unsupervised knowledge".
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/kb/kb.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner("Figure 2 — Transformation of unsupervised structured data");
+
+  const kb::KnowledgeBase& base = kb::KnowledgeBase::builtin();
+
+  bench::section("structured input (table rows)");
+  std::printf("| %-18s | %-14s | %-10s |\n", "Task", "Dataset Name",
+              "Language");
+  std::printf("|--------------------|----------------|------------|\n");
+  for (std::size_t i = 0; i < 2; ++i) {
+    const kb::PlpEntry& e = base.plp[4 + i];  // Devign / D2A rows
+    std::printf("| %-18s | %-14s | %-10s |\n", e.category.c_str(),
+                e.dataset.c_str(), e.language.c_str());
+  }
+
+  bench::section("unstructured output (template slot-filling)");
+  for (std::size_t variant = 0; variant < 3; ++variant) {
+    std::printf("variant %zu: %s\n\n", variant,
+                kb::flatten(base.plp[4], variant).c_str());
+  }
+
+  bench::section("MLPerf row flattening");
+  std::printf("%s\n", kb::flatten(base.mlperf[0], 0).c_str());
+
+  bench::section("paper reference");
+  std::printf(
+      "Figure 2 flattens the (Defect Detection, Devign, C) row into:\n"
+      "\"A task called 'Defect Detection' along with the corresponding\n"
+      "dataset name and programming language used. The dataset used for\n"
+      "this task is called 'Devign,' and the programming language employed\n"
+      "is C.\" — variant 0 above follows the same template.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 1: "Instance with An Instruction" — one supervised
+// fine-tuning record per task, in the exact JSON record format the
+// training pipeline consumes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/datagen/teacher.hpp"
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/kb/kb.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner("Table 1 — Instance with An Instruction");
+
+  datagen::TeacherOptions opts;
+  opts.duplicate_rate = opts.unparseable_rate = opts.prose_wrap_rate = 0;
+  opts.short_answer_rate = opts.long_answer_rate = 0;
+  opts.missing_field_rate = opts.hallucination_rate = 0;
+  datagen::TeacherModel teacher(opts);
+
+  bench::section("Task 1: Model and datasets for HPC");
+  // The paper's example asks about C/C++ + CodeBERT (clone detection).
+  for (const kb::PlpEntry& e : kb::KnowledgeBase::builtin().plp) {
+    if (e.category == "Clone detection" && e.baseline == "CodeBERT") {
+      const datagen::TeacherEmission emission = teacher.generate_plp(e, 0);
+      std::printf("%s\n", emission.completion.c_str());
+      break;
+    }
+  }
+
+  bench::section("Task 2: Data Race Detection");
+  // The paper's example is the y[i] = x[i] + y[i-1] recurrence ("yes").
+  Rng rng(4);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const drb::TestCase tc =
+        drb::generate_case(drb::Category::NumericalKernelDataRaces,
+                           minilang::Flavor::C, rng);
+    if (tc.id.find("prefix-recurrence") == std::string::npos) continue;
+    const datagen::TeacherEmission emission = teacher.generate_race(tc);
+    std::printf("%s\n", emission.completion.c_str());
+    break;
+  }
+
+  bench::section("paper reference");
+  std::printf(
+      "Task 1 instance: instruction asks which dataset fits C/C++ with\n"
+      "baseline CodeBERT; output names the POJ-104 dataset (clone\n"
+      "detection). Task 2 instance: the y[i] = x[i] + y[i-1] parallel-for\n"
+      "snippet with output \"yes\".\n");
+  return 0;
+}

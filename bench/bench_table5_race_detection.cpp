@@ -1,0 +1,83 @@
+// Reproduces Table 5 (and its Table 4 header): every data-race detection
+// tool and every LLM-based method evaluated on the DataRaceBench-style
+// suites (177 C/C++ and 166 Fortran cases). This is the paper's headline
+// experiment: the full Figure-1 pipeline runs end to end — instruction
+// collection, base-model pre-training, HPC-GPT supervised fine-tuning —
+// and then all ten methods are scored with the §4.5 metrics.
+//
+// Expected shape (EXPERIMENTS.md records the concrete numbers):
+//   * ThreadSanitizer: best specificity/precision among tools;
+//   * Intel Inspector: noticeably lower specificity (false sharing and
+//     barrier blindness);
+//   * LLM TSR < 1 for C/C++ (oversized snippets exceed the token limit)
+//     and = 1 for Fortran;
+//   * HPC-GPT (L2) >= HPC-GPT (L1) > GPT-4-sim > GPT-3.5-sim > LLaMA sims
+//     on accuracy / adjusted F1.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/eval/metrics.hpp"
+#include "hpcgpt/race/detector.hpp"
+#include "hpcgpt/support/timer.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner("Table 5 — Data Race Detection Tools and LLM-Based Methods");
+
+  bench::section("Table 4 — tool and compiler versions (simulated tools)");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& tool : race::make_all_tools()) {
+      const race::ToolInfo& info = tool->info();
+      rows.push_back({info.name, info.version, info.compiler, info.kind});
+    }
+    std::printf("%s", eval::render_table(
+                          {"Tools", "Version", "Compiler", "Kind"}, rows)
+                          .c_str());
+  }
+
+  Timer timer;
+  bench::section("stage 1/3 — §3.2 instruction collection");
+  const datagen::InstructionDataset dataset = datagen::collect_all(2023);
+  std::printf("collected %zu instruction instances in %.1fs\n",
+              dataset.records.size(), timer.seconds());
+
+  core::ExperimentOptions opts;
+  if (bench::fast_mode()) {
+    opts.pretrain_percent = 10;
+    opts.sft.epochs = 1;
+    opts.sft.max_records = 120;
+  }
+
+  bench::section("stage 2/3 — pre-training + supervised fine-tuning");
+  timer.reset();
+  core::Table5Result result = core::run_table5(dataset, opts);
+  std::printf("model zoo + evaluation in %.1fs\n", timer.seconds());
+  for (const auto& [name, report] : result.sft_reports) {
+    std::printf("%s: %zu records x sft, loss %.3f -> %.3f, %zu trainable "
+                "params (LoRA/PEFT), %.1fs\n",
+                name.c_str(), report.records_used, report.first_epoch_loss,
+                report.last_epoch_loss, report.trainable_parameters,
+                report.wall_seconds);
+  }
+
+  bench::section("stage 3/3 — Table 5");
+  std::printf("%s", eval::render_table5(result.rows).c_str());
+
+  bench::section("paper reference (Table 5 key rows)");
+  std::printf(
+      "C/C++ : TSan adjF1 0.8679 spec 0.9888 prec 0.9857 acc 0.8826 | "
+      "Inspector spec 0.5287\n"
+      "        LLaMa acc 0.5215, LLaMa2 acc 0.5276, GPT-3.5 acc 0.5951, "
+      "GPT-4 acc 0.7055\n"
+      "        HPC-GPT(L1) acc 0.7668, HPC-GPT(L2) acc 0.8037, "
+      "LLM TSR 0.9209 (14 cases > 8k tokens)\n"
+      "Fortran: TSan spec 1.0 prec 1.0 acc 0.8863 TSR 0.7857 | "
+      "LLM TSR 1.0\n"
+      "        HPC-GPT(L2) recall 0.8433 adjF1 0.8333 acc 0.8313\n");
+  return 0;
+}

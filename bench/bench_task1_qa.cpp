@@ -1,0 +1,110 @@
+// Reproduces §4.7.1 (Listings 3 and 4): Task 1 question answering —
+// HPC-GPT vs the generic-LLM baseline vs the HPC-Ontology structured
+// query, on the paper's two example questions plus an exact-match sweep
+// over held-out QA records.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/ontology/ontology.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  bench::banner("Listings 3/4 — Task 1: Managing AI Models and Datasets");
+
+  // ---- data + models ----
+  datagen::TeacherOptions topts;
+  topts.seed = 2025;
+  datagen::TeacherModel teacher(topts);
+  datagen::Task1Spec spec;
+  // A denser Task-1 collection than Table 2's (divisor 4 instead of 8):
+  // the PLP catalog has 25 distinct entries across 13 categories, and the
+  // miniature model needs a few sightings of each entity to produce it.
+  spec.scale_divisor = bench::fast_mode() ? 32 : 4;
+  const datagen::InstructionDataset dataset =
+      datagen::collect_task1(teacher, spec);
+
+  const text::BpeTokenizer tokenizer = core::build_shared_tokenizer();
+  core::ModelOptions base_spec = core::spec_for(core::BaseModel::Gpt4);
+  if (bench::fast_mode()) base_spec.pretrain_steps /= 10;
+  core::HpcGpt gpt4_sim(base_spec, tokenizer);
+  gpt4_sim.pretrain(kb::unstructured_corpus(), {});
+
+  core::ModelOptions hpc_spec = core::spec_for(core::BaseModel::Llama2);
+  hpc_spec.name = "HPC-GPT (L2)";
+  if (bench::fast_mode()) hpc_spec.pretrain_steps /= 10;
+  core::HpcGpt hpcgpt(hpc_spec, tokenizer);
+  hpcgpt.pretrain(kb::unstructured_corpus(), {});
+  // Task-1 answers are full sentences with exact entities; the paper
+  // trains for 200 epochs — this bench uses full fine-tuning with a
+  // deeper schedule than the race benches to get crisp generations.
+  core::FinetuneOptions fopts;
+  fopts.epochs = bench::fast_mode() ? 1 : 14;
+  fopts.learning_rate = 2e-3f;
+  hpcgpt.finetune(dataset.records, fopts);
+
+  const ontology::TripleStore store =
+      ontology::import_knowledge_base(kb::KnowledgeBase::builtin());
+
+  // ---- Listing 3: PLP question ----
+  bench::section("Listing 3 — PLP task example");
+  const std::string plp_q =
+      "What kind of dataset can be used for code translation tasks if the "
+      "source language is Java and the target language is C#?";
+  std::printf("Question: %s\n", plp_q.c_str());
+  std::printf("Answer (GPT-4 sim, no HPC tuning): %s\n",
+              gpt4_sim.ask(plp_q).c_str());
+  std::printf("Answer (HPC-GPT):                  %s\n",
+              hpcgpt.ask(plp_q).c_str());
+  const auto datasets = store.select({{"?d", "usedFor", "Code Translation"},
+                                      {"?d", "hasLanguage", "Java-C#"}},
+                                     "?d");
+  std::printf("Answer (HPC-Ontology, SPARQL-style query): %s\n",
+              datasets.empty() ? "(no match)" : datasets[0].c_str());
+
+  // ---- Listing 4: MLPerf question ----
+  bench::section("Listing 4 — MLPerf task example");
+  const std::string ml_q =
+      "What is the System if the Accelerator used is NVIDIA H100-SXM5-80GB "
+      "and the Software used is MXNet NVIDIA Release 23.04?";
+  std::printf("Question: %s\n", ml_q.c_str());
+  std::printf("Answer (GPT-4 sim, no HPC tuning): %s\n",
+              gpt4_sim.ask(ml_q).c_str());
+  std::printf("Answer (HPC-GPT):                  %s\n",
+              hpcgpt.ask(ml_q).c_str());
+  const auto systems = store.select(
+      {{"?s", "hasAccelerator", "NVIDIA H100-SXM5-80GB"},
+       {"?s", "hasSoftware", "MXNet NVIDIA Release 23.04"}},
+      "?s");
+  std::printf("Answer (HPC-Ontology, SPARQL-style query): %s\n",
+              systems.empty() ? "(no match)" : systems[0].c_str());
+
+  // ---- exact-match sweep ----
+  bench::section("exact-entity accuracy over held-out Task-1 questions");
+  const auto plp_records = dataset.of_task(datagen::Task::Task1Plp);
+  const auto ml_records = dataset.of_task(datagen::Task::Task1Mlperf);
+  const std::size_t cases = bench::fast_mode() ? 8 : 40;
+  std::printf("PLP    : HPC-GPT %.2f | GPT-4 sim %.2f\n",
+              core::task1_exact_match(hpcgpt, plp_records, cases),
+              core::task1_exact_match(gpt4_sim, plp_records, cases));
+  std::printf("MLPerf : HPC-GPT %.2f | GPT-4 sim %.2f\n",
+              core::task1_exact_match(hpcgpt, ml_records, cases),
+              core::task1_exact_match(gpt4_sim, ml_records, cases));
+  std::printf(
+      "(HPC-Ontology answers exactly when — and only when — a structured\n"
+      "query is hand-written per question; free-form input is not "
+      "supported,\nwhich is the scalability drawback §4.7.1 describes.)\n");
+
+  bench::section("paper reference");
+  std::printf(
+      "Listing 3: GPT-4 paraphrases the question; HPC-GPT answers "
+      "\"CodeTrans dataset\";\nHPC-Ontology answers \"CodeTrans dataset\" "
+      "given a manual SPARQL query.\nListing 4: ChatGPT gives a generic "
+      "description; HPC-GPT answers \"dgxh100_n64\".\n");
+  return 0;
+}

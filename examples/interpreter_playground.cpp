@@ -1,0 +1,91 @@
+// interpreter_playground: watch the simulated OpenMP runtime execute a
+// racy program under different schedules — the shared-tmp lost-update
+// pattern produces different wrong answers per seed, while the privatized
+// fix is schedule-invariant. Also prints a slice of the instrumented
+// event trace the dynamic detectors consume.
+
+#include <cstdio>
+
+#include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/race/interp.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+const char* kRacy = R"(
+int a[16];
+int b[16];
+int tmp = 0;
+int main() {
+  int i;
+  for (i = 0; i < 16; i++) {
+    a[i] = i;
+  }
+  #pragma omp parallel for
+  for (i = 0; i < 16; i++) {
+    tmp = a[i] * 2;
+    b[i] = tmp;
+  }
+  return 0;
+}
+)";
+
+const char* kFixed = R"(
+int a[16];
+int b[16];
+int tmp = 0;
+int main() {
+  int i;
+  for (i = 0; i < 16; i++) {
+    a[i] = i;
+  }
+  #pragma omp parallel for private(tmp)
+  for (i = 0; i < 16; i++) {
+    tmp = a[i] * 2;
+    b[i] = tmp;
+  }
+  return 0;
+}
+)";
+
+void run(const char* label, const char* source) {
+  std::printf("== %s ==\n", label);
+  const minilang::Program program = minilang::parse_c(source);
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const race::ExecResult r =
+        race::execute(program, {.num_threads = 4, .seed = seed});
+    std::size_t wrong = 0;
+    const auto& b = r.arrays.at("b");
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      wrong += (b[i] != 2 * static_cast<std::int64_t>(i));
+    }
+    std::printf("  seed %llu: b = [", static_cast<unsigned long long>(seed));
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      std::printf("%s%lld", i ? " " : "", static_cast<long long>(b[i]));
+    }
+    std::printf("]  (%zu corrupted)\n", wrong);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  run("shared tmp (racy: lost updates vary with the schedule)", kRacy);
+  run("private(tmp) (race-free: schedule-invariant)", kFixed);
+
+  // Show the first events of the instrumented trace.
+  const minilang::Program program = minilang::parse_c(kRacy);
+  const race::ExecResult r =
+      race::execute(program, {.num_threads = 2, .seed = 5});
+  std::printf("== first 14 trace events (what the detectors see) ==\n");
+  std::size_t shown = 0;
+  for (const race::Event& e : r.trace) {
+    if (shown == 14) break;
+    std::printf("  t%-2d region %-2d %-8s %s\n", e.thread, e.region,
+                race::to_string(e.kind).c_str(), e.var.c_str());
+    ++shown;
+  }
+  return 0;
+}

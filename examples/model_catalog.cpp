@@ -1,0 +1,67 @@
+// model_catalog: browse the Task-1 knowledge base the way the paper's
+// HPC-Ontology baseline does — structured queries over the triple store —
+// and print the catalog tables the teacher pipeline flattens.
+
+#include <cstdio>
+
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/ontology/ontology.hpp"
+
+using namespace hpcgpt;
+
+int main() {
+  const kb::KnowledgeBase& base = kb::KnowledgeBase::builtin();
+  const ontology::TripleStore store = ontology::import_knowledge_base(base);
+
+  std::printf("== PLP catalog (%zu entries, %zu categories) ==\n",
+              base.plp.size(), base.plp_categories().size());
+  for (const std::string& category : base.plp_categories()) {
+    std::printf("\n[%s]\n", category.c_str());
+    for (const kb::PlpEntry& e : base.plp) {
+      if (e.category != category) continue;
+      std::printf("  %-18s %-12s baseline %-14s (%s)\n", e.dataset.c_str(),
+                  e.language.c_str(), e.baseline.c_str(), e.metric.c_str());
+    }
+  }
+
+  std::printf("\n== MLPerf catalog (%zu entries) ==\n", base.mlperf.size());
+  for (const kb::MlperfEntry& e : base.mlperf) {
+    std::printf("  %-22s %-10s %-28s %s\n", e.system.c_str(),
+                e.submitter.c_str(), e.accelerator.c_str(),
+                e.benchmark.c_str());
+  }
+
+  std::printf("\n== structured queries (the HPC-Ontology path) ==\n");
+  struct Query {
+    const char* description;
+    std::vector<ontology::Pattern> patterns;
+    const char* variable;
+  };
+  const std::vector<Query> queries{
+      {"datasets usable for clone detection",
+       {{"?d", "usedFor", "Clone detection"}},
+       "?d"},
+      {"baselines evaluated on Python datasets",
+       {{"?d", "hasLanguage", "Python"}, {"?d", "hasBaseline", "?m"}},
+       "?m"},
+      {"systems pairing H100 accelerators with PyTorch 23.04",
+       {{"?s", "hasAccelerator", "NVIDIA H100-SXM5-80GB"},
+        {"?s", "hasSoftware", "PyTorch NVIDIA Release 23.04"}},
+       "?s"},
+      {"submitters that ran ResNet-50",
+       {{"?s", "ranBenchmark", "ResNet-50"}, {"?s", "submittedBy", "?o"}},
+       "?o"},
+  };
+  for (const Query& q : queries) {
+    std::printf("\nquery: %s\n", q.description);
+    for (const std::string& answer : store.select(q.patterns, q.variable)) {
+      std::printf("  -> %s\n", answer.c_str());
+    }
+  }
+
+  std::printf(
+      "\nNote: each answer above required hand-writing the triple patterns "
+      "—\nthe manual effort §4.7.1 contrasts with HPC-GPT's free-form "
+      "questions.\n");
+  return 0;
+}

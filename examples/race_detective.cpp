@@ -1,0 +1,108 @@
+// race_detective: feed OpenMP-style C code (text) through the full race
+// tooling — parse to AST, execute under the simulated OpenMP runtime,
+// dump the trace summary, and compare all four detector verdicts.
+//
+// Usage: ./build/examples/race_detective            (built-in demo set)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/minilang/render.hpp"
+#include "hpcgpt/race/detector.hpp"
+#include "hpcgpt/race/interp.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+void investigate(const std::string& label, const std::string& source) {
+  std::printf("================================================\n");
+  std::printf("case: %s\n%s", label.c_str(), source.c_str());
+
+  const minilang::Program program = minilang::parse_c(source);
+
+  // Dynamic execution: trace + final state.
+  const race::ExecResult result =
+      race::execute(program, {.num_threads = 4, .seed = 42});
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t syncs = 0;
+  for (const race::Event& e : result.trace) {
+    reads += (e.kind == race::EventKind::Read);
+    writes += (e.kind == race::EventKind::Write);
+    syncs += (e.kind == race::EventKind::Acquire ||
+              e.kind == race::EventKind::Barrier);
+  }
+  std::printf("trace: %zu events (%zu reads, %zu writes, %zu sync)\n",
+              result.trace.size(), reads, writes, syncs);
+  for (const auto& [name, value] : result.scalars) {
+    std::printf("  final %s = %lld\n", name.c_str(),
+                static_cast<long long>(value));
+  }
+
+  // All four tools.
+  for (const auto& tool : race::make_all_tools()) {
+    const race::DetectionResult verdict =
+        tool->analyze(program, minilang::Flavor::C);
+    std::string text;
+    switch (verdict.verdict) {
+      case race::Verdict::Race:
+        text = "RACE on '" + verdict.races.front().var + "' (" +
+               verdict.races.front().detail + ")";
+        break;
+      case race::Verdict::NoRace:
+        text = "no race";
+        break;
+      case race::Verdict::Unsupported:
+        text = "unsupported: " + verdict.unsupported_reason;
+        break;
+    }
+    std::printf("  %-16s -> %s\n", tool->info().name.c_str(), text.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  investigate("unsynchronized shared sum (racy)",
+              "int a[64];\nint sum = 0;\n"
+              "int main() {\n  int i;\n"
+              "  #pragma omp parallel for\n"
+              "  for (i = 0; i < 64; i++) {\n"
+              "    sum = sum + a[i];\n  }\n  return 0;\n}\n");
+
+  investigate("reduction clause (race-free)",
+              "int a[64];\nint sum = 0;\n"
+              "int main() {\n  int i;\n"
+              "  #pragma omp parallel for reduction(+:sum)\n"
+              "  for (i = 0; i < 64; i++) {\n"
+              "    sum = sum + a[i];\n  }\n  return 0;\n}\n");
+
+  investigate("loop-carried dependence (racy)",
+              "int a[64];\n"
+              "int main() {\n  int i;\n"
+              "  #pragma omp parallel for\n"
+              "  for (i = 1; i < 64; i++) {\n"
+              "    a[i] = a[i - 1] + 1;\n  }\n  return 0;\n}\n");
+
+  investigate("atomic counter (race-free; note ROMP's atomic blind spot)",
+              "int hits = 0;\nint a[32];\n"
+              "int main() {\n  int i;\n"
+              "  #pragma omp parallel for\n"
+              "  for (i = 0; i < 32; i++) {\n"
+              "    #pragma omp atomic\n"
+              "    hits = hits + 1;\n  }\n  return 0;\n}\n");
+
+  investigate("barrier-phased region (race-free; Inspector false-positive)",
+              "int a[4];\nint b[4];\n"
+              "int main() {\n"
+              "  #pragma omp parallel num_threads(4)\n  {\n"
+              "    a[omp_get_thread_num()] = omp_get_thread_num();\n"
+              "    #pragma omp barrier\n"
+              "    b[omp_get_thread_num()] = "
+              "a[(omp_get_thread_num() + 1) % 4];\n  }\n  return 0;\n}\n");
+  return 0;
+}

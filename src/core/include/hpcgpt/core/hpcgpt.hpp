@@ -1,0 +1,127 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcgpt/datagen/record.hpp"
+#include "hpcgpt/nn/adam.hpp"
+#include "hpcgpt/nn/transformer.hpp"
+#include "hpcgpt/text/tokenizer.hpp"
+
+namespace hpcgpt::core {
+
+/// Identity of a base model in the experiment zoo. Each stands in for one
+/// of the paper's baselines at laptop scale; they share the architecture
+/// and tokenizer and differ in pre-training breadth and (for the
+/// commercial-LLM sims) incidental HPC exposure.
+enum class BaseModel { Llama, Llama2, Gpt35, Gpt4 };
+
+std::string base_model_name(BaseModel base);
+
+/// Hyper-parameters of one model instance.
+struct ModelOptions {
+  std::string name = "llama_sim";
+  nn::TransformerConfig config;
+  std::size_t pretrain_steps = 300;
+  /// Number of labelled HPC instances mixed into the pre-training stream —
+  /// models the "web data happens to include some HPC text" advantage of
+  /// the GPT-3.5/GPT-4 baselines over LLaMA.
+  std::size_t hpc_exposure = 0;
+  float pretrain_lr = 3e-3f;
+  std::uint64_t seed = 1;
+};
+
+/// The default architecture used throughout the experiments (sized to
+/// train on one CPU core in seconds-to-minutes).
+nn::TransformerConfig default_architecture();
+
+/// Canonical options per base model.
+ModelOptions spec_for(BaseModel base);
+
+/// Supervised fine-tuning settings (§4.1: LoRA + PEFT, fp16, lr 2e-5 at
+/// paper scale — scaled up here for the small model).
+struct FinetuneOptions {
+  std::size_t epochs = 2;
+  float learning_rate = 2e-3f;
+  /// Subsample cap on training records (0 = all) — wall-clock control.
+  std::size_t max_records = 0;
+  std::uint64_t shuffle_seed = 5;
+};
+
+struct FinetuneReport {
+  std::size_t records_used = 0;
+  std::size_t steps = 0;
+  double first_epoch_loss = 0.0;
+  double last_epoch_loss = 0.0;
+  std::size_t trainable_parameters = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Outcome of a race-classification query.
+enum class RaceVerdict { Yes, No, TooLong };
+
+/// An HPC-GPT model instance: shared tokenizer + transformer + the
+/// pre-train / fine-tune / ask / classify operations of the Figure 1
+/// pipeline.
+class HpcGpt {
+ public:
+  HpcGpt(ModelOptions options, text::BpeTokenizer tokenizer);
+
+  const std::string& name() const { return options_.name; }
+  const text::BpeTokenizer& tokenizer() const { return tokenizer_; }
+  nn::Transformer& model() { return model_; }
+
+  /// Language-model pre-training on raw text. `hpc_examples` (possibly
+  /// empty) are labelled instances serialized into the stream per
+  /// options_.hpc_exposure.
+  void pretrain(const std::vector<std::string>& corpus,
+                const std::vector<datagen::InstructionRecord>& hpc_examples);
+
+  /// Supervised fine-tuning on instruction records (loss on answer tokens
+  /// only). Uses LoRA/PEFT when the architecture config enables it.
+  FinetuneReport finetune(
+      const std::vector<datagen::InstructionRecord>& records,
+      const FinetuneOptions& options = {});
+
+  /// Free-form question answering (greedy decoding).
+  std::string ask(const std::string& question,
+                  std::size_t max_new_tokens = 48);
+
+  /// Race classification in the Table 1 format. Returns TooLong when the
+  /// encoded prompt exceeds `token_limit` (the 8k-context analogue that
+  /// produces TSR < 1 in Table 5).
+  RaceVerdict classify_race(const std::string& snippet,
+                            std::size_t token_limit);
+
+  /// Builds the exact Task-2 instruction text around a snippet.
+  static std::string race_instruction(const std::string& snippet);
+
+  /// Token count of the encoded classification prompt for `snippet`.
+  std::size_t prompt_tokens(const std::string& snippet) const;
+
+  /// Serializes the deployable bundle: model name + tokenizer merges +
+  /// fp16 weights. load() restores a ready-to-serve instance — the
+  /// artifact the Figure-1 deployment stage ships to the web server.
+  std::string save_bundle();
+  static HpcGpt load_bundle(const std::string& blob);
+  void save_bundle_file(const std::string& path);
+  static HpcGpt load_bundle_file(const std::string& path);
+
+ private:
+  HpcGpt(ModelOptions options, text::BpeTokenizer tokenizer,
+         nn::Transformer model);
+
+  std::vector<text::TokenId> encode_prompt(const std::string& question) const;
+
+  ModelOptions options_;
+  text::BpeTokenizer tokenizer_;
+  nn::Transformer model_;
+};
+
+/// Trains the shared BPE tokenizer on a corpus representative of both
+/// tasks (KB text + code snippets), so every model sees identical token
+/// streams.
+text::BpeTokenizer build_shared_tokenizer(std::size_t vocab_size = 512,
+                                          std::uint64_t seed = 3);
+
+}  // namespace hpcgpt::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/retrieval/vector_store.hpp"
+
+namespace hpcgpt::core {
+
+/// Retrieval-augmented answering (the paper's §5 LangChain route, wired
+/// end-to-end): retrieve the chunks most relevant to `question`, splice
+/// them into the prompt as context, and let the model answer. The store
+/// can be updated with new facts at any time without touching weights.
+struct RagOptions {
+  std::size_t top_k = 2;
+  std::size_t max_new_tokens = 48;
+  /// Below this cosine score the context is considered irrelevant and the
+  /// model answers unaided.
+  double min_score = 0.05;
+};
+
+struct RagAnswer {
+  std::string text;
+  std::vector<retrieval::Hit> context;  ///< chunks actually used
+  bool used_context = false;
+};
+
+RagAnswer rag_ask(HpcGpt& model, const retrieval::VectorStore& store,
+                  const std::string& question, const RagOptions& options = {});
+
+}  // namespace hpcgpt::core

@@ -1,0 +1,186 @@
+#include "hpcgpt/core/evaluation.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/minilang/render.hpp"
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::core {
+
+eval::Confusion evaluate_detector(race::Detector& detector,
+                                  const std::vector<drb::TestCase>& suite) {
+  eval::Confusion c;
+  for (const drb::TestCase& tc : suite) {
+    const race::DetectionResult r = detector.analyze(tc.program, tc.flavor);
+    if (r.verdict == race::Verdict::Unsupported) {
+      c.add_unsupported();
+    } else {
+      c.add(tc.has_race, r.verdict == race::Verdict::Race);
+    }
+  }
+  return c;
+}
+
+eval::Confusion evaluate_llm(HpcGpt& model,
+                             const std::vector<drb::TestCase>& suite,
+                             std::size_t token_limit) {
+  eval::Confusion c;
+  for (const drb::TestCase& tc : suite) {
+    const std::string snippet =
+        minilang::render_snippet(tc.program, tc.flavor);
+    const RaceVerdict v = model.classify_race(snippet, token_limit);
+    if (v == RaceVerdict::TooLong) {
+      c.add_unsupported();
+    } else {
+      c.add(tc.has_race, v == RaceVerdict::Yes);
+    }
+  }
+  return c;
+}
+
+double task1_exact_match(
+    HpcGpt& model,
+    const std::vector<const datagen::InstructionRecord*>& held_out,
+    std::size_t max_cases) {
+  if (held_out.empty()) return 0.0;
+  std::size_t hits = 0;
+  std::size_t total = 0;
+  for (const datagen::InstructionRecord* r : held_out) {
+    if (total == max_cases) break;
+    if (r->gold.empty()) continue;
+    ++total;
+    const std::string answer = model.ask(r->instruction);
+    if (strings::icontains(answer, r->gold)) ++hits;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+namespace {
+
+std::vector<std::string> pretraining_corpus() {
+  std::vector<std::string> corpus = kb::unstructured_corpus();
+  const kb::KnowledgeBase& base = kb::KnowledgeBase::expanded();
+  for (std::size_t i = 0; i < base.plp.size(); ++i) {
+    corpus.push_back(kb::flatten(base.plp[i], i % 3));
+  }
+  for (std::size_t i = 0; i < base.mlperf.size(); ++i) {
+    corpus.push_back(kb::flatten(base.mlperf[i], i % 3));
+  }
+  return corpus;
+}
+
+std::unique_ptr<HpcGpt> make_base(
+    BaseModel base, const text::BpeTokenizer& tokenizer,
+    const std::vector<datagen::InstructionRecord>& exposure,
+    const ExperimentOptions& options) {
+  ModelOptions spec = spec_for(base);
+  spec.pretrain_steps =
+      spec.pretrain_steps * options.pretrain_percent / 100;
+  auto model = std::make_unique<HpcGpt>(spec, tokenizer);
+  model->pretrain(pretraining_corpus(), exposure);
+  return model;
+}
+
+}  // namespace
+
+ModelZoo build_model_zoo(const datagen::InstructionDataset& dataset,
+                         const ExperimentOptions& options) {
+  const text::BpeTokenizer tokenizer = build_shared_tokenizer();
+
+  // Incidental HPC exposure for the commercial-LLM sims: a random slice
+  // of the labelled instances. The sample must be shuffled — the dataset
+  // is ordered by category (racy first), so a prefix slice would be
+  // single-label and teach a constant answer.
+  std::vector<datagen::InstructionRecord> exposure;
+  for (const datagen::InstructionRecord& r : dataset.records) {
+    if (r.task == datagen::Task::Task2Race) exposure.push_back(r);
+  }
+  Rng exposure_rng(options.seed ^ 0xabcdefULL);
+  shuffle(exposure, exposure_rng);
+  if (exposure.size() > 400) exposure.resize(400);
+
+  ModelZoo zoo;
+  const auto add = [&](std::unique_ptr<HpcGpt> m) {
+    zoo.names.push_back(m->name());
+    zoo.models.push_back(std::move(m));
+  };
+
+  // The commercial-LLM sims additionally absorb a *light* supervised pass
+  // over their share of incidentally-seen labelled instances — standing in
+  // for the HPC coverage inside their vast training sets (which is why the
+  // paper's GPT-3.5/GPT-4 land between LLaMA and HPC-GPT, not at chance).
+  const auto lightly_expose = [&](std::unique_ptr<HpcGpt> model,
+                                  std::size_t instances) {
+    std::vector<datagen::InstructionRecord> slice(
+        exposure.begin(),
+        exposure.begin() + static_cast<std::ptrdiff_t>(
+                               std::min(instances, exposure.size())));
+    FinetuneOptions light;
+    light.epochs = 1;
+    light.learning_rate = 4e-4f;
+    model->finetune(slice, light);
+    return model;
+  };
+
+  add(lightly_expose(make_base(BaseModel::Gpt35, tokenizer, exposure, options),
+                     options.pretrain_percent >= 100 ? 80 : 8));
+  add(lightly_expose(make_base(BaseModel::Gpt4, tokenizer, exposure, options),
+                     options.pretrain_percent >= 100 ? 240 : 24));
+  add(make_base(BaseModel::Llama, tokenizer, exposure, options));
+  add(make_base(BaseModel::Llama2, tokenizer, exposure, options));
+
+  // HPC-GPT (L1)/(L2): fresh LLaMA/LLaMA2 bases + LoRA/PEFT supervised
+  // fine-tuning on the full instruction dataset (Figure 1 training stage).
+  for (const BaseModel base : {BaseModel::Llama, BaseModel::Llama2}) {
+    auto model = make_base(base, tokenizer, exposure, options);
+    model->model().attach_lora(options.lora_rank, options.lora_alpha,
+                               /*train_lora_only=*/true);
+    const FinetuneReport report =
+        model->finetune(dataset.records, options.sft);
+    const std::string name = base == BaseModel::Llama ? "HPC-GPT (L1)"
+                                                      : "HPC-GPT (L2)";
+    zoo.sft_reports[name] = report;
+    zoo.names.push_back(name);
+    zoo.models.push_back(std::move(model));
+  }
+  // Display names for the baselines in Table 5 phrasing.
+  zoo.names[0] = "GPT-3.5";
+  zoo.names[1] = "GPT-4";
+  zoo.names[2] = "LLaMa";
+  zoo.names[3] = "LLaMa2";
+  return zoo;
+}
+
+Table5Result run_table5(const datagen::InstructionDataset& dataset,
+                        const ExperimentOptions& options) {
+  Table5Result result;
+  ModelZoo zoo = build_model_zoo(dataset, options);
+  result.sft_reports = zoo.sft_reports;
+
+  for (const minilang::Flavor flavor :
+       {minilang::Flavor::C, minilang::Flavor::Fortran}) {
+    const std::vector<drb::TestCase> suite = drb::evaluation_suite(flavor);
+    const std::string language = minilang::flavor_name(flavor);
+
+    for (const auto& tool : race::make_all_tools()) {
+      eval::ToolRow row;
+      row.tool = tool->info().name;
+      row.language = language;
+      row.confusion = evaluate_detector(*tool, suite);
+      result.rows.push_back(std::move(row));
+    }
+    for (std::size_t m = 0; m < zoo.models.size(); ++m) {
+      eval::ToolRow row;
+      row.tool = zoo.names[m];
+      row.language = language;
+      row.confusion =
+          evaluate_llm(*zoo.models[m], suite, options.token_limit);
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace hpcgpt::core

@@ -1,0 +1,360 @@
+#include "hpcgpt/core/hpcgpt.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/nn/checkpoint.hpp"
+#include "hpcgpt/nn/sampler.hpp"
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/timer.hpp"
+
+namespace hpcgpt::core {
+
+using text::BpeTokenizer;
+using text::TokenId;
+
+std::string base_model_name(BaseModel base) {
+  switch (base) {
+    case BaseModel::Llama: return "LLaMA";
+    case BaseModel::Llama2: return "LLaMA 2";
+    case BaseModel::Gpt35: return "GPT-3.5";
+    case BaseModel::Gpt4: return "GPT-4";
+  }
+  return "?";
+}
+
+nn::TransformerConfig default_architecture() {
+  nn::TransformerConfig c;
+  c.vocab_size = 512;
+  c.d_model = 48;
+  c.n_heads = 4;
+  c.n_layers = 2;
+  c.d_ff = 96;
+  c.max_seq = 288;
+  return c;
+}
+
+ModelOptions spec_for(BaseModel base) {
+  ModelOptions o;
+  o.config = default_architecture();
+  switch (base) {
+    case BaseModel::Llama:
+      o.name = "llama_sim";
+      o.pretrain_steps = 300;
+      o.hpc_exposure = 0;
+      o.seed = 101;
+      break;
+    case BaseModel::Llama2:
+      // "trained on 40% more data": more pre-training steps.
+      o.name = "llama2_sim";
+      o.pretrain_steps = 450;
+      o.hpc_exposure = 0;
+      o.seed = 102;
+      break;
+    case BaseModel::Gpt35:
+      o.name = "gpt35_sim";
+      o.pretrain_steps = 500;
+      o.hpc_exposure = 120;
+      o.seed = 103;
+      break;
+    case BaseModel::Gpt4:
+      o.name = "gpt4_sim";
+      o.pretrain_steps = 800;
+      o.hpc_exposure = 380;
+      o.seed = 104;
+      break;
+  }
+  return o;
+}
+
+HpcGpt::HpcGpt(ModelOptions options, BpeTokenizer tokenizer)
+    : options_(std::move(options)),
+      tokenizer_(std::move(tokenizer)),
+      model_([&] {
+        nn::TransformerConfig c = options_.config;
+        c.vocab_size = std::max(c.vocab_size, tokenizer_.vocab_size());
+        return nn::Transformer(c, options_.seed);
+      }()) {}
+
+HpcGpt::HpcGpt(ModelOptions options, BpeTokenizer tokenizer,
+               nn::Transformer model)
+    : options_(std::move(options)),
+      tokenizer_(std::move(tokenizer)),
+      model_(std::move(model)) {
+  options_.config = model_.config();
+}
+
+void HpcGpt::pretrain(
+    const std::vector<std::string>& corpus,
+    const std::vector<datagen::InstructionRecord>& hpc_examples) {
+  // Build one token stream: documents separated by EOS, plus the model's
+  // share of labelled HPC instances serialized as instruction⟂answer text.
+  std::vector<TokenId> stream;
+  for (const std::string& doc : corpus) {
+    const auto ids = tokenizer_.encode(doc);
+    stream.push_back(BpeTokenizer::kBos);
+    stream.insert(stream.end(), ids.begin(), ids.end());
+    stream.push_back(BpeTokenizer::kEos);
+  }
+  const std::size_t exposure =
+      std::min(options_.hpc_exposure, hpc_examples.size());
+  for (std::size_t i = 0; i < exposure; ++i) {
+    const datagen::InstructionRecord& r = hpc_examples[i];
+    const auto q = tokenizer_.encode(r.instruction);
+    const auto a = tokenizer_.encode(r.output);
+    stream.push_back(BpeTokenizer::kBos);
+    stream.insert(stream.end(), q.begin(), q.end());
+    stream.push_back(BpeTokenizer::kSep);
+    stream.insert(stream.end(), a.begin(), a.end());
+    stream.push_back(BpeTokenizer::kEos);
+  }
+  require(stream.size() > 8, "pretrain: corpus too small");
+
+  const std::size_t window =
+      std::min<std::size_t>(options_.config.max_seq, 128);
+  nn::Adam optimizer(nn::AdamConfig{.learning_rate = options_.pretrain_lr});
+  Rng rng(options_.seed * 31 + 7);
+  for (std::size_t step = 0; step < options_.pretrain_steps; ++step) {
+    const std::size_t max_start =
+        stream.size() > window + 1 ? stream.size() - window - 1 : 0;
+    const std::size_t start =
+        max_start == 0 ? 0
+                       : static_cast<std::size_t>(rng.next_below(max_start));
+    const std::size_t len = std::min(window, stream.size() - start - 1);
+    std::vector<TokenId> ids(stream.begin() + static_cast<std::ptrdiff_t>(start),
+                             stream.begin() + static_cast<std::ptrdiff_t>(start + len));
+    std::vector<std::int32_t> targets(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      targets[i] = stream[start + i + 1];
+    }
+    model_.zero_grad();
+    model_.train_step(ids, targets);
+    optimizer.step(model_.parameters());
+  }
+}
+
+namespace {
+
+/// Encodes one SFT example: [BOS] question [SEP] answer [EOS], loss only
+/// on the answer span (including the EOS so the model learns to stop).
+struct Encoded {
+  std::vector<TokenId> ids;
+  std::vector<std::int32_t> targets;
+};
+
+Encoded encode_sft(const BpeTokenizer& tok,
+                   const datagen::InstructionRecord& r,
+                   std::size_t max_seq) {
+  Encoded e;
+  const auto q = tok.encode(r.instruction);
+  const auto a = tok.encode(r.output);
+  e.ids.push_back(BpeTokenizer::kBos);
+  e.ids.insert(e.ids.end(), q.begin(), q.end());
+  e.ids.push_back(BpeTokenizer::kSep);
+  const std::size_t answer_start = e.ids.size();  // SEP position predicts a[0]
+  e.ids.insert(e.ids.end(), a.begin(), a.end());
+  e.ids.push_back(BpeTokenizer::kEos);
+  if (e.ids.size() > max_seq) {
+    e.ids.clear();  // over-long example: skipped by the caller
+    return e;
+  }
+  e.targets.assign(e.ids.size(), -1);
+  for (std::size_t t = answer_start - 1; t + 1 < e.ids.size(); ++t) {
+    e.targets[t] = e.ids[t + 1];
+  }
+  return e;
+}
+
+}  // namespace
+
+FinetuneReport HpcGpt::finetune(
+    const std::vector<datagen::InstructionRecord>& records,
+    const FinetuneOptions& options) {
+  Timer timer;
+  std::vector<const datagen::InstructionRecord*> order;
+  order.reserve(records.size());
+  for (const auto& r : records) order.push_back(&r);
+  Rng rng(options.shuffle_seed);
+  shuffle(order, rng);
+  if (options.max_records > 0 && order.size() > options.max_records) {
+    order.resize(options.max_records);
+  }
+
+  nn::Adam optimizer(nn::AdamConfig{.learning_rate = options.learning_rate});
+  FinetuneReport report;
+  report.records_used = order.size();
+  report.trainable_parameters =
+      nn::parameter_count(model_.parameters(), /*trainable_only=*/true);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t counted = 0;
+    shuffle(order, rng);
+    for (const datagen::InstructionRecord* r : order) {
+      const Encoded e =
+          encode_sft(tokenizer_, *r, options_.config.max_seq);
+      if (e.ids.empty()) continue;
+      model_.zero_grad();
+      const nn::LossResult loss = model_.train_step(e.ids, e.targets);
+      optimizer.step(model_.parameters());
+      epoch_loss += loss.loss;
+      ++counted;
+      ++report.steps;
+    }
+    const double mean = counted > 0 ? epoch_loss / counted : 0.0;
+    if (epoch == 0) report.first_epoch_loss = mean;
+    report.last_epoch_loss = mean;
+  }
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+std::vector<TokenId> HpcGpt::encode_prompt(const std::string& question) const {
+  std::vector<TokenId> ids;
+  ids.push_back(BpeTokenizer::kBos);
+  const auto q = tokenizer_.encode(question);
+  ids.insert(ids.end(), q.begin(), q.end());
+  ids.push_back(BpeTokenizer::kSep);
+  return ids;
+}
+
+std::string HpcGpt::ask(const std::string& question,
+                        std::size_t max_new_tokens) {
+  std::vector<TokenId> ids = encode_prompt(question);
+  const std::size_t cap = options_.config.max_seq > max_new_tokens
+                              ? options_.config.max_seq - max_new_tokens
+                              : 1;
+  if (ids.size() > cap) {
+    ids.erase(ids.begin() + 1,
+              ids.begin() + 1 + static_cast<std::ptrdiff_t>(ids.size() - cap));
+  }
+  nn::SampleOptions opts;
+  opts.max_new_tokens = max_new_tokens;
+  // KV-cached decoding: identical output to the full-forward path
+  // (tested in DecodeCache.*), O(T·d) per token instead of O(T²·d).
+  const auto out = nn::generate_cached(model_, ids, opts);
+  return tokenizer_.decode(out);
+}
+
+std::string HpcGpt::race_instruction(const std::string& snippet) {
+  return "Given the code snippet: \"" + snippet +
+         "\", help me detect if adding pragma will cause a data race "
+         "problem? Answer 'yes' if it causes a data race problem and 'no' "
+         "if it will not cause a data race problem.";
+}
+
+std::size_t HpcGpt::prompt_tokens(const std::string& snippet) const {
+  return encode_prompt(race_instruction(snippet)).size();
+}
+
+RaceVerdict HpcGpt::classify_race(const std::string& snippet,
+                                  std::size_t token_limit) {
+  const std::vector<TokenId> prompt =
+      encode_prompt(race_instruction(snippet));
+  const auto yes = tokenizer_.encode("yes");
+  const auto no = tokenizer_.encode("no");
+  const std::size_t longest = std::max(yes.size(), no.size());
+  if (prompt.size() + longest > token_limit ||
+      prompt.size() + longest > options_.config.max_seq) {
+    return RaceVerdict::TooLong;
+  }
+  const double lp_yes = nn::continuation_logprob(model_, prompt, yes);
+  const double lp_no = nn::continuation_logprob(model_, prompt, no);
+  return lp_yes >= lp_no ? RaceVerdict::Yes : RaceVerdict::No;
+}
+
+namespace {
+
+void put_chunk(std::string& out, const std::string& chunk) {
+  const std::uint64_t n = chunk.size();
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((n >> (8 * i)) & 0xFF);
+  out.append(buf, 8);
+  out += chunk;
+}
+
+std::string get_chunk(const std::string& in, std::size_t& pos) {
+  if (pos + 8 > in.size()) throw ParseError("bundle: truncated chunk header");
+  std::uint64_t n = 0;
+  for (int i = 0; i < 8; ++i) {
+    n |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  if (pos + n > in.size()) throw ParseError("bundle: truncated chunk payload");
+  std::string out = in.substr(pos, n);
+  pos += n;
+  return out;
+}
+
+}  // namespace
+
+std::string HpcGpt::save_bundle() {
+  std::string out = "hpcgpt-bundle-v1";
+  put_chunk(out, options_.name);
+  put_chunk(out, tokenizer_.save());
+  put_chunk(out, nn::save_checkpoint(model_));
+  return out;
+}
+
+HpcGpt HpcGpt::load_bundle(const std::string& blob) {
+  const std::string magic = "hpcgpt-bundle-v1";
+  if (blob.compare(0, magic.size(), magic) != 0) {
+    throw ParseError("bundle: bad magic");
+  }
+  std::size_t pos = magic.size();
+  ModelOptions options;
+  options.name = get_chunk(blob, pos);
+  BpeTokenizer tokenizer = BpeTokenizer::load(get_chunk(blob, pos));
+  nn::Transformer model = nn::load_checkpoint(get_chunk(blob, pos));
+  return HpcGpt(std::move(options), std::move(tokenizer), std::move(model));
+}
+
+void HpcGpt::save_bundle_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "save_bundle_file: cannot open " + path);
+  const std::string blob = save_bundle();
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  require(out.good(), "save_bundle_file: write failed for " + path);
+}
+
+HpcGpt HpcGpt::load_bundle_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "load_bundle_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_bundle(buffer.str());
+}
+
+text::BpeTokenizer build_shared_tokenizer(std::size_t vocab_size,
+                                          std::uint64_t seed) {
+  std::vector<std::string> corpus = kb::unstructured_corpus();
+  const kb::KnowledgeBase& base = kb::KnowledgeBase::builtin();
+  for (std::size_t i = 0; i < base.plp.size(); ++i) {
+    corpus.push_back(kb::flatten(base.plp[i], i % 3));
+  }
+  for (std::size_t i = 0; i < base.mlperf.size(); ++i) {
+    corpus.push_back(kb::flatten(base.mlperf[i], i % 3));
+  }
+  // A representative snippet sample across categories and languages.
+  Rng rng(seed);
+  for (const drb::Category c : drb::all_categories()) {
+    for (const minilang::Flavor f :
+         {minilang::Flavor::C, minilang::Flavor::Fortran}) {
+      for (int k = 0; k < 2; ++k) {
+        const drb::TestCase tc = drb::generate_case(c, f, rng);
+        corpus.push_back(minilang::render_snippet(tc.program, f));
+      }
+    }
+  }
+  corpus.push_back(HpcGpt::race_instruction("x = 1;"));
+  corpus.push_back("yes no yes no");
+  text::BpeTokenizer tok;
+  tok.train(corpus, vocab_size);
+  return tok;
+}
+
+}  // namespace hpcgpt::core

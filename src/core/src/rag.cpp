@@ -1,0 +1,31 @@
+#include "hpcgpt/core/rag.hpp"
+
+namespace hpcgpt::core {
+
+RagAnswer rag_ask(HpcGpt& model, const retrieval::VectorStore& store,
+                  const std::string& question, const RagOptions& options) {
+  RagAnswer answer;
+  answer.context = store.top_k(question, options.top_k);
+  while (!answer.context.empty() &&
+         answer.context.back().score < options.min_score) {
+    answer.context.pop_back();
+  }
+  if (answer.context.empty()) {
+    answer.text = model.ask(question, options.max_new_tokens);
+    return answer;
+  }
+  // The paper's chunk-matching prompt shape: context first, then the
+  // question — mirroring the Listing 2 "knowledge then question" order
+  // the model was trained with.
+  std::string prompt = "The HPC knowledge is: ";
+  for (const retrieval::Hit& hit : answer.context) {
+    prompt += hit.text;
+    prompt += ' ';
+  }
+  prompt += "Based on the knowledge above, answer: " + question;
+  answer.text = model.ask(prompt, options.max_new_tokens);
+  answer.used_context = true;
+  return answer;
+}
+
+}  // namespace hpcgpt::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcgpt/datagen/record.hpp"
+
+namespace hpcgpt::datagen {
+
+/// Filtering and pruning rules (§3.2 "Filtering and Pruning"). The rules
+/// mirror the constraints of the Listing 1/2 prompts plus near-duplicate
+/// pruning: whatever the teacher was *asked* to respect is *enforced*
+/// here.
+struct FilterRules {
+  std::size_t min_answer_words = 10;   ///< Listing 2 rule 4
+  std::size_t max_answer_words = 50;   ///< Listing 2 rule 2
+  std::size_t max_question_words = 50; ///< Listing 1 rule 2
+  /// ROUGE-L similarity above which a new instruction is a duplicate
+  /// (0.7 is the Self-Instruct threshold the paper builds on).
+  double dedup_rouge = 0.7;
+  /// Task-2 records must answer exactly "yes" or "no"; the word-count
+  /// rules do not apply to them.
+  bool task2_yes_no = true;
+};
+
+/// Why a raw emission was rejected.
+enum class RejectReason {
+  None,
+  Unparseable,
+  MissingFields,
+  AnswerTooShort,
+  AnswerTooLong,
+  QuestionTooLong,
+  NearDuplicate,
+  BadYesNo,
+};
+
+std::string reject_reason_name(RejectReason reason);
+
+/// Accounting of one filtering run — the numbers behind the dataset sizes
+/// of Tables 2 and 3.
+struct FilterStats {
+  std::size_t input = 0;
+  std::size_t accepted = 0;
+  std::size_t unparseable = 0;
+  std::size_t missing_fields = 0;
+  std::size_t answer_too_short = 0;
+  std::size_t answer_too_long = 0;
+  std::size_t question_too_long = 0;
+  std::size_t near_duplicate = 0;
+  std::size_t bad_yes_no = 0;
+
+  std::size_t rejected() const { return input - accepted; }
+};
+
+/// Streaming filter: feed raw teacher completions, collect clean records.
+class InstructionFilter {
+ public:
+  explicit InstructionFilter(FilterRules rules = {});
+
+  /// Parses and validates one raw completion. On success the clean record
+  /// (with task/category metadata attached) is appended to the accepted
+  /// set and None is returned; otherwise the reject reason.
+  RejectReason offer(const std::string& raw_completion, Task task,
+                     const std::string& category,
+                     const std::string& language = "",
+                     const std::string& gold = "");
+
+  const std::vector<InstructionRecord>& accepted() const { return accepted_; }
+  std::vector<InstructionRecord> take() { return std::move(accepted_); }
+  const FilterStats& stats() const { return stats_; }
+
+ private:
+  FilterRules rules_;
+  FilterStats stats_;
+  std::vector<InstructionRecord> accepted_;
+};
+
+}  // namespace hpcgpt::datagen

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcgpt/json/json.hpp"
+
+namespace hpcgpt::datagen {
+
+/// Which HPC application a record belongs to (§4.3).
+enum class Task {
+  Task1Plp,     ///< managing AI models/datasets: PLP sub-task
+  Task1Mlperf,  ///< managing AI models/datasets: MLPerf sub-task
+  Task2Race,    ///< data race detection
+};
+
+std::string task_name(Task task);
+
+/// One supervised fine-tuning instance in the paper's record format
+/// (Table 1): {"instruction": ..., "input": "", "output": ...}. The
+/// category string feeds the Table 2 / Table 3 dataset composition.
+struct InstructionRecord {
+  std::string instruction;
+  std::string input;  ///< always empty: "instructions and input are the same"
+  std::string output;
+  Task task = Task::Task1Plp;
+  std::string category;
+  /// Task 2 only: "C/C++" or "Fortran".
+  std::string language;
+  /// Gold entity for exact-match scoring (dataset/system name, "yes"/"no").
+  std::string gold;
+
+  json::Value to_json() const;
+  static InstructionRecord from_json(const json::Value& value);
+};
+
+/// Serialization to/from JSON-lines (the release format of the paper's
+/// HuggingFace dataset).
+std::string to_jsonl(const std::vector<InstructionRecord>& records);
+std::vector<InstructionRecord> from_jsonl(const std::string& text);
+
+}  // namespace hpcgpt::datagen

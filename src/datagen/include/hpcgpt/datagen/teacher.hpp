@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+namespace hpcgpt::datagen {
+
+/// Defect rates of the simulated GPT-4 teacher. The paper observes that
+/// despite explicit prompt constraints (Listings 1–2) the teacher emits
+/// duplicates, unparseable output and rule-violating answers — the whole
+/// reason the filtering/pruning stage exists. The simulation injects each
+/// defect class at a controllable rate so the filters have realistic work.
+struct TeacherOptions {
+  double duplicate_rate = 0.06;     ///< repeats an earlier instruction
+  double unparseable_rate = 0.04;   ///< output is not valid JSON at all
+  double prose_wrap_rate = 0.25;    ///< valid JSON buried in chatty prose
+  double short_answer_rate = 0.04;  ///< answer below the 10-word minimum
+  double long_answer_rate = 0.04;   ///< answer above the 50-word maximum
+  double missing_field_rate = 0.03; ///< record lacks instruction/output
+  double hallucination_rate = 0.05; ///< answer contradicts the knowledge
+  std::uint64_t seed = 17;
+};
+
+/// One raw teacher emission: the prompt sent (Listing 1/2 template filled
+/// with the knowledge text) and the raw completion text.
+struct TeacherEmission {
+  std::string prompt;
+  std::string completion;
+};
+
+/// Simulated GPT-4 used for automatic instruction collection (§3.2).
+///
+/// Given a knowledge item, produces an instruction/answer record in the
+/// Listing-2 JSON format — mostly. Paraphrase templates (different verbs
+/// and sentence shapes, per the prompt's diversity rule) are chosen
+/// per call, and the TeacherOptions defect classes fire at their
+/// configured rates. All randomness is seeded: a given teacher instance
+/// emits a reproducible stream.
+class TeacherModel {
+ public:
+  explicit TeacherModel(TeacherOptions options = {});
+
+  /// QA about a PLP catalog row. `variant` selects the question template
+  /// (0-3); pass SIZE_MAX to let the teacher pick randomly.
+  TeacherEmission generate_plp(const kb::PlpEntry& entry,
+                               std::size_t variant = SIZE_MAX);
+  /// QA about an MLPerf result row. The five variants ask about the five
+  /// Table 2 MLPerf attributes: 0=System, 1=Processor, 2=Submitter,
+  /// 3=Software, 4=Accelerator.
+  TeacherEmission generate_mlperf(const kb::MlperfEntry& entry,
+                                  std::size_t variant = SIZE_MAX);
+  /// Race-classification QA about a generated micro-benchmark
+  /// (Table 1, Task 2 format: answer 'yes' or 'no').
+  TeacherEmission generate_race(const drb::TestCase& test_case);
+
+  const TeacherOptions& options() const { return options_; }
+
+ private:
+  std::string corrupt_or_wrap(std::string instruction, std::string answer);
+
+  TeacherOptions options_;
+  Rng rng_;
+  std::vector<std::string> previous_instructions_;
+};
+
+/// The Listing 1 instruction-generation prompt with `knowledge` spliced in.
+std::string instruction_generation_prompt(const std::string& knowledge,
+                                          std::size_t number);
+
+/// The Listing 2 instruction-answer prompt.
+std::string answer_generation_prompt(const std::string& knowledge,
+                                     const std::string& instruction);
+
+}  // namespace hpcgpt::datagen

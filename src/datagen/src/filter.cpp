@@ -1,0 +1,98 @@
+#include "hpcgpt/datagen/filter.hpp"
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/support/strings.hpp"
+#include "hpcgpt/text/similarity.hpp"
+
+namespace hpcgpt::datagen {
+
+std::string reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::None: return "accepted";
+    case RejectReason::Unparseable: return "unparseable";
+    case RejectReason::MissingFields: return "missing fields";
+    case RejectReason::AnswerTooShort: return "answer too short";
+    case RejectReason::AnswerTooLong: return "answer too long";
+    case RejectReason::QuestionTooLong: return "question too long";
+    case RejectReason::NearDuplicate: return "near duplicate";
+    case RejectReason::BadYesNo: return "not a yes/no answer";
+  }
+  return "?";
+}
+
+InstructionFilter::InstructionFilter(FilterRules rules) : rules_(rules) {}
+
+RejectReason InstructionFilter::offer(const std::string& raw_completion,
+                                      Task task, const std::string& category,
+                                      const std::string& language,
+                                      const std::string& gold) {
+  ++stats_.input;
+
+  // Salvage the JSON record even when wrapped in prose (extract_object),
+  // and reject completions with no parseable record at all.
+  json::Value value;
+  if (!json::extract_object(raw_completion, value)) {
+    ++stats_.unparseable;
+    return RejectReason::Unparseable;
+  }
+  if (!value.has_string("instruction") || !value.has_string("output")) {
+    ++stats_.missing_fields;
+    return RejectReason::MissingFields;
+  }
+
+  InstructionRecord record;
+  record.instruction =
+      std::string(strings::trim(value.at("instruction").as_string()));
+  record.output = std::string(strings::trim(value.at("output").as_string()));
+  record.task = task;
+  record.category = category;
+  record.language = language;
+  record.gold = gold;
+
+  if (task == Task::Task2Race && rules_.task2_yes_no) {
+    const std::string lowered = strings::to_lower(record.output);
+    if (lowered != "yes" && lowered != "no") {
+      ++stats_.bad_yes_no;
+      return RejectReason::BadYesNo;
+    }
+    record.output = lowered;
+  } else {
+    const std::size_t answer_words = strings::word_count(record.output);
+    if (answer_words < rules_.min_answer_words) {
+      ++stats_.answer_too_short;
+      return RejectReason::AnswerTooShort;
+    }
+    if (answer_words > rules_.max_answer_words) {
+      ++stats_.answer_too_long;
+      return RejectReason::AnswerTooLong;
+    }
+    if (strings::word_count(record.instruction) >
+        rules_.max_question_words) {
+      ++stats_.question_too_long;
+      return RejectReason::QuestionTooLong;
+    }
+  }
+
+  // Near-duplicate pruning against everything accepted so far. Task-2
+  // instructions embed whole code snippets, so exact-match suffices there;
+  // prose questions use ROUGE-L.
+  for (const InstructionRecord& prev : accepted_) {
+    if (prev.task != task) continue;
+    if (task == Task::Task2Race) {
+      if (prev.instruction == record.instruction) {
+        ++stats_.near_duplicate;
+        return RejectReason::NearDuplicate;
+      }
+    } else if (text::rouge_l(prev.instruction, record.instruction) >
+               rules_.dedup_rouge) {
+      ++stats_.near_duplicate;
+      return RejectReason::NearDuplicate;
+    }
+  }
+
+  accepted_.push_back(std::move(record));
+  ++stats_.accepted;
+  return RejectReason::None;
+}
+
+}  // namespace hpcgpt::datagen

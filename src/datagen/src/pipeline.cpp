@@ -1,0 +1,194 @@
+#include "hpcgpt/datagen/pipeline.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::datagen {
+
+namespace {
+
+const char* kMlperfAttribute[5] = {"System", "Processor", "Submitter",
+                                   "Software", "Accelerator"};
+
+}  // namespace
+
+const std::vector<Table2Row>& table2_rows() {
+  static const std::vector<Table2Row> rows{
+      {"PLP", "Performance Modeling", 44},
+      {"PLP", "Algorithm Classification", 41},
+      {"PLP", "Defect detection", 47},
+      {"PLP", "Clone detection", 45},
+      {"PLP", "Code Completion", 39},
+      {"PLP", "Compiler Analyses", 37},
+      {"PLP", "Code Repair", 48},
+      {"PLP", "Code Translation", 41},
+      {"PLP", "Cloze Testing", 48},
+      {"PLP", "Text-to-Code Generation", 58},
+      {"PLP", "Code Summarization", 48},
+      {"PLP", "Document Translation", 52},
+      {"PLP", "Code Search", 55},
+      {"MLPerf", "Submitter", 324},
+      {"MLPerf", "System", 386},
+      {"MLPerf", "Processor", 347},
+      {"MLPerf", "Accelerator", 362},
+      {"MLPerf", "Software", 401},
+  };
+  return rows;
+}
+
+std::map<std::string, std::size_t> InstructionDataset::category_histogram(
+    Task task) const {
+  std::map<std::string, std::size_t> out;
+  for (const InstructionRecord& r : records) {
+    if (r.task == task) ++out[r.category];
+  }
+  return out;
+}
+
+std::map<std::string, std::size_t> InstructionDataset::category_histogram(
+    Task task, const std::string& language) const {
+  std::map<std::string, std::size_t> out;
+  for (const InstructionRecord& r : records) {
+    if (r.task == task && r.language == language) ++out[r.category];
+  }
+  return out;
+}
+
+std::vector<const InstructionRecord*> InstructionDataset::of_task(
+    Task task) const {
+  std::vector<const InstructionRecord*> out;
+  for (const InstructionRecord& r : records) {
+    if (r.task == task) out.push_back(&r);
+  }
+  return out;
+}
+
+InstructionDataset collect_task1(TeacherModel& teacher,
+                                 const Task1Spec& spec) {
+  const kb::KnowledgeBase& kb = kb::KnowledgeBase::expanded();
+  Rng rng(spec.seed);
+  // Template paraphrases over a structured catalog legitimately differ in
+  // a single entity token (e.g. the software release), so the Task-1
+  // dedup cut sits just below exact-match; verbatim teacher duplicates
+  // (similarity 1.0) are still pruned.
+  FilterRules rules;
+  rules.dedup_rouge = 0.96;
+  InstructionFilter filter(rules);
+
+  // ---- PLP: per Table 2 category, scaled targets ----
+  for (const Table2Row& row : table2_rows()) {
+    if (row.subtask != "PLP") continue;
+    const std::size_t target =
+        std::max<std::size_t>(1, row.paper_count / spec.scale_divisor);
+    // Entries of this category, cycled with varying question templates.
+    std::vector<const kb::PlpEntry*> entries;
+    for (const kb::PlpEntry& e : kb.plp) {
+      if (e.category == row.category) entries.push_back(&e);
+    }
+    require(!entries.empty(), "collect_task1: no KB entries for category " +
+                                  row.category);
+    std::size_t accepted_before = filter.stats().accepted;
+    std::size_t attempts = 0;
+    while (filter.stats().accepted - accepted_before < target &&
+           attempts < target * 8) {
+      const kb::PlpEntry& e = *entries[attempts % entries.size()];
+      const std::size_t variant = attempts / entries.size();
+      const TeacherEmission emission = teacher.generate_plp(e, variant);
+      filter.offer(emission.completion, Task::Task1Plp, row.category, "",
+                   e.dataset);
+      ++attempts;
+    }
+  }
+
+  // ---- MLPerf: per attribute category ----
+  for (const Table2Row& row : table2_rows()) {
+    if (row.subtask != "MLPerf") continue;
+    const std::size_t target =
+        std::max<std::size_t>(1, row.paper_count / spec.scale_divisor);
+    const std::size_t variant =
+        static_cast<std::size_t>(std::find_if(std::begin(kMlperfAttribute),
+                                              std::end(kMlperfAttribute),
+                                              [&](const char* a) {
+                                                return row.category == a;
+                                              }) -
+                                 std::begin(kMlperfAttribute));
+    require(variant < 5, "collect_task1: unknown MLPerf attribute");
+    std::size_t accepted_before = filter.stats().accepted;
+    std::size_t attempts = 0;
+    std::vector<std::size_t> order(kb.mlperf.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    shuffle(order, rng);
+    while (filter.stats().accepted - accepted_before < target &&
+           attempts < target * 8) {
+      const kb::MlperfEntry& e = kb.mlperf[order[attempts % order.size()]];
+      const TeacherEmission emission = teacher.generate_mlperf(e, variant);
+      // Gold entity for exact-match scoring depends on what is asked.
+      const std::string gold = variant == 0   ? e.system
+                               : variant == 1 ? e.processor
+                               : variant == 2 ? e.submitter
+                               : variant == 3 ? e.software
+                                              : e.accelerator;
+      filter.offer(emission.completion, Task::Task1Mlperf, row.category, "",
+                   gold);
+      ++attempts;
+    }
+  }
+
+  InstructionDataset out;
+  out.task1_stats = filter.stats();
+  out.records = filter.take();
+  return out;
+}
+
+InstructionDataset collect_task2(TeacherModel& teacher,
+                                 const Task2Spec& spec) {
+  InstructionFilter filter;
+  for (const minilang::Flavor flavor :
+       {minilang::Flavor::C, minilang::Flavor::Fortran}) {
+    const std::string language = minilang::flavor_name(flavor);
+    const auto& counts = drb::table3_counts(flavor);
+    const auto& cats = drb::all_categories();
+    Rng rng(spec.seed + (flavor == minilang::Flavor::C ? 0 : 1));
+    for (std::size_t c = 0; c < cats.size(); ++c) {
+      std::size_t accepted_before = filter.stats().accepted;
+      std::size_t attempts = 0;
+      while (filter.stats().accepted - accepted_before < counts[c] &&
+             attempts < counts[c] * 4) {
+        const drb::TestCase tc = drb::generate_case(cats[c], flavor, rng);
+        const TeacherEmission emission = teacher.generate_race(tc);
+        filter.offer(emission.completion, Task::Task2Race,
+                     drb::category_name(cats[c]), language,
+                     tc.has_race ? "yes" : "no");
+        ++attempts;
+      }
+    }
+  }
+  InstructionDataset out;
+  out.task2_stats = filter.stats();
+  out.records = filter.take();
+  return out;
+}
+
+InstructionDataset collect_all(std::uint64_t seed) {
+  TeacherOptions opts;
+  opts.seed = seed;
+  TeacherModel teacher(opts);
+  Task1Spec t1;
+  t1.seed = seed + 1;
+  Task2Spec t2;
+  t2.seed = seed + 2;
+  InstructionDataset task1 = collect_task1(teacher, t1);
+  InstructionDataset task2 = collect_task2(teacher, t2);
+  InstructionDataset out;
+  out.records = std::move(task1.records);
+  out.records.insert(out.records.end(),
+                     std::make_move_iterator(task2.records.begin()),
+                     std::make_move_iterator(task2.records.end()));
+  out.task1_stats = task1.task1_stats;
+  out.task2_stats = task2.task2_stats;
+  return out;
+}
+
+}  // namespace hpcgpt::datagen

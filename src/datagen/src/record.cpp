@@ -1,0 +1,65 @@
+#include "hpcgpt/datagen/record.hpp"
+
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::datagen {
+
+std::string task_name(Task task) {
+  switch (task) {
+    case Task::Task1Plp: return "PLP";
+    case Task::Task1Mlperf: return "MLPerf";
+    case Task::Task2Race: return "DataRace";
+  }
+  return "?";
+}
+
+json::Value InstructionRecord::to_json() const {
+  json::Object o;
+  o["instruction"] = json::Value(instruction);
+  o["input"] = json::Value(input);
+  o["output"] = json::Value(output);
+  o["task"] = json::Value(task_name(task));
+  o["category"] = json::Value(category);
+  if (!language.empty()) o["language"] = json::Value(language);
+  if (!gold.empty()) o["gold"] = json::Value(gold);
+  return json::Value(std::move(o));
+}
+
+InstructionRecord InstructionRecord::from_json(const json::Value& value) {
+  InstructionRecord r;
+  r.instruction = value.at("instruction").as_string();
+  r.input = value.at("input").as_string();
+  r.output = value.at("output").as_string();
+  const std::string task = value.at("task").as_string();
+  if (task == "PLP") r.task = Task::Task1Plp;
+  else if (task == "MLPerf") r.task = Task::Task1Mlperf;
+  else if (task == "DataRace") r.task = Task::Task2Race;
+  else throw ParseError("record: unknown task " + task);
+  r.category = value.at("category").as_string();
+  if (const json::Value* v = value.find("language")) {
+    r.language = v->as_string();
+  }
+  if (const json::Value* v = value.find("gold")) r.gold = v->as_string();
+  return r;
+}
+
+std::string to_jsonl(const std::vector<InstructionRecord>& records) {
+  std::string out;
+  for (const InstructionRecord& r : records) {
+    out += r.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<InstructionRecord> from_jsonl(const std::string& text) {
+  std::vector<InstructionRecord> out;
+  for (const std::string& line : strings::split(text, '\n')) {
+    if (strings::trim(line).empty()) continue;
+    out.push_back(InstructionRecord::from_json(json::parse(line)));
+  }
+  return out;
+}
+
+}  // namespace hpcgpt::datagen

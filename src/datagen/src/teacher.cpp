@@ -1,0 +1,251 @@
+#include "hpcgpt/datagen/teacher.hpp"
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/support/strings.hpp"
+#include "hpcgpt/minilang/render.hpp"
+
+namespace hpcgpt::datagen {
+
+namespace {
+
+const char* kProseLead[] = {
+    "Sure! Here is the generated data in JSON format:\n",
+    "Of course. Based on the provided HPC knowledge, I generated:\n",
+    "Here is one instruction-answer pair following your requirements:\n",
+};
+
+const char* kProseTail[] = {
+    "\nLet me know if you would like more questions.",
+    "\nI hope this matches the required format.",
+    "",
+};
+
+}  // namespace
+
+std::string instruction_generation_prompt(const std::string& knowledge,
+                                          std::size_t number) {
+  return "The HPC knowledge is:\n\n" + knowledge +
+         "\n\nAccording to the information above, please help me generate " +
+         std::to_string(number) +
+         " questions.\n\nHere are the requirements:\n"
+         "1. Try not to repeat the verb for each question to maximize "
+         "diversity.\n"
+         "2. Make sure the output is less than 50 words.\n"
+         "3. The questions can be asked under many conditions.\n"
+         "4. Do not generate the same or similar questions as generated "
+         "before.\n\n"
+         "Now, please generate the instructions following the above "
+         "requirements.";
+}
+
+std::string answer_generation_prompt(const std::string& knowledge,
+                                     const std::string& instruction) {
+  return "The HPC knowledge is:\n\n" + knowledge +
+         "\n\nPlease answer the following question based on the above "
+         "knowledge:\n" +
+         instruction +
+         "\n\nHere are the requirements:\n"
+         "1. Try not to repeat the verb for each answer to maximize "
+         "diversity.\n"
+         "2. Make sure the output is less than 50 words.\n"
+         "3. The questions can be asked under many conditions.\n"
+         "4. Make sure the answer is more than 10 words.\n"
+         "5. Make sure the answer can be obtained from the information "
+         "provided.\n"
+         "6. Do not generate the same or similar answers as generated "
+         "before.\n"
+         "7. There are three fields for your generation: {\"instruction\": "
+         "<question>, \"input\":\"\", \"output\": <answer>}.\n"
+         "Now, please generate the data in JSON format following the above "
+         "requirements.";
+}
+
+TeacherModel::TeacherModel(TeacherOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::string TeacherModel::corrupt_or_wrap(std::string instruction,
+                                          std::string answer) {
+  // Duplicate defect: re-emit an earlier instruction verbatim.
+  if (!previous_instructions_.empty() &&
+      rng_.next_bool(options_.duplicate_rate)) {
+    instruction = choice(previous_instructions_, rng_);
+  } else {
+    previous_instructions_.push_back(instruction);
+  }
+
+  if (rng_.next_bool(options_.unparseable_rate)) {
+    // Broken JSON: an unterminated record, exactly the kind of output the
+    // postprocessing step must drop.
+    return "{\"instruction\": \"" + instruction + "\", \"input\": \"\", "
+           "\"output\": \"" + answer;
+  }
+  if (rng_.next_bool(options_.missing_field_rate)) {
+    json::Object o;
+    o["instruction"] = json::Value(instruction);
+    o["input"] = json::Value("");
+    return json::Value(std::move(o)).dump();
+  }
+  if (rng_.next_bool(options_.short_answer_rate)) {
+    answer = "Yes, certainly.";
+  } else if (rng_.next_bool(options_.long_answer_rate)) {
+    std::string padded = answer;
+    while (strings::word_count(padded) <= 50) {
+      padded +=
+          " Additionally, this holds under many practical conditions and "
+          "configurations commonly found in high performance computing "
+          "environments today.";
+    }
+    answer = padded;
+  }
+
+  json::Object o;
+  o["instruction"] = json::Value(instruction);
+  o["input"] = json::Value("");
+  o["output"] = json::Value(answer);
+  std::string body = json::Value(std::move(o)).dump();
+
+  if (rng_.next_bool(options_.prose_wrap_rate)) {
+    const std::size_t lead = static_cast<std::size_t>(rng_.next_below(3));
+    const std::size_t tail = static_cast<std::size_t>(rng_.next_below(3));
+    return std::string(kProseLead[lead]) + body + kProseTail[tail];
+  }
+  return body;
+}
+
+TeacherEmission TeacherModel::generate_plp(const kb::PlpEntry& e,
+                                            std::size_t variant) {
+  if (variant == SIZE_MAX) {
+    variant = static_cast<std::size_t>(rng_.next_below(4));
+  }
+  variant %= 4;
+  std::string question;
+  std::string answer;
+  switch (variant) {
+    case 0:
+      question = "What kind of dataset can be used if the language is " +
+                 e.language + " and the baseline is " + e.baseline + "?";
+      answer = "The " + e.dataset + " dataset can be used for " +
+               strings::to_lower(e.category) + " tasks if the language is " +
+               e.language + " and the baseline is " + e.baseline + ".";
+      break;
+    case 1:
+      question = "Which dataset fits " + strings::to_lower(e.category) +
+                 " tasks written in " + e.language + "?";
+      answer = "For " + strings::to_lower(e.category) + " tasks in " +
+               e.language + ", the " + e.dataset +
+               " dataset is the established public choice.";
+      break;
+    case 2:
+      question = "Name a representative baseline model for the " + e.dataset +
+                 " dataset.";
+      answer = "The " + e.baseline + " model is the representative baseline "
+               "evaluated on the " + e.dataset + " dataset using the " +
+               e.metric + " metric.";
+      break;
+    default:
+      question = "Describe the task targeted by the " + e.dataset +
+                 " dataset and its evaluation metric.";
+      answer = "The " + e.dataset + " dataset targets " + e.task +
+               " and reports the " + e.metric + " metric for models such as " +
+               e.baseline + ".";
+      break;
+  }
+  if (rng_.next_bool(options_.hallucination_rate)) {
+    answer = "The CIFAR-10 dataset can be used for this task, evaluated "
+             "with top-1 accuracy on convolutional baselines.";
+  }
+  TeacherEmission out;
+  out.prompt = answer_generation_prompt(kb::flatten(e, variant), question);
+  out.completion = corrupt_or_wrap(question, answer);
+  return out;
+}
+
+TeacherEmission TeacherModel::generate_mlperf(const kb::MlperfEntry& e,
+                                               std::size_t variant) {
+  if (variant == SIZE_MAX) {
+    variant = static_cast<std::size_t>(rng_.next_below(5));
+  }
+  variant %= 5;
+  std::string question;
+  std::string answer;
+  switch (variant) {
+    case 0:
+      question = "What is the System if the Accelerator used is " +
+                 e.accelerator + " and the Software used is " + e.software +
+                 "?";
+      answer = "The system is " + e.system + " when the accelerator is " +
+               e.accelerator + " and the software stack is " + e.software +
+               ".";
+      break;
+    case 1:
+      question = "Which processor powers the " + e.system + " submission?";
+      answer = "The " + e.system + " submission runs on the " + e.processor +
+               " processor paired with " + e.accelerator + " accelerators.";
+      break;
+    case 2:
+      question = "Who submitted the " + e.system + " result and on which "
+                 "benchmark?";
+      answer = e.submitter + " submitted the " + e.system +
+               " result for the " + e.benchmark +
+               " benchmark in the MLPerf training round.";
+      break;
+    case 3:
+      question = "List the software release used by " + e.submitter +
+                 " on " + e.system + ".";
+      answer = "On " + e.system + ", " + e.submitter + " used " + e.software +
+               " as the software stack for the " + e.benchmark +
+               " benchmark.";
+      break;
+    default:
+      question = "What accelerator does the " + e.system + " system use?";
+      answer = "The " + e.system + " system uses the " + e.accelerator +
+               " accelerator together with " + e.processor +
+               " host processors.";
+      break;
+  }
+  if (rng_.next_bool(options_.hallucination_rate)) {
+    answer = "The system is dgx1_v100_n512 with Caffe2 release 18.08 on "
+             "Pascal generation accelerators.";
+  }
+  TeacherEmission out;
+  out.prompt = answer_generation_prompt(kb::flatten(e, variant), question);
+  out.completion = corrupt_or_wrap(question, answer);
+  return out;
+}
+
+TeacherEmission TeacherModel::generate_race(const drb::TestCase& tc) {
+  const std::string snippet =
+      minilang::render_snippet(tc.program, tc.flavor);
+  const std::string question =
+      "Given the code snippet: \"" + snippet +
+      "\", help me detect if adding pragma will cause a data race problem? "
+      "Answer 'yes' if it causes a data race problem and 'no' if it will "
+      "not cause a data race problem.";
+  std::string answer = tc.has_race ? "yes" : "no";
+  // Teacher label noise: GPT-4 is not a perfect race oracle, so a fraction
+  // of training labels are wrong (this also keeps the fine-tuned student
+  // from saturating the benchmark).
+  if (rng_.next_bool(options_.hallucination_rate)) {
+    answer = tc.has_race ? "no" : "yes";
+  }
+  TeacherEmission out;
+  out.prompt = answer_generation_prompt(snippet, question);
+
+  json::Object o;
+  o["instruction"] = json::Value(question);
+  o["input"] = json::Value("");
+  o["output"] = json::Value(answer);
+  std::string body = json::Value(std::move(o)).dump();
+  // Race records skip the length defects (the yes/no format has its own
+  // validity rule) but keep the parse/prose defects.
+  if (rng_.next_bool(options_.unparseable_rate)) {
+    body = body.substr(0, body.size() / 2);
+  } else if (rng_.next_bool(options_.prose_wrap_rate)) {
+    body = std::string(kProseLead[rng_.next_below(3)]) + body +
+           kProseTail[rng_.next_below(3)];
+  }
+  out.completion = body;
+  return out;
+}
+
+}  // namespace hpcgpt::datagen

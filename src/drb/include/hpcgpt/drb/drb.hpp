@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcgpt/minilang/ast.hpp"
+#include "hpcgpt/minilang/render.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+namespace hpcgpt::drb {
+
+/// The 14 labelled categories of DataRaceBench used in the paper's
+/// Table 3: seven race patterns and seven race-free patterns.
+enum class Category {
+  // code snippets with data races
+  UnresolvableDependences,
+  MissingDataSharingClauses,
+  MissingSynchronization,
+  SimdDataRaces,
+  AcceleratorDataRaces,
+  UndefinedBehavior,
+  NumericalKernelDataRaces,
+  // code snippets without data races
+  SingleThreadExecution,
+  UseOfDataSharingClauses,
+  UseOfSynchronization,
+  UseOfSimdDirectives,
+  UseOfAcceleratorDirectives,
+  UseOfSpecialLanguageFeatures,
+  NumericalKernels,
+};
+
+constexpr std::size_t kCategoryCount = 14;
+
+/// All categories in Table 3 order.
+const std::vector<Category>& all_categories();
+
+/// Human-readable name matching Table 3 row labels.
+std::string category_name(Category c);
+
+/// True for the seven racy categories.
+bool category_has_race(Category c);
+
+/// One labelled micro-benchmark: the program, its surface language, the
+/// ground-truth label, and its category.
+struct TestCase {
+  std::string id;
+  minilang::Program program;
+  minilang::Flavor flavor = minilang::Flavor::C;
+  Category category = Category::NumericalKernels;
+  bool has_race = false;
+  /// Rendered source text in `flavor` (what LLM-based methods consume).
+  std::string source;
+
+  TestCase() = default;
+  TestCase(const TestCase&) = delete;
+  TestCase& operator=(const TestCase&) = delete;
+  TestCase(TestCase&&) = default;
+  TestCase& operator=(TestCase&&) = default;
+};
+
+/// Generates one random micro-benchmark of the requested category.
+/// `oversized` pads the program with extra independent statements so its
+/// rendering exceeds typical LLM context limits (the paper's 8k-token
+/// cases that lower LLM TSR on C/C++).
+TestCase generate_case(Category category, minilang::Flavor flavor,
+                       Rng& rng, bool oversized = false);
+
+/// Per-category case counts (paper Table 3 uses these for the instruction
+/// dataset; the evaluation suite uses the DataRaceBench v1.4 totals).
+struct SuiteSpec {
+  std::size_t per_racy_category = 13;
+  std::size_t per_free_category = 13;
+  std::size_t oversized_cases = 0;  ///< count of context-busting programs
+  std::uint64_t seed = 2023;
+};
+
+/// A complete labelled suite for one language.
+std::vector<TestCase> generate_suite(minilang::Flavor flavor,
+                                     const SuiteSpec& spec);
+
+/// The fixed evaluation suite mirroring DataRaceBench v1.4 as used in the
+/// paper (§4.7.2): 177 C/C++ cases (88 racy / 89 race-free) and 166
+/// Fortran cases (84 racy / 82 race-free); 14 of the C/C++ cases are
+/// oversized so LLM-based methods cannot ingest them (Table 5 TSR).
+std::vector<TestCase> evaluation_suite(minilang::Flavor flavor);
+
+/// Paper Table 3 per-category counts for the *training* (instruction)
+/// dataset; index matches all_categories() order.
+const std::vector<std::size_t>& table3_counts(minilang::Flavor flavor);
+
+/// Training cases drawn with the Table 3 per-category counts.
+std::vector<TestCase> training_cases(minilang::Flavor flavor,
+                                     std::uint64_t seed);
+
+}  // namespace hpcgpt::drb

@@ -1,0 +1,665 @@
+#include "hpcgpt/drb/drb.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::drb {
+
+using namespace hpcgpt::minilang;
+
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+/// Draws `count` distinct identifiers from a fixed pool.
+std::vector<std::string> pick_names(Rng& rng, std::size_t count) {
+  std::vector<std::string> pool{"a",   "b",   "c",    "x",   "y",
+                                "v",   "w",   "data", "buf", "u"};
+  shuffle(pool, rng);
+  pool.resize(count);
+  return pool;
+}
+
+std::string pick_scalar(Rng& rng) {
+  static const std::vector<std::string> pool{"sum", "tmp", "acc", "val",
+                                             "total", "t"};
+  return choice(pool, rng);
+}
+
+std::int64_t pick_n(Rng& rng) { return rng.next_int(32, 96); }
+
+/// Sequential initialization loop: arr[i] = i * scale + off.
+Stmt init_loop(const std::string& arr, std::int64_t n, Rng& rng) {
+  std::vector<Stmt> body;
+  body.push_back(assign(
+      array_ref(arr, scalar_ref("init_i")),
+      bin_op('+', bin_op('*', scalar_ref("init_i"),
+                         int_lit(rng.next_int(1, 3))),
+             int_lit(rng.next_int(0, 4)))));
+  return seq_for("init_i", int_lit(0), int_lit(n), std::move(body));
+}
+
+/// Pads the program with independent sequential loops over fresh arrays so
+/// the rendering exceeds LLM context limits without changing the label.
+void add_filler(Program& p, Rng& rng, std::size_t loops) {
+  for (std::size_t k = 0; k < loops; ++k) {
+    const std::string name = "fill" + std::to_string(k);
+    const std::int64_t n = rng.next_int(16, 48);
+    p.decls.push_back({name, true, n, 0});
+    std::vector<Stmt> body;
+    body.push_back(assign(
+        array_ref(name, scalar_ref("fi")),
+        bin_op('*', scalar_ref("fi"), int_lit(rng.next_int(1, 9)))));
+    p.body.push_back(seq_for("fi", int_lit(0), int_lit(n), std::move(body)));
+  }
+}
+
+// -------------------------------------------------------- racy patterns
+
+Program gen_unresolvable_dependences(Rng& rng, bool simd, bool target) {
+  Program p;
+  const auto names = pick_names(rng, 2);
+  const std::int64_t n = pick_n(rng);
+  const std::int64_t k = rng.next_int(1, 3);
+  p.decls.push_back({names[0], true, n, 0});
+
+  Clauses c;
+  c.simd = simd;
+  c.target = target;
+
+  const int variant = static_cast<int>(rng.next_below(3));
+  std::vector<Stmt> body;
+  if (variant == 0) {
+    // flow dependence: a[i] = a[i-k] + const
+    body.push_back(assign(
+        array_ref(names[0], scalar_ref("i")),
+        bin_op('+',
+               array_ref(names[0],
+                         bin_op('-', scalar_ref("i"), int_lit(k))),
+               int_lit(rng.next_int(1, 5)))));
+    p.name = "flow-dep";
+  } else if (variant == 1) {
+    // anti dependence: a[i] = a[i+k] * const
+    body.push_back(assign(
+        array_ref(names[0], scalar_ref("i")),
+        bin_op('*',
+               array_ref(names[0],
+                         bin_op('+', scalar_ref("i"), int_lit(k))),
+               int_lit(rng.next_int(2, 4)))));
+    p.name = "anti-dep";
+  } else {
+    // dependence hidden behind a runtime condition that is false for the
+    // default input: dynamic tools observe no conflict, static ones do.
+    p.decls[0].init = 0;
+    std::vector<Stmt> guarded;
+    guarded.push_back(assign(
+        array_ref(names[0], scalar_ref("i")),
+        bin_op('+',
+               array_ref(names[0],
+                         bin_op('-', scalar_ref("i"), int_lit(k))),
+               int_lit(1))));
+    body.push_back(if_stmt(
+        bin_op('>', array_ref(names[0], scalar_ref("i")),
+               int_lit(rng.next_int(50, 90))),
+        std::move(guarded)));
+    p.name = "hidden-dep";
+  }
+  // Bounds [k, n-k) keep both the i-k and the i+k subscripts in range.
+  p.body.push_back(parallel_for("i", int_lit(k), int_lit(n - k),
+                                std::move(body), c));
+  return p;
+}
+
+Program gen_missing_data_sharing(Rng& rng) {
+  Program p;
+  p.name = "missing-private";
+  const auto names = pick_names(rng, 2);
+  const std::int64_t n = pick_n(rng);
+  const std::string tmp = pick_scalar(rng);
+  p.decls.push_back({names[0], true, n, 0});
+  p.decls.push_back({names[1], true, n, 0});
+  p.decls.push_back({tmp, false, 0, 0});
+  p.body.push_back(init_loop(names[0], n, rng));
+  std::vector<Stmt> body;
+  body.push_back(assign(scalar_ref(tmp),
+                        bin_op('*', array_ref(names[0], scalar_ref("i")),
+                               int_lit(rng.next_int(2, 5)))));
+  body.push_back(assign(array_ref(names[1], scalar_ref("i")),
+                        scalar_ref(tmp)));
+  // The defect: no private(tmp) clause.
+  p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                std::move(body)));
+  return p;
+}
+
+Program gen_missing_synchronization(Rng& rng) {
+  Program p;
+  const auto names = pick_names(rng, 1);
+  const std::int64_t n = pick_n(rng);
+  const std::string sum = pick_scalar(rng);
+  p.decls.push_back({names[0], true, n, rng.next_int(1, 3)});
+  p.decls.push_back({sum, false, 0, 0});
+  const int variant = static_cast<int>(rng.next_below(2));
+  if (variant == 0) {
+    // unsynchronized shared accumulation in a parallel loop
+    p.name = "unsync-sum";
+    std::vector<Stmt> body;
+    body.push_back(assign(scalar_ref(sum),
+                          bin_op('+', scalar_ref(sum),
+                                 array_ref(names[0], scalar_ref("i")))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body)));
+  } else {
+    // protected write, unprotected read
+    p.name = "unsync-read";
+    std::vector<Stmt> crit;
+    crit.push_back(assign(scalar_ref(sum),
+                          bin_op('+', scalar_ref(sum),
+                                 array_ref(names[0], scalar_ref("i")))));
+    std::vector<Stmt> body;
+    body.push_back(critical(std::move(crit)));
+    body.push_back(assign(array_ref(names[0], scalar_ref("i")),
+                          scalar_ref(sum)));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body)));
+  }
+  return p;
+}
+
+Program gen_undefined_behavior(Rng& rng) {
+  Program p;
+  const auto names = pick_names(rng, 1);
+  const std::int64_t n = pick_n(rng);
+  p.decls.push_back({names[0], true, n, 0});
+  const int variant = static_cast<int>(rng.next_below(2));
+  std::vector<Stmt> body;
+  if (variant == 0) {
+    // overlapping non-affine subscripts: a[i % m] written by many
+    // iterations (outside polyhedral analysis — LLOV's blind spot)
+    p.name = "overlap-mod";
+    body.push_back(assign(
+        array_ref(names[0],
+                  bin_op('%', scalar_ref("i"),
+                         int_lit(rng.next_int(2, 4)))),
+        scalar_ref("i")));
+  } else {
+    // every iteration stores to the same element
+    p.name = "overlap-const";
+    body.push_back(assign(
+        array_ref(names[0], int_lit(rng.next_int(0, 7))),
+        bin_op('+', scalar_ref("i"), int_lit(1))));
+  }
+  p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                std::move(body)));
+  return p;
+}
+
+Program gen_numerical_kernel_race(Rng& rng) {
+  Program p;
+  const auto names = pick_names(rng, 3);
+  const std::int64_t n = pick_n(rng);
+  const int variant = static_cast<int>(rng.next_below(3));
+  if (variant == 2) {
+    // histogram-style indirect indexing: idx[i] = i % m overlaps, so
+    // concurrent updates of y[idx[i]] collide. The subscript is outside
+    // affine analysis — dynamic tools catch this, static ones go silent.
+    p.name = "indirect-histogram";
+    const std::int64_t m = rng.next_int(2, 6);
+    p.decls.push_back({names[0], true, n, 0});      // idx
+    p.decls.push_back({names[1], true, n, 1});      // x
+    p.decls.push_back({names[2], true, m, 0});      // y (bins)
+    std::vector<Stmt> init;
+    init.push_back(assign(array_ref(names[0], scalar_ref("init_i")),
+                          bin_op('%', scalar_ref("init_i"), int_lit(m))));
+    p.body.push_back(
+        seq_for("init_i", int_lit(0), int_lit(n), std::move(init)));
+    std::vector<Stmt> body;
+    body.push_back(assign(
+        array_ref(names[2], array_ref(names[0], scalar_ref("i"))),
+        bin_op('+',
+               array_ref(names[2], array_ref(names[0], scalar_ref("i"))),
+               array_ref(names[1], scalar_ref("i")))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body)));
+    return p;
+  }
+  if (variant == 0) {
+    // the Table 1 instance: y[i] = x[i] + y[i-1] (prefix recurrence)
+    p.name = "prefix-recurrence";
+    p.decls.push_back({names[0], true, n, 1});
+    p.decls.push_back({names[1], true, n, 0});
+    std::vector<Stmt> body;
+    body.push_back(assign(
+        array_ref(names[1], scalar_ref("i")),
+        bin_op('+', array_ref(names[0], scalar_ref("i")),
+               array_ref(names[1],
+                         bin_op('-', scalar_ref("i"), int_lit(1))))));
+    p.body.push_back(parallel_for("i", int_lit(1), int_lit(n),
+                                  std::move(body)));
+  } else {
+    // dot product without a reduction clause
+    p.name = "dot-no-reduction";
+    const std::string sum = pick_scalar(rng);
+    p.decls.push_back({names[0], true, n, 2});
+    p.decls.push_back({names[1], true, n, 3});
+    p.decls.push_back({sum, false, 0, 0});
+    std::vector<Stmt> body;
+    body.push_back(assign(
+        scalar_ref(sum),
+        bin_op('+', scalar_ref(sum),
+               bin_op('*', array_ref(names[0], scalar_ref("i")),
+                      array_ref(names[1], scalar_ref("i"))))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body)));
+  }
+  return p;
+}
+
+// ---------------------------------------------------- race-free patterns
+
+Program gen_single_thread(Rng& rng) {
+  Program p;
+  const auto names = pick_names(rng, 1);
+  const std::int64_t n = pick_n(rng);
+  p.decls.push_back({names[0], true, n, 0});
+  Clauses c;
+  c.num_threads = rng.next_int(2, 6);
+  std::vector<Stmt> work;
+  std::vector<Stmt> loop_body;
+  loop_body.push_back(assign(
+      array_ref(names[0], scalar_ref("j")),
+      bin_op('*', scalar_ref("j"), int_lit(rng.next_int(1, 4)))));
+  work.push_back(seq_for("j", int_lit(0), int_lit(n), std::move(loop_body)));
+  std::vector<Stmt> body;
+  if (rng.next_bool()) {
+    p.name = "single-does-work";
+    body.push_back(single(std::move(work)));
+  } else {
+    p.name = "master-does-work";
+    body.push_back(master(std::move(work)));
+  }
+  p.body.push_back(parallel_region(std::move(body), c));
+  return p;
+}
+
+Program gen_use_data_sharing(Rng& rng) {
+  Program p;
+  p.name = "private-clause";
+  const auto names = pick_names(rng, 2);
+  const std::int64_t n = pick_n(rng);
+  const std::string tmp = pick_scalar(rng);
+  p.decls.push_back({names[0], true, n, 0});
+  p.decls.push_back({names[1], true, n, 0});
+  p.decls.push_back({tmp, false, 0, rng.next_int(0, 9)});
+  p.body.push_back(init_loop(names[0], n, rng));
+  Clauses c;
+  std::vector<Stmt> body;
+  if (rng.next_bool()) {
+    c.priv = {tmp};
+    body.push_back(assign(scalar_ref(tmp),
+                          bin_op('*', array_ref(names[0], scalar_ref("i")),
+                                 int_lit(2))));
+    body.push_back(assign(array_ref(names[1], scalar_ref("i")),
+                          scalar_ref(tmp)));
+  } else {
+    p.name = "firstprivate-clause";
+    c.firstprivate = {tmp};
+    body.push_back(assign(
+        array_ref(names[1], scalar_ref("i")),
+        bin_op('+', array_ref(names[0], scalar_ref("i")),
+               scalar_ref(tmp))));
+  }
+  p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                std::move(body), c));
+  return p;
+}
+
+Program gen_use_synchronization(Rng& rng) {
+  Program p;
+  const std::int64_t variant = rng.next_int(0, 2);
+  if (variant == 0) {
+    // critical-protected accumulation
+    p.name = "critical-sum";
+    const auto names = pick_names(rng, 1);
+    const std::int64_t n = pick_n(rng);
+    const std::string sum = pick_scalar(rng);
+    p.decls.push_back({names[0], true, n, rng.next_int(1, 3)});
+    p.decls.push_back({sum, false, 0, 0});
+    std::vector<Stmt> crit;
+    crit.push_back(assign(scalar_ref(sum),
+                          bin_op('+', scalar_ref(sum),
+                                 array_ref(names[0], scalar_ref("i")))));
+    std::vector<Stmt> body;
+    body.push_back(critical(std::move(crit)));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body)));
+  } else if (variant == 1) {
+    // atomic update
+    p.name = "atomic-count";
+    const auto names = pick_names(rng, 1);
+    const std::int64_t n = pick_n(rng);
+    const std::string count = pick_scalar(rng);
+    p.decls.push_back({names[0], true, n, 1});
+    p.decls.push_back({count, false, 0, 0});
+    std::vector<Stmt> body;
+    body.push_back(atomic(scalar_ref(count),
+                          bin_op('+', scalar_ref(count),
+                                 array_ref(names[0], scalar_ref("i")))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body)));
+  } else {
+    // barrier-phased region: write own slot, barrier, read neighbour
+    p.name = "barrier-phases";
+    const std::int64_t threads = rng.next_int(2, 6);
+    const auto names = pick_names(rng, 2);
+    p.decls.push_back({names[0], true, threads, 0});
+    p.decls.push_back({names[1], true, threads, 0});
+    Clauses c;
+    c.num_threads = static_cast<std::size_t>(threads);
+    std::vector<Stmt> body;
+    body.push_back(assign(array_ref(names[0], thread_id()),
+                          bin_op('+', thread_id(), int_lit(1))));
+    body.push_back(barrier());
+    body.push_back(assign(
+        array_ref(names[1], thread_id()),
+        array_ref(names[0],
+                  bin_op('%', bin_op('+', thread_id(), int_lit(1)),
+                         int_lit(threads)))));
+    p.body.push_back(parallel_region(std::move(body), c));
+  }
+  return p;
+}
+
+Program gen_special_features(Rng& rng) {
+  Program p;
+  const auto names = pick_names(rng, 2);
+  const std::int64_t n = pick_n(rng);
+  const std::string sum = pick_scalar(rng);
+  Clauses c;
+  std::vector<Stmt> body;
+  if (rng.next_bool()) {
+    p.name = "reduction-add";
+    p.decls.push_back({names[0], true, n, rng.next_int(1, 4)});
+    p.decls.push_back({sum, false, 0, 0});
+    c.reductions.push_back({'+', sum});
+    body.push_back(assign(scalar_ref(sum),
+                          bin_op('+', scalar_ref(sum),
+                                 array_ref(names[0], scalar_ref("i")))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body), c));
+  } else {
+    p.name = "reduction-dot";
+    p.decls.push_back({names[0], true, n, 1});
+    p.decls.push_back({names[1], true, n, 2});
+    p.decls.push_back({sum, false, 0, 0});
+    c.reductions.push_back({'+', sum});
+    body.push_back(assign(
+        scalar_ref(sum),
+        bin_op('+', scalar_ref(sum),
+               bin_op('*', array_ref(names[0], scalar_ref("i")),
+                      array_ref(names[1], scalar_ref("i"))))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                  std::move(body), c));
+  }
+  return p;
+}
+
+Program gen_numerical_kernel(Rng& rng, bool simd, bool target) {
+  Program p;
+  const auto names = pick_names(rng, 3);
+  const std::int64_t n = pick_n(rng);
+  Clauses c;
+  c.simd = simd;
+  c.target = target;
+  const int variant = static_cast<int>(rng.next_below(4));
+  std::vector<Stmt> body;
+  if (variant == 3) {
+    // disjoint-halves copy: writes [0, h) while reading [h, 2h) — no
+    // overlap at runtime, but a range-unaware SIV test flags the distance
+    // h dependence (the classic static-analysis false positive).
+    p.name = "halves-copy";
+    const std::int64_t h = n / 2;
+    p.decls.push_back({names[0], true, 2 * h, rng.next_int(1, 5)});
+    body.push_back(assign(
+        array_ref(names[0], scalar_ref("i")),
+        bin_op('+',
+               array_ref(names[0], bin_op('+', scalar_ref("i"), int_lit(h))),
+               int_lit(rng.next_int(0, 3)))));
+    p.body.push_back(parallel_for("i", int_lit(0), int_lit(h),
+                                  std::move(body), c));
+    return p;
+  }
+  if (variant == 0) {
+    // vector addition
+    p.name = "vector-add";
+    p.decls.push_back({names[0], true, n, rng.next_int(1, 5)});
+    p.decls.push_back({names[1], true, n, rng.next_int(1, 5)});
+    p.decls.push_back({names[2], true, n, 0});
+    body.push_back(assign(array_ref(names[2], scalar_ref("i")),
+                          bin_op('+', array_ref(names[0], scalar_ref("i")),
+                                 array_ref(names[1], scalar_ref("i")))));
+  } else if (variant == 1) {
+    // scaling in place (independent elements)
+    p.name = "vector-scale";
+    p.decls.push_back({names[0], true, n, rng.next_int(1, 5)});
+    body.push_back(assign(
+        array_ref(names[0], scalar_ref("i")),
+        bin_op('*', array_ref(names[0], scalar_ref("i")),
+               int_lit(rng.next_int(2, 5)))));
+  } else {
+    // forward stencil reading the *input* array only
+    p.name = "stencil-copy";
+    p.decls.push_back({names[0], true, n + 1, rng.next_int(1, 5)});
+    p.decls.push_back({names[1], true, n, 0});
+    body.push_back(assign(
+        array_ref(names[1], scalar_ref("i")),
+        bin_op('+', array_ref(names[0], scalar_ref("i")),
+               array_ref(names[0],
+                         bin_op('+', scalar_ref("i"), int_lit(1))))));
+  }
+  p.body.push_back(parallel_for("i", int_lit(0), int_lit(n),
+                                std::move(body), c));
+  return p;
+}
+
+Program generate_program(Category category, Rng& rng) {
+  switch (category) {
+    case Category::UnresolvableDependences:
+      return gen_unresolvable_dependences(rng, false, false);
+    case Category::MissingDataSharingClauses:
+      return gen_missing_data_sharing(rng);
+    case Category::MissingSynchronization:
+      return gen_missing_synchronization(rng);
+    case Category::SimdDataRaces:
+      return gen_unresolvable_dependences(rng, /*simd=*/true, false);
+    case Category::AcceleratorDataRaces: {
+      if (rng.next_bool()) {
+        return gen_unresolvable_dependences(rng, false, /*target=*/true);
+      }
+      Program p = gen_numerical_kernel_race(rng);
+      p.body.back().clauses.target = true;
+      return p;
+    }
+    case Category::UndefinedBehavior:
+      return gen_undefined_behavior(rng);
+    case Category::NumericalKernelDataRaces:
+      return gen_numerical_kernel_race(rng);
+    case Category::SingleThreadExecution:
+      return gen_single_thread(rng);
+    case Category::UseOfDataSharingClauses:
+      return gen_use_data_sharing(rng);
+    case Category::UseOfSynchronization:
+      return gen_use_synchronization(rng);
+    case Category::UseOfSimdDirectives:
+      return gen_numerical_kernel(rng, /*simd=*/true, false);
+    case Category::UseOfAcceleratorDirectives:
+      return gen_numerical_kernel(rng, false, /*target=*/true);
+    case Category::UseOfSpecialLanguageFeatures:
+      return gen_special_features(rng);
+    case Category::NumericalKernels:
+      return gen_numerical_kernel(rng, false, false);
+  }
+  throw InvalidArgument("drb: unknown category");
+}
+
+}  // namespace
+
+const std::vector<Category>& all_categories() {
+  static const std::vector<Category> cats{
+      Category::UnresolvableDependences,
+      Category::MissingDataSharingClauses,
+      Category::MissingSynchronization,
+      Category::SimdDataRaces,
+      Category::AcceleratorDataRaces,
+      Category::UndefinedBehavior,
+      Category::NumericalKernelDataRaces,
+      Category::SingleThreadExecution,
+      Category::UseOfDataSharingClauses,
+      Category::UseOfSynchronization,
+      Category::UseOfSimdDirectives,
+      Category::UseOfAcceleratorDirectives,
+      Category::UseOfSpecialLanguageFeatures,
+      Category::NumericalKernels,
+  };
+  return cats;
+}
+
+std::string category_name(Category c) {
+  switch (c) {
+    case Category::UnresolvableDependences: return "Unresolvable dependences";
+    case Category::MissingDataSharingClauses:
+      return "Missing data sharing clauses";
+    case Category::MissingSynchronization: return "Missing synchronization";
+    case Category::SimdDataRaces: return "SIMD data races";
+    case Category::AcceleratorDataRaces: return "Accelerator data races";
+    case Category::UndefinedBehavior: return "Undefined behavior";
+    case Category::NumericalKernelDataRaces:
+      return "Numerical kernel data races";
+    case Category::SingleThreadExecution: return "Single thread execution";
+    case Category::UseOfDataSharingClauses:
+      return "Use of data sharing clauses";
+    case Category::UseOfSynchronization: return "Use of synchronization";
+    case Category::UseOfSimdDirectives: return "Use of SIMD directives";
+    case Category::UseOfAcceleratorDirectives:
+      return "Use of accelerator directives";
+    case Category::UseOfSpecialLanguageFeatures:
+      return "Use of special language features";
+    case Category::NumericalKernels: return "Numerical kernels";
+  }
+  return "?";
+}
+
+bool category_has_race(Category c) {
+  switch (c) {
+    case Category::UnresolvableDependences:
+    case Category::MissingDataSharingClauses:
+    case Category::MissingSynchronization:
+    case Category::SimdDataRaces:
+    case Category::AcceleratorDataRaces:
+    case Category::UndefinedBehavior:
+    case Category::NumericalKernelDataRaces:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TestCase generate_case(Category category, minilang::Flavor flavor, Rng& rng,
+                       bool oversized) {
+  TestCase tc;
+  tc.category = category;
+  tc.flavor = flavor;
+  tc.has_race = category_has_race(category);
+  tc.program = generate_program(category, rng);
+  if (oversized) add_filler(tc.program, rng, 40);
+  tc.program.name +=
+      (flavor == minilang::Flavor::C ? "-c" : "-f") +
+      std::to_string(rng.next_below(100000));
+  tc.id = tc.program.name;
+  tc.source = minilang::render(tc.program, flavor);
+  return tc;
+}
+
+std::vector<TestCase> generate_suite(minilang::Flavor flavor,
+                                     const SuiteSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<TestCase> suite;
+  for (const Category c : all_categories()) {
+    const std::size_t count = category_has_race(c)
+                                  ? spec.per_racy_category
+                                  : spec.per_free_category;
+    for (std::size_t k = 0; k < count; ++k) {
+      suite.push_back(generate_case(c, flavor, rng));
+    }
+  }
+  // Replace the tail with oversized variants, spread across categories.
+  for (std::size_t k = 0; k < spec.oversized_cases && k < suite.size();
+       ++k) {
+    const std::size_t slot = (k * 29) % suite.size();
+    const Category c = suite[slot].category;
+    suite[slot] = generate_case(c, flavor, rng, /*oversized=*/true);
+  }
+  return suite;
+}
+
+std::vector<TestCase> evaluation_suite(minilang::Flavor flavor) {
+  // DataRaceBench v1.4 totals used in §4.7.2: 177 C/C++ (88 racy) and 166
+  // Fortran (84 racy). 14 C/C++ cases exceed the LLM token limit.
+  std::vector<TestCase> suite;
+  const bool is_c = flavor == minilang::Flavor::C;
+  const std::size_t racy_total = is_c ? 88 : 84;
+  const std::size_t free_total = is_c ? 89 : 82;
+  Rng rng(is_c ? 41u : 42u);
+
+  std::size_t racy_made = 0;
+  std::size_t free_made = 0;
+  std::size_t index = 0;
+  while (racy_made < racy_total || free_made < free_total) {
+    const Category c = all_categories()[index % kCategoryCount];
+    ++index;
+    if (category_has_race(c)) {
+      if (racy_made == racy_total) continue;
+      ++racy_made;
+    } else {
+      if (free_made == free_total) continue;
+      ++free_made;
+    }
+    suite.push_back(generate_case(c, flavor, rng));
+  }
+  if (is_c) {
+    for (std::size_t k = 0; k < 14; ++k) {
+      const std::size_t slot = (k * 13 + 3) % suite.size();
+      suite[slot] =
+          generate_case(suite[slot].category, flavor, rng, true);
+    }
+  }
+  return suite;
+}
+
+const std::vector<std::size_t>& table3_counts(minilang::Flavor flavor) {
+  // Paper Table 3, in all_categories() order (7 racy then 7 race-free).
+  static const std::vector<std::size_t> c_counts{
+      132, 129, 130, 124, 110, 128, 133,   // racy
+      133, 105, 144, 119, 118, 126, 131};  // race-free
+  static const std::vector<std::size_t> f_counts{
+      125, 103, 117, 122, 101, 109, 111,   // racy
+      98, 126, 105, 130, 97, 108, 124};    // race-free
+  return flavor == minilang::Flavor::C ? c_counts : f_counts;
+}
+
+std::vector<TestCase> training_cases(minilang::Flavor flavor,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& counts = table3_counts(flavor);
+  std::vector<TestCase> out;
+  const auto& cats = all_categories();
+  for (std::size_t c = 0; c < cats.size(); ++c) {
+    for (std::size_t k = 0; k < counts[c]; ++k) {
+      out.push_back(generate_case(cats[c], flavor, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcgpt::drb

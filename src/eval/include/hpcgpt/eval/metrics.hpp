@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcgpt::eval {
+
+/// Confusion-matrix counts for a binary race/no-race classifier, plus the
+/// tool-support bookkeeping of §4.5. "Positive" = has data race.
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+  std::size_t unsupported = 0;  ///< cases the tool could not process
+
+  /// Records one judged case.
+  void add(bool truth_race, bool predicted_race);
+  /// Records one unsupported case.
+  void add_unsupported() { ++unsupported; }
+
+  std::size_t judged() const { return tp + fp + tn + fn; }
+  std::size_t total() const { return judged() + unsupported; }
+
+  // §4.5 metrics. All return 0 when their denominator is 0.
+  double recall() const;       ///< TP / (TP + FN)
+  double specificity() const;  ///< TN / (TN + FP)
+  double precision() const;    ///< TP / (TP + FP)
+  double accuracy() const;     ///< (TP + TN) / judged
+  double f1() const;           ///< harmonic mean of precision and recall
+  double tsr() const;          ///< judged / total (tool support rate)
+  double adjusted_f1() const;  ///< F1 × TSR (the paper's headline metric)
+};
+
+/// One Table 5 row.
+struct ToolRow {
+  std::string tool;
+  std::string language;
+  Confusion confusion;
+};
+
+/// Renders rows in the Table 5 column layout:
+/// Tool | Language | TP FP TN FN | Recall Specificity Precision Accuracy
+/// TSR Adjusted F1. Best value per metric within a language block is
+/// marked with '*' (the paper bolds it).
+std::string render_table5(const std::vector<ToolRow>& rows);
+
+/// Generic fixed-width table renderer used by the dataset tables.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with 4 decimal places (the paper's precision).
+std::string fmt4(double value);
+
+}  // namespace hpcgpt::eval

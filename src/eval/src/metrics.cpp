@@ -1,0 +1,112 @@
+#include "hpcgpt/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace hpcgpt::eval {
+
+namespace {
+
+double ratio(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+void Confusion::add(bool truth_race, bool predicted_race) {
+  if (truth_race && predicted_race) ++tp;
+  else if (!truth_race && predicted_race) ++fp;
+  else if (!truth_race && !predicted_race) ++tn;
+  else ++fn;
+}
+
+double Confusion::recall() const { return ratio(tp, tp + fn); }
+double Confusion::specificity() const { return ratio(tn, tn + fp); }
+double Confusion::precision() const { return ratio(tp, tp + fp); }
+double Confusion::accuracy() const { return ratio(tp + tn, judged()); }
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::tsr() const { return ratio(judged(), total()); }
+double Confusion::adjusted_f1() const { return f1() * tsr(); }
+
+std::string fmt4(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", value);
+  return buf;
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    width[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit(header);
+  out << "|";
+  for (const std::size_t w : width) out << std::string(w + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows) emit(row);
+  return out.str();
+}
+
+std::string render_table5(const std::vector<ToolRow>& rows) {
+  // Determine the per-language best value for each starred metric.
+  struct Best {
+    double recall = 0, specificity = 0, precision = 0, accuracy = 0,
+           adjusted = 0;
+  };
+  std::map<std::string, Best> best;
+  for (const ToolRow& r : rows) {
+    Best& b = best[r.language];
+    b.recall = std::max(b.recall, r.confusion.recall());
+    b.specificity = std::max(b.specificity, r.confusion.specificity());
+    b.precision = std::max(b.precision, r.confusion.precision());
+    b.accuracy = std::max(b.accuracy, r.confusion.accuracy());
+    b.adjusted = std::max(b.adjusted, r.confusion.adjusted_f1());
+  }
+  const auto mark = [](double v, double best_v) {
+    return fmt4(v) + (v >= best_v && best_v > 0 ? "*" : " ");
+  };
+
+  std::vector<std::string> header{
+      "Tool", "Language", "TP",  "FP",  "TN",          "FN",
+      "Recall", "Specificity", "Precision", "Accuracy", "TSR",
+      "Adjusted F1"};
+  std::vector<std::vector<std::string>> body;
+  for (const ToolRow& r : rows) {
+    const Confusion& c = r.confusion;
+    const Best& b = best[r.language];
+    body.push_back({r.tool, r.language, std::to_string(c.tp),
+                    std::to_string(c.fp), std::to_string(c.tn),
+                    std::to_string(c.fn), mark(c.recall(), b.recall),
+                    mark(c.specificity(), b.specificity),
+                    mark(c.precision(), b.precision),
+                    mark(c.accuracy(), b.accuracy), fmt4(c.tsr()),
+                    mark(c.adjusted_f1(), b.adjusted)});
+  }
+  return render_table(header, body);
+}
+
+}  // namespace hpcgpt::eval

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::json {
+
+class Value;
+
+/// Objects keep insertion-independent (sorted) key order via std::map so
+/// serialization is deterministic — important because generated instruction
+/// records are compared textually in tests.
+using Object = std::map<std::string, Value, std::less<>>;
+using Array = std::vector<Value>;
+
+/// A dynamically-typed JSON value (null / bool / number / string /
+/// array / object).
+///
+/// The instruction-data pipeline (paper §3.2, Listing 2) exchanges records
+/// as JSON text: the simulated teacher emits them — sometimes malformed on
+/// purpose — and the filtering stage parses and validates them. This class
+/// is the single JSON representation used across the repository.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::size_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors; throw InvalidArgument when the type does not match.
+  bool as_bool() const { return get<bool>("bool"); }
+  double as_number() const { return get<double>("number"); }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  Array& as_array() { return get_mut<Array>("array"); }
+  const Object& as_object() const { return get<Object>("object"); }
+  Object& as_object() { return get_mut<Object>("object"); }
+
+  /// Object member access. `at` throws when missing; `find` returns nullptr.
+  const Value& at(std::string_view key) const;
+  const Value* find(std::string_view key) const;
+
+  /// True when this is an object that has string member `key`.
+  bool has_string(std::string_view key) const {
+    const Value* v = is_object() ? find(key) : nullptr;
+    return v != nullptr && v->is_string();
+  }
+
+  /// Compact single-line serialization (RFC 8259 escaping).
+  std::string dump() const;
+
+  /// Pretty serialization with two-space indentation.
+  std::string dump_pretty() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    const T* p = std::get_if<T>(&data_);
+    if (p == nullptr) throw InvalidArgument(std::string("json: not a ") + name);
+    return *p;
+  }
+  template <typename T>
+  T& get_mut(const char* name) {
+    T* p = std::get_if<T>(&data_);
+    if (p == nullptr) throw InvalidArgument(std::string("json: not a ") + name);
+    return *p;
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; throws ParseError on malformed input
+/// (including trailing garbage after the document).
+Value parse(std::string_view text);
+
+/// Parses and returns the first complete JSON object found anywhere inside
+/// `text`, or nullptr-Value if none parses. Used by the filtering stage to
+/// salvage records the teacher wrapped in prose.
+bool extract_object(std::string_view text, Value& out);
+
+}  // namespace hpcgpt::json

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpcgpt::kb {
+
+/// One row of the PLP (programming-language-processing) catalog: which
+/// dataset/model fits which task — the structured data the paper collects
+/// from CodeXGLUE-style tables and >40 PLP papers (§4.2).
+struct PlpEntry {
+  std::string category;  ///< Table 2 category, e.g. "Clone detection"
+  std::string task;      ///< specific task description
+  std::string dataset;
+  std::string language;
+  std::string baseline;  ///< representative model
+  std::string metric;
+};
+
+/// One row of the MLPerf results catalog (§4.2, the paper scrapes the
+/// MLPerf Training v3.0 result sheet).
+struct MlperfEntry {
+  std::string submitter;
+  std::string system;
+  std::string processor;
+  std::string accelerator;
+  std::string software;
+  std::string benchmark;  ///< workload, e.g. "ResNet-50"
+};
+
+/// In-memory HPC knowledge base for Task 1 (managing AI models and
+/// datasets). `builtin()` returns the catalog this repository ships —
+/// curated facts mirroring the sources the paper used, including the
+/// Listing 3 (CodeTrans) and Listing 4 (dgxh100_n64) ground truths.
+struct KnowledgeBase {
+  std::vector<PlpEntry> plp;
+  std::vector<MlperfEntry> mlperf;
+
+  static const KnowledgeBase& builtin();
+
+  /// builtin() widened with node-count variations of every MLPerf system
+  /// (n8..n256), standing in for the full scraped MLPerf result sheet so
+  /// the instruction-generation pipeline has enough distinct facts to hit
+  /// its per-category targets.
+  static const KnowledgeBase& expanded();
+
+  /// Distinct PLP categories, in Table 2 order.
+  std::vector<std::string> plp_categories() const;
+};
+
+/// Figure 2 transformation: renders a structured row as unstructured
+/// sentence text via slot-filling templates. `variant` selects among
+/// several phrasings (the teacher model uses different variants to
+/// diversify generated instructions).
+std::string flatten(const PlpEntry& entry, std::size_t variant = 0);
+std::string flatten(const MlperfEntry& entry, std::size_t variant = 0);
+
+/// Hand-written unstructured HPC knowledge paragraphs (papers, websites)
+/// used as additional teacher input and as the generic pre-training corpus
+/// component.
+const std::vector<std::string>& unstructured_corpus();
+
+}  // namespace hpcgpt::kb

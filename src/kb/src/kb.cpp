@@ -1,0 +1,237 @@
+#include "hpcgpt/kb/kb.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::kb {
+
+namespace {
+
+KnowledgeBase build() {
+  KnowledgeBase kb;
+  // ------------------------- PLP catalog (13 Table 2 categories) ------
+  kb.plp = {
+      {"Performance Modeling", "kernel runtime prediction", "OpenTuner-DB",
+       "C/C++", "ProGraML", "MAPE"},
+      {"Performance Modeling", "GPU throughput estimation", "NPB-perf",
+       "CUDA", "DeepTune", "MAPE"},
+      {"Algorithm Classification", "classify algorithm of a program",
+       "POJ-104", "C/C++", "ASTNN", "accuracy"},
+      {"Algorithm Classification", "sorting-kernel identification",
+       "AlgoBench", "C/C++", "TBCNN", "accuracy"},
+      {"Defect detection", "predict whether a function is vulnerable",
+       "Devign", "C", "CodeBERT", "accuracy"},
+      {"Defect detection", "null-dereference screening", "D2A", "C/C++",
+       "GraphCodeBERT", "F1"},
+      {"Clone detection", "detect semantically equivalent code", "POJ-104",
+       "C/C++", "CodeBERT", "MAP"},
+      {"Clone detection", "duplicate method detection", "BigCloneBench",
+       "Java", "GraphCodeBERT", "F1"},
+      {"Code Completion", "token-level completion", "PY150", "Python",
+       "CodeGPT", "accuracy"},
+      {"Code Completion", "line-level completion", "Github Java Corpus",
+       "Java", "CodeGPT", "edit similarity"},
+      {"Compiler Analyses", "predict OpenMP parallelizability",
+       "OMP4Par-AST", "C/C++", "AugAST-GNN", "accuracy"},
+      {"Compiler Analyses", "alias analysis approximation", "ComPile-alias",
+       "LLVM IR", "ProGraML", "accuracy"},
+      {"Code Repair", "fix small bugs automatically", "Bugs2Fix", "Java",
+       "CodeT5", "BLEU"},
+      {"Code Repair", "compile-error repair", "DeepFix", "C", "PLBART",
+       "repair rate"},
+      {"Code Translation", "translate source between languages",
+       "CodeTrans", "Java-C#", "CodeBERT", "BLEU"},
+      {"Code Translation", "C++ to Java migration", "TransCoder-set",
+       "C++-Java", "TransCoder", "computational accuracy"},
+      {"Cloze Testing", "predict masked tokens in code", "ClozeTest-maxmin",
+       "Python", "CodeBERT", "accuracy"},
+      {"Cloze Testing", "API-call cloze", "ClozeTest-all", "Java",
+       "CodeBERT", "accuracy"},
+      {"Text-to-Code Generation", "generate code from description",
+       "CONCODE", "Java", "CodeGPT", "BLEU"},
+      {"Text-to-Code Generation", "competitive programming synthesis",
+       "APPS", "Python", "AlphaCode", "pass rate"},
+      {"Code Summarization", "generate docstrings for functions",
+       "CodeSearchNet", "Python", "CodeT5", "BLEU"},
+      {"Code Summarization", "commit message generation", "CommitGen-data",
+       "Java", "PLBART", "BLEU"},
+      {"Document Translation", "translate developer documentation",
+       "Microsoft Docs", "English-Chinese", "XLM-R", "BLEU"},
+      {"Code Search", "retrieve code for a natural query", "AdvTest",
+       "Python", "GraphCodeBERT", "MRR"},
+      {"Code Search", "web-query code retrieval", "CosQA", "Python",
+       "CodeBERT", "MRR"},
+  };
+
+  // ------------------------- MLPerf results catalog -------------------
+  kb.mlperf = {
+      {"NVIDIA", "dgxh100_n64", "Intel(R) Xeon(R) Platinum 8462Y+",
+       "NVIDIA H100-SXM5-80GB", "MXNet NVIDIA Release 23.04", "ResNet-50"},
+      {"NVIDIA", "dgxh100_n8", "Intel(R) Xeon(R) Platinum 8462Y+",
+       "NVIDIA H100-SXM5-80GB", "PyTorch NVIDIA Release 23.04", "BERT"},
+      {"NVIDIA", "dgxa100_n8", "AMD EPYC 7742",
+       "NVIDIA A100-SXM4-80GB", "PyTorch NVIDIA Release 23.04", "BERT"},
+      {"NVIDIA", "dgxa100_n140", "AMD EPYC 7742",
+       "NVIDIA A100-SXM4-80GB", "MXNet NVIDIA Release 23.04", "ResNet-50"},
+      {"Intel", "16-nodes-SPR-pytorch", "Intel(R) Xeon(R) Platinum 8480+",
+       "Intel Habana Gaudi2", "PyTorch 2.0 Intel Release", "ResNet-50"},
+      {"Intel", "8-nodes-SPR-tensorflow", "Intel(R) Xeon(R) Platinum 8480+",
+       "Intel Habana Gaudi2", "TensorFlow 2.12 Intel Release", "BERT"},
+      {"Google", "tpu-v4-1024", "AMD EPYC 7B12", "Google TPU v4",
+       "JAX 0.4 Google Release", "ResNet-50"},
+      {"Google", "tpu-v4-3072", "AMD EPYC 7B12", "Google TPU v4",
+       "TensorFlow 2.12 Google Release", "BERT"},
+      {"Dell", "XE9680x8H100", "Intel(R) Xeon(R) Platinum 8470",
+       "NVIDIA H100-SXM5-80GB", "PyTorch NVIDIA Release 23.04", "RetinaNet"},
+      {"HPE", "Cray-XD670", "AMD EPYC 9654",
+       "NVIDIA H100-SXM5-80GB", "PyTorch NVIDIA Release 23.04", "DLRM"},
+  };
+  return kb;
+}
+
+}  // namespace
+
+const KnowledgeBase& KnowledgeBase::builtin() {
+  static const KnowledgeBase kb = build();
+  return kb;
+}
+
+const KnowledgeBase& KnowledgeBase::expanded() {
+  static const KnowledgeBase kb = [] {
+    KnowledgeBase out;
+    const KnowledgeBase& base = builtin();
+    out.plp = base.plp;
+    // Each MLPerf submission appears at several scales in the real result
+    // sheet; synthesize the node-count variants deterministically.
+    const std::vector<int> scales{8, 16, 32, 64, 128, 256};
+    // Successive submission rounds ship successive software releases, so
+    // each scale variant also carries a distinct release tag — matching
+    // the real sheet, where (accelerator, software) pairs identify rows.
+    const std::vector<std::string> releases{"23.04", "23.09", "24.01",
+                                            "24.04", "24.09", "25.01"};
+    for (const MlperfEntry& e : base.mlperf) {
+      for (std::size_t k = 0; k < scales.size(); ++k) {
+        MlperfEntry v = e;
+        // Strip an existing _nNN suffix before appending the variant's.
+        const std::size_t cut = v.system.rfind("_n");
+        std::string stem =
+            cut == std::string::npos ? v.system : v.system.substr(0, cut);
+        v.system = stem + "_n" + std::to_string(scales[k]);
+        if (k > 0) {
+          // Rewrite the trailing version of the software string.
+          const std::size_t space = v.software.rfind(' ');
+          if (space != std::string::npos) {
+            v.software = v.software.substr(0, space + 1) + releases[k];
+          }
+        }
+        out.mlperf.push_back(std::move(v));
+      }
+    }
+    return out;
+  }();
+  return kb;
+}
+
+std::vector<std::string> KnowledgeBase::plp_categories() const {
+  std::vector<std::string> out;
+  for (const PlpEntry& e : plp) {
+    if (std::find(out.begin(), out.end(), e.category) == out.end()) {
+      out.push_back(e.category);
+    }
+  }
+  return out;
+}
+
+std::string flatten(const PlpEntry& e, std::size_t variant) {
+  switch (variant % 3) {
+    case 0:
+      // The Figure 2 phrasing.
+      return "A task called \"" + e.category +
+             "\" along with the corresponding dataset name and programming"
+             " language used. The dataset used for this task is called \"" +
+             e.dataset + ",\" and the programming language employed is " +
+             e.language + ". A representative baseline model is " +
+             e.baseline + ".";
+    case 1:
+      return "The " + e.dataset + " dataset can be used for " + e.category +
+             " tasks if the language is " + e.language +
+             " and the baseline is " + e.baseline + "; it targets " +
+             e.task + " and reports " + e.metric + ".";
+    default:
+      return "For the " + e.category + " task (" + e.task + "), the " +
+             e.baseline + " model is evaluated on the " + e.dataset +
+             " dataset written in " + e.language + " using the " + e.metric +
+             " metric.";
+  }
+}
+
+std::string flatten(const MlperfEntry& e, std::size_t variant) {
+  switch (variant % 3) {
+    case 0:
+      return "In the MLPerf results, submitter " + e.submitter +
+             " ran the " + e.benchmark + " benchmark on the system " +
+             e.system + " with processor " + e.processor +
+             ", accelerator " + e.accelerator + " and software " +
+             e.software + ".";
+    case 1:
+      return "The system is " + e.system + " if the accelerator used is " +
+             e.accelerator + " and the software used is " + e.software +
+             "; the submitter is " + e.submitter + " and the processor is " +
+             e.processor + ".";
+    default:
+      return e.submitter + "'s " + e.system + " entry pairs " +
+             e.accelerator + " accelerators with " + e.processor +
+             " processors running " + e.software + " for " + e.benchmark +
+             ".";
+  }
+}
+
+const std::vector<std::string>& unstructured_corpus() {
+  static const std::vector<std::string> docs{
+      "OpenMP is a directive based application programming interface for "
+      "shared memory parallel programming in C, C++ and Fortran. A parallel "
+      "region is started with the parallel construct and work can be "
+      "distributed across threads with the for or do construct.",
+      "A data race occurs when two or more threads perform conflicting "
+      "accesses to a shared variable without synchronization and at least "
+      "one access is a write. Data races cause nondeterministic results "
+      "and are undefined behavior in OpenMP programs.",
+      "Data race detection analyses can be broadly categorized into "
+      "dynamic and static approaches. Dynamic tools such as ThreadSanitizer "
+      "and Intel Inspector observe one execution, while static tools such "
+      "as LLOV analyze the source without running it.",
+      "The private clause gives each thread its own copy of a variable, "
+      "while the reduction clause combines per-thread partial results with "
+      "an associative operator at the end of the region. Missing either "
+      "clause on a shared accumulator causes a data race.",
+      "The critical construct restricts execution of a block to one thread "
+      "at a time, and the atomic construct ensures a specific storage "
+      "location is updated atomically. The barrier construct synchronizes "
+      "all threads of a team.",
+      "MLPerf is a standardized benchmark designed to evaluate and compare "
+      "the training and inference performance of machine learning models "
+      "and frameworks across submitters, systems, processors, accelerators "
+      "and software stacks.",
+      "Programming language processing applies machine learning to source "
+      "code for tasks such as code generation, clone detection, defect "
+      "detection, code translation, code summarization and code search. "
+      "Benchmarks like CodeXGLUE collect datasets and baselines for these "
+      "tasks.",
+      "High performance computing clusters combine thousands of nodes with "
+      "message passing via MPI between nodes and OpenMP threading inside a "
+      "node. Hybrid MPI plus OpenMP programs must avoid data races inside "
+      "each node while overlapping communication and computation.",
+      "Supervised fine-tuning adapts a pretrained language model to a "
+      "domain using instruction and answer pairs. Low-rank adaptation "
+      "inserts small trainable matrices into each linear layer so that "
+      "only a fraction of the parameters are updated.",
+      "The SIMD construct asks the compiler to vectorize a loop. A loop "
+      "with a dependence between iterations, such as reading the element "
+      "written by the previous iteration, must not be annotated with simd "
+      "or parallel for.",
+  };
+  return docs;
+}
+
+}  // namespace hpcgpt::kb

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpcgpt::minilang {
+
+/// The OpenMP mini-language.
+///
+/// This is the substrate standing in for the C/C++ and Fortran programs of
+/// DataRaceBench: a small imperative language with scalars, 1-D arrays,
+/// sequential and OpenMP-style parallel loops, parallel regions,
+/// data-sharing clauses, reductions, critical/atomic/barrier
+/// synchronization, and simd/target directive flags. Programs are built as
+/// ASTs (by the hpcgpt::drb generators), rendered to C-flavoured or
+/// Fortran-flavoured source text (for the LLM-based methods), executed by
+/// the hpcgpt::race interpreter (for the dynamic detectors) and analysed
+/// statically (for the LLOV-style detector).
+
+/// Expression node. A single tagged struct keeps the tree compact; only
+/// the fields implied by `kind` are meaningful.
+struct Expr {
+  enum class Kind {
+    IntLit,     ///< value
+    ScalarRef,  ///< name
+    ArrayRef,   ///< name, index
+    ThreadId,   ///< omp_get_thread_num()
+    BinOp,      ///< op, lhs, rhs
+  };
+
+  Kind kind = Kind::IntLit;
+  std::int64_t value = 0;           // IntLit
+  std::string name;                 // ScalarRef / ArrayRef
+  std::unique_ptr<Expr> index;      // ArrayRef
+  /// BinOp operator: arithmetic + - * / % and comparisons
+  /// '<' '>' 'q' (==) 'n' (!=), which evaluate to 0/1.
+  char op = '+';
+  std::unique_ptr<Expr> lhs, rhs;   // BinOp
+
+  Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+  Expr(Expr&&) = default;
+  Expr& operator=(Expr&&) = default;
+
+  std::unique_ptr<Expr> clone() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr int_lit(std::int64_t v);
+ExprPtr scalar_ref(std::string name);
+ExprPtr array_ref(std::string name, ExprPtr index);
+ExprPtr thread_id();
+ExprPtr bin_op(char op, ExprPtr lhs, ExprPtr rhs);
+
+/// Reduction clause entry: `reduction(op:var)`.
+struct Reduction {
+  char op = '+';  // + or * (enough for the generated kernels)
+  std::string var;
+};
+
+/// OpenMP clauses attached to a parallel construct.
+struct Clauses {
+  std::vector<std::string> priv;          ///< private(...)
+  std::vector<std::string> firstprivate;  ///< firstprivate(...)
+  std::vector<std::string> shared;        ///< shared(...) (documentation only)
+  std::vector<Reduction> reductions;      ///< reduction(op:var)
+  bool simd = false;    ///< `omp simd` / `omp parallel for simd`
+  bool target = false;  ///< `omp target teams distribute parallel for`
+  std::size_t num_threads = 0;  ///< 0 = runtime default
+
+  Clauses clone() const { return *this; }
+  bool is_private(const std::string& name) const;
+  bool is_reduction(const std::string& name) const;
+};
+
+/// Statement node.
+struct Stmt {
+  enum class Kind {
+    Assign,          ///< target[=ArrayRef|ScalarRef] = expr
+    SeqFor,          ///< sequential loop: var in [lo, hi)
+    ParallelFor,     ///< omp parallel for (clauses apply)
+    ParallelRegion,  ///< omp parallel (body runs once per thread)
+    Critical,        ///< omp critical { body }
+    Atomic,          ///< omp atomic: single Assign on scalar/array elem
+    Barrier,         ///< omp barrier (inside ParallelRegion)
+    Master,          ///< omp master { body } (thread 0 only, no barrier)
+    Single,          ///< omp single { body } (one thread, implicit barrier)
+    If,              ///< if (cond) { body } — makes races input-dependent
+  };
+
+  Kind kind = Kind::Assign;
+
+  // Assign / Atomic
+  ExprPtr target;  // ScalarRef or ArrayRef
+  ExprPtr value;
+
+  // If
+  ExprPtr cond;
+
+  // SeqFor / ParallelFor
+  std::string loop_var;
+  ExprPtr lo, hi;  // half-open [lo, hi)
+
+  // ParallelFor / ParallelRegion
+  Clauses clauses;
+
+  // Compound bodies (SeqFor/ParallelFor iterate body; regions contain it)
+  std::vector<Stmt> body;
+
+  Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+  Stmt(Stmt&&) = default;
+  Stmt& operator=(Stmt&&) = default;
+
+  Stmt clone() const;
+};
+
+/// Variable declaration at program scope.
+struct VarDecl {
+  std::string name;
+  bool is_array = false;
+  std::int64_t size = 0;      ///< array length (elements)
+  std::int64_t init = 0;      ///< scalar initial value / array fill
+};
+
+/// A complete mini-language program (one translation unit).
+struct Program {
+  std::string name;
+  std::vector<VarDecl> decls;
+  std::vector<Stmt> body;
+
+  Program() = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  Program clone() const;
+
+  /// Declaration lookup; returns nullptr when absent.
+  const VarDecl* find_decl(const std::string& var) const;
+};
+
+// ---- statement factories (used by generators and tests) ----
+
+Stmt assign(ExprPtr target, ExprPtr value);
+Stmt seq_for(std::string var, ExprPtr lo, ExprPtr hi, std::vector<Stmt> body);
+Stmt parallel_for(std::string var, ExprPtr lo, ExprPtr hi,
+                  std::vector<Stmt> body, Clauses clauses = {});
+Stmt parallel_region(std::vector<Stmt> body, Clauses clauses = {});
+Stmt critical(std::vector<Stmt> body);
+Stmt atomic(ExprPtr target, ExprPtr value);
+Stmt barrier();
+Stmt master(std::vector<Stmt> body);
+Stmt single(std::vector<Stmt> body);
+Stmt if_stmt(ExprPtr cond, std::vector<Stmt> body);
+
+}  // namespace hpcgpt::minilang

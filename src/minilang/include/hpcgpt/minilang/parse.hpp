@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hpcgpt/minilang/ast.hpp"
+
+namespace hpcgpt::minilang {
+
+/// Parses C-flavoured mini-language source (the subset produced by
+/// render(..., Flavor::C)) back into a Program.
+///
+/// This is the entry point used when a *code snippet* is handed to the
+/// system as text — the detectors and the interpreter work on the AST, so
+/// textual snippets (like the ones embedded in Task-2 instructions,
+/// Table 1) are parsed first. Throws ParseError on input outside the
+/// subset.
+Program parse_c(std::string_view source);
+
+/// Parses Fortran-flavoured mini-language source (the subset produced by
+/// render(..., Flavor::Fortran)): free-form Fortran with `!$omp`
+/// sentinels, `integer ::` declarations, do/end do loops and block
+/// if/then. Loop bounds are mapped back to the AST's half-open C
+/// convention (the renderer emits `do v = lo + 1, hi`).
+Program parse_f(std::string_view source);
+
+/// Dispatches on surface syntax: sources containing `!$omp`/`program`
+/// parse as Fortran, otherwise as C.
+Program parse_any(std::string_view source);
+
+}  // namespace hpcgpt::minilang

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "hpcgpt/minilang/ast.hpp"
+
+namespace hpcgpt::minilang {
+
+/// Surface syntax flavours for rendering. The paper evaluates both the
+/// C/C++ and the Fortran halves of DataRaceBench; the mini-language renders
+/// to either flavour so the LLM-based methods see two distinct languages.
+enum class Flavor { C, Fortran };
+
+/// Renders `program` as complete source text in the requested flavour:
+/// C-flavoured output looks like a DataRaceBench micro-benchmark
+/// (includes, globals, main, `#pragma omp ...`); Fortran-flavoured output
+/// is a `program ... end program` unit with `!$omp` sentinels and
+/// 1-based array indexing.
+std::string render(const Program& program, Flavor flavor);
+
+/// Renders just an expression (C flavour), used in diagnostics.
+std::string render_expr(const Expr& expr);
+
+/// Renders only the executable statements (no includes, declarations or
+/// main scaffold) — the code-snippet form embedded in Task-2 instructions
+/// (Table 1) and consumed by the LLM-based methods.
+std::string render_snippet(const Program& program, Flavor flavor);
+
+/// Human-readable flavour name ("C/C++" / "Fortran"), matching Table 5.
+std::string flavor_name(Flavor flavor);
+
+}  // namespace hpcgpt::minilang

@@ -1,0 +1,181 @@
+#include "hpcgpt/minilang/ast.hpp"
+
+#include <algorithm>
+
+namespace hpcgpt::minilang {
+
+ExprPtr Expr::clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->value = value;
+  out->name = name;
+  out->op = op;
+  if (index) out->index = index->clone();
+  if (lhs) out->lhs = lhs->clone();
+  if (rhs) out->rhs = rhs->clone();
+  return out;
+}
+
+ExprPtr int_lit(std::int64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::IntLit;
+  e->value = v;
+  return e;
+}
+
+ExprPtr scalar_ref(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::ScalarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr array_ref(std::string name, ExprPtr index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::ArrayRef;
+  e->name = std::move(name);
+  e->index = std::move(index);
+  return e;
+}
+
+ExprPtr thread_id() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::ThreadId;
+  return e;
+}
+
+ExprPtr bin_op(char op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::BinOp;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+bool Clauses::is_private(const std::string& name) const {
+  const auto in = [&](const std::vector<std::string>& v) {
+    return std::find(v.begin(), v.end(), name) != v.end();
+  };
+  return in(priv) || in(firstprivate);
+}
+
+bool Clauses::is_reduction(const std::string& name) const {
+  return std::any_of(reductions.begin(), reductions.end(),
+                     [&](const Reduction& r) { return r.var == name; });
+}
+
+Stmt Stmt::clone() const {
+  Stmt out;
+  out.kind = kind;
+  if (target) out.target = target->clone();
+  if (value) out.value = value->clone();
+  if (cond) out.cond = cond->clone();
+  out.loop_var = loop_var;
+  if (lo) out.lo = lo->clone();
+  if (hi) out.hi = hi->clone();
+  out.clauses = clauses.clone();
+  out.body.reserve(body.size());
+  for (const Stmt& s : body) out.body.push_back(s.clone());
+  return out;
+}
+
+Program Program::clone() const {
+  Program out;
+  out.name = name;
+  out.decls = decls;
+  out.body.reserve(body.size());
+  for (const Stmt& s : body) out.body.push_back(s.clone());
+  return out;
+}
+
+const VarDecl* Program::find_decl(const std::string& var) const {
+  for (const VarDecl& d : decls) {
+    if (d.name == var) return &d;
+  }
+  return nullptr;
+}
+
+Stmt assign(ExprPtr target, ExprPtr value) {
+  Stmt s;
+  s.kind = Stmt::Kind::Assign;
+  s.target = std::move(target);
+  s.value = std::move(value);
+  return s;
+}
+
+Stmt seq_for(std::string var, ExprPtr lo, ExprPtr hi,
+             std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Stmt::Kind::SeqFor;
+  s.loop_var = std::move(var);
+  s.lo = std::move(lo);
+  s.hi = std::move(hi);
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt parallel_for(std::string var, ExprPtr lo, ExprPtr hi,
+                  std::vector<Stmt> body, Clauses clauses) {
+  Stmt s;
+  s.kind = Stmt::Kind::ParallelFor;
+  s.loop_var = std::move(var);
+  s.lo = std::move(lo);
+  s.hi = std::move(hi);
+  s.body = std::move(body);
+  s.clauses = std::move(clauses);
+  return s;
+}
+
+Stmt parallel_region(std::vector<Stmt> body, Clauses clauses) {
+  Stmt s;
+  s.kind = Stmt::Kind::ParallelRegion;
+  s.body = std::move(body);
+  s.clauses = std::move(clauses);
+  return s;
+}
+
+Stmt critical(std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Stmt::Kind::Critical;
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt atomic(ExprPtr target, ExprPtr value) {
+  Stmt s;
+  s.kind = Stmt::Kind::Atomic;
+  s.target = std::move(target);
+  s.value = std::move(value);
+  return s;
+}
+
+Stmt barrier() {
+  Stmt s;
+  s.kind = Stmt::Kind::Barrier;
+  return s;
+}
+
+Stmt master(std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Stmt::Kind::Master;
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt single(std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Stmt::Kind::Single;
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt if_stmt(ExprPtr cond, std::vector<Stmt> body) {
+  Stmt s;
+  s.kind = Stmt::Kind::If;
+  s.cond = std::move(cond);
+  s.body = std::move(body);
+  return s;
+}
+
+}  // namespace hpcgpt::minilang

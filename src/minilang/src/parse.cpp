@@ -1,0 +1,452 @@
+#include "hpcgpt/minilang/parse.hpp"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::minilang {
+
+namespace {
+
+struct Token {
+  enum class Kind { Ident, Number, Punct, Directive, End };
+  Kind kind = Kind::End;
+  std::string text;
+  std::int64_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_trivia();
+    if (pos_ >= src_.size()) {
+      current_ = {Token::Kind::End, "", 0};
+      return;
+    }
+    const char c = src_[pos_];
+    if (c == '#') {  // pragma directive: consume to end of line
+      const std::size_t eol = src_.find('\n', pos_);
+      const std::size_t end = eol == std::string_view::npos ? src_.size() : eol;
+      current_ = {Token::Kind::Directive,
+                  std::string(strings::trim(src_.substr(pos_, end - pos_))),
+                  0};
+      pos_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::Ident,
+                  std::string(src_.substr(start, pos_ - start)), 0};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      const std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        v = v * 10 + (src_[pos_] - '0');
+        ++pos_;
+      }
+      current_ = {Token::Kind::Number,
+                  std::string(src_.substr(start, pos_ - start)), v};
+      return;
+    }
+    // multi-char punctuation used by the renderer
+    for (const std::string_view op : {"++", "<=", ">=", "==", "!="}) {
+      if (src_.substr(pos_, op.size()) == op) {
+        current_ = {Token::Kind::Punct, std::string(op), 0};
+        pos_ += op.size();
+        return;
+      }
+    }
+    current_ = {Token::Kind::Punct, std::string(1, c), 0};
+    ++pos_;
+  }
+
+  void skip_trivia() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      if (src_.substr(pos_, 2) == "//") {
+        const std::size_t eol = src_.find('\n', pos_);
+        pos_ = eol == std::string_view::npos ? src_.size() : eol + 1;
+        continue;
+      }
+      if (src_.substr(pos_, 2) == "/*") {
+        const std::size_t close = src_.find("*/", pos_ + 2);
+        if (close == std::string_view::npos)
+          throw ParseError("minilang: unterminated block comment");
+        pos_ = close + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Program parse_program() {
+    Program p;
+    p.name = "parsed_snippet";
+    // Optional preamble: #include directives are Directive tokens too.
+    while (lex_.peek().kind == Token::Kind::Directive &&
+           strings::starts_with(lex_.peek().text, "#include")) {
+      lex_.take();
+    }
+    // Global declarations until `int main`.
+    while (lex_.peek().kind == Token::Kind::Ident &&
+           lex_.peek().text == "int") {
+      // Lookahead is one token, so take `int` and branch on what follows.
+      lex_.take();
+      Token name = expect_ident();
+      if (name.text == "main") {
+        parse_main_into(p);
+        return p;
+      }
+      parse_decl_tail(p, name.text, /*allow_comma_scalars=*/false);
+    }
+    if (lex_.peek().kind != Token::Kind::End) {
+      // Bare snippet without main(): parse statements directly.
+      while (lex_.peek().kind != Token::Kind::End) {
+        p.body.push_back(parse_stmt());
+      }
+      return p;
+    }
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw ParseError("minilang: " + why + " near '" + lex_.peek().text + "'");
+  }
+
+  Token expect_ident() {
+    if (lex_.peek().kind != Token::Kind::Ident) fail("expected identifier");
+    return lex_.take();
+  }
+
+  void expect_punct(std::string_view p) {
+    if (lex_.peek().kind != Token::Kind::Punct || lex_.peek().text != p) {
+      fail(std::string("expected '") + std::string(p) + "'");
+    }
+    lex_.take();
+  }
+
+  bool accept_punct(std::string_view p) {
+    if (lex_.peek().kind == Token::Kind::Punct && lex_.peek().text == p) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  std::int64_t expect_number_signed() {
+    bool negative = accept_punct("-");
+    if (lex_.peek().kind != Token::Kind::Number) fail("expected number");
+    const std::int64_t v = lex_.take().number;
+    return negative ? -v : v;
+  }
+
+  /// After `int <name>` at global scope: array or initialized scalar.
+  void parse_decl_tail(Program& p, const std::string& name,
+                       bool allow_comma_scalars) {
+    VarDecl d;
+    d.name = name;
+    if (accept_punct("[")) {
+      d.is_array = true;
+      d.size = expect_number_signed();
+      expect_punct("]");
+    } else if (accept_punct("=")) {
+      d.init = expect_number_signed();
+    }
+    p.decls.push_back(d);
+    if (allow_comma_scalars) {
+      while (accept_punct(",")) {
+        VarDecl extra;
+        extra.name = expect_ident().text;
+        if (accept_punct("=")) extra.init = expect_number_signed();
+        p.decls.push_back(extra);
+      }
+    }
+    expect_punct(";");
+  }
+
+  void parse_main_into(Program& p) {
+    expect_punct("(");
+    expect_punct(")");
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      if (lex_.peek().kind == Token::Kind::Ident &&
+          lex_.peek().text == "int") {
+        // local loop-variable declarations: `int i, tmp;` — locals are
+        // recorded as scalar decls so the interpreter can address them.
+        lex_.take();
+        const Token first = expect_ident();
+        parse_decl_tail(p, first.text, /*allow_comma_scalars=*/true);
+        continue;
+      }
+      if (lex_.peek().kind == Token::Kind::Ident &&
+          lex_.peek().text == "return") {
+        lex_.take();
+        expect_number_signed();
+        expect_punct(";");
+        continue;
+      }
+      p.body.push_back(parse_stmt());
+    }
+  }
+
+  Clauses parse_clauses(const std::string& directive) {
+    Clauses c;
+    c.simd = directive.find(" simd") != std::string::npos;
+    c.target = directive.find(" target") != std::string::npos;
+    // Scan `name(arg, ...)` clause occurrences.
+    const auto scan = [&](const std::string& key)
+        -> std::vector<std::string> {
+      std::vector<std::string> out;
+      std::size_t pos = 0;
+      while ((pos = directive.find(key + "(", pos)) != std::string::npos) {
+        // Reject matches inside longer words (e.g. firstprivate vs private).
+        if (pos > 0 && (std::isalnum(static_cast<unsigned char>(
+                            directive[pos - 1])) ||
+                        directive[pos - 1] == '_')) {
+          pos += key.size();
+          continue;
+        }
+        const std::size_t open = pos + key.size();
+        const std::size_t close = directive.find(')', open);
+        if (close == std::string::npos) break;
+        for (const std::string& item : strings::split(
+                 directive.substr(open + 1, close - open - 1), ',')) {
+          out.push_back(std::string(strings::trim(item)));
+        }
+        pos = close;
+      }
+      return out;
+    };
+    c.priv = scan("private");
+    c.firstprivate = scan("firstprivate");
+    c.shared = scan("shared");
+    for (const std::string& r : scan("reduction")) {
+      const auto parts = strings::split(r, ':');
+      if (parts.size() == 2) {
+        Reduction red;
+        red.op = strings::trim(parts[0]).empty()
+                     ? '+'
+                     : std::string(strings::trim(parts[0]))[0];
+        red.var = std::string(strings::trim(parts[1]));
+        c.reductions.push_back(red);
+      }
+    }
+    for (const std::string& n : scan("num_threads")) {
+      c.num_threads = static_cast<std::size_t>(std::stoll(n));
+    }
+    return c;
+  }
+
+  Stmt parse_stmt() {
+    if (lex_.peek().kind == Token::Kind::Directive) {
+      return parse_directive_stmt();
+    }
+    if (lex_.peek().kind == Token::Kind::Ident &&
+        lex_.peek().text == "for") {
+      return parse_for(/*parallel=*/false, Clauses{});
+    }
+    if (lex_.peek().kind == Token::Kind::Ident &&
+        lex_.peek().text == "if") {
+      lex_.take();
+      ExprPtr cond = parse_cmp();
+      return if_stmt(std::move(cond), parse_block());
+    }
+    if (lex_.peek().kind == Token::Kind::Ident) {
+      Stmt s = parse_assign();
+      expect_punct(";");
+      return s;
+    }
+    fail("expected statement");
+  }
+
+  Stmt parse_directive_stmt() {
+    const std::string directive = lex_.take().text;
+    require(strings::starts_with(directive, "#pragma omp"),
+            "minilang: unsupported directive " + directive);
+    const std::string rest = directive.substr(11);
+    if (rest.find("critical") != std::string::npos) {
+      return critical(parse_block());
+    }
+    if (rest.find("atomic") != std::string::npos) {
+      Stmt a = parse_assign();
+      expect_punct(";");
+      a.kind = Stmt::Kind::Atomic;
+      return a;
+    }
+    if (rest.find("barrier") != std::string::npos) {
+      return barrier();
+    }
+    if (rest.find("master") != std::string::npos) {
+      return master(parse_block());
+    }
+    if (rest.find("single") != std::string::npos) {
+      return single(parse_block());
+    }
+    const Clauses clauses = parse_clauses(directive);
+    if (rest.find("for") != std::string::npos ||
+        rest.find("distribute") != std::string::npos) {
+      return parse_for(/*parallel=*/true, clauses);
+    }
+    if (rest.find("parallel") != std::string::npos) {
+      return parallel_region(parse_block(), clauses);
+    }
+    fail("unsupported OpenMP construct: " + directive);
+  }
+
+  std::vector<Stmt> parse_block() {
+    std::vector<Stmt> body;
+    if (accept_punct("{")) {
+      while (!accept_punct("}")) body.push_back(parse_stmt());
+    } else {
+      body.push_back(parse_stmt());
+    }
+    return body;
+  }
+
+  Stmt parse_for(bool parallel, Clauses clauses) {
+    const Token kw = expect_ident();
+    if (kw.text != "for") fail("expected 'for' after omp for directive");
+    expect_punct("(");
+    const std::string var = expect_ident().text;
+    expect_punct("=");
+    ExprPtr lo = parse_expr();
+    expect_punct(";");
+    const std::string var2 = expect_ident().text;
+    if (var2 != var) fail("loop variable mismatch");
+    expect_punct("<");
+    ExprPtr hi = parse_expr();
+    expect_punct(";");
+    const std::string var3 = expect_ident().text;
+    if (var3 != var) fail("loop variable mismatch in increment");
+    expect_punct("++");
+    expect_punct(")");
+    std::vector<Stmt> body = parse_block();
+    if (parallel) {
+      return parallel_for(var, std::move(lo), std::move(hi), std::move(body),
+                          std::move(clauses));
+    }
+    return seq_for(var, std::move(lo), std::move(hi), std::move(body));
+  }
+
+  Stmt parse_assign() {
+    ExprPtr target = parse_primary();
+    if (target->kind != Expr::Kind::ScalarRef &&
+        target->kind != Expr::Kind::ArrayRef) {
+      fail("assignment target must be a variable or array element");
+    }
+    expect_punct("=");
+    ExprPtr value = parse_expr();
+    return assign(std::move(target), std::move(value));
+  }
+
+  // cmp := expr (('<'|'>'|'=='|'!=') expr)?
+  ExprPtr parse_cmp() {
+    ExprPtr left = parse_expr();
+    if (accept_punct("<")) return bin_op('<', std::move(left), parse_expr());
+    if (accept_punct(">")) return bin_op('>', std::move(left), parse_expr());
+    if (accept_punct("==")) return bin_op('q', std::move(left), parse_expr());
+    if (accept_punct("!=")) return bin_op('n', std::move(left), parse_expr());
+    return left;
+  }
+
+  // expr := term (('+'|'-') term)* ; term := primary (('*'|'/'|'%') primary)*
+  ExprPtr parse_expr() {
+    ExprPtr left = parse_term();
+    for (;;) {
+      if (accept_punct("+")) {
+        left = bin_op('+', std::move(left), parse_term());
+      } else if (accept_punct("-")) {
+        left = bin_op('-', std::move(left), parse_term());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr left = parse_primary();
+    for (;;) {
+      if (accept_punct("*")) {
+        left = bin_op('*', std::move(left), parse_primary());
+      } else if (accept_punct("/")) {
+        left = bin_op('/', std::move(left), parse_primary());
+      } else if (accept_punct("%")) {
+        left = bin_op('%', std::move(left), parse_primary());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    if (accept_punct("(")) {
+      ExprPtr inner = parse_cmp();
+      expect_punct(")");
+      return inner;
+    }
+    if (accept_punct("-")) {
+      return bin_op('-', int_lit(0), parse_primary());
+    }
+    if (lex_.peek().kind == Token::Kind::Number) {
+      return int_lit(lex_.take().number);
+    }
+    const Token id = expect_ident();
+    if (id.text == "omp_get_thread_num") {
+      expect_punct("(");
+      expect_punct(")");
+      return thread_id();
+    }
+    if (accept_punct("[")) {
+      ExprPtr index = parse_expr();
+      expect_punct("]");
+      return array_ref(id.text, std::move(index));
+    }
+    return scalar_ref(id.text);
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Program parse_c(std::string_view source) {
+  Parser parser(source);
+  return parser.parse_program();
+}
+
+}  // namespace hpcgpt::minilang

@@ -1,0 +1,471 @@
+#include <cctype>
+#include <optional>
+
+#include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::minilang {
+
+namespace {
+
+/// Line-oriented Fortran front end: free-form source is split into
+/// trimmed logical lines; `!$omp` sentinels survive as directive lines,
+/// plain `!` comments are dropped.
+struct Line {
+  std::string text;       // trimmed
+  bool is_directive = false;
+};
+
+std::vector<Line> logical_lines(std::string_view source) {
+  std::vector<Line> out;
+  for (const std::string& raw : strings::split(source, '\n')) {
+    std::string line(strings::trim(raw));
+    if (line.empty()) continue;
+    if (strings::starts_with(line, "!$omp")) {
+      out.push_back({std::move(line), true});
+      continue;
+    }
+    if (line[0] == '!') continue;  // comment
+    out.push_back({std::move(line), false});
+  }
+  return out;
+}
+
+/// Expression parser over one Fortran line fragment (the grammar matches
+/// what the renderer emits: arithmetic, comparisons, mod(), identifiers,
+/// name(index) array refs, omp_get_thread_num()).
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  ExprPtr parse_all() {
+    ExprPtr e = parse_cmp();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw ParseError("fortran: trailing tokens in expression '" +
+                       std::string(text_) + "'");
+    }
+    return e;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr left = parse_sum();
+    skip_ws();
+    if (accept("==")) return bin_op('q', std::move(left), parse_sum());
+    if (accept("/=")) return bin_op('n', std::move(left), parse_sum());
+    if (accept("<")) return bin_op('<', std::move(left), parse_sum());
+    if (accept(">")) return bin_op('>', std::move(left), parse_sum());
+    return left;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool accept(std::string_view token) {
+    skip_ws();
+    if (text_.substr(pos_, token.size()) == token) {
+      // Avoid matching '<' of '<=' etc.; the renderer never emits those,
+      // so a plain prefix match suffices.
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr parse_sum() {
+    ExprPtr left = parse_term();
+    for (;;) {
+      if (accept("+")) {
+        left = bin_op('+', std::move(left), parse_term());
+      } else if (accept("-")) {
+        left = bin_op('-', std::move(left), parse_term());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    ExprPtr left = parse_primary();
+    for (;;) {
+      if (accept("*")) {
+        left = bin_op('*', std::move(left), parse_primary());
+      } else if (accept("/") && !last_was_slash_eq()) {
+        left = bin_op('/', std::move(left), parse_primary());
+      } else {
+        return left;
+      }
+    }
+  }
+
+  bool last_was_slash_eq() {
+    // accept("/") above must not consume the '/' of '/='. If the next
+    // char is '=', undo and stop.
+    if (pos_ < text_.size() && text_[pos_] == '=') {
+      --pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr parse_primary() {
+    skip_ws();
+    if (accept("(")) {
+      ExprPtr inner = parse_cmp();
+      if (!accept(")")) throw ParseError("fortran: expected ')'");
+      return inner;
+    }
+    if (accept("-")) {
+      return bin_op('-', int_lit(0), parse_primary());
+    }
+    if (pos_ < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      std::int64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        v = v * 10 + (text_[pos_] - '0');
+        ++pos_;
+      }
+      return int_lit(v);
+    }
+    // identifier
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      throw ParseError("fortran: expected expression near '" +
+                       std::string(text_.substr(pos_)) + "'");
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    if (name == "omp_get_thread_num") {
+      if (!accept("(") || !accept(")")) {
+        throw ParseError("fortran: malformed omp_get_thread_num()");
+      }
+      return thread_id();
+    }
+    if (name == "mod") {
+      if (!accept("(")) throw ParseError("fortran: malformed mod()");
+      ExprPtr a = parse_cmp();
+      if (!accept(",")) throw ParseError("fortran: mod() expects 2 args");
+      ExprPtr b = parse_cmp();
+      if (!accept(")")) throw ParseError("fortran: unterminated mod()");
+      return bin_op('%', std::move(a), std::move(b));
+    }
+    skip_ws();
+    if (accept("(")) {
+      ExprPtr index = parse_cmp();
+      if (!accept(")")) throw ParseError("fortran: unterminated subscript");
+      return array_ref(std::move(name), std::move(index));
+    }
+    return scalar_ref(std::move(name));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+ExprPtr parse_expr_text(std::string_view text) {
+  return ExprParser(text).parse_all();
+}
+
+/// Statement-level parser over the logical lines.
+class FortranParser {
+ public:
+  explicit FortranParser(std::vector<Line> lines)
+      : lines_(std::move(lines)) {}
+
+  Program parse() {
+    Program p;
+    p.name = "parsed_fortran";
+    // Header: program <name>, use/implicit lines, declarations.
+    while (pos_ < lines_.size()) {
+      const std::string& t = lines_[pos_].text;
+      if (strings::starts_with(t, "program ")) {
+        p.name = std::string(strings::trim(t.substr(8)));
+        ++pos_;
+      } else if (strings::starts_with(t, "use ") ||
+                 strings::starts_with(t, "implicit ")) {
+        ++pos_;
+      } else if (strings::starts_with(t, "integer ::")) {
+        parse_decl_line(t.substr(10), p);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    while (pos_ < lines_.size() && lines_[pos_].text != "end program") {
+      p.body.push_back(parse_stmt());
+    }
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw ParseError("fortran: " + why +
+                     (pos_ < lines_.size()
+                          ? " near '" + lines_[pos_].text + "'"
+                          : " at end of input"));
+  }
+
+  const std::string& current() {
+    if (pos_ >= lines_.size()) fail("unexpected end of input");
+    return lines_[pos_].text;
+  }
+
+  void parse_decl_line(std::string_view rest, Program& p) {
+    // `a(100)` or `x = 0` or `i, j, tmp`
+    for (const std::string& piece : strings::split(rest, ',')) {
+      const std::string item(strings::trim(piece));
+      if (item.empty()) continue;
+      VarDecl d;
+      const std::size_t paren = item.find('(');
+      const std::size_t eq = item.find('=');
+      if (paren != std::string::npos) {
+        d.name = std::string(strings::trim(item.substr(0, paren)));
+        d.is_array = true;
+        const std::size_t close = item.find(')', paren);
+        if (close == std::string::npos) {
+          throw ParseError("fortran: unterminated array declaration");
+        }
+        d.size = std::stoll(item.substr(paren + 1, close - paren - 1));
+        if (eq != std::string::npos && eq > close) {
+          d.init = std::stoll(item.substr(eq + 1));  // broadcast init
+        }
+      } else if (eq != std::string::npos) {
+        d.name = std::string(strings::trim(item.substr(0, eq)));
+        d.init = std::stoll(item.substr(eq + 1));
+      } else {
+        d.name = item;
+      }
+      p.decls.push_back(std::move(d));
+    }
+  }
+
+  Clauses parse_clauses(const std::string& directive) {
+    Clauses c;
+    c.simd = directive.find(" simd") != std::string::npos;
+    c.target = directive.find(" target") != std::string::npos;
+    const auto scan = [&](const std::string& key)
+        -> std::vector<std::string> {
+      std::vector<std::string> out;
+      std::size_t pos = 0;
+      while ((pos = directive.find(key + "(", pos)) != std::string::npos) {
+        if (pos > 0 && (std::isalnum(static_cast<unsigned char>(
+                            directive[pos - 1])) ||
+                        directive[pos - 1] == '_')) {
+          pos += key.size();
+          continue;
+        }
+        const std::size_t open = pos + key.size();
+        const std::size_t close = directive.find(')', open);
+        if (close == std::string::npos) break;
+        for (const std::string& item : strings::split(
+                 directive.substr(open + 1, close - open - 1), ',')) {
+          out.push_back(std::string(strings::trim(item)));
+        }
+        pos = close;
+      }
+      return out;
+    };
+    c.priv = scan("private");
+    c.firstprivate = scan("firstprivate");
+    c.shared = scan("shared");
+    for (const std::string& r : scan("reduction")) {
+      const auto parts = strings::split(r, ':');
+      if (parts.size() == 2) {
+        Reduction red;
+        red.op = std::string(strings::trim(parts[0]))[0];
+        red.var = std::string(strings::trim(parts[1]));
+        c.reductions.push_back(red);
+      }
+    }
+    for (const std::string& n : scan("num_threads")) {
+      c.num_threads = static_cast<std::size_t>(std::stoll(n));
+    }
+    return c;
+  }
+
+  Stmt parse_stmt() {
+    if (lines_[pos_].is_directive) return parse_directive();
+    const std::string& t = current();
+    if (strings::starts_with(t, "do ")) return parse_do(Clauses{}, false);
+    if (strings::starts_with(t, "if ")) return parse_if();
+    // assignment: lhs = rhs (split at the first top-level '=')
+    return parse_assign_line();
+  }
+
+  Stmt parse_assign_line() {
+    const std::string& t = current();
+    const std::size_t eq = find_assign_eq(t);
+    if (eq == std::string::npos) fail("expected assignment");
+    ExprPtr target = parse_expr_text(
+        std::string(strings::trim(t.substr(0, eq))));
+    if (target->kind != Expr::Kind::ScalarRef &&
+        target->kind != Expr::Kind::ArrayRef) {
+      fail("assignment target must be a variable or array element");
+    }
+    ExprPtr value = parse_expr_text(
+        std::string(strings::trim(t.substr(eq + 1))));
+    ++pos_;
+    return assign(std::move(target), std::move(value));
+  }
+
+  /// Index of the assignment '=' (not part of == or /=), outside parens.
+  static std::size_t find_assign_eq(const std::string& t) {
+    int depth = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const char c = t[i];
+      if (c == '(') ++depth;
+      else if (c == ')') --depth;
+      else if (c == '=' && depth == 0) {
+        const char prev = i > 0 ? t[i - 1] : '\0';
+        const char next = i + 1 < t.size() ? t[i + 1] : '\0';
+        if (prev != '=' && prev != '/' && prev != '<' && prev != '>' &&
+            next != '=') {
+          return i;
+        }
+      }
+    }
+    return std::string::npos;
+  }
+
+  Stmt parse_do(Clauses clauses, bool parallel) {
+    const std::string header = current();
+    ++pos_;
+    // `do v = <lo-expr> + 1, <hi-expr>`
+    const std::size_t eq = header.find('=');
+    if (eq == std::string::npos) fail("malformed do header");
+    const std::string var(strings::trim(header.substr(3, eq - 3)));
+    const std::size_t comma = find_top_level_comma(header, eq + 1);
+    if (comma == std::string::npos) fail("do header missing bound comma");
+    ExprPtr lo_plus_one = parse_expr_text(
+        std::string(strings::trim(header.substr(eq + 1, comma - eq - 1))));
+    ExprPtr hi = parse_expr_text(
+        std::string(strings::trim(header.substr(comma + 1))));
+    // Undo the renderer's +1 shift to restore the half-open C bound.
+    ExprPtr lo;
+    if (lo_plus_one->kind == Expr::Kind::BinOp && lo_plus_one->op == '+' &&
+        lo_plus_one->rhs->kind == Expr::Kind::IntLit &&
+        lo_plus_one->rhs->value == 1) {
+      lo = std::move(lo_plus_one->lhs);
+    } else {
+      lo = bin_op('-', std::move(lo_plus_one), int_lit(1));
+    }
+
+    std::vector<Stmt> body;
+    while (current() != "end do") body.push_back(parse_stmt());
+    ++pos_;  // end do
+    if (parallel) {
+      // consume the matching `!$omp end ...` sentinel
+      if (pos_ < lines_.size() && lines_[pos_].is_directive &&
+          lines_[pos_].text.find("end") != std::string::npos) {
+        ++pos_;
+      }
+      return parallel_for(var, std::move(lo), std::move(hi),
+                          std::move(body), std::move(clauses));
+    }
+    return seq_for(var, std::move(lo), std::move(hi), std::move(body));
+  }
+
+  static std::size_t find_top_level_comma(const std::string& t,
+                                          std::size_t from) {
+    int depth = 0;
+    for (std::size_t i = from; i < t.size(); ++i) {
+      if (t[i] == '(') ++depth;
+      else if (t[i] == ')') --depth;
+      else if (t[i] == ',' && depth == 0) return i;
+    }
+    return std::string::npos;
+  }
+
+  Stmt parse_if() {
+    const std::string header = current();
+    ++pos_;
+    // `if <expr> then`
+    std::string cond_text(strings::trim(header.substr(2)));
+    if (!strings::ends_with(cond_text, "then")) {
+      fail("expected block if ... then");
+    }
+    cond_text = std::string(
+        strings::trim(cond_text.substr(0, cond_text.size() - 4)));
+    ExprPtr cond = parse_expr_text(cond_text);
+    std::vector<Stmt> body;
+    while (current() != "end if") body.push_back(parse_stmt());
+    ++pos_;
+    return if_stmt(std::move(cond), std::move(body));
+  }
+
+  Stmt parse_directive() {
+    const std::string directive = current();
+    ++pos_;
+    const auto contains = [&](const char* what) {
+      return directive.find(what) != std::string::npos;
+    };
+    if (contains("end")) fail("unexpected end sentinel");
+    if (contains("critical")) {
+      std::vector<Stmt> body;
+      while (current() != "!$omp end critical") body.push_back(parse_stmt());
+      ++pos_;
+      return critical(std::move(body));
+    }
+    if (contains("atomic")) {
+      Stmt a = parse_assign_line();
+      a.kind = Stmt::Kind::Atomic;
+      return a;
+    }
+    if (contains("barrier")) return barrier();
+    if (contains("master")) {
+      std::vector<Stmt> body;
+      while (current() != "!$omp end master") body.push_back(parse_stmt());
+      ++pos_;
+      return master(std::move(body));
+    }
+    if (contains("single")) {
+      std::vector<Stmt> body;
+      while (current() != "!$omp end single") body.push_back(parse_stmt());
+      ++pos_;
+      return single(std::move(body));
+    }
+    Clauses clauses = parse_clauses(directive);
+    if (contains(" do") || contains("distribute")) {
+      return parse_do(std::move(clauses), /*parallel=*/true);
+    }
+    if (contains("parallel")) {
+      std::vector<Stmt> body;
+      while (current() != "!$omp end parallel") body.push_back(parse_stmt());
+      ++pos_;
+      return parallel_region(std::move(body), std::move(clauses));
+    }
+    fail("unsupported directive");
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_f(std::string_view source) {
+  FortranParser parser(logical_lines(source));
+  return parser.parse();
+}
+
+Program parse_any(std::string_view source) {
+  if (source.find("!$omp") != std::string_view::npos ||
+      source.find("end do") != std::string_view::npos ||
+      source.find("program ") != std::string_view::npos) {
+    return parse_f(source);
+  }
+  return parse_c(source);
+}
+
+}  // namespace hpcgpt::minilang

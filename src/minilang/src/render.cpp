@@ -1,0 +1,360 @@
+#include "hpcgpt/minilang/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::minilang {
+
+namespace {
+
+// ---------------------------------------------------------------- shared
+
+std::string clause_list(const std::vector<std::string>& vars) {
+  return strings::join(vars, ", ");
+}
+
+// ---------------------------------------------------------------- C
+
+std::string c_expr(const Expr& e, bool fortran_index = false);
+
+std::string c_expr(const Expr& e, bool /*fortran_index*/) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      return std::to_string(e.value);
+    case Expr::Kind::ScalarRef:
+      return e.name;
+    case Expr::Kind::ArrayRef:
+      return e.name + "[" + c_expr(*e.index) + "]";
+    case Expr::Kind::ThreadId:
+      return "omp_get_thread_num()";
+    case Expr::Kind::BinOp: {
+      std::string op(1, e.op);
+      if (e.op == 'q') op = "==";
+      if (e.op == 'n') op = "!=";
+      return "(" + c_expr(*e.lhs) + " " + op + " " + c_expr(*e.rhs) + ")";
+    }
+  }
+  throw InvalidArgument("render: unknown expression kind");
+}
+
+std::string c_pragma(const Stmt& s) {
+  std::ostringstream out;
+  out << "#pragma omp ";
+  if (s.kind == Stmt::Kind::ParallelFor) {
+    if (s.clauses.target) {
+      out << "target teams distribute parallel for";
+    } else if (s.clauses.simd) {
+      out << "parallel for simd";
+    } else {
+      out << "parallel for";
+    }
+  } else {
+    out << "parallel";
+  }
+  if (!s.clauses.priv.empty()) {
+    out << " private(" << clause_list(s.clauses.priv) << ")";
+  }
+  if (!s.clauses.firstprivate.empty()) {
+    out << " firstprivate(" << clause_list(s.clauses.firstprivate) << ")";
+  }
+  if (!s.clauses.shared.empty()) {
+    out << " shared(" << clause_list(s.clauses.shared) << ")";
+  }
+  for (const Reduction& r : s.clauses.reductions) {
+    out << " reduction(" << r.op << ":" << r.var << ")";
+  }
+  if (s.clauses.num_threads > 0) {
+    out << " num_threads(" << s.clauses.num_threads << ")";
+  }
+  return out.str();
+}
+
+void c_stmt(const Stmt& s, std::ostringstream& out, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      out << pad << c_expr(*s.target) << " = " << c_expr(*s.value) << ";\n";
+      break;
+    case Stmt::Kind::SeqFor:
+    case Stmt::Kind::ParallelFor: {
+      if (s.kind == Stmt::Kind::ParallelFor) {
+        out << pad << c_pragma(s) << "\n";
+      }
+      out << pad << "for (" << s.loop_var << " = " << c_expr(*s.lo) << "; "
+          << s.loop_var << " < " << c_expr(*s.hi) << "; " << s.loop_var
+          << "++) {\n";
+      for (const Stmt& inner : s.body) c_stmt(inner, out, depth + 1);
+      out << pad << "}\n";
+      break;
+    }
+    case Stmt::Kind::ParallelRegion: {
+      out << pad << c_pragma(s) << "\n" << pad << "{\n";
+      for (const Stmt& inner : s.body) c_stmt(inner, out, depth + 1);
+      out << pad << "}\n";
+      break;
+    }
+    case Stmt::Kind::Critical:
+      out << pad << "#pragma omp critical\n" << pad << "{\n";
+      for (const Stmt& inner : s.body) c_stmt(inner, out, depth + 1);
+      out << pad << "}\n";
+      break;
+    case Stmt::Kind::Atomic:
+      out << pad << "#pragma omp atomic\n";
+      out << pad << c_expr(*s.target) << " = " << c_expr(*s.value) << ";\n";
+      break;
+    case Stmt::Kind::Barrier:
+      out << pad << "#pragma omp barrier\n";
+      break;
+    case Stmt::Kind::Master:
+      out << pad << "#pragma omp master\n" << pad << "{\n";
+      for (const Stmt& inner : s.body) c_stmt(inner, out, depth + 1);
+      out << pad << "}\n";
+      break;
+    case Stmt::Kind::Single:
+      out << pad << "#pragma omp single\n" << pad << "{\n";
+      for (const Stmt& inner : s.body) c_stmt(inner, out, depth + 1);
+      out << pad << "}\n";
+      break;
+    case Stmt::Kind::If:
+      out << pad << "if " << c_expr(*s.cond) << " {\n";
+      for (const Stmt& inner : s.body) c_stmt(inner, out, depth + 1);
+      out << pad << "}\n";
+      break;
+  }
+}
+
+void collect_scalars(const Stmt& s, std::vector<std::string>& loop_vars) {
+  if (!s.loop_var.empty()) {
+    if (std::find(loop_vars.begin(), loop_vars.end(), s.loop_var) ==
+        loop_vars.end()) {
+      loop_vars.push_back(s.loop_var);
+    }
+  }
+  for (const Stmt& inner : s.body) collect_scalars(inner, loop_vars);
+}
+
+std::string render_c(const Program& p) {
+  std::ostringstream out;
+  out << "// " << p.name << "\n";
+  out << "#include <omp.h>\n#include <stdio.h>\n\n";
+  std::vector<std::string> loop_vars;
+  for (const Stmt& s : p.body) collect_scalars(s, loop_vars);
+  for (const VarDecl& d : p.decls) {
+    // Loop variables are re-declared inside main(); emitting them here too
+    // would duplicate them after a parse round-trip.
+    if (!d.is_array && std::find(loop_vars.begin(), loop_vars.end(),
+                                 d.name) != loop_vars.end()) {
+      continue;
+    }
+    if (d.is_array) {
+      out << "int " << d.name << "[" << d.size << "];\n";
+    } else {
+      out << "int " << d.name << " = " << d.init << ";\n";
+    }
+  }
+  out << "\nint main() {\n";
+  // Non-zero array fills cannot be expressed in a C declaration of this
+  // subset; emit explicit initialization loops so the rendering is
+  // semantically complete (and parses back to an equivalent program).
+  bool needs_init_var = false;
+  for (const VarDecl& d : p.decls) {
+    needs_init_var |= (d.is_array && d.init != 0);
+  }
+  if (needs_init_var &&
+      std::find(loop_vars.begin(), loop_vars.end(), "iinit") ==
+          loop_vars.end()) {
+    loop_vars.push_back("iinit");
+  }
+  if (!loop_vars.empty()) {
+    out << "  int " << strings::join(loop_vars, ", ") << ";\n";
+  }
+  for (const VarDecl& d : p.decls) {
+    if (!d.is_array || d.init == 0) continue;
+    out << "  for (iinit = 0; iinit < " << d.size << "; iinit++) {\n"
+        << "    " << d.name << "[iinit] = " << d.init << ";\n  }\n";
+  }
+  for (const Stmt& s : p.body) c_stmt(s, out, 1);
+  out << "  return 0;\n}\n";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- Fortran
+
+std::string f_expr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      return std::to_string(e.value);
+    case Expr::Kind::ScalarRef:
+      return e.name;
+    case Expr::Kind::ArrayRef:
+      // Indices render verbatim; loop bounds are shifted instead (the do
+      // loop runs lo+1..hi), which keeps every affine-in-loop-var
+      // subscript consistent with the C flavour under 1-based indexing.
+      return e.name + "(" + f_expr(*e.index) + ")";
+    case Expr::Kind::ThreadId:
+      return "omp_get_thread_num()";
+    case Expr::Kind::BinOp: {
+      if (e.op == '%') {
+        return "mod(" + f_expr(*e.lhs) + ", " + f_expr(*e.rhs) + ")";
+      }
+      std::string op(1, e.op);
+      if (e.op == 'q') op = "==";
+      if (e.op == 'n') op = "/=";
+      return "(" + f_expr(*e.lhs) + " " + op + " " + f_expr(*e.rhs) + ")";
+    }
+  }
+  throw InvalidArgument("render: unknown expression kind");
+}
+
+std::string f_directive(const Stmt& s, bool open) {
+  std::ostringstream out;
+  out << "!$omp ";
+  std::string construct;
+  if (s.kind == Stmt::Kind::ParallelFor) {
+    if (s.clauses.target) {
+      construct = "target teams distribute parallel do";
+    } else if (s.clauses.simd) {
+      construct = "parallel do simd";
+    } else {
+      construct = "parallel do";
+    }
+  } else {
+    construct = "parallel";
+  }
+  if (!open) {
+    out << "end " << construct;
+    return out.str();
+  }
+  out << construct;
+  if (!s.clauses.priv.empty()) {
+    out << " private(" << clause_list(s.clauses.priv) << ")";
+  }
+  if (!s.clauses.firstprivate.empty()) {
+    out << " firstprivate(" << clause_list(s.clauses.firstprivate) << ")";
+  }
+  if (!s.clauses.shared.empty()) {
+    out << " shared(" << clause_list(s.clauses.shared) << ")";
+  }
+  for (const Reduction& r : s.clauses.reductions) {
+    out << " reduction(" << r.op << ":" << r.var << ")";
+  }
+  if (s.clauses.num_threads > 0) {
+    out << " num_threads(" << s.clauses.num_threads << ")";
+  }
+  return out.str();
+}
+
+void f_stmt(const Stmt& s, std::ostringstream& out, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::Assign:
+      out << pad << f_expr(*s.target) << " = " << f_expr(*s.value) << "\n";
+      break;
+    case Stmt::Kind::SeqFor:
+    case Stmt::Kind::ParallelFor: {
+      if (s.kind == Stmt::Kind::ParallelFor) {
+        out << pad << f_directive(s, true) << "\n";
+      }
+      out << pad << "do " << s.loop_var << " = " << f_expr(*s.lo) << " + 1, "
+          << f_expr(*s.hi) << "\n";
+      for (const Stmt& inner : s.body) f_stmt(inner, out, depth + 1);
+      out << pad << "end do\n";
+      if (s.kind == Stmt::Kind::ParallelFor) {
+        out << pad << f_directive(s, false) << "\n";
+      }
+      break;
+    }
+    case Stmt::Kind::ParallelRegion: {
+      out << pad << f_directive(s, true) << "\n";
+      for (const Stmt& inner : s.body) f_stmt(inner, out, depth + 1);
+      out << pad << "!$omp end parallel\n";
+      break;
+    }
+    case Stmt::Kind::Critical:
+      out << pad << "!$omp critical\n";
+      for (const Stmt& inner : s.body) f_stmt(inner, out, depth + 1);
+      out << pad << "!$omp end critical\n";
+      break;
+    case Stmt::Kind::Atomic:
+      out << pad << "!$omp atomic\n";
+      out << pad << f_expr(*s.target) << " = " << f_expr(*s.value) << "\n";
+      break;
+    case Stmt::Kind::Barrier:
+      out << pad << "!$omp barrier\n";
+      break;
+    case Stmt::Kind::Master:
+      out << pad << "!$omp master\n";
+      for (const Stmt& inner : s.body) f_stmt(inner, out, depth + 1);
+      out << pad << "!$omp end master\n";
+      break;
+    case Stmt::Kind::Single:
+      out << pad << "!$omp single\n";
+      for (const Stmt& inner : s.body) f_stmt(inner, out, depth + 1);
+      out << pad << "!$omp end single\n";
+      break;
+    case Stmt::Kind::If:
+      out << pad << "if " << f_expr(*s.cond) << " then\n";
+      for (const Stmt& inner : s.body) f_stmt(inner, out, depth + 1);
+      out << pad << "end if\n";
+      break;
+  }
+}
+
+std::string render_fortran(const Program& p) {
+  std::ostringstream out;
+  out << "! " << p.name << "\n";
+  out << "program " << strings::replace_all(p.name, "-", "_") << "\n";
+  out << "  use omp_lib\n  implicit none\n";
+  std::vector<std::string> loop_vars;
+  for (const Stmt& s : p.body) collect_scalars(s, loop_vars);
+  for (const VarDecl& d : p.decls) {
+    // Loop variables get their own declaration line below.
+    if (!d.is_array && std::find(loop_vars.begin(), loop_vars.end(),
+                                 d.name) != loop_vars.end()) {
+      continue;
+    }
+    if (d.is_array) {
+      out << "  integer :: " << d.name << "(" << d.size << ")";
+      if (d.init != 0) out << " = " << d.init;  // broadcast initializer
+      out << "\n";
+    } else {
+      out << "  integer :: " << d.name << " = " << d.init << "\n";
+    }
+  }
+  if (!loop_vars.empty()) {
+    out << "  integer :: " << strings::join(loop_vars, ", ") << "\n";
+  }
+  out << "\n";
+  for (const Stmt& s : p.body) f_stmt(s, out, 1);
+  out << "end program\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string render(const Program& program, Flavor flavor) {
+  return flavor == Flavor::C ? render_c(program) : render_fortran(program);
+}
+
+std::string render_expr(const Expr& expr) { return c_expr(expr); }
+
+std::string render_snippet(const Program& program, Flavor flavor) {
+  std::ostringstream out;
+  for (const Stmt& s : program.body) {
+    if (flavor == Flavor::C) {
+      c_stmt(s, out, 0);
+    } else {
+      f_stmt(s, out, 0);
+    }
+  }
+  return out.str();
+}
+
+std::string flavor_name(Flavor flavor) {
+  return flavor == Flavor::C ? "C/C++" : "Fortran";
+}
+
+}  // namespace hpcgpt::minilang

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "hpcgpt/nn/parameter.hpp"
+
+namespace hpcgpt::nn {
+
+/// AdamW hyper-parameters. Defaults follow the paper's setup (§4.1:
+/// learning rate 2e-5 scaled up for the small model, standard betas).
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+  float grad_clip = 1.0f;  ///< global-norm clip; <= 0 disables
+};
+
+/// Decoupled-weight-decay Adam over an explicit parameter list.
+///
+/// Skips parameters marked non-trainable (frozen LoRA bases), so PEFT
+/// fine-tuning updates only the adapter matrices — the trainable-parameter
+/// reduction the paper gets from LoRA/PEFT.
+class Adam {
+ public:
+  explicit Adam(AdamConfig config) : config_(config) {}
+
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+  /// Applies one update using the gradients accumulated in `params`,
+  /// then leaves gradients untouched (caller zeroes them).
+  /// Returns the pre-clip global gradient norm.
+  double step(const ParameterList& params);
+
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace hpcgpt::nn

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "hpcgpt/nn/transformer.hpp"
+
+namespace hpcgpt::nn {
+
+/// Serializes `model` (config + every parameter) into a binary string.
+/// Weights are stored as IEEE binary16, halving checkpoint size exactly as
+/// the paper's fp16 training halves memory (§4.1). Loading restores the
+/// fp16-rounded weights.
+std::string save_checkpoint(Transformer& model);
+
+/// Reconstructs a model from save_checkpoint() output.
+/// Throws ParseError on malformed or truncated data.
+Transformer load_checkpoint(const std::string& blob);
+
+/// File-based convenience wrappers.
+void save_checkpoint_file(Transformer& model, const std::string& path);
+Transformer load_checkpoint_file(const std::string& path);
+
+}  // namespace hpcgpt::nn

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hpcgpt/nn/parameter.hpp"
+#include "hpcgpt/tensor/matrix.hpp"
+
+namespace hpcgpt::nn {
+
+/// Fully-connected layer y = x·W with optional LoRA adapter.
+///
+/// With LoRA enabled the layer computes
+///     y = x·W + (alpha/r) · (x·A)·B
+/// where W (in×out) can be frozen and only A (in×r, Gaussian-init) and
+/// B (r×out, zero-init — so the adapter starts as identity) receive
+/// gradients. This is exactly the low-rank adaptation of Hu et al. that
+/// the paper applies during supervised fine-tuning (§4.1).
+class Linear {
+ public:
+  Linear() = default;
+  Linear(std::string name, std::size_t in, std::size_t out);
+
+  /// Gaussian-initializes W with `stddev`.
+  void init(Rng& rng, float stddev);
+
+  /// Attaches a LoRA adapter of rank `rank`; `freeze_base` stops gradient
+  /// flow into W (the PEFT configuration).
+  void attach_lora(std::size_t rank, float alpha, bool freeze_base,
+                   Rng& rng);
+
+  /// Forward pass. Caches activations needed by backward().
+  void forward(const tensor::Matrix& x, tensor::Matrix& y);
+
+  /// Backward pass: accumulates parameter gradients and writes dL/dx.
+  /// Must be called after forward() with the matching shapes.
+  void backward(const tensor::Matrix& dy, tensor::Matrix& dx);
+
+  /// Folds the LoRA product into W (for cheap inference after training).
+  void merge_lora();
+
+  /// Stateless single-row application y = x·W (+ LoRA term): used by the
+  /// incremental decoder, which must not disturb the training caches.
+  /// `x` has in_features() elements, `y` out_features().
+  void apply(std::span<const float> x, std::span<float> y) const;
+
+  void collect_parameters(ParameterList& out);
+
+  std::size_t in_features() const { return weight_.value.rows(); }
+  std::size_t out_features() const { return weight_.value.cols(); }
+  bool has_lora() const { return lora_rank_ > 0; }
+  const Parameter& weight() const { return weight_; }
+
+ private:
+  Parameter weight_;
+  Parameter lora_a_;
+  Parameter lora_b_;
+  std::size_t lora_rank_ = 0;
+  float lora_scale_ = 0.0f;
+
+  // forward() caches (single in-flight activation; the training loop is
+  // strictly forward-then-backward per sequence).
+  tensor::Matrix cached_x_;
+  tensor::Matrix cached_xa_;
+};
+
+}  // namespace hpcgpt::nn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcgpt/tensor/matrix.hpp"
+
+namespace hpcgpt::nn {
+
+/// A trainable tensor: value + gradient accumulator + Adam moments.
+///
+/// Moments are allocated lazily by the optimizer so frozen parameters
+/// (LoRA base weights) cost no extra memory.
+struct Parameter {
+  std::string name;
+  tensor::Matrix value;
+  tensor::Matrix grad;
+  tensor::Matrix adam_m;
+  tensor::Matrix adam_v;
+  bool trainable = true;
+
+  Parameter() = default;
+  Parameter(std::string n, std::size_t rows, std::size_t cols)
+      : name(std::move(n)), value(rows, cols), grad(rows, cols) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t count() const { return value.size(); }
+};
+
+/// Non-owning list of parameters, in deterministic registration order.
+using ParameterList = std::vector<Parameter*>;
+
+/// Total element count, optionally restricted to trainable parameters.
+std::size_t parameter_count(const ParameterList& params,
+                            bool trainable_only = false);
+
+}  // namespace hpcgpt::nn

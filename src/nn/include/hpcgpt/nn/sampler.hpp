@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hpcgpt/nn/transformer.hpp"
+#include "hpcgpt/support/rng.hpp"
+#include "hpcgpt/text/tokenizer.hpp"
+
+namespace hpcgpt::nn {
+
+/// Decoding options for autoregressive generation.
+struct SampleOptions {
+  std::size_t max_new_tokens = 48;
+  /// 0 → greedy argmax; > 0 → temperature sampling.
+  float temperature = 0.0f;
+  /// Stop when this token is produced (it is not appended).
+  text::TokenId stop_token = text::BpeTokenizer::kEos;
+  std::uint64_t seed = 7;
+};
+
+/// Generates a continuation of `prompt_ids`. Generation re-runs the full
+/// forward per token (no KV cache) — adequate for the short sequences in
+/// this repository and keeps the inference path identical to training.
+std::vector<text::TokenId> generate(Transformer& model,
+                                    std::vector<text::TokenId> prompt_ids,
+                                    const SampleOptions& options = {});
+
+/// KV-cached generation: identical results to generate() (token-for-token
+/// under greedy decoding and for any fixed sampling seed) at O(T·d) per
+/// emitted token instead of O(T²·d). See BM_Generate* in bench_perf_micro
+/// for the measured speedup.
+std::vector<text::TokenId> generate_cached(
+    const Transformer& model, const std::vector<text::TokenId>& prompt_ids,
+    const SampleOptions& options = {});
+
+/// Convenience: encode `prompt`, generate, decode only the new tokens.
+std::string generate_text(Transformer& model,
+                          const text::BpeTokenizer& tokenizer,
+                          const std::string& prompt,
+                          const SampleOptions& options = {});
+
+/// Log-probability the model assigns to `continuation` after `prompt`
+/// (sum over continuation tokens). Used for answer scoring / classification.
+double continuation_logprob(Transformer& model,
+                            const std::vector<text::TokenId>& prompt,
+                            const std::vector<text::TokenId>& continuation);
+
+}  // namespace hpcgpt::nn

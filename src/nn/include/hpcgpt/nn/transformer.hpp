@@ -1,0 +1,153 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hpcgpt/nn/config.hpp"
+#include "hpcgpt/nn/linear.hpp"
+#include "hpcgpt/nn/parameter.hpp"
+#include "hpcgpt/text/tokenizer.hpp"
+
+namespace hpcgpt::nn {
+
+/// Per-block key/value cache for incremental (autoregressive) decoding:
+/// rows 0..length-1 hold the attention keys/values of already-processed
+/// positions, so each new token costs O(T·d) instead of re-running the
+/// full O(T²·d) forward.
+struct KvCache {
+  tensor::Matrix k;  // max_seq × d_model
+  tensor::Matrix v;  // max_seq × d_model
+};
+
+/// Decoding session state: one KvCache per block plus the position count.
+class DecodeState {
+ public:
+  DecodeState(std::size_t n_layers, std::size_t max_seq, std::size_t d_model);
+
+  std::size_t length() const { return length_; }
+
+ private:
+  friend class Transformer;
+  friend class TransformerBlock;
+  std::vector<KvCache> blocks_;
+  std::size_t length_ = 0;
+};
+
+/// One decoder block: pre-norm causal multi-head attention + SwiGLU MLP,
+/// both with residual connections (the LLaMA block structure).
+class TransformerBlock {
+ public:
+  TransformerBlock() = default;
+  TransformerBlock(const TransformerConfig& config, std::size_t index);
+
+  void init(Rng& rng);
+  void attach_lora(const TransformerConfig& config, Rng& rng);
+  void merge_lora();
+  void collect_parameters(ParameterList& out);
+
+  /// x is (T × d_model); transformed in place.
+  void forward(tensor::Matrix& x);
+
+  /// dx is dL/d(output), replaced by dL/d(input).
+  void backward(tensor::Matrix& dx);
+
+  /// Incremental forward for one new position: `x` (d_model) is the
+  /// residual-stream row at position `pos`; the block's keys/values are
+  /// appended to `cache`. Does not touch the training caches.
+  void forward_step(std::span<float> x, std::size_t pos, KvCache& cache) const;
+
+ private:
+  TransformerConfig config_{};
+
+  Parameter norm1_gain_;
+  Linear wq_, wk_, wv_, wo_;
+  Parameter norm2_gain_;
+  Linear w_gate_, w_up_, w_down_;  // SwiGLU: down(silu(gate(x)) * up(x))
+
+  // ---- forward caches (one in-flight sequence) ----
+  tensor::Matrix in1_, normed1_;
+  std::vector<float> inv_rms1_;
+  tensor::Matrix q_, k_, v_;
+  std::vector<tensor::Matrix> probs_;  // per head, T×T
+  tensor::Matrix attn_concat_;
+  tensor::Matrix in2_, normed2_;
+  std::vector<float> inv_rms2_;
+  tensor::Matrix gate_pre_, up_, swiglu_;
+};
+
+/// Result of a training forward+backward step on one sequence.
+struct LossResult {
+  double loss = 0.0;          ///< mean cross-entropy over counted positions
+  std::size_t positions = 0;  ///< number of positions contributing
+};
+
+/// Decoder-only GPT-style language model with explicit backprop.
+///
+/// This is the trainable substrate standing in for the paper's LLaMA base
+/// models. It supports full fine-tuning and LoRA/PEFT fine-tuning, fp16
+/// checkpointing (see checkpoint.hpp) and autoregressive sampling (see
+/// sampler.hpp).
+class Transformer {
+ public:
+  explicit Transformer(const TransformerConfig& config, std::uint64_t seed = 1);
+
+  const TransformerConfig& config() const { return config_; }
+
+  /// All parameters in deterministic order (for the optimizer/checkpoint).
+  ParameterList parameters();
+
+  /// Attaches LoRA adapters per config_.lora_rank to the attention and MLP
+  /// projections; freezes base weights when config_.train_lora_only.
+  void attach_lora();
+
+  /// Convenience: sets the LoRA hyper-parameters and attaches in one call —
+  /// the PEFT workflow of pre-training dense, then adapting (paper §4.1).
+  void attach_lora(std::size_t rank, float alpha, bool train_lora_only);
+  /// Folds adapters into base weights.
+  void merge_lora();
+
+  /// Logits for each position of `ids` (len × vocab). Pure inference —
+  /// does not populate training caches.
+  tensor::Matrix logits(const std::vector<text::TokenId>& ids);
+
+  /// Creates an empty incremental-decoding session.
+  DecodeState new_decode_state() const;
+
+  /// Feeds one token through the KV-cached path and returns the logits of
+  /// the new position (vocab-sized). Equivalent to logits(prefix).row(last)
+  /// but O(T·d) per call.
+  std::vector<float> decode_step(DecodeState& state, text::TokenId id) const;
+
+  /// Training step on one sequence: forward, cross-entropy against
+  /// `targets` (target[i] is the id expected *at* position i, i.e. already
+  /// shifted; -1 = ignore), backward accumulating into parameter grads.
+  LossResult train_step(const std::vector<text::TokenId>& ids,
+                        const std::vector<std::int32_t>& targets);
+
+  /// Evaluation loss (no gradients).
+  double eval_loss(const std::vector<text::TokenId>& ids,
+                   const std::vector<std::int32_t>& targets);
+
+  void zero_grad();
+
+ private:
+  tensor::Matrix embed(const std::vector<text::TokenId>& ids) const;
+  tensor::Matrix forward_hidden(const std::vector<text::TokenId>& ids);
+
+  TransformerConfig config_;
+  Rng init_rng_;
+
+  Parameter tok_emb_;   // vocab × d
+  Parameter pos_emb_;   // max_seq × d
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  Parameter final_gain_;
+  Linear head_;         // d × vocab
+
+  // training caches
+  std::vector<text::TokenId> cached_ids_;
+  tensor::Matrix hidden_in_;   // pre-final-norm activations
+  tensor::Matrix hidden_out_;  // post-final-norm activations
+  std::vector<float> final_inv_rms_;
+};
+
+}  // namespace hpcgpt::nn

@@ -1,0 +1,52 @@
+#include "hpcgpt/nn/adam.hpp"
+
+#include <cmath>
+
+namespace hpcgpt::nn {
+
+double Adam::step(const ParameterList& params) {
+  ++t_;
+
+  double grad_sq = 0.0;
+  for (const Parameter* p : params) {
+    if (!p->trainable) continue;
+    grad_sq += p->grad.squared_norm();
+  }
+  const double grad_norm = std::sqrt(grad_sq);
+  float clip_scale = 1.0f;
+  if (config_.grad_clip > 0.0f && grad_norm > config_.grad_clip) {
+    clip_scale = config_.grad_clip / static_cast<float>(grad_norm);
+  }
+
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+
+  for (Parameter* p : params) {
+    if (!p->trainable) continue;
+    if (p->adam_m.empty()) {
+      p->adam_m = tensor::Matrix(p->value.rows(), p->value.cols());
+      p->adam_v = tensor::Matrix(p->value.rows(), p->value.cols());
+    }
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = p->adam_m.data();
+    float* v = p->adam_v.data();
+    for (std::size_t i = 0; i < p->count(); ++i) {
+      const float gi = g[i] * clip_scale;
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * gi;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * gi * gi;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      float update = m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      if (config_.weight_decay > 0.0f) {
+        update += config_.weight_decay * w[i];
+      }
+      w[i] -= config_.learning_rate * update;
+    }
+  }
+  return grad_norm;
+}
+
+}  // namespace hpcgpt::nn

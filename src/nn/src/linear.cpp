@@ -1,0 +1,120 @@
+#include "hpcgpt/nn/linear.hpp"
+
+#include <cmath>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::nn {
+
+using tensor::Matrix;
+
+Linear::Linear(std::string name, std::size_t in, std::size_t out)
+    : weight_(std::move(name), in, out) {}
+
+void Linear::init(Rng& rng, float stddev) {
+  weight_.value.randomize(rng, stddev);
+}
+
+void Linear::attach_lora(std::size_t rank, float alpha, bool freeze_base,
+                         Rng& rng) {
+  require(rank > 0, "Linear::attach_lora: rank must be positive");
+  lora_rank_ = rank;
+  lora_scale_ = alpha / static_cast<float>(rank);
+  lora_a_ = Parameter(weight_.name + ".lora_a", in_features(), rank);
+  lora_b_ = Parameter(weight_.name + ".lora_b", rank, out_features());
+  // Standard LoRA init: A ~ N(0, 1/r), B = 0 so the adapter starts as a
+  // no-op and fine-tuning departs smoothly from the base model.
+  lora_a_.value.randomize(rng, 1.0f / std::sqrt(static_cast<float>(rank)));
+  lora_b_.value.zero();
+  weight_.trainable = !freeze_base;
+}
+
+void Linear::forward(const Matrix& x, Matrix& y) {
+  require(x.cols() == in_features(), "Linear::forward: width mismatch");
+  y = Matrix(x.rows(), out_features());
+  matmul(x, weight_.value, y);
+  cached_x_ = x;
+  if (lora_rank_ > 0) {
+    cached_xa_ = Matrix(x.rows(), lora_rank_);
+    matmul(x, lora_a_.value, cached_xa_);
+    Matrix lora_out(x.rows(), out_features());
+    matmul(cached_xa_, lora_b_.value, lora_out);
+    tensor::scale_inplace(lora_out, lora_scale_);
+    tensor::add_inplace(y, lora_out);
+  }
+}
+
+void Linear::backward(const Matrix& dy, Matrix& dx) {
+  require(dy.rows() == cached_x_.rows() && dy.cols() == out_features(),
+          "Linear::backward: gradient shape mismatch");
+  if (weight_.trainable) {
+    matmul_tn_acc(cached_x_, dy, weight_.grad);  // dW += x^T dy
+  }
+  dx = Matrix(cached_x_.rows(), in_features());
+  matmul_nt(dy, weight_.value, dx);  // dx = dy W^T
+
+  if (lora_rank_ > 0) {
+    // y_lora = s·(x A) B  =>  dB += s·(xA)^T dy ; dA += s·x^T (dy B^T) ;
+    //                         dx += s·(dy B^T) A^T
+    Matrix dy_bt(dy.rows(), lora_rank_);
+    matmul_nt(dy, lora_b_.value, dy_bt);
+    tensor::scale_inplace(dy_bt, lora_scale_);
+
+    Matrix db(lora_rank_, out_features());
+    matmul_tn(cached_xa_, dy, db);
+    tensor::scale_inplace(db, lora_scale_);
+    tensor::add_inplace(lora_b_.grad, db);
+
+    matmul_tn_acc(cached_x_, dy_bt, lora_a_.grad);
+    matmul_nt_acc(dy_bt, lora_a_.value, dx);
+  }
+}
+
+void Linear::apply(std::span<const float> x, std::span<float> y) const {
+  require(x.size() == in_features() && y.size() == out_features(),
+          "Linear::apply: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const auto w_row = weight_.value.row(i);
+    for (std::size_t j = 0; j < y.size(); ++j) y[j] += xi * w_row[j];
+  }
+  if (lora_rank_ > 0) {
+    std::vector<float> xa(lora_rank_, 0.0f);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const float xi = x[i];
+      if (xi == 0.0f) continue;
+      const auto a_row = lora_a_.value.row(i);
+      for (std::size_t r = 0; r < lora_rank_; ++r) xa[r] += xi * a_row[r];
+    }
+    for (std::size_t r = 0; r < lora_rank_; ++r) {
+      const float s = xa[r] * lora_scale_;
+      if (s == 0.0f) continue;
+      const auto b_row = lora_b_.value.row(r);
+      for (std::size_t j = 0; j < y.size(); ++j) y[j] += s * b_row[j];
+    }
+  }
+}
+
+void Linear::merge_lora() {
+  if (lora_rank_ == 0) return;
+  Matrix product(in_features(), out_features());
+  matmul(lora_a_.value, lora_b_.value, product);
+  tensor::scale_inplace(product, lora_scale_);
+  tensor::add_inplace(weight_.value, product);
+  lora_rank_ = 0;
+  lora_a_ = Parameter();
+  lora_b_ = Parameter();
+  weight_.trainable = true;
+}
+
+void Linear::collect_parameters(ParameterList& out) {
+  out.push_back(&weight_);
+  if (lora_rank_ > 0) {
+    out.push_back(&lora_a_);
+    out.push_back(&lora_b_);
+  }
+}
+
+}  // namespace hpcgpt::nn

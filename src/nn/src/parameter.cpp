@@ -1,0 +1,15 @@
+#include "hpcgpt/nn/parameter.hpp"
+
+namespace hpcgpt::nn {
+
+std::size_t parameter_count(const ParameterList& params,
+                            bool trainable_only) {
+  std::size_t total = 0;
+  for (const Parameter* p : params) {
+    if (trainable_only && !p->trainable) continue;
+    total += p->count();
+  }
+  return total;
+}
+
+}  // namespace hpcgpt::nn

@@ -1,0 +1,597 @@
+#include "hpcgpt/nn/transformer.hpp"
+
+#include <cmath>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::nn {
+
+using tensor::Matrix;
+
+namespace {
+
+constexpr float kNormEps = 1e-5f;
+
+/// normed[t] = x[t] * inv_rms[t] ⊙ gain ; inv_rms[t] = (mean(x[t]²)+eps)^-½
+void rmsnorm_forward(const Parameter& gain, const Matrix& x, Matrix& normed,
+                     std::vector<float>& inv_rms) {
+  const std::size_t d = x.cols();
+  normed = Matrix(x.rows(), d);
+  inv_rms.assign(x.rows(), 0.0f);
+  const float* g = gain.value.data();
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    const auto xr = x.row(t);
+    float ms = 0.0f;
+    for (const float v : xr) ms += v * v;
+    const float r = 1.0f / std::sqrt(ms / static_cast<float>(d) + kNormEps);
+    inv_rms[t] = r;
+    auto nr = normed.row(t);
+    for (std::size_t i = 0; i < d; ++i) nr[i] = xr[i] * r * g[i];
+  }
+}
+
+/// Accumulates dL/dgain into gain.grad and writes dL/dx into dx.
+void rmsnorm_backward(Parameter& gain, const Matrix& x,
+                      const std::vector<float>& inv_rms,
+                      const Matrix& dnormed, Matrix& dx) {
+  const std::size_t d = x.cols();
+  dx = Matrix(x.rows(), d);
+  const float* g = gain.value.data();
+  float* dg = gain.grad.data();
+  for (std::size_t t = 0; t < x.rows(); ++t) {
+    const auto xr = x.row(t);
+    const auto dyr = dnormed.row(t);
+    auto dxr = dx.row(t);
+    const float r = inv_rms[t];
+    float inner = 0.0f;  // Σ_i dy_i g_i x_i
+    for (std::size_t i = 0; i < d; ++i) {
+      if (gain.trainable) dg[i] += dyr[i] * xr[i] * r;
+      inner += dyr[i] * g[i] * xr[i];
+    }
+    const float correction = inner * r * r / static_cast<float>(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      dxr[i] = r * (dyr[i] * g[i] - xr[i] * correction);
+    }
+  }
+}
+
+float silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+float silu_grad(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s * (1.0f + x * (1.0f - s));
+}
+
+}  // namespace
+
+// ===================================================== TransformerBlock
+
+TransformerBlock::TransformerBlock(const TransformerConfig& config,
+                                   std::size_t index)
+    : config_(config),
+      norm1_gain_("block" + std::to_string(index) + ".norm1",
+                  1, config.d_model),
+      wq_("block" + std::to_string(index) + ".wq", config.d_model,
+          config.d_model),
+      wk_("block" + std::to_string(index) + ".wk", config.d_model,
+          config.d_model),
+      wv_("block" + std::to_string(index) + ".wv", config.d_model,
+          config.d_model),
+      wo_("block" + std::to_string(index) + ".wo", config.d_model,
+          config.d_model),
+      norm2_gain_("block" + std::to_string(index) + ".norm2",
+                  1, config.d_model),
+      w_gate_("block" + std::to_string(index) + ".w_gate", config.d_model,
+              config.d_ff),
+      w_up_("block" + std::to_string(index) + ".w_up", config.d_model,
+            config.d_ff),
+      w_down_("block" + std::to_string(index) + ".w_down", config.d_ff,
+              config.d_model) {
+  norm1_gain_.value.fill(1.0f);
+  norm2_gain_.value.fill(1.0f);
+}
+
+void TransformerBlock::init(Rng& rng) {
+  const float attn_std =
+      0.7f / std::sqrt(static_cast<float>(config_.d_model));
+  // Residual-path projections get the GPT-2 depth-scaled init so deep
+  // stacks stay stable.
+  const float resid_std =
+      attn_std / std::sqrt(2.0f * static_cast<float>(config_.n_layers));
+  wq_.init(rng, attn_std);
+  wk_.init(rng, attn_std);
+  wv_.init(rng, attn_std);
+  wo_.init(rng, resid_std);
+  w_gate_.init(rng, attn_std);
+  w_up_.init(rng, attn_std);
+  w_down_.init(rng, resid_std);
+}
+
+void TransformerBlock::attach_lora(const TransformerConfig& config,
+                                   Rng& rng) {
+  const bool freeze = config.train_lora_only;
+  wq_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  wk_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  wv_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  wo_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  w_gate_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  w_up_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  w_down_.attach_lora(config.lora_rank, config.lora_alpha, freeze, rng);
+  if (freeze) {
+    norm1_gain_.trainable = false;
+    norm2_gain_.trainable = false;
+  }
+}
+
+void TransformerBlock::merge_lora() {
+  wq_.merge_lora();
+  wk_.merge_lora();
+  wv_.merge_lora();
+  wo_.merge_lora();
+  w_gate_.merge_lora();
+  w_up_.merge_lora();
+  w_down_.merge_lora();
+  norm1_gain_.trainable = true;
+  norm2_gain_.trainable = true;
+}
+
+void TransformerBlock::collect_parameters(ParameterList& out) {
+  out.push_back(&norm1_gain_);
+  wq_.collect_parameters(out);
+  wk_.collect_parameters(out);
+  wv_.collect_parameters(out);
+  wo_.collect_parameters(out);
+  out.push_back(&norm2_gain_);
+  w_gate_.collect_parameters(out);
+  w_up_.collect_parameters(out);
+  w_down_.collect_parameters(out);
+}
+
+void TransformerBlock::forward(Matrix& x) {
+  const std::size_t seq = x.rows();
+  const std::size_t hd = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // --- attention sub-layer ---
+  in1_ = x;
+  rmsnorm_forward(norm1_gain_, in1_, normed1_, inv_rms1_);
+  wq_.forward(normed1_, q_);
+  wk_.forward(normed1_, k_);
+  wv_.forward(normed1_, v_);
+
+  probs_.assign(config_.n_heads, Matrix(seq, seq));
+  attn_concat_ = Matrix(seq, config_.d_model);
+  for (std::size_t h = 0; h < config_.n_heads; ++h) {
+    const std::size_t off = h * hd;
+    Matrix& p = probs_[h];
+    for (std::size_t t = 0; t < seq; ++t) {
+      // causal scores with running max for a stable softmax
+      float max_score = -1e30f;
+      for (std::size_t s = 0; s <= t; ++s) {
+        float dot = 0.0f;
+        for (std::size_t i = 0; i < hd; ++i) {
+          dot += q_.at(t, off + i) * k_.at(s, off + i);
+        }
+        dot *= scale;
+        p.at(t, s) = dot;
+        max_score = std::max(max_score, dot);
+      }
+      float denom = 0.0f;
+      for (std::size_t s = 0; s <= t; ++s) {
+        const float e = std::exp(p.at(t, s) - max_score);
+        p.at(t, s) = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (std::size_t s = 0; s <= t; ++s) p.at(t, s) *= inv;
+      for (std::size_t s = t + 1; s < seq; ++s) p.at(t, s) = 0.0f;
+      // weighted sum of values
+      for (std::size_t i = 0; i < hd; ++i) {
+        float acc = 0.0f;
+        for (std::size_t s = 0; s <= t; ++s) {
+          acc += p.at(t, s) * v_.at(s, off + i);
+        }
+        attn_concat_.at(t, off + i) = acc;
+      }
+    }
+  }
+
+  Matrix attn_out;
+  wo_.forward(attn_concat_, attn_out);
+  x = in1_;
+  tensor::add_inplace(x, attn_out);
+
+  // --- MLP sub-layer (SwiGLU) ---
+  in2_ = x;
+  rmsnorm_forward(norm2_gain_, in2_, normed2_, inv_rms2_);
+  w_gate_.forward(normed2_, gate_pre_);
+  w_up_.forward(normed2_, up_);
+  swiglu_ = Matrix(seq, config_.d_ff);
+  for (std::size_t t = 0; t < seq; ++t) {
+    for (std::size_t j = 0; j < config_.d_ff; ++j) {
+      swiglu_.at(t, j) = silu(gate_pre_.at(t, j)) * up_.at(t, j);
+    }
+  }
+  Matrix mlp_out;
+  w_down_.forward(swiglu_, mlp_out);
+  x = in2_;
+  tensor::add_inplace(x, mlp_out);
+}
+
+void TransformerBlock::backward(Matrix& dx) {
+  const std::size_t seq = dx.rows();
+  const std::size_t hd = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // --- MLP sub-layer backward ---
+  Matrix d_swiglu;
+  w_down_.backward(dx, d_swiglu);
+  Matrix d_gate_pre(seq, config_.d_ff);
+  Matrix d_up(seq, config_.d_ff);
+  for (std::size_t t = 0; t < seq; ++t) {
+    for (std::size_t j = 0; j < config_.d_ff; ++j) {
+      const float g = gate_pre_.at(t, j);
+      d_gate_pre.at(t, j) = d_swiglu.at(t, j) * up_.at(t, j) * silu_grad(g);
+      d_up.at(t, j) = d_swiglu.at(t, j) * silu(g);
+    }
+  }
+  Matrix d_normed2a, d_normed2b;
+  w_gate_.backward(d_gate_pre, d_normed2a);
+  w_up_.backward(d_up, d_normed2b);
+  tensor::add_inplace(d_normed2a, d_normed2b);
+  Matrix d_in2_from_norm;
+  rmsnorm_backward(norm2_gain_, in2_, inv_rms2_, d_normed2a,
+                   d_in2_from_norm);
+  tensor::add_inplace(dx, d_in2_from_norm);  // residual + norm path
+
+  // --- attention sub-layer backward ---
+  Matrix d_attn_concat;
+  wo_.backward(dx, d_attn_concat);
+
+  Matrix dq(seq, config_.d_model);
+  Matrix dk(seq, config_.d_model);
+  Matrix dv(seq, config_.d_model);
+  for (std::size_t h = 0; h < config_.n_heads; ++h) {
+    const std::size_t off = h * hd;
+    const Matrix& p = probs_[h];
+    for (std::size_t t = 0; t < seq; ++t) {
+      // dprobs[t][s] = <d_attn_concat[t]_h, v[s]_h> ; dv accumulation
+      float dp_dot_p = 0.0f;
+      // first pass: compute dprobs and the softmax-correction inner product
+      std::vector<float> dprobs(t + 1);
+      for (std::size_t s = 0; s <= t; ++s) {
+        float dot = 0.0f;
+        for (std::size_t i = 0; i < hd; ++i) {
+          dot += d_attn_concat.at(t, off + i) * v_.at(s, off + i);
+        }
+        dprobs[s] = dot;
+        dp_dot_p += dot * p.at(t, s);
+      }
+      for (std::size_t s = 0; s <= t; ++s) {
+        const float pts = p.at(t, s);
+        // dv[s] += p[t][s] * d_attn_concat[t]
+        for (std::size_t i = 0; i < hd; ++i) {
+          dv.at(s, off + i) += pts * d_attn_concat.at(t, off + i);
+        }
+        const float dscore = pts * (dprobs[s] - dp_dot_p) * scale;
+        for (std::size_t i = 0; i < hd; ++i) {
+          dq.at(t, off + i) += dscore * k_.at(s, off + i);
+          dk.at(s, off + i) += dscore * q_.at(t, off + i);
+        }
+      }
+    }
+  }
+
+  Matrix d_normed1, tmp;
+  wq_.backward(dq, d_normed1);
+  wk_.backward(dk, tmp);
+  tensor::add_inplace(d_normed1, tmp);
+  wv_.backward(dv, tmp);
+  tensor::add_inplace(d_normed1, tmp);
+  Matrix d_in1_from_norm;
+  rmsnorm_backward(norm1_gain_, in1_, inv_rms1_, d_normed1,
+                   d_in1_from_norm);
+  tensor::add_inplace(dx, d_in1_from_norm);
+}
+
+namespace {
+
+/// Row-wise RMSNorm without training caches (decode path).
+void rmsnorm_row(const hpcgpt::nn::Parameter& gain,
+                 std::span<const float> x, std::span<float> out) {
+  const std::size_t d = x.size();
+  float ms = 0.0f;
+  for (const float v : x) ms += v * v;
+  const float r = 1.0f / std::sqrt(ms / static_cast<float>(d) + kNormEps);
+  const float* g = gain.value.data();
+  for (std::size_t i = 0; i < d; ++i) out[i] = x[i] * r * g[i];
+}
+
+}  // namespace
+
+void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
+                                    KvCache& cache) const {
+  const std::size_t d = config_.d_model;
+  const std::size_t hd = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // --- attention sub-layer ---
+  std::vector<float> normed(d);
+  rmsnorm_row(norm1_gain_, x, normed);
+  std::vector<float> q(d);
+  wq_.apply(normed, q);
+  wk_.apply(normed, cache.k.row(pos));
+  wv_.apply(normed, cache.v.row(pos));
+
+  std::vector<float> attn(d, 0.0f);
+  std::vector<float> probs(pos + 1);
+  for (std::size_t h = 0; h < config_.n_heads; ++h) {
+    const std::size_t off = h * hd;
+    float max_score = -1e30f;
+    for (std::size_t s = 0; s <= pos; ++s) {
+      const auto k_row = cache.k.row(s);
+      float dot = 0.0f;
+      for (std::size_t i = 0; i < hd; ++i) dot += q[off + i] * k_row[off + i];
+      probs[s] = dot * scale;
+      max_score = std::max(max_score, probs[s]);
+    }
+    float denom = 0.0f;
+    for (std::size_t s = 0; s <= pos; ++s) {
+      probs[s] = std::exp(probs[s] - max_score);
+      denom += probs[s];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t s = 0; s <= pos; ++s) {
+      const float p = probs[s] * inv;
+      const auto v_row = cache.v.row(s);
+      for (std::size_t i = 0; i < hd; ++i) attn[off + i] += p * v_row[off + i];
+    }
+  }
+  std::vector<float> attn_out(d);
+  wo_.apply(attn, attn_out);
+  for (std::size_t i = 0; i < d; ++i) x[i] += attn_out[i];
+
+  // --- MLP sub-layer ---
+  rmsnorm_row(norm2_gain_, x, normed);
+  std::vector<float> gate(config_.d_ff);
+  std::vector<float> up(config_.d_ff);
+  w_gate_.apply(normed, gate);
+  w_up_.apply(normed, up);
+  for (std::size_t j = 0; j < config_.d_ff; ++j) {
+    gate[j] = silu(gate[j]) * up[j];
+  }
+  std::vector<float> mlp_out(d);
+  w_down_.apply(gate, mlp_out);
+  for (std::size_t i = 0; i < d; ++i) x[i] += mlp_out[i];
+}
+
+DecodeState::DecodeState(std::size_t n_layers, std::size_t max_seq,
+                         std::size_t d_model) {
+  blocks_.reserve(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    blocks_.push_back(KvCache{tensor::Matrix(max_seq, d_model),
+                              tensor::Matrix(max_seq, d_model)});
+  }
+}
+
+// ===================================================== Transformer
+
+Transformer::Transformer(const TransformerConfig& config, std::uint64_t seed)
+    : config_(config),
+      init_rng_(seed),
+      tok_emb_("tok_emb", config.vocab_size, config.d_model),
+      pos_emb_("pos_emb", config.max_seq, config.d_model),
+      final_gain_("final_norm", 1, config.d_model),
+      head_("head", config.d_model, config.vocab_size) {
+  require(config.d_model % config.n_heads == 0,
+          "Transformer: d_model must be divisible by n_heads");
+  require(config.vocab_size > 0 && config.max_seq > 0,
+          "Transformer: empty vocab or context");
+  const float emb_std = 0.02f;
+  tok_emb_.value.randomize(init_rng_, emb_std);
+  pos_emb_.value.randomize(init_rng_, emb_std);
+  final_gain_.value.fill(1.0f);
+  head_.init(init_rng_,
+             0.7f / std::sqrt(static_cast<float>(config.d_model)));
+  blocks_.reserve(config.n_layers);
+  for (std::size_t l = 0; l < config.n_layers; ++l) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(config, l));
+    blocks_.back()->init(init_rng_);
+  }
+  if (config.lora_rank > 0) attach_lora();
+}
+
+ParameterList Transformer::parameters() {
+  ParameterList out;
+  out.push_back(&tok_emb_);
+  out.push_back(&pos_emb_);
+  for (auto& block : blocks_) block->collect_parameters(out);
+  out.push_back(&final_gain_);
+  head_.collect_parameters(out);
+  return out;
+}
+
+void Transformer::attach_lora(std::size_t rank, float alpha,
+                              bool train_lora_only) {
+  config_.lora_rank = rank;
+  config_.lora_alpha = alpha;
+  config_.train_lora_only = train_lora_only;
+  attach_lora();
+}
+
+void Transformer::attach_lora() {
+  require(config_.lora_rank > 0, "Transformer::attach_lora: rank is 0");
+  for (auto& block : blocks_) block->attach_lora(config_, init_rng_);
+  if (config_.train_lora_only) {
+    tok_emb_.trainable = false;
+    pos_emb_.trainable = false;
+    final_gain_.trainable = false;
+    // The head stays trainable: SFT needs to reshape the output
+    // distribution even in PEFT mode (standard practice).
+  }
+}
+
+void Transformer::merge_lora() {
+  for (auto& block : blocks_) block->merge_lora();
+  tok_emb_.trainable = true;
+  pos_emb_.trainable = true;
+  final_gain_.trainable = true;
+  config_.lora_rank = 0;
+  config_.train_lora_only = false;
+}
+
+Matrix Transformer::embed(const std::vector<text::TokenId>& ids) const {
+  require(!ids.empty(), "Transformer: empty sequence");
+  require(ids.size() <= config_.max_seq,
+          "Transformer: sequence exceeds max_seq (token limit)");
+  Matrix x(ids.size(), config_.d_model);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const auto id = ids[t];
+    require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
+            "Transformer: token id out of range");
+    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
+    const auto pe = pos_emb_.value.row(t);
+    auto xr = x.row(t);
+    for (std::size_t i = 0; i < config_.d_model; ++i) xr[i] = te[i] + pe[i];
+  }
+  return x;
+}
+
+Matrix Transformer::forward_hidden(const std::vector<text::TokenId>& ids) {
+  cached_ids_ = ids;
+  Matrix x = embed(ids);
+  for (auto& block : blocks_) block->forward(x);
+  hidden_in_ = x;
+  rmsnorm_forward(final_gain_, hidden_in_, hidden_out_, final_inv_rms_);
+  return hidden_out_;
+}
+
+Matrix Transformer::logits(const std::vector<text::TokenId>& ids) {
+  forward_hidden(ids);
+  Matrix out;
+  head_.forward(hidden_out_, out);
+  return out;
+}
+
+DecodeState Transformer::new_decode_state() const {
+  return DecodeState(config_.n_layers, config_.max_seq, config_.d_model);
+}
+
+std::vector<float> Transformer::decode_step(DecodeState& state,
+                                            text::TokenId id) const {
+  const std::size_t pos = state.length_;
+  require(pos < config_.max_seq, "decode_step: context exhausted");
+  require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
+          "decode_step: token id out of range");
+
+  std::vector<float> x(config_.d_model);
+  const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
+  const auto pe = pos_emb_.value.row(pos);
+  for (std::size_t i = 0; i < config_.d_model; ++i) x[i] = te[i] + pe[i];
+
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    blocks_[l]->forward_step(x, pos, state.blocks_[l]);
+  }
+
+  std::vector<float> normed(config_.d_model);
+  {
+    float ms = 0.0f;
+    for (const float v : x) ms += v * v;
+    const float r = 1.0f /
+                    std::sqrt(ms / static_cast<float>(config_.d_model) +
+                              kNormEps);
+    const float* g = final_gain_.value.data();
+    for (std::size_t i = 0; i < config_.d_model; ++i) {
+      normed[i] = x[i] * r * g[i];
+    }
+  }
+  std::vector<float> out(config_.vocab_size);
+  head_.apply(normed, out);
+  ++state.length_;
+  return out;
+}
+
+LossResult Transformer::train_step(
+    const std::vector<text::TokenId>& ids,
+    const std::vector<std::int32_t>& targets) {
+  require(ids.size() == targets.size(),
+          "train_step: ids/targets length mismatch");
+  forward_hidden(ids);
+  Matrix logit_mat;
+  head_.forward(hidden_out_, logit_mat);
+
+  // Cross-entropy + dlogits in one pass.
+  Matrix dlogits(logit_mat.rows(), logit_mat.cols());
+  tensor::softmax_rows(logit_mat);  // logit_mat now holds probabilities
+  std::size_t counted = 0;
+  double loss = 0.0;
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    if (targets[t] < 0) continue;
+    ++counted;
+  }
+  LossResult result;
+  if (counted == 0) return result;
+  const float inv_count = 1.0f / static_cast<float>(counted);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    if (targets[t] < 0) continue;
+    const auto target = static_cast<std::size_t>(targets[t]);
+    require(target < config_.vocab_size, "train_step: target out of range");
+    const auto probs = logit_mat.row(t);
+    loss -= std::log(std::max(probs[target], 1e-12f));
+    auto dl = dlogits.row(t);
+    for (std::size_t v = 0; v < config_.vocab_size; ++v) {
+      dl[v] = probs[v] * inv_count;
+    }
+    dl[target] -= inv_count;
+  }
+
+  Matrix d_hidden_out;
+  head_.backward(dlogits, d_hidden_out);
+  Matrix dx;
+  rmsnorm_backward(final_gain_, hidden_in_, final_inv_rms_, d_hidden_out,
+                   dx);
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    (*it)->backward(dx);
+  }
+  // Embedding gradients.
+  if (tok_emb_.trainable || pos_emb_.trainable) {
+    for (std::size_t t = 0; t < ids.size(); ++t) {
+      const auto dxr = dx.row(t);
+      if (tok_emb_.trainable) {
+        auto gr = tok_emb_.grad.row(static_cast<std::size_t>(ids[t]));
+        for (std::size_t i = 0; i < config_.d_model; ++i) gr[i] += dxr[i];
+      }
+      if (pos_emb_.trainable) {
+        auto gr = pos_emb_.grad.row(t);
+        for (std::size_t i = 0; i < config_.d_model; ++i) gr[i] += dxr[i];
+      }
+    }
+  }
+
+  result.loss = loss / static_cast<double>(counted);
+  result.positions = counted;
+  return result;
+}
+
+double Transformer::eval_loss(const std::vector<text::TokenId>& ids,
+                              const std::vector<std::int32_t>& targets) {
+  require(ids.size() == targets.size(),
+          "eval_loss: ids/targets length mismatch");
+  Matrix logit_mat = logits(ids);
+  tensor::softmax_rows(logit_mat);
+  double loss = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    if (targets[t] < 0) continue;
+    const auto target = static_cast<std::size_t>(targets[t]);
+    loss -= std::log(std::max(logit_mat.at(t, target), 1e-12f));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : loss / static_cast<double>(counted);
+}
+
+void Transformer::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+}  // namespace hpcgpt::nn

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/kb/kb.hpp"
+
+namespace hpcgpt::ontology {
+
+/// A subject–predicate–object fact.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// A triple pattern: components starting with '?' are variables.
+struct Pattern {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// Variable bindings produced by a query.
+using Binding = std::map<std::string, std::string>;
+
+/// In-memory triple store with conjunctive pattern queries — the
+/// HPC-Ontology baseline of Task 1 (Liao et al.'s OWL ontology, reduced to
+/// its query semantics). The paper's point stands reproduced: the store
+/// answers exactly when the user writes a correct structured query, while
+/// HPC-GPT accepts free-form language.
+class TripleStore {
+ public:
+  void add(Triple triple);
+  std::size_t size() const { return triples_.size(); }
+
+  /// Conjunctive query: returns every binding of the variables that
+  /// satisfies all patterns simultaneously (SPARQL basic graph pattern).
+  std::vector<Binding> query(const std::vector<Pattern>& patterns) const;
+
+  /// Convenience: single-variable projection of query().
+  std::vector<std::string> select(const std::vector<Pattern>& patterns,
+                                  const std::string& variable) const;
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+/// Imports the knowledge base as triples:
+///   dataset --usedFor--> category        system --hasProcessor--> cpu
+///   dataset --hasLanguage--> language    system --hasAccelerator--> acc
+///   dataset --hasBaseline--> model       system --hasSoftware--> sw
+///   dataset --targetsTask--> task        system --submittedBy--> org
+///   dataset --reportsMetric--> metric    system --ranBenchmark--> bench
+TripleStore import_knowledge_base(const kb::KnowledgeBase& kb);
+
+}  // namespace hpcgpt::ontology

@@ -1,0 +1,92 @@
+#include "hpcgpt/ontology/ontology.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::ontology {
+
+namespace {
+
+bool is_var(const std::string& term) {
+  return !term.empty() && term[0] == '?';
+}
+
+/// Tries to unify `pattern` against `triple` given existing `binding`;
+/// returns false on mismatch, otherwise extends `binding` in place.
+bool unify(const Pattern& pattern, const Triple& triple, Binding& binding) {
+  const auto match = [&](const std::string& term,
+                         const std::string& value) {
+    if (!is_var(term)) return term == value;
+    const auto it = binding.find(term);
+    if (it != binding.end()) return it->second == value;
+    binding[term] = value;
+    return true;
+  };
+  return match(pattern.subject, triple.subject) &&
+         match(pattern.predicate, triple.predicate) &&
+         match(pattern.object, triple.object);
+}
+
+}  // namespace
+
+void TripleStore::add(Triple triple) {
+  triples_.push_back(std::move(triple));
+}
+
+std::vector<Binding> TripleStore::query(
+    const std::vector<Pattern>& patterns) const {
+  std::vector<Binding> frontier{Binding{}};
+  for (const Pattern& pattern : patterns) {
+    std::vector<Binding> next;
+    for (const Binding& binding : frontier) {
+      for (const Triple& triple : triples_) {
+        Binding candidate = binding;
+        if (unify(pattern, triple, candidate)) {
+          next.push_back(std::move(candidate));
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  // Deduplicate identical bindings (several triples may satisfy a
+  // pattern without binding new variables).
+  std::sort(frontier.begin(), frontier.end());
+  frontier.erase(std::unique(frontier.begin(), frontier.end()),
+                 frontier.end());
+  return frontier;
+}
+
+std::vector<std::string> TripleStore::select(
+    const std::vector<Pattern>& patterns, const std::string& variable) const {
+  std::vector<std::string> out;
+  for (const Binding& binding : query(patterns)) {
+    const auto it = binding.find(variable);
+    if (it != binding.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+TripleStore import_knowledge_base(const kb::KnowledgeBase& kb) {
+  TripleStore store;
+  for (const kb::PlpEntry& e : kb.plp) {
+    store.add({e.dataset, "usedFor", e.category});
+    store.add({e.dataset, "hasLanguage", e.language});
+    store.add({e.dataset, "hasBaseline", e.baseline});
+    store.add({e.dataset, "targetsTask", e.task});
+    store.add({e.dataset, "reportsMetric", e.metric});
+  }
+  for (const kb::MlperfEntry& e : kb.mlperf) {
+    store.add({e.system, "hasProcessor", e.processor});
+    store.add({e.system, "hasAccelerator", e.accelerator});
+    store.add({e.system, "hasSoftware", e.software});
+    store.add({e.system, "submittedBy", e.submitter});
+    store.add({e.system, "ranBenchmark", e.benchmark});
+  }
+  return store;
+}
+
+}  // namespace hpcgpt::ontology

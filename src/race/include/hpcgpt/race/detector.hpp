@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/minilang/ast.hpp"
+#include "hpcgpt/minilang/render.hpp"
+#include "hpcgpt/race/trace.hpp"
+
+namespace hpcgpt::race {
+
+/// Tri-state analysis outcome. `Unsupported` means the tool cannot process
+/// the program at all — these cases are excluded from the confusion matrix
+/// and lower the tool-support rate (TSR) exactly as in the paper's Table 5.
+enum class Verdict { Race, NoRace, Unsupported };
+
+struct DetectionResult {
+  Verdict verdict = Verdict::NoRace;
+  std::vector<RaceReport> races;   ///< populated when verdict == Race
+  std::string unsupported_reason;  ///< populated when Unsupported
+};
+
+/// Static metadata printed in the Table 4 reproduction.
+struct ToolInfo {
+  std::string name;
+  std::string version;
+  std::string compiler;
+  std::string kind;  ///< "static" or "dynamic"
+};
+
+/// Common interface of the four data-race detection tools the paper
+/// compares against (Table 5): ThreadSanitizer, Intel Inspector, ROMP and
+/// LLOV, each reimplemented with its characteristic algorithm family.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual const ToolInfo& info() const = 0;
+
+  /// Analyses one program. `flavor` is the surface language the test case
+  /// is presented in — real tools have language-dependent support gaps
+  /// (e.g. ThreadSanitizer's Fortran toolchain), which this parameter
+  /// drives.
+  virtual DetectionResult analyze(const minilang::Program& program,
+                                  minilang::Flavor flavor) = 0;
+};
+
+/// Factory functions. Dynamic tools take the schedule seed and team size
+/// they execute with; `repetitions` re-runs with derived seeds and reports
+/// Race if any run races (dynamic tools commonly retry to improve recall).
+std::unique_ptr<Detector> make_tsan(std::size_t num_threads = 4,
+                                    std::uint64_t seed = 1,
+                                    std::size_t repetitions = 2);
+std::unique_ptr<Detector> make_inspector(std::size_t num_threads = 4,
+                                         std::uint64_t seed = 1);
+std::unique_ptr<Detector> make_romp(std::size_t num_threads = 4,
+                                    std::uint64_t seed = 1);
+std::unique_ptr<Detector> make_llov();
+
+/// Reference pure-lockset detector (Eraser, Savage et al. 1997): no
+/// happens-before reasoning at all, only lock-discipline checking with the
+/// Virgin → Exclusive → Shared → Shared-Modified state machine. Not one of
+/// the paper's tools — included to contrast lockset vs happens-before
+/// false-positive behaviour on fork-join programs.
+std::unique_ptr<Detector> make_eraser(std::size_t num_threads = 4,
+                                      std::uint64_t seed = 1);
+
+/// All four tools, in Table 5 order.
+std::vector<std::unique_ptr<Detector>> make_all_tools();
+
+}  // namespace hpcgpt::race

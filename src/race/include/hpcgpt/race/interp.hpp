@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/minilang/ast.hpp"
+#include "hpcgpt/race/trace.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+namespace hpcgpt::race {
+
+/// Interpreter knobs.
+struct ExecOptions {
+  std::size_t num_threads = 4;  ///< team size unless num_threads clause set
+  std::uint64_t seed = 1;       ///< schedule randomization seed
+};
+
+/// Final program state + the instrumented trace.
+struct ExecResult {
+  Trace trace;
+  std::map<std::string, std::int64_t> scalars;
+  std::map<std::string, std::vector<std::int64_t>> arrays;
+};
+
+/// Executes `program` with a simulated OpenMP runtime.
+///
+/// Parallel loops are statically chunked over the team; the scheduler
+/// interleaves iterations in a seeded random order, so value outcomes of
+/// racy programs vary with the seed while race-free programs are
+/// schedule-invariant (a property the tests exploit). Critical sections,
+/// atomics, reductions and barriers emit the corresponding sync events;
+/// private/firstprivate/reduction variables live in thread-local storage
+/// and generate no shared-memory events (they cannot race).
+///
+/// Throws InvalidArgument for out-of-bounds indices, undeclared variables
+/// or division by zero — the generators never produce these, but parsed
+/// user snippets might.
+ExecResult execute(const minilang::Program& program,
+                   const ExecOptions& options = {});
+
+}  // namespace hpcgpt::race

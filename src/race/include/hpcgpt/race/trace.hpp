@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcgpt::race {
+
+/// Kinds of events recorded by the interpreter.
+enum class EventKind {
+  Read,     ///< shared-memory load
+  Write,    ///< shared-memory store
+  Acquire,  ///< lock acquired (critical / atomic / reduction combine)
+  Release,  ///< lock released
+  Fork,     ///< master spawns the team of a parallel region
+  Join,     ///< master joins the team at region end
+  Barrier,  ///< thread arrives at a barrier
+};
+
+/// One entry of the dynamic execution trace. The trace is a single global
+/// sequence: the order of Acquire/Release events defines the lock
+/// acquisition order of the schedule, exactly the information a dynamic
+/// race detector extracts from an instrumented execution.
+struct Event {
+  EventKind kind = EventKind::Read;
+  int thread = 0;          ///< 0 = master; region threads are 0..T-1
+  std::uint64_t addr = 0;  ///< memory address (Read/Write)
+  std::uint64_t lock = 0;  ///< lock id (Acquire/Release)
+  int region = -1;         ///< parallel-region sequence number (-1 serial)
+  int phase = 0;           ///< barrier phase within the region
+  std::int64_t iteration = -1;  ///< logical iteration (-1 outside loops)
+  std::string var;         ///< source variable name (diagnostics)
+};
+
+using Trace = std::vector<Event>;
+
+/// A detected (or potential) race for diagnostics.
+struct RaceReport {
+  std::string var;
+  std::uint64_t addr = 0;
+  int first_thread = 0;
+  int second_thread = 0;
+  std::string detail;
+};
+
+std::string to_string(EventKind kind);
+
+}  // namespace hpcgpt::race

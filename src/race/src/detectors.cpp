@@ -1,0 +1,472 @@
+#include <map>
+#include <optional>
+#include <set>
+
+#include "hpcgpt/race/detector.hpp"
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/race/features.hpp"
+#include "hpcgpt/race/hb.hpp"
+#include "hpcgpt/race/interp.hpp"
+
+namespace hpcgpt::race {
+
+using minilang::Expr;
+using minilang::Flavor;
+using minilang::Program;
+using minilang::Stmt;
+
+namespace {
+
+// =================================================== dynamic detectors
+
+/// Shared implementation of the three dynamic tools: execute the program
+/// under the simulated OpenMP runtime, then run the happens-before engine
+/// with a tool-specific profile. Language/construct support gaps mirror
+/// the real tools' (documented per detector below).
+class DynamicDetector : public Detector {
+ public:
+  DynamicDetector(ToolInfo info, HbOptions profile, std::size_t num_threads,
+                  std::uint64_t seed, std::size_t repetitions)
+      : info_(std::move(info)),
+        profile_(profile),
+        num_threads_(num_threads),
+        seed_(seed),
+        repetitions_(repetitions) {}
+
+  const ToolInfo& info() const override { return info_; }
+
+  DetectionResult analyze(const Program& program, Flavor flavor) override {
+    const ProgramFeatures f = scan_features(program);
+    if (const auto reason = unsupported_reason(f, flavor)) {
+      DetectionResult r;
+      r.verdict = Verdict::Unsupported;
+      r.unsupported_reason = *reason;
+      return r;
+    }
+    DetectionResult result;
+    for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+      ExecOptions opts;
+      opts.num_threads = num_threads_;
+      opts.seed = seed_ + rep * 7919;
+      ExecResult exec;
+      try {
+        exec = execute(program, opts);
+      } catch (const Error&) {
+        // Crashing programs cannot be analysed dynamically.
+        result.verdict = Verdict::Unsupported;
+        result.unsupported_reason = "program faulted during execution";
+        return result;
+      }
+      auto races = analyze_trace(exec.trace, profile_);
+      if (!races.empty()) {
+        result.verdict = Verdict::Race;
+        result.races = std::move(races);
+        return result;
+      }
+    }
+    result.verdict = Verdict::NoRace;
+    return result;
+  }
+
+ protected:
+  /// Returns a reason string when the tool cannot process the program.
+  virtual std::optional<std::string> unsupported_reason(
+      const ProgramFeatures& f, Flavor flavor) const = 0;
+
+ private:
+  ToolInfo info_;
+  HbOptions profile_;
+  std::size_t num_threads_;
+  std::uint64_t seed_;
+  std::size_t repetitions_;
+};
+
+/// ThreadSanitizer simulation: exact FastTrack vector clocks (near-zero
+/// false positives, like the 1 FP / 0 FP rows of Table 5). Support gap:
+/// the Fortran+TSan toolchain cannot build offloading or simd-annotated
+/// translation units (the paper's Fortran TSR is the lowest of the four
+/// tools for the same reason).
+class TsanDetector final : public DynamicDetector {
+ public:
+  TsanDetector(std::size_t num_threads, std::uint64_t seed,
+               std::size_t repetitions)
+      : DynamicDetector(
+            ToolInfo{"ThreadSanitizer", "10.0.0", "Clang/LLVM 10.0.0",
+                     "dynamic"},
+            HbOptions{}, num_threads, seed, repetitions) {}
+
+ protected:
+  std::optional<std::string> unsupported_reason(
+      const ProgramFeatures& f, Flavor flavor) const override {
+    if (flavor == Flavor::Fortran && f.has_target) {
+      return "gfortran+tsan cannot instrument target offload regions";
+    }
+    if (flavor == Flavor::Fortran && f.has_simd) {
+      return "gfortran+tsan miscompiles simd-annotated loops";
+    }
+    return std::nullopt;
+  }
+};
+
+/// Intel Inspector simulation: happens-before with 2-element shadow
+/// granularity (false sharing at chunk boundaries → false positives, the
+/// tool's characteristic low specificity in Table 5) and barrier-blind
+/// analysis. Support gap: cannot instrument device offload code.
+class InspectorDetector final : public DynamicDetector {
+ public:
+  InspectorDetector(std::size_t num_threads, std::uint64_t seed)
+      : DynamicDetector(
+            ToolInfo{"Intel Inspector", "2021.1", "Intel Compiler 2021.3.0",
+                     "dynamic"},
+            HbOptions{.respect_barriers = false,
+                      .respect_atomics = true,
+                      .shadow_granularity = 2,
+                      .shadow_capacity = 0},
+            num_threads, seed, /*repetitions=*/1) {}
+
+ protected:
+  std::optional<std::string> unsupported_reason(
+      const ProgramFeatures& f, Flavor /*flavor*/) const override {
+    if (f.has_target) {
+      return "dynamic binary instrumentation cannot reach device code";
+    }
+    return std::nullopt;
+  }
+};
+
+/// ROMP simulation: precise offset-span-label-style ordering for
+/// structured fork-join (modelled by the exact happens-before engine) but
+/// no atomic awareness — its OMPT callback coverage for atomic constructs
+/// was incomplete, producing false positives on atomic-protected updates.
+/// Support gap: no offloading, and its gfortran-7 toolchain rejects
+/// simd-annotated Fortran.
+class RompDetector final : public DynamicDetector {
+ public:
+  RompDetector(std::size_t num_threads, std::uint64_t seed)
+      : DynamicDetector(
+            ToolInfo{"ROMP", "20ac93c", "GCC/gfortran 7.4.0", "dynamic"},
+            HbOptions{.respect_barriers = true,
+                      .respect_atomics = false,
+                      .shadow_granularity = 1,
+                      .shadow_capacity = 0},
+            num_threads, seed, /*repetitions=*/1) {}
+
+ protected:
+  std::optional<std::string> unsupported_reason(
+      const ProgramFeatures& f, Flavor flavor) const override {
+    if (f.has_target) return "OMPT offload tracing not supported";
+    if (flavor == Flavor::Fortran && f.has_simd) {
+      return "gfortran-7 rejects simd directives under -fopenmp-tools";
+    }
+    return std::nullopt;
+  }
+};
+
+// ==================================================== static detector
+
+/// Access classification used by the LLOV-style static analysis.
+struct ScalarUse {
+  bool unprot_write = false;
+  bool unprot_read = false;
+  bool prot_write = false;   // inside critical/atomic
+  bool master_write = false; // inside master/single (one thread)
+  bool any_other_thread_access = false;
+};
+
+struct ArrayAccess {
+  bool is_write = false;
+  AffineIndex index;
+  bool analyzable = true;
+};
+
+/// LLOV simulation: static dependence analysis over parallel loops —
+/// affine subscript tests (ZIV/SIV family) for arrays and data-sharing
+/// clause checking for scalars. No execution: catches races hidden behind
+/// runtime conditions (its recall advantage over dynamic tools on such
+/// cases) but stays silent on loops with non-affine subscripts (its main
+/// false-negative source) and does not model non-loop parallel regions
+/// (Unsupported, like the real tool's verifier scope).
+class LlovDetector final : public Detector {
+ public:
+  LlovDetector()
+      : info_{"LLOV", "N/A", "Clang/LLVM 6.0.1", "static"} {}
+
+  const ToolInfo& info() const override { return info_; }
+
+  DetectionResult analyze(const Program& program, Flavor flavor) override {
+    (void)flavor;  // LLVM front-ends normalize both languages to IR
+    DetectionResult result;
+    bool saw_loop = false;
+    bool saw_region = false;
+    for (const Stmt& s : program.body) {
+      visit_toplevel(s, saw_loop, saw_region, result);
+      if (result.verdict == Verdict::Race) return result;
+    }
+    if (!saw_loop && saw_region) {
+      result.verdict = Verdict::Unsupported;
+      result.unsupported_reason =
+          "only loop-shaped parallel constructs are verified";
+      return result;
+    }
+    result.verdict = Verdict::NoRace;
+    return result;
+  }
+
+ private:
+  void visit_toplevel(const Stmt& s, bool& saw_loop, bool& saw_region,
+                      DetectionResult& result) {
+    switch (s.kind) {
+      case Stmt::Kind::ParallelFor:
+        saw_loop = true;
+        analyze_loop(s, result);
+        return;
+      case Stmt::Kind::ParallelRegion:
+        saw_region = true;
+        return;
+      case Stmt::Kind::SeqFor:
+      case Stmt::Kind::If:
+        for (const Stmt& inner : s.body) {
+          visit_toplevel(inner, saw_loop, saw_region, result);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  void analyze_loop(const Stmt& loop, DetectionResult& result) {
+    std::map<std::string, ScalarUse> scalars;
+    std::map<std::string, std::vector<ArrayAccess>> arrays;
+    std::set<std::string> local_scalars;  // loop var + nested seq loop vars
+    local_scalars.insert(loop.loop_var);
+
+    collect(loop.body, loop, /*in_prot=*/false, /*in_master=*/false,
+            local_scalars, scalars, arrays);
+
+    // ---- scalar data-sharing analysis ----
+    for (const auto& [name, use] : scalars) {
+      if (use.unprot_write && use.any_other_thread_access) {
+        report(result, name, "shared scalar written without protection");
+        return;
+      }
+      if (use.unprot_write) {
+        // Written by every iteration with no clause: write-write race.
+        report(result, name, "unprivatized scalar assigned in parallel loop");
+        return;
+      }
+      if (use.prot_write && use.unprot_read) {
+        report(result, name,
+               "protected write but unprotected read of shared scalar");
+        return;
+      }
+    }
+
+    // ---- array dependence analysis (SIV tests) ----
+    for (const auto& [name, accesses] : arrays) {
+      bool all_analyzable = true;
+      for (const ArrayAccess& a : accesses) {
+        if (!a.analyzable) all_analyzable = false;
+      }
+      if (!all_analyzable) continue;  // silent: the real tool's FN source
+      for (std::size_t i = 0; i < accesses.size(); ++i) {
+        if (!accesses[i].is_write) continue;
+        for (std::size_t j = 0; j < accesses.size(); ++j) {
+          if (i == j && accesses.size() > 1) {
+            // a write conflicts with itself across iterations only when
+            // the subscript is loop-invariant (every iteration hits the
+            // same element); handled below.
+          }
+          const AffineIndex& w = accesses[i].index;
+          const AffineIndex& o = accesses[j].index;
+          if (i == j) {
+            if (w.scale == 0) {
+              report(result, name,
+                     "loop-invariant subscript written by all iterations");
+              return;
+            }
+            continue;
+          }
+          if (w.scale == o.scale) {
+            const std::int64_t diff = o.offset - w.offset;
+            if (w.scale == 0) {
+              // ZIV: two loop-invariant subscripts conflict iff equal
+              // (every iteration touches that one element).
+              if (diff == 0) {
+                report(result, name, "loop-invariant subscript conflict");
+                return;
+              }
+              continue;
+            }
+            // Strong SIV test: a dependence exists iff the offset
+            // difference is a multiple of the common stride. The distance
+            // itself is NOT checked against the trip count — like the
+            // real tool, loop bounds are not part of the subscript test,
+            // which is the false-positive source on disjoint-halves
+            // kernels (write a[i], read a[i + n/2]).
+            if (diff != 0 && diff % w.scale == 0) {
+              report(result, name, "loop-carried dependence (SIV test)");
+              return;
+            }
+          } else {
+            // Different strides: the Diophantine system may have
+            // solutions; LLOV reports conservatively.
+            report(result, name,
+                   "coupled subscripts with unequal strides (MIV)");
+            return;
+          }
+        }
+      }
+    }
+  }
+
+  void collect(const std::vector<Stmt>& body, const Stmt& loop, bool in_prot,
+               bool in_master, std::set<std::string>& local_scalars,
+               std::map<std::string, ScalarUse>& scalars,
+               std::map<std::string, std::vector<ArrayAccess>>& arrays) {
+    for (const Stmt& s : body) {
+      switch (s.kind) {
+        case Stmt::Kind::Assign:
+          collect_access(*s.target, loop, /*is_write=*/true, in_prot,
+                         in_master, local_scalars, scalars, arrays);
+          collect_expr(*s.value, loop, in_prot, in_master, local_scalars,
+                       scalars, arrays);
+          break;
+        case Stmt::Kind::Atomic:
+          collect_access(*s.target, loop, true, /*in_prot=*/true, in_master,
+                         local_scalars, scalars, arrays);
+          collect_expr(*s.value, loop, /*in_prot=*/true, in_master,
+                       local_scalars, scalars, arrays);
+          break;
+        case Stmt::Kind::Critical:
+          collect(s.body, loop, /*in_prot=*/true, in_master, local_scalars,
+                  scalars, arrays);
+          break;
+        case Stmt::Kind::Master:
+        case Stmt::Kind::Single:
+          collect(s.body, loop, in_prot, /*in_master=*/true, local_scalars,
+                  scalars, arrays);
+          break;
+        case Stmt::Kind::If:
+          // Static analysis explores both branches: may-execute accesses
+          // participate in dependence testing.
+          collect_expr(*s.cond, loop, in_prot, in_master, local_scalars,
+                       scalars, arrays);
+          collect(s.body, loop, in_prot, in_master, local_scalars, scalars,
+                  arrays);
+          break;
+        case Stmt::Kind::SeqFor: {
+          const bool added = local_scalars.insert(s.loop_var).second;
+          collect(s.body, loop, in_prot, in_master, local_scalars, scalars,
+                  arrays);
+          if (added) local_scalars.erase(s.loop_var);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void collect_expr(const Expr& e, const Stmt& loop, bool in_prot,
+                    bool in_master, std::set<std::string>& local_scalars,
+                    std::map<std::string, ScalarUse>& scalars,
+                    std::map<std::string, std::vector<ArrayAccess>>& arrays) {
+    collect_access(e, loop, /*is_write=*/false, in_prot, in_master,
+                   local_scalars, scalars, arrays);
+  }
+
+  void collect_access(const Expr& e, const Stmt& loop, bool is_write,
+                      bool in_prot, bool in_master,
+                      std::set<std::string>& local_scalars,
+                      std::map<std::string, ScalarUse>& scalars,
+                      std::map<std::string, std::vector<ArrayAccess>>& arrays) {
+    switch (e.kind) {
+      case Expr::Kind::ScalarRef: {
+        if (local_scalars.count(e.name) > 0) return;
+        if (loop.clauses.is_private(e.name) ||
+            loop.clauses.is_reduction(e.name)) {
+          return;
+        }
+        ScalarUse& use = scalars[e.name];
+        if (is_write) {
+          if (in_master) {
+            use.master_write = true;
+          } else if (in_prot) {
+            use.prot_write = true;
+          } else {
+            use.unprot_write = true;
+          }
+        } else {
+          if (!in_prot && !in_master) use.unprot_read = true;
+          if (!in_master) use.any_other_thread_access = true;
+        }
+        if (is_write && !in_master) use.any_other_thread_access = true;
+        return;
+      }
+      case Expr::Kind::ArrayRef: {
+        ArrayAccess a;
+        a.is_write = is_write;
+        a.index = affine_in(*e.index, loop.loop_var);
+        a.analyzable = a.index.affine;
+        // Accesses under critical/atomic are pairwise ordered and drop
+        // out of the dependence test.
+        if (!in_prot && !in_master) arrays[e.name].push_back(a);
+        collect_access(*e.index, loop, false, in_prot, in_master,
+                       local_scalars, scalars, arrays);
+        return;
+      }
+      case Expr::Kind::BinOp:
+        collect_access(*e.lhs, loop, false, in_prot, in_master,
+                       local_scalars, scalars, arrays);
+        collect_access(*e.rhs, loop, false, in_prot, in_master,
+                       local_scalars, scalars, arrays);
+        return;
+      default:
+        return;
+    }
+  }
+
+  static void report(DetectionResult& result, const std::string& var,
+                     const std::string& detail) {
+    result.verdict = Verdict::Race;
+    RaceReport r;
+    r.var = var;
+    r.detail = detail;
+    result.races.push_back(std::move(r));
+  }
+
+  ToolInfo info_;
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> make_tsan(std::size_t num_threads,
+                                    std::uint64_t seed,
+                                    std::size_t repetitions) {
+  return std::make_unique<TsanDetector>(num_threads, seed, repetitions);
+}
+
+std::unique_ptr<Detector> make_inspector(std::size_t num_threads,
+                                         std::uint64_t seed) {
+  return std::make_unique<InspectorDetector>(num_threads, seed);
+}
+
+std::unique_ptr<Detector> make_romp(std::size_t num_threads,
+                                    std::uint64_t seed) {
+  return std::make_unique<RompDetector>(num_threads, seed);
+}
+
+std::unique_ptr<Detector> make_llov() {
+  return std::make_unique<LlovDetector>();
+}
+
+std::vector<std::unique_ptr<Detector>> make_all_tools() {
+  std::vector<std::unique_ptr<Detector>> out;
+  out.push_back(make_llov());
+  out.push_back(make_inspector());
+  out.push_back(make_romp());
+  out.push_back(make_tsan());
+  return out;
+}
+
+}  // namespace hpcgpt::race

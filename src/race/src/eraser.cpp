@@ -1,0 +1,154 @@
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "hpcgpt/race/detector.hpp"
+#include "hpcgpt/race/features.hpp"
+#include "hpcgpt/race/interp.hpp"
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::race {
+
+using minilang::Flavor;
+using minilang::Program;
+
+namespace {
+
+/// The Eraser lockset algorithm over the instrumented trace: each
+/// location's candidate lockset starts as "all locks" and is intersected
+/// with the accessing thread's held set on every access once the location
+/// is shared; an empty candidate set on a shared-modified location is a
+/// (potential) race. Thread identity is (region, thread) like the HB
+/// engine; fork/join/barrier edges are deliberately ignored — that is the
+/// algorithm's defining blind spot.
+class EraserDetector final : public Detector {
+ public:
+  EraserDetector(std::size_t num_threads, std::uint64_t seed)
+      : info_{"Eraser (lockset)", "reference", "n/a", "dynamic"},
+        num_threads_(num_threads),
+        seed_(seed) {}
+
+  const ToolInfo& info() const override { return info_; }
+
+  DetectionResult analyze(const Program& program, Flavor flavor) override {
+    const ProgramFeatures f = scan_features(program);
+    DetectionResult result;
+    if (f.has_target) {
+      result.verdict = Verdict::Unsupported;
+      result.unsupported_reason = "no instrumentation for device code";
+      return result;
+    }
+    (void)flavor;
+    ExecResult exec;
+    try {
+      exec = execute(program, {.num_threads = num_threads_, .seed = seed_});
+    } catch (const Error&) {
+      result.verdict = Verdict::Unsupported;
+      result.unsupported_reason = "program faulted during execution";
+      return result;
+    }
+    const auto races = lockset_analysis(exec.trace);
+    if (races.empty()) {
+      result.verdict = Verdict::NoRace;
+    } else {
+      result.verdict = Verdict::Race;
+      result.races = races;
+    }
+    return result;
+  }
+
+ private:
+  enum class State { Virgin, Exclusive, Shared, SharedModified };
+
+  struct Shadow {
+    State state = State::Virgin;
+    int owner = -1;                   // Exclusive owner identity
+    bool lockset_initialized = false; // candidate set = "all locks" until
+                                      // the first shared access
+    std::set<std::uint64_t> candidate;
+    std::string var;
+  };
+
+  static std::vector<RaceReport> lockset_analysis(const Trace& trace) {
+    std::unordered_map<std::uint64_t, Shadow> shadow;
+    std::unordered_map<int, std::set<std::uint64_t>> held;  // per identity
+    std::set<std::string> reported;
+    std::vector<RaceReport> races;
+
+    const auto identity = [](const Event& e) {
+      return (e.region + 1) * 4096 + e.thread;
+    };
+
+    for (const Event& e : trace) {
+      switch (e.kind) {
+        case EventKind::Acquire:
+          held[identity(e)].insert(e.lock);
+          continue;
+        case EventKind::Release:
+          held[identity(e)].erase(e.lock);
+          continue;
+        case EventKind::Read:
+        case EventKind::Write:
+          break;
+        default:
+          continue;  // fork/join/barrier: invisible to pure lockset
+      }
+
+      const int who = identity(e);
+      Shadow& s = shadow[e.addr];
+      if (s.var.empty()) s.var = e.var;
+      switch (s.state) {
+        case State::Virgin:
+          s.state = State::Exclusive;
+          s.owner = who;
+          break;
+        case State::Exclusive:
+          if (who == s.owner) break;
+          s.state = e.kind == EventKind::Write ? State::SharedModified
+                                               : State::Shared;
+          s.candidate = held[who];
+          s.lockset_initialized = true;
+          break;
+        case State::Shared:
+        case State::SharedModified: {
+          intersect(s, held[who]);
+          if (e.kind == EventKind::Write) s.state = State::SharedModified;
+          break;
+        }
+      }
+      if (s.state == State::SharedModified && s.lockset_initialized &&
+          s.candidate.empty() && reported.insert(s.var).second) {
+        RaceReport r;
+        r.var = s.var;
+        r.addr = e.addr;
+        r.second_thread = e.thread;
+        r.detail = "empty candidate lockset on shared-modified location";
+        races.push_back(std::move(r));
+      }
+    }
+    return races;
+  }
+
+  static void intersect(Shadow& s, const std::set<std::uint64_t>& held) {
+    for (auto it = s.candidate.begin(); it != s.candidate.end();) {
+      if (held.count(*it) == 0) {
+        it = s.candidate.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  ToolInfo info_;
+  std::size_t num_threads_;
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<Detector> make_eraser(std::size_t num_threads,
+                                      std::uint64_t seed) {
+  return std::make_unique<EraserDetector>(num_threads, seed);
+}
+
+}  // namespace hpcgpt::race

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpcgpt::retrieval {
+
+/// TF-IDF document embedder over normalized words.
+///
+/// This is the embedding component of the LangChain-style vector store the
+/// paper proposes (§5) for updating HPC-GPT with new data without
+/// retraining: text is chunked, embedded and matched against prompts by
+/// cosine similarity.
+class TfidfEmbedder {
+ public:
+  /// Learns the vocabulary and document frequencies from `corpus`.
+  void fit(const std::vector<std::string>& corpus);
+
+  /// Sparse TF-IDF vector (term id → weight), L2-normalized.
+  std::map<std::size_t, double> embed(const std::string& text) const;
+
+  std::size_t vocabulary_size() const { return vocab_.size(); }
+  bool fitted() const { return documents_ > 0; }
+
+ private:
+  std::map<std::string, std::size_t> vocab_;
+  std::vector<double> idf_;
+  std::size_t documents_ = 0;
+};
+
+/// Cosine similarity of two sparse vectors (both assumed L2-normalized,
+/// so this is just the dot product).
+double cosine(const std::map<std::size_t, double>& a,
+              const std::map<std::size_t, double>& b);
+
+/// A scored retrieval hit.
+struct Hit {
+  std::size_t index = 0;  ///< position in the store
+  double score = 0.0;
+  std::string text;
+};
+
+/// In-memory vector store with top-k cosine retrieval.
+class VectorStore {
+ public:
+  explicit VectorStore(TfidfEmbedder embedder) : embedder_(std::move(embedder)) {}
+
+  /// Adds one chunk. Chunks added after construction are immediately
+  /// searchable — the "integrate new data without retraining" property.
+  void add(std::string chunk);
+  void add_all(const std::vector<std::string>& chunks);
+
+  std::size_t size() const { return chunks_.size(); }
+
+  /// The `k` most similar chunks to `query`, best first.
+  std::vector<Hit> top_k(const std::string& query, std::size_t k) const;
+
+ private:
+  TfidfEmbedder embedder_;
+  std::vector<std::string> chunks_;
+  std::vector<std::map<std::size_t, double>> vectors_;
+};
+
+}  // namespace hpcgpt::retrieval

@@ -1,0 +1,95 @@
+#include "hpcgpt/retrieval/vector_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::retrieval {
+
+void TfidfEmbedder::fit(const std::vector<std::string>& corpus) {
+  vocab_.clear();
+  documents_ = corpus.size();
+  std::vector<std::size_t> doc_freq;
+  for (const std::string& doc : corpus) {
+    std::vector<std::string> words = strings::normalized_words(doc);
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    for (const std::string& w : words) {
+      const auto [it, inserted] = vocab_.try_emplace(w, vocab_.size());
+      if (inserted) doc_freq.push_back(0);
+      ++doc_freq[it->second];
+    }
+  }
+  idf_.resize(doc_freq.size());
+  for (std::size_t i = 0; i < doc_freq.size(); ++i) {
+    idf_[i] = std::log((1.0 + static_cast<double>(documents_)) /
+                       (1.0 + static_cast<double>(doc_freq[i]))) +
+              1.0;
+  }
+}
+
+std::map<std::size_t, double> TfidfEmbedder::embed(
+    const std::string& text) const {
+  std::map<std::size_t, double> counts;
+  for (const std::string& w : strings::normalized_words(text)) {
+    const auto it = vocab_.find(w);
+    if (it != vocab_.end()) counts[it->second] += 1.0;
+  }
+  double norm_sq = 0.0;
+  for (auto& [term, weight] : counts) {
+    weight *= idf_[term];
+    norm_sq += weight * weight;
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [term, weight] : counts) weight *= inv;
+  }
+  return counts;
+}
+
+double cosine(const std::map<std::size_t, double>& a,
+              const std::map<std::size_t, double>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, weight] : small) {
+    const auto it = large.find(term);
+    if (it != large.end()) dot += weight * it->second;
+  }
+  return dot;
+}
+
+void VectorStore::add(std::string chunk) {
+  vectors_.push_back(embedder_.embed(chunk));
+  chunks_.push_back(std::move(chunk));
+}
+
+void VectorStore::add_all(const std::vector<std::string>& chunks) {
+  for (const std::string& c : chunks) add(c);
+}
+
+std::vector<Hit> VectorStore::top_k(const std::string& query,
+                                    std::size_t k) const {
+  const auto q = embedder_.embed(query);
+  std::vector<Hit> hits;
+  hits.reserve(chunks_.size());
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    Hit h;
+    h.index = i;
+    h.score = cosine(q, vectors_[i]);
+    hits.push_back(std::move(h));
+  }
+  std::partial_sort(hits.begin(),
+                    hits.begin() + static_cast<std::ptrdiff_t>(
+                                       std::min(k, hits.size())),
+                    hits.end(), [](const Hit& x, const Hit& y) {
+                      return x.score > y.score ||
+                             (x.score == y.score && x.index < y.index);
+                    });
+  hits.resize(std::min(k, hits.size()));
+  for (Hit& h : hits) h.text = chunks_[h.index];
+  return hits;
+}
+
+}  // namespace hpcgpt::retrieval

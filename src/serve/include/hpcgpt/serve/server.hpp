@@ -1,0 +1,63 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hpcgpt/core/hpcgpt.hpp"
+
+namespace hpcgpt::serve {
+
+/// Server statistics.
+struct ServerStats {
+  std::size_t requests_served = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+/// The deployment stage of Figure 1: a multi-threaded in-process
+/// inference server in front of one HPC-GPT model.
+///
+/// Requests are queued and answered asynchronously; because the
+/// transformer's forward caches are not re-entrant, a mutex serializes
+/// model access while the worker threads handle queuing, decoding and
+/// response delivery (the standard single-accelerator serving shape).
+/// submit() returns a future; shutdown() drains the queue.
+class InferenceServer {
+ public:
+  InferenceServer(core::HpcGpt& model, std::size_t workers = 2);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a question; the future resolves to the generated answer.
+  std::future<std::string> submit(std::string question);
+
+  /// Stops accepting requests, finishes the queued ones, joins workers.
+  void shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Request {
+    std::string question;
+    std::promise<std::string> promise;
+  };
+
+  void worker_loop();
+
+  core::HpcGpt& model_;
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<Request> queue_;
+  std::vector<std::thread> workers_;
+  std::mutex model_mutex_;
+  ServerStats stats_;
+  bool stopping_ = false;
+};
+
+}  // namespace hpcgpt::serve

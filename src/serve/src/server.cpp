@@ -1,0 +1,73 @@
+#include "hpcgpt/serve/server.hpp"
+
+#include <algorithm>
+
+namespace hpcgpt::serve {
+
+InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t workers)
+    : model_(model) {
+  workers_.reserve(std::max<std::size_t>(1, workers));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, workers); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<std::string> InferenceServer::submit(std::string question) {
+  Request request;
+  request.question = std::move(question);
+  std::future<std::string> future = request.promise.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      request.promise.set_exception(std::make_exception_ptr(
+          Error("InferenceServer: submit after shutdown")));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  }
+  available_.notify_one();
+  return future;
+}
+
+void InferenceServer::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void InferenceServer::worker_loop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock lock(mutex_);
+      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.requests_served;
+    }
+    try {
+      std::lock_guard model_lock(model_mutex_);
+      request.promise.set_value(model_.ask(request.question));
+    } catch (...) {
+      request.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace hpcgpt::serve

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcgpt::strings {
+
+/// Splits `text` on `sep` (single character). Adjacent separators produce
+/// empty fields, like Python's str.split(sep).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Splits on runs of ASCII whitespace; never produces empty fields.
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between adjacent elements.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True when `text` begins with `prefix` / ends with `suffix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True when `needle` occurs in `haystack` ignoring ASCII case.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// Number of whitespace-separated words.
+std::size_t word_count(std::string_view text);
+
+/// Lowercased words with punctuation stripped from both ends — the shared
+/// normalization used by similarity metrics and the TF-IDF embedder.
+std::vector<std::string> normalized_words(std::string_view text);
+
+}  // namespace hpcgpt::strings

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcgpt {
+
+/// A fixed-size worker pool with a shared FIFO task queue.
+///
+/// This is the shared-memory parallel substrate for the whole repository:
+/// the tensor library's GEMM, the data-generation pipeline and the race
+/// detector evaluation harness all schedule work through it. The pool is
+/// intentionally simple — a mutex-protected deque — because tasks in this
+/// codebase are coarse (row blocks, whole test programs), so queue
+/// contention is negligible.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    available_.notify_one();
+    return result;
+  }
+
+  /// The process-wide default pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for every i in [begin, end), split into contiguous chunks
+/// across `pool`. Blocks until all chunks complete. Exceptions thrown by
+/// `body` propagate to the caller (the first one wins).
+///
+/// The chunking is static — (end-begin) is divided evenly across workers —
+/// which matches the regular, equally-sized iterations this codebase
+/// produces (tensor rows, test cases). `grain` bounds the minimum chunk so
+/// tiny ranges run inline without synchronization cost.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace hpcgpt

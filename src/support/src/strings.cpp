@@ -1,0 +1,129 @@
+#include "hpcgpt/support/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hpcgpt::strings {
+
+namespace {
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_whitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), lower);
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  const auto it = std::search(
+      haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+      [](char a, char b) { return lower(a) == lower(b); });
+  return it != haystack.end();
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(text.substr(pos));
+      return out;
+    }
+    out.append(text.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+std::size_t word_count(std::string_view text) {
+  return split_whitespace(text).size();
+}
+
+std::vector<std::string> normalized_words(std::string_view text) {
+  std::vector<std::string> words = split_whitespace(text);
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (auto& word : words) {
+    std::size_t begin = 0;
+    std::size_t end = word.size();
+    const auto is_punct = [](char c) {
+      return std::ispunct(static_cast<unsigned char>(c)) != 0;
+    };
+    while (begin < end && is_punct(word[begin])) ++begin;
+    while (end > begin && is_punct(word[end - 1])) --end;
+    if (begin == end) continue;
+    std::string cleaned = word.substr(begin, end - begin);
+    std::transform(cleaned.begin(), cleaned.end(), cleaned.begin(), lower);
+    out.push_back(std::move(cleaned));
+  }
+  return out;
+}
+
+}  // namespace hpcgpt::strings

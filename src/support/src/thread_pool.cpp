@@ -1,0 +1,90 @@
+#include "hpcgpt/support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace hpcgpt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t max_chunks =
+      std::max<std::size_t>(1, total / std::max<std::size_t>(1, grain));
+  const std::size_t chunks = std::min(pool.size(), max_chunks);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+
+  const std::size_t per_chunk = (total + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * per_chunk;
+    const std::size_t hi = std::min(end, lo + per_chunk);
+    if (lo >= hi) break;
+    pending.push_back(pool.submit([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi && !failed.load(); ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    }));
+  }
+  for (auto& f : pending) f.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+
+}  // namespace hpcgpt

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace hpcgpt::tensor {
+
+/// IEEE-754 binary16 (half precision) stored in a uint16_t.
+///
+/// The paper trains with fp16 to halve memory (§4.1); this type provides
+/// the same storage-precision trade-off on CPU: checkpoints and the
+/// quantized inference path hold weights as Half and expand to float for
+/// arithmetic. Conversions implement round-to-nearest-even and handle
+/// subnormals, infinities and NaN.
+class Half {
+ public:
+  Half() = default;
+
+  /// Converts from float with round-to-nearest-even.
+  static Half from_float(float f) {
+    std::uint32_t x;
+    std::memcpy(&x, &f, sizeof x);
+    const std::uint32_t sign = (x >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((x >> 23) & 0xFFu) - 127 + 15;
+    std::uint32_t mantissa = x & 0x7FFFFFu;
+
+    Half h;
+    if (((x >> 23) & 0xFFu) == 0xFFu) {  // inf / NaN
+      h.bits_ = static_cast<std::uint16_t>(
+          sign | 0x7C00u | (mantissa != 0 ? 0x200u : 0u));
+      return h;
+    }
+    if (exponent >= 0x1F) {  // overflow -> inf
+      h.bits_ = static_cast<std::uint16_t>(sign | 0x7C00u);
+      return h;
+    }
+    if (exponent <= 0) {  // subnormal or zero
+      if (exponent < -10) {
+        h.bits_ = static_cast<std::uint16_t>(sign);
+        return h;
+      }
+      mantissa |= 0x800000u;  // implicit leading one
+      const int shift = 14 - exponent;
+      std::uint32_t value = mantissa >> shift;
+      // round to nearest even
+      const std::uint32_t rest = mantissa & ((1u << shift) - 1);
+      const std::uint32_t halfway = 1u << (shift - 1);
+      if (rest > halfway || (rest == halfway && (value & 1u))) ++value;
+      h.bits_ = static_cast<std::uint16_t>(sign | value);
+      return h;
+    }
+    std::uint32_t value =
+        (static_cast<std::uint32_t>(exponent) << 10) | (mantissa >> 13);
+    const std::uint32_t rest = mantissa & 0x1FFFu;
+    if (rest > 0x1000u || (rest == 0x1000u && (value & 1u))) ++value;
+    h.bits_ = static_cast<std::uint16_t>(sign | value);
+    return h;
+  }
+
+  /// Expands to float (exact).
+  float to_float() const {
+    const std::uint32_t sign = static_cast<std::uint32_t>(bits_ & 0x8000u) << 16;
+    const std::uint32_t exponent = (bits_ >> 10) & 0x1Fu;
+    const std::uint32_t mantissa = bits_ & 0x3FFu;
+    std::uint32_t x;
+    if (exponent == 0) {
+      if (mantissa == 0) {
+        x = sign;  // signed zero
+      } else {
+        // subnormal: normalize
+        int e = -1;
+        std::uint32_t m = mantissa;
+        do {
+          ++e;
+          m <<= 1;
+        } while ((m & 0x400u) == 0);
+        x = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+      }
+    } else if (exponent == 0x1F) {
+      x = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+    } else {
+      x = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+    }
+    float f;
+    std::memcpy(&f, &x, sizeof f);
+    return f;
+  }
+
+  std::uint16_t bits() const { return bits_; }
+  static Half from_bits(std::uint16_t b) {
+    Half h;
+    h.bits_ = b;
+    return h;
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace hpcgpt::tensor

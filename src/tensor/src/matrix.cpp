@@ -1,0 +1,181 @@
+#include "hpcgpt/tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/thread_pool.hpp"
+
+namespace hpcgpt::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::randomize(Rng& rng, float stddev) {
+  for (float& x : data_) {
+    x = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+}
+
+double Matrix::squared_norm() const {
+  double sum = 0.0;
+  for (const float x : data_) sum += static_cast<double>(x) * x;
+  return sum;
+}
+
+std::vector<Half> Matrix::to_half() const {
+  std::vector<Half> out(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out[i] = Half::from_float(data_[i]);
+  }
+  return out;
+}
+
+Matrix Matrix::from_half(std::size_t rows, std::size_t cols,
+                         const std::vector<Half>& bits) {
+  require(bits.size() == rows * cols, "Matrix::from_half: size mismatch");
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    m.data_[i] = bits[i].to_float();
+  }
+  return m;
+}
+
+namespace {
+
+// Minimum rows-per-task before the GEMM bothers going parallel: tiny
+// matrices (everything in the test suite's nn configs) run inline.
+constexpr std::size_t kRowGrain = 16;
+
+void check_inner(std::size_t a, std::size_t b, const char* what) {
+  require(a == b, std::string("matmul: inner dimension mismatch in ") + what);
+}
+
+template <bool Accumulate>
+void gemm_nn(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_inner(a.cols(), b.rows(), "A*B");
+  require(out.rows() == a.rows() && out.cols() == b.cols(),
+          "matmul: output shape mismatch");
+  const std::size_t k_dim = a.cols();
+  const std::size_t n = b.cols();
+  parallel_for(0, a.rows(), [&](std::size_t i) {
+    float* out_row = out.row(i).data();
+    if constexpr (!Accumulate) {
+      std::fill(out_row, out_row + n, 0.0f);
+    }
+    const float* a_row = a.row(i).data();
+    for (std::size_t k = 0; k < k_dim; ++k) {
+      const float aik = a_row[k];
+      if (aik == 0.0f) continue;
+      const float* b_row = b.row(k).data();
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += aik * b_row[j];
+      }
+    }
+  }, kRowGrain);
+}
+
+template <bool Accumulate>
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_inner(a.cols(), b.cols(), "A*B^T");
+  require(out.rows() == a.rows() && out.cols() == b.rows(),
+          "matmul_nt: output shape mismatch");
+  const std::size_t k_dim = a.cols();
+  parallel_for(0, a.rows(), [&](std::size_t i) {
+    const float* a_row = a.row(i).data();
+    float* out_row = out.row(i).data();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.row(j).data();
+      float sum = 0.0f;
+      for (std::size_t k = 0; k < k_dim; ++k) sum += a_row[k] * b_row[k];
+      if constexpr (Accumulate) {
+        out_row[j] += sum;
+      } else {
+        out_row[j] = sum;
+      }
+    }
+  }, kRowGrain);
+}
+
+template <bool Accumulate>
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  check_inner(a.rows(), b.rows(), "A^T*B");
+  require(out.rows() == a.cols() && out.cols() == b.cols(),
+          "matmul_tn: output shape mismatch");
+  const std::size_t n = b.cols();
+  // Parallelize over output rows (columns of a) so writes never collide.
+  parallel_for(0, a.cols(), [&](std::size_t i) {
+    float* out_row = out.row(i).data();
+    if constexpr (!Accumulate) {
+      std::fill(out_row, out_row + n, 0.0f);
+    }
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+      const float aki = a.at(k, i);
+      if (aki == 0.0f) continue;
+      const float* b_row = b.row(k).data();
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += aki * b_row[j];
+      }
+    }
+  }, kRowGrain);
+}
+
+}  // namespace
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  gemm_nn<false>(a, b, out);
+}
+void matmul_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  gemm_nn<true>(a, b, out);
+}
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  gemm_nt<false>(a, b, out);
+}
+void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  gemm_nt<true>(a, b, out);
+}
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  gemm_tn<false>(a, b, out);
+}
+void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  gemm_tn<true>(a, b, out);
+}
+
+void add_inplace(Matrix& target, const Matrix& delta) {
+  require(target.same_shape(delta), "add_inplace: shape mismatch");
+  float* t = target.data();
+  const float* d = delta.data();
+  for (std::size_t i = 0; i < target.size(); ++i) t[i] += d[i];
+}
+
+void scale_inplace(Matrix& target, float factor) {
+  for (float& x : target.flat()) x *= factor;
+}
+
+void hadamard_inplace(Matrix& target, const Matrix& factor) {
+  require(target.same_shape(factor), "hadamard_inplace: shape mismatch");
+  float* t = target.data();
+  const float* f = factor.data();
+  for (std::size_t i = 0; i < target.size(); ++i) t[i] *= f[i];
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    float max_val = row[0];
+    for (const float x : row) max_val = std::max(max_val, x);
+    float sum = 0.0f;
+    for (float& x : row) {
+      x = std::exp(x - max_val);
+      sum += x;
+    }
+    const float inv = 1.0f / sum;
+    for (float& x : row) x *= inv;
+  }
+}
+
+}  // namespace hpcgpt::tensor

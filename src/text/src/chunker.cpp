@@ -1,0 +1,57 @@
+#include "hpcgpt/text/chunker.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/strings.hpp"
+
+namespace hpcgpt::text {
+
+std::vector<std::string> chunk_document(std::string_view document,
+                                        const ChunkOptions& options) {
+  require(options.max_words > 0, "chunk_document: max_words must be > 0");
+  require(options.overlap_words < options.max_words,
+          "chunk_document: overlap must be smaller than chunk size");
+
+  const std::vector<std::string> words =
+      strings::split_whitespace(document);
+  std::vector<std::string> chunks;
+  if (words.empty()) return chunks;
+
+  std::size_t begin = 0;
+  while (begin < words.size()) {
+    const std::size_t end =
+        std::min(words.size(), begin + options.max_words);
+    std::vector<std::string> piece(words.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   words.begin() + static_cast<std::ptrdiff_t>(end));
+    chunks.push_back(strings::join(piece, " "));
+    if (end == words.size()) break;
+    begin = end - options.overlap_words;
+  }
+  return chunks;
+}
+
+std::vector<std::string> chunk_code(std::string_view code,
+                                    std::size_t max_lines,
+                                    std::size_t overlap_lines) {
+  require(max_lines > 0, "chunk_code: max_lines must be > 0");
+  require(overlap_lines < max_lines,
+          "chunk_code: overlap must be smaller than chunk size");
+
+  const std::vector<std::string> lines = strings::split(code, '\n');
+  std::vector<std::string> chunks;
+  if (lines.empty()) return chunks;
+
+  std::size_t begin = 0;
+  while (begin < lines.size()) {
+    const std::size_t end = std::min(lines.size(), begin + max_lines);
+    std::vector<std::string> piece(lines.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   lines.begin() + static_cast<std::ptrdiff_t>(end));
+    chunks.push_back(strings::join(piece, "\n"));
+    if (end == lines.size()) break;
+    begin = end - overlap_lines;
+  }
+  return chunks;
+}
+
+}  // namespace hpcgpt::text

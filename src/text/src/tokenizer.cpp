@@ -1,0 +1,154 @@
+#include "hpcgpt/text/tokenizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::text {
+
+BpeTokenizer::BpeTokenizer() = default;
+
+void BpeTokenizer::train(const std::vector<std::string>& corpus,
+                         std::size_t vocab_size,
+                         std::size_t min_pair_count) {
+  require(vocab_size >= static_cast<std::size_t>(kFirstMerge),
+          "BpeTokenizer::train: vocab_size below base alphabet");
+  merges_.clear();
+  merge_index_.clear();
+
+  // Working token sequences, one per corpus document.
+  std::vector<std::vector<TokenId>> docs;
+  docs.reserve(corpus.size());
+  for (const std::string& doc : corpus) {
+    std::vector<TokenId> ids;
+    ids.reserve(doc.size());
+    for (const char c : doc) {
+      ids.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+    }
+    docs.push_back(std::move(ids));
+  }
+
+  while (this->vocab_size() < vocab_size) {
+    // Count adjacent pairs across all documents.
+    std::unordered_map<std::pair<TokenId, TokenId>, std::size_t, PairHash>
+        counts;
+    for (const auto& ids : docs) {
+      for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+        ++counts[{ids[i], ids[i + 1]}];
+      }
+    }
+    if (counts.empty()) break;
+
+    // Deterministic argmax: highest count, ties broken by smallest pair.
+    std::pair<TokenId, TokenId> best{0, 0};
+    std::size_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count ||
+          (count == best_count && pair < best)) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < min_pair_count) break;
+
+    const TokenId new_id =
+        static_cast<TokenId>(kFirstMerge + merges_.size());
+    merges_.push_back({best.first, best.second});
+    merge_index_[best] = new_id;
+
+    // Apply the merge in place in every document.
+    for (auto& ids : docs) {
+      std::size_t write = 0;
+      for (std::size_t read = 0; read < ids.size(); ++read) {
+        if (read + 1 < ids.size() && ids[read] == best.first &&
+            ids[read + 1] == best.second) {
+          ids[write++] = new_id;
+          ++read;
+        } else {
+          ids[write++] = ids[read];
+        }
+      }
+      ids.resize(write);
+    }
+  }
+}
+
+std::vector<TokenId> BpeTokenizer::encode(std::string_view text) const {
+  std::vector<TokenId> ids;
+  ids.reserve(text.size());
+  for (const char c : text) {
+    ids.push_back(static_cast<TokenId>(static_cast<unsigned char>(c)));
+  }
+  if (merge_index_.empty()) return ids;
+
+  // Repeatedly apply the earliest-learned applicable merge. Applying merges
+  // in rank order reproduces the canonical BPE segmentation.
+  for (;;) {
+    TokenId best_rank = std::numeric_limits<TokenId>::max();
+    std::size_t best_pos = ids.size();
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      const auto it = merge_index_.find({ids[i], ids[i + 1]});
+      if (it != merge_index_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_pos == ids.size()) break;
+    ids[best_pos] = best_rank;
+    ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return ids;
+}
+
+std::string BpeTokenizer::decode(const std::vector<TokenId>& ids) const {
+  std::string out;
+  for (const TokenId id : ids) out += piece(id);
+  return out;
+}
+
+std::string BpeTokenizer::piece(TokenId id) const {
+  if (id >= 0 && id < 256) {
+    return std::string(1, static_cast<char>(static_cast<unsigned char>(id)));
+  }
+  if (id >= kPad && id < kFirstMerge) return {};
+  const std::size_t index = static_cast<std::size_t>(id - kFirstMerge);
+  require(index < merges_.size(), "BpeTokenizer::piece: id out of range");
+  return piece(merges_[index].left) + piece(merges_[index].right);
+}
+
+std::string BpeTokenizer::save() const {
+  std::ostringstream out;
+  out << "bpe-v1 " << merges_.size() << "\n";
+  for (const Merge& m : merges_) out << m.left << " " << m.right << "\n";
+  return out.str();
+}
+
+BpeTokenizer BpeTokenizer::load(std::string_view serialized) {
+  std::istringstream in{std::string(serialized)};
+  std::string magic;
+  std::size_t count = 0;
+  in >> magic >> count;
+  if (magic != "bpe-v1") throw ParseError("BpeTokenizer::load: bad magic");
+  BpeTokenizer tok;
+  tok.merges_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Merge m{};
+    in >> m.left >> m.right;
+    if (!in) throw ParseError("BpeTokenizer::load: truncated merge list");
+    tok.merges_.push_back(m);
+  }
+  tok.rebuild_merge_index();
+  return tok;
+}
+
+void BpeTokenizer::rebuild_merge_index() {
+  merge_index_.clear();
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    merge_index_[{merges_[i].left, merges_[i].right}] =
+        static_cast<TokenId>(kFirstMerge + i);
+  }
+}
+
+}  // namespace hpcgpt::text

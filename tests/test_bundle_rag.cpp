@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/core/rag.hpp"
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::core {
+namespace {
+
+const text::BpeTokenizer& tokenizer() {
+  static const text::BpeTokenizer tok = build_shared_tokenizer();
+  return tok;
+}
+
+ModelOptions tiny_spec() {
+  ModelOptions o;
+  o.name = "bundle_test";
+  o.config = default_architecture();
+  o.pretrain_steps = 40;
+  o.seed = 77;
+  return o;
+}
+
+// ------------------------------------------------------------- bundle
+
+TEST(Bundle, RoundTripPreservesBehaviour) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  model.pretrain(kb::unstructured_corpus(), {});
+  const std::string blob = model.save_bundle();
+  HpcGpt restored = HpcGpt::load_bundle(blob);
+
+  EXPECT_EQ(restored.name(), "bundle_test");
+  // Same tokenizer.
+  EXPECT_EQ(restored.tokenizer().merge_count(),
+            model.tokenizer().merge_count());
+  // Same classification decisions (weights round-trip through fp16, but
+  // the argmax of a yes/no comparison is stable for a trained model).
+  const char* snippets[] = {
+      "x = x + 1;",
+      "#pragma omp parallel for\nfor (i = 1; i < 9; i++) { a[i] = a[i-1]; }",
+  };
+  for (const char* s : snippets) {
+    EXPECT_EQ(static_cast<int>(restored.classify_race(s, 256)),
+              static_cast<int>(model.classify_race(s, 256)))
+        << s;
+  }
+}
+
+TEST(Bundle, FileRoundTrip) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  const std::string path = ::testing::TempDir() + "hpcgpt_bundle_test.bin";
+  model.save_bundle_file(path);
+  HpcGpt restored = HpcGpt::load_bundle_file(path);
+  EXPECT_EQ(restored.name(), model.name());
+  std::remove(path.c_str());
+}
+
+TEST(Bundle, RejectsCorruptBlobs) {
+  EXPECT_THROW(HpcGpt::load_bundle("nonsense"), ParseError);
+  HpcGpt model(tiny_spec(), tokenizer());
+  std::string blob = model.save_bundle();
+  EXPECT_THROW(HpcGpt::load_bundle(blob.substr(0, blob.size() / 3)),
+               ParseError);
+}
+
+// --------------------------------------------------------------- rag
+
+retrieval::VectorStore demo_store() {
+  const std::vector<std::string> facts{
+      "The system is gb200_nvl72 if the accelerator used is NVIDIA GB200 "
+      "and the software used is PyTorch Release 24.10.",
+      "The CodeTrans dataset can be used for code translation tasks from "
+      "Java to C#.",
+      "The private clause gives each thread its own copy of a variable.",
+  };
+  retrieval::TfidfEmbedder emb;
+  emb.fit(facts);
+  retrieval::VectorStore store(emb);
+  store.add_all(facts);
+  return store;
+}
+
+TEST(Rag, RetrievesRelevantContext) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  const auto store = demo_store();
+  const RagAnswer answer = rag_ask(
+      model, store, "which system pairs the GB200 accelerator with "
+                    "PyTorch Release 24.10?");
+  ASSERT_TRUE(answer.used_context);
+  ASSERT_FALSE(answer.context.empty());
+  EXPECT_NE(answer.context[0].text.find("gb200_nvl72"), std::string::npos);
+}
+
+TEST(Rag, IrrelevantQueryFallsBackToModel) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  const auto store = demo_store();
+  const RagAnswer answer =
+      rag_ask(model, store, "zzz qqq completely unrelated vvv");
+  EXPECT_FALSE(answer.used_context);
+  EXPECT_TRUE(answer.context.empty());
+}
+
+TEST(Rag, TopKIsBounded) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  const auto store = demo_store();
+  RagOptions opts;
+  opts.top_k = 1;
+  const RagAnswer answer =
+      rag_ask(model, store, "code translation Java C# dataset", opts);
+  EXPECT_LE(answer.context.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hpcgpt::core

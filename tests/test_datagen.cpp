@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "hpcgpt/datagen/filter.hpp"
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/datagen/record.hpp"
+#include "hpcgpt/datagen/teacher.hpp"
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/kb/kb.hpp"
+
+namespace hpcgpt::datagen {
+namespace {
+
+// -------------------------------------------------------------- record
+
+TEST(Record, JsonRoundTrip) {
+  InstructionRecord r;
+  r.instruction = "What dataset for clone detection?";
+  r.output = "The POJ-104 dataset.";
+  r.task = Task::Task1Plp;
+  r.category = "Clone detection";
+  r.gold = "POJ-104";
+  const InstructionRecord back = InstructionRecord::from_json(r.to_json());
+  EXPECT_EQ(back.instruction, r.instruction);
+  EXPECT_EQ(back.output, r.output);
+  EXPECT_EQ(back.task, Task::Task1Plp);
+  EXPECT_EQ(back.gold, "POJ-104");
+}
+
+TEST(Record, JsonlRoundTrip) {
+  std::vector<InstructionRecord> records(3);
+  records[0].instruction = "q0";
+  records[0].output = "a0";
+  records[0].task = Task::Task1Mlperf;
+  records[0].category = "System";
+  records[1].instruction = "q1 with \"quotes\" and\nnewline";
+  records[1].output = "a1";
+  records[1].task = Task::Task2Race;
+  records[1].category = "SIMD data races";
+  records[1].language = "Fortran";
+  records[2].instruction = "q2";
+  records[2].output = "a2";
+  records[2].task = Task::Task1Plp;
+  records[2].category = "Code Search";
+  const auto back = from_jsonl(to_jsonl(records));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[1].instruction, records[1].instruction);
+  EXPECT_EQ(back[1].language, "Fortran");
+}
+
+// -------------------------------------------------------------- prompts
+
+TEST(Prompts, Listing1Shape) {
+  const std::string p = instruction_generation_prompt("SOME KNOWLEDGE", 5);
+  EXPECT_NE(p.find("The HPC knowledge is:"), std::string::npos);
+  EXPECT_NE(p.find("SOME KNOWLEDGE"), std::string::npos);
+  EXPECT_NE(p.find("generate 5 questions"), std::string::npos);
+  EXPECT_NE(p.find("less than 50 words"), std::string::npos);
+}
+
+TEST(Prompts, Listing2Shape) {
+  const std::string p = answer_generation_prompt("K", "Q?");
+  EXPECT_NE(p.find("Please answer the following question"), std::string::npos);
+  EXPECT_NE(p.find("more than 10 words"), std::string::npos);
+  EXPECT_NE(p.find("\"instruction\""), std::string::npos);
+}
+
+// -------------------------------------------------------------- teacher
+
+TeacherModel clean_teacher(std::uint64_t seed = 4) {
+  TeacherOptions o;
+  o.duplicate_rate = 0;
+  o.unparseable_rate = 0;
+  o.prose_wrap_rate = 0;
+  o.short_answer_rate = 0;
+  o.long_answer_rate = 0;
+  o.missing_field_rate = 0;
+  o.hallucination_rate = 0;
+  o.seed = seed;
+  return TeacherModel(o);
+}
+
+TEST(Teacher, CleanPlpEmissionIsValidJson) {
+  TeacherModel teacher = clean_teacher();
+  const kb::PlpEntry& e = kb::KnowledgeBase::builtin().plp.front();
+  const TeacherEmission emission = teacher.generate_plp(e, 0);
+  const json::Value v = json::parse(emission.completion);
+  EXPECT_TRUE(v.has_string("instruction"));
+  EXPECT_TRUE(v.has_string("output"));
+  EXPECT_NE(v.at("output").as_string().find(e.dataset), std::string::npos);
+  EXPECT_NE(emission.prompt.find("The HPC knowledge is:"),
+            std::string::npos);
+}
+
+TEST(Teacher, MlperfVariantsAskDifferentAttributes) {
+  TeacherModel teacher = clean_teacher();
+  const kb::MlperfEntry& e = kb::KnowledgeBase::builtin().mlperf.front();
+  const auto q = [&](std::size_t variant) {
+    return json::parse(teacher.generate_mlperf(e, variant).completion)
+        .at("instruction")
+        .as_string();
+  };
+  EXPECT_NE(q(0).find("System"), std::string::npos);
+  EXPECT_NE(q(1).find("processor"), std::string::npos);
+  EXPECT_NE(q(2).find("submitted"), std::string::npos);
+}
+
+TEST(Teacher, RaceEmissionEmbedsSnippetAndLabel) {
+  TeacherModel teacher = clean_teacher();
+  Rng rng(9);
+  const drb::TestCase tc = drb::generate_case(
+      drb::Category::MissingSynchronization, minilang::Flavor::C, rng);
+  const TeacherEmission emission = teacher.generate_race(tc);
+  json::Value v;
+  ASSERT_TRUE(json::extract_object(emission.completion, v));
+  EXPECT_NE(v.at("instruction").as_string().find("#pragma omp"),
+            std::string::npos);
+  EXPECT_EQ(v.at("output").as_string(), "yes");
+}
+
+TEST(Teacher, DefectsOccurAtConfiguredRates) {
+  TeacherOptions o;
+  o.unparseable_rate = 0.5;
+  o.prose_wrap_rate = 0.0;
+  o.duplicate_rate = 0;
+  o.short_answer_rate = 0;
+  o.long_answer_rate = 0;
+  o.missing_field_rate = 0;
+  o.hallucination_rate = 0;
+  o.seed = 8;
+  TeacherModel teacher(o);
+  const kb::PlpEntry& e = kb::KnowledgeBase::builtin().plp.front();
+  std::size_t broken = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::string raw = teacher.generate_plp(e).completion;
+    json::Value v;
+    if (!json::extract_object(raw, v)) ++broken;
+  }
+  EXPECT_GT(broken, 25u);
+  EXPECT_LT(broken, 75u);
+}
+
+TEST(Teacher, DeterministicStream) {
+  TeacherModel a = clean_teacher(11);
+  TeacherModel b = clean_teacher(11);
+  const kb::PlpEntry& e = kb::KnowledgeBase::builtin().plp.front();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.generate_plp(e).completion, b.generate_plp(e).completion);
+  }
+}
+
+// -------------------------------------------------------------- filter
+
+TEST(Filter, AcceptsCleanRecord) {
+  InstructionFilter filter;
+  const auto reason = filter.offer(
+      R"({"instruction": "Which dataset fits clone detection tasks in C?",)"
+      R"( "input": "", "output": "The POJ-104 dataset is the established )"
+      R"(public choice for clone detection in that language."})",
+      Task::Task1Plp, "Clone detection");
+  EXPECT_EQ(reason, RejectReason::None);
+  EXPECT_EQ(filter.accepted().size(), 1u);
+  EXPECT_EQ(filter.stats().accepted, 1u);
+}
+
+TEST(Filter, SalvagesProseWrappedJson) {
+  InstructionFilter filter;
+  const auto reason = filter.offer(
+      "Sure! Here you go:\n"
+      R"({"instruction": "Name a dataset for defect detection screening?",)"
+      R"( "output": "The Devign dataset collects vulnerable C functions )"
+      R"(for defect detection model training."})"
+      "\nHope that helps!",
+      Task::Task1Plp, "Defect detection");
+  EXPECT_EQ(reason, RejectReason::None);
+}
+
+TEST(Filter, RejectsUnparseable) {
+  InstructionFilter filter;
+  EXPECT_EQ(filter.offer("total garbage with no braces", Task::Task1Plp, "X"),
+            RejectReason::Unparseable);
+  EXPECT_EQ(filter.offer(R"({"instruction": "q", "output": "a)",
+                         Task::Task1Plp, "X"),
+            RejectReason::Unparseable);
+  EXPECT_EQ(filter.stats().unparseable, 2u);
+}
+
+TEST(Filter, RejectsMissingFields) {
+  InstructionFilter filter;
+  EXPECT_EQ(filter.offer(R"({"instruction": "only a question"})",
+                         Task::Task1Plp, "X"),
+            RejectReason::MissingFields);
+}
+
+TEST(Filter, EnforcesAnswerLengthRules) {
+  InstructionFilter filter;
+  // Listing 2 rule 4: answers must exceed 10 words.
+  EXPECT_EQ(filter.offer(
+                R"({"instruction": "A reasonable question about datasets?",)"
+                R"( "output": "Too short."})",
+                Task::Task1Plp, "X"),
+            RejectReason::AnswerTooShort);
+  // Listing 2 rule 2: answers must stay under 50 words.
+  std::string long_answer;
+  for (int i = 0; i < 60; ++i) long_answer += "word ";
+  EXPECT_EQ(filter.offer(
+                R"({"instruction": "Another fine question?", "output": ")" +
+                    long_answer + R"("})",
+                Task::Task1Plp, "X"),
+            RejectReason::AnswerTooLong);
+  EXPECT_EQ(filter.stats().answer_too_short, 1u);
+  EXPECT_EQ(filter.stats().answer_too_long, 1u);
+}
+
+TEST(Filter, PrunesNearDuplicates) {
+  InstructionFilter filter;
+  const char* first =
+      R"({"instruction": "What kind of dataset can be used for clone)"
+      R"( detection tasks?", "output": "The POJ-104 dataset is commonly)"
+      R"( used for clone detection experiments in C and C++ programs."})";
+  const char* near =
+      R"({"instruction": "What kind of dataset can be used for the clone)"
+      R"( detection task?", "output": "The BigCloneBench dataset is another)"
+      R"( option used for clone detection experiments in Java programs."})";
+  EXPECT_EQ(filter.offer(first, Task::Task1Plp, "Clone detection"),
+            RejectReason::None);
+  EXPECT_EQ(filter.offer(near, Task::Task1Plp, "Clone detection"),
+            RejectReason::NearDuplicate);
+  EXPECT_EQ(filter.stats().near_duplicate, 1u);
+}
+
+TEST(Filter, Task2RequiresYesNo) {
+  InstructionFilter filter;
+  EXPECT_EQ(filter.offer(
+                R"({"instruction": "code?", "output": "maybe"})",
+                Task::Task2Race, "X"),
+            RejectReason::BadYesNo);
+  EXPECT_EQ(filter.offer(
+                R"({"instruction": "code?", "output": "YES"})",
+                Task::Task2Race, "X"),
+            RejectReason::None);
+  EXPECT_EQ(filter.accepted().back().output, "yes");  // normalized
+}
+
+TEST(Filter, Task2ExactDuplicatePruning) {
+  InstructionFilter filter;
+  const char* rec = R"({"instruction": "same snippet", "output": "no"})";
+  EXPECT_EQ(filter.offer(rec, Task::Task2Race, "X"), RejectReason::None);
+  EXPECT_EQ(filter.offer(rec, Task::Task2Race, "X"),
+            RejectReason::NearDuplicate);
+}
+
+// -------------------------------------------------------------- pipeline
+
+TEST(Pipeline, Table2RowsMatchPaper) {
+  const auto& rows = table2_rows();
+  ASSERT_EQ(rows.size(), 18u);  // 13 PLP + 5 MLPerf
+  std::size_t plp_total = 0;
+  std::size_t mlperf_total = 0;
+  for (const Table2Row& r : rows) {
+    (r.subtask == "PLP" ? plp_total : mlperf_total) += r.paper_count;
+  }
+  EXPECT_EQ(plp_total, 603u);
+  EXPECT_EQ(mlperf_total, 1820u);
+}
+
+TEST(Pipeline, CollectTask1HitsScaledTargets) {
+  TeacherOptions o;
+  o.seed = 21;
+  TeacherModel teacher(o);
+  Task1Spec spec;
+  spec.scale_divisor = 8;
+  const InstructionDataset data = collect_task1(teacher, spec);
+  EXPECT_GT(data.records.size(), 200u);
+  const auto plp = data.category_histogram(Task::Task1Plp);
+  EXPECT_EQ(plp.size(), 13u);
+  const auto mlperf = data.category_histogram(Task::Task1Mlperf);
+  EXPECT_EQ(mlperf.size(), 5u);
+  // Composition shape: Text-to-Code Generation is the largest PLP
+  // category in Table 2; with scaling it must still be at least as large
+  // as the smallest.
+  EXPECT_GE(plp.at("Text-to-Code Generation"), plp.at("Compiler Analyses"));
+  // The pipeline had to fight real rejections.
+  EXPECT_GT(data.task1_stats.rejected(), 0u);
+}
+
+TEST(Pipeline, CollectTask2MatchesTable3Counts) {
+  TeacherOptions o;
+  o.seed = 22;
+  // Clean teacher so every generated case is accepted (counts are exact).
+  o.duplicate_rate = o.unparseable_rate = o.prose_wrap_rate = 0;
+  o.short_answer_rate = o.long_answer_rate = o.missing_field_rate = 0;
+  o.hallucination_rate = 0;
+  TeacherModel teacher(o);
+  const InstructionDataset data = collect_task2(teacher, {});
+  const auto& c_counts = drb::table3_counts(minilang::Flavor::C);
+  const auto c_hist = data.category_histogram(Task::Task2Race, "C/C++");
+  const auto f_hist = data.category_histogram(Task::Task2Race, "Fortran");
+  EXPECT_EQ(c_hist.at("Unresolvable dependences"), c_counts[0]);
+  EXPECT_EQ(c_hist.at("Use of synchronization"), c_counts[9]);
+  std::size_t total = 0;
+  for (const auto& [cat, n] : c_hist) total += n;
+  for (const auto& [cat, n] : f_hist) total += n;
+  EXPECT_EQ(total, 1762u + 1576u);
+}
+
+TEST(Pipeline, CollectAllMergesBothTasks) {
+  const InstructionDataset data = collect_all(77);
+  EXPECT_FALSE(data.of_task(Task::Task1Plp).empty());
+  EXPECT_FALSE(data.of_task(Task::Task1Mlperf).empty());
+  EXPECT_FALSE(data.of_task(Task::Task2Race).empty());
+  // "a total of 5.86k instruction data" at paper scale; here Task 2 is at
+  // full scale and Task 1 divided by 8 — still thousands of records.
+  EXPECT_GT(data.records.size(), 3000u);
+}
+
+}  // namespace
+}  // namespace hpcgpt::datagen

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/race/detector.hpp"
+#include "hpcgpt/race/features.hpp"
+#include "hpcgpt/race/hb.hpp"
+#include "hpcgpt/race/interp.hpp"
+
+namespace hpcgpt::drb {
+namespace {
+
+using minilang::Flavor;
+
+TEST(Categories, FourteenInTable3Order) {
+  const auto& cats = all_categories();
+  ASSERT_EQ(cats.size(), kCategoryCount);
+  EXPECT_EQ(category_name(cats[0]), "Unresolvable dependences");
+  EXPECT_EQ(category_name(cats[7]), "Single thread execution");
+  EXPECT_EQ(category_name(cats[13]), "Numerical kernels");
+  // First seven racy, last seven race-free.
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_TRUE(category_has_race(cats[i]));
+  for (std::size_t i = 7; i < 14; ++i) {
+    EXPECT_FALSE(category_has_race(cats[i]));
+  }
+}
+
+TEST(Generate, CaseCarriesConsistentMetadata) {
+  Rng rng(5);
+  const TestCase tc =
+      generate_case(Category::MissingSynchronization, Flavor::C, rng);
+  EXPECT_TRUE(tc.has_race);
+  EXPECT_EQ(tc.category, Category::MissingSynchronization);
+  EXPECT_FALSE(tc.source.empty());
+  EXPECT_NE(tc.source.find("#pragma omp"), std::string::npos);
+  EXPECT_EQ(tc.id, tc.program.name);
+}
+
+TEST(Generate, FortranCasesRenderFortran) {
+  Rng rng(6);
+  const TestCase tc =
+      generate_case(Category::NumericalKernels, Flavor::Fortran, rng);
+  EXPECT_NE(tc.source.find("!$omp"), std::string::npos);
+  EXPECT_EQ(tc.source.find("#pragma"), std::string::npos);
+}
+
+TEST(Generate, OversizedCasesAreMuchLonger) {
+  Rng rng(7);
+  const TestCase normal =
+      generate_case(Category::NumericalKernels, Flavor::C, rng);
+  const TestCase big =
+      generate_case(Category::NumericalKernels, Flavor::C, rng, true);
+  EXPECT_GT(big.source.size(), normal.source.size() * 5);
+}
+
+/// Ground-truth validation: every generated case must agree with exact
+/// dynamic analysis — racy cases race under some schedule (unless the
+/// race is intentionally hidden behind a false condition), race-free
+/// cases never race under any tested schedule.
+class GroundTruth : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroundTruth, LabelsAreSound) {
+  const Category cat = all_categories()[static_cast<std::size_t>(GetParam())];
+  Rng rng(1000 + GetParam());
+  for (int rep = 0; rep < 8; ++rep) {
+    const TestCase tc = generate_case(cat, Flavor::C, rng);
+    const race::ProgramFeatures f = race::scan_features(tc.program);
+    bool raced = false;
+    for (const std::uint64_t seed : {1ull, 5ull, 23ull}) {
+      const race::ExecResult r =
+          race::execute(tc.program, {.num_threads = 4, .seed = seed});
+      if (!race::analyze_trace(r.trace).empty()) raced = true;
+    }
+    if (tc.has_race) {
+      EXPECT_TRUE(raced || f.has_conditional)
+          << tc.id << ": racy case with no observable race and no "
+          << "hiding condition\n"
+          << tc.source;
+    } else {
+      EXPECT_FALSE(raced) << tc.id << ": race-free case raced\n"
+                          << tc.source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCategories, GroundTruth,
+                         ::testing::Range(0, 14));
+
+TEST(Suite, GenerateSuiteHonoursSpec) {
+  SuiteSpec spec;
+  spec.per_racy_category = 3;
+  spec.per_free_category = 2;
+  const auto suite = generate_suite(Flavor::C, spec);
+  EXPECT_EQ(suite.size(), 7u * 3 + 7u * 2);
+  std::size_t racy = 0;
+  for (const TestCase& tc : suite) racy += tc.has_race;
+  EXPECT_EQ(racy, 21u);
+}
+
+TEST(Suite, EvaluationSuiteMatchesPaperCounts) {
+  const auto c_suite = evaluation_suite(Flavor::C);
+  EXPECT_EQ(c_suite.size(), 177u);
+  std::size_t racy = 0;
+  for (const TestCase& tc : c_suite) racy += tc.has_race;
+  EXPECT_EQ(racy, 88u);
+
+  const auto f_suite = evaluation_suite(Flavor::Fortran);
+  EXPECT_EQ(f_suite.size(), 166u);
+  racy = 0;
+  for (const TestCase& tc : f_suite) racy += tc.has_race;
+  EXPECT_EQ(racy, 84u);
+}
+
+TEST(Suite, EvaluationSuiteHasOversizedCOnly) {
+  const auto count_oversized = [](const std::vector<TestCase>& suite) {
+    std::size_t n = 0;
+    for (const TestCase& tc : suite) n += (tc.source.size() > 3000);
+    return n;
+  };
+  EXPECT_GE(count_oversized(evaluation_suite(Flavor::C)), 10u);
+  EXPECT_EQ(count_oversized(evaluation_suite(Flavor::Fortran)), 0u);
+}
+
+TEST(Suite, EvaluationSuiteIsDeterministic) {
+  const auto a = evaluation_suite(Flavor::C);
+  const auto b = evaluation_suite(Flavor::C);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source);
+  }
+}
+
+TEST(Suite, CaseIdsAreUnique) {
+  const auto suite = evaluation_suite(Flavor::C);
+  std::set<std::string> ids;
+  for (const TestCase& tc : suite) ids.insert(tc.id);
+  EXPECT_EQ(ids.size(), suite.size());
+}
+
+TEST(Table3, CountsMatchPaper) {
+  const auto& c = table3_counts(Flavor::C);
+  const auto& f = table3_counts(Flavor::Fortran);
+  ASSERT_EQ(c.size(), kCategoryCount);
+  ASSERT_EQ(f.size(), kCategoryCount);
+  std::size_t c_total = 0;
+  std::size_t f_total = 0;
+  for (const std::size_t n : c) c_total += n;
+  for (const std::size_t n : f) f_total += n;
+  EXPECT_EQ(c_total, 1762u);  // Table 3 C/C++ row sum
+  EXPECT_EQ(f_total, 1576u);  // Table 3 Fortran row sum
+  EXPECT_EQ(c[0], 132u);      // Unresolvable dependences, C/C++
+  EXPECT_EQ(f[13], 124u);     // Numerical kernels, Fortran
+}
+
+TEST(Table3, TrainingCasesFollowCounts) {
+  const auto cases = training_cases(Flavor::Fortran, 77);
+  const auto& counts = table3_counts(Flavor::Fortran);
+  std::size_t expected = 0;
+  for (const std::size_t n : counts) expected += n;
+  EXPECT_EQ(cases.size(), expected);
+  // Spot-check the per-category histogram.
+  std::map<Category, std::size_t> histogram;
+  for (const TestCase& tc : cases) ++histogram[tc.category];
+  EXPECT_EQ(histogram[Category::UnresolvableDependences], counts[0]);
+  EXPECT_EQ(histogram[Category::NumericalKernels], counts[13]);
+}
+
+TEST(Tools, ToolsAchieveReasonableAccuracyOnSmallSuite) {
+  // Smoke-level sanity: on a small balanced suite, ThreadSanitizer-sim
+  // must beat coin flipping by a wide margin.
+  SuiteSpec spec;
+  spec.per_racy_category = 2;
+  spec.per_free_category = 2;
+  const auto suite = generate_suite(Flavor::C, spec);
+  auto tsan = race::make_tsan();
+  std::size_t correct = 0;
+  std::size_t judged = 0;
+  for (const TestCase& tc : suite) {
+    const auto r = tsan->analyze(tc.program, tc.flavor);
+    if (r.verdict == race::Verdict::Unsupported) continue;
+    ++judged;
+    const bool said_race = r.verdict == race::Verdict::Race;
+    correct += (said_race == tc.has_race);
+  }
+  ASSERT_GT(judged, 0u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(judged), 0.8);
+}
+
+}  // namespace
+}  // namespace hpcgpt::drb

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\tc\"d\\e")").as_string(), "a\nb\tc\"d\\e");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");  // é in UTF-8
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(v.is_object());
+  const Array& arr = v.at("a").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[1].as_number(), 2.0);
+  EXPECT_TRUE(arr[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("c").is_null());
+}
+
+TEST(JsonParse, InstructionRecordShape) {
+  // The exact record format of Listing 2 / Table 1.
+  const Value v = parse(
+      R"({"instruction": "What dataset for clone detection?",)"
+      R"( "input": "", "output": "The POJ-104 dataset."})");
+  EXPECT_TRUE(v.has_string("instruction"));
+  EXPECT_TRUE(v.has_string("input"));
+  EXPECT_TRUE(v.has_string("output"));
+  EXPECT_EQ(v.at("input").as_string(), "");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW(parse("--3"), ParseError);
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const char* doc =
+      R"({"arr":[1,2.5,"x"],"flag":false,"nested":{"k":null}})";
+  const Value v = parse(doc);
+  EXPECT_EQ(parse(v.dump()), v);
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimal) {
+  Object o;
+  o["n"] = Value(42);
+  EXPECT_EQ(Value(std::move(o)).dump(), R"({"n":42})");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(Value("line1\nline2").dump(), R"("line1\nline2")");
+  EXPECT_EQ(Value(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDump, PrettyIsReparseable) {
+  const Value v = parse(R"({"a":[1,2],"b":{"c":"d"}})");
+  const std::string pretty = v.dump_pretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), v);
+}
+
+TEST(JsonDump, DeterministicKeyOrder) {
+  const Value a = parse(R"({"z":1,"a":2})");
+  const Value b = parse(R"({"a":2,"z":1})");
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST(JsonAccess, TypeErrorsThrow) {
+  const Value v = parse("[1]");
+  EXPECT_THROW(v.as_object(), InvalidArgument);
+  EXPECT_THROW(v.as_string(), InvalidArgument);
+  EXPECT_THROW(parse("{}").at("missing"), InvalidArgument);
+  EXPECT_EQ(parse("{}").find("missing"), nullptr);
+}
+
+TEST(JsonExtract, FindsObjectInsideProse) {
+  // The teacher model sometimes wraps its JSON in chatty prose; the
+  // filtering stage must still salvage the record (paper §3.2).
+  Value out;
+  ASSERT_TRUE(extract_object(
+      "Sure! Here is the data you asked for:\n"
+      R"({"instruction": "q", "input": "", "output": "a"})"
+      "\nLet me know if you need more.",
+      out));
+  EXPECT_EQ(out.at("instruction").as_string(), "q");
+}
+
+TEST(JsonExtract, SkipsMalformedCandidate) {
+  Value out;
+  ASSERT_TRUE(extract_object(R"(junk {bad json} and {"k": 1} end)", out));
+  EXPECT_DOUBLE_EQ(out.at("k").as_number(), 1.0);
+}
+
+TEST(JsonExtract, ReturnsFalseWhenNothingParses) {
+  Value out;
+  EXPECT_FALSE(extract_object("no braces here", out));
+  EXPECT_FALSE(extract_object("{never closed", out));
+}
+
+TEST(JsonExtract, HandlesBracesInsideStrings) {
+  Value out;
+  ASSERT_TRUE(extract_object(R"({"code": "if (x) { y(); }"})", out));
+  EXPECT_EQ(out.at("code").as_string(), "if (x) { y(); }");
+}
+
+}  // namespace
+}  // namespace hpcgpt::json

@@ -1,0 +1,99 @@
+// Property tests: random JSON documents round-trip through dump/parse,
+// and the teacher→filter path is robust to arbitrary junk input.
+
+#include <gtest/gtest.h>
+
+#include "hpcgpt/datagen/filter.hpp"
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+namespace hpcgpt::json {
+namespace {
+
+/// Random JSON value generator (bounded depth).
+Value random_value(Rng& rng, int depth) {
+  const auto kind = rng.next_below(depth <= 0 ? 4 : 6);
+  switch (kind) {
+    case 0: return Value(nullptr);
+    case 1: return Value(rng.next_bool());
+    case 2: {
+      // Mix of integers and fractions, including negatives.
+      if (rng.next_bool()) return Value(rng.next_int(-100000, 100000));
+      return Value(rng.next_gaussian() * 1000.0);
+    }
+    case 3: {
+      std::string s;
+      const auto len = rng.next_below(20);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus the characters that need escaping.
+        static const char pool[] =
+            "abcXYZ 0123456789\"\\\n\t{}[]:,é";
+        s += pool[rng.next_below(sizeof(pool) - 1)];
+      }
+      return Value(std::move(s));
+    }
+    case 4: {
+      Array a;
+      const auto len = rng.next_below(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        a.push_back(random_value(rng, depth - 1));
+      }
+      return Value(std::move(a));
+    }
+    default: {
+      Object o;
+      const auto len = rng.next_below(5);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        o["k" + std::to_string(rng.next_below(100))] =
+            random_value(rng, depth - 1);
+      }
+      return Value(std::move(o));
+    }
+  }
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTrip, DumpParseIsIdentity) {
+  Rng rng(10007u * static_cast<unsigned>(GetParam()) + 13);
+  for (int rep = 0; rep < 40; ++rep) {
+    const Value v = random_value(rng, 3);
+    EXPECT_EQ(parse(v.dump()), v) << v.dump();
+    EXPECT_EQ(parse(v.dump_pretty()), v) << v.dump_pretty();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, ::testing::Range(0, 8));
+
+TEST(FilterRobustness, ArbitraryJunkNeverThrows) {
+  // The filtering stage must reject, not crash, on anything the teacher
+  // could conceivably emit.
+  Rng rng(99);
+  datagen::InstructionFilter filter;
+  for (int rep = 0; rep < 500; ++rep) {
+    std::string junk;
+    const auto len = rng.next_below(120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      junk += static_cast<char>(rng.next_int(32, 126));
+    }
+    EXPECT_NO_THROW(
+        filter.offer(junk, datagen::Task::Task1Plp, "Fuzz"));
+  }
+  EXPECT_EQ(filter.stats().input, 500u);
+}
+
+TEST(FilterRobustness, TruncatedRealRecordsRejected) {
+  datagen::InstructionFilter filter;
+  const std::string record =
+      R"({"instruction": "Which dataset fits clone detection in C?",)"
+      R"( "input": "", "output": "The POJ-104 dataset is the established)"
+      R"( public benchmark for this task."})";
+  for (std::size_t cut = 1; cut < record.size(); cut += 7) {
+    filter.offer(record.substr(0, cut), datagen::Task::Task1Plp, "X");
+  }
+  // No truncated prefix may be accepted as a full record.
+  EXPECT_EQ(filter.stats().accepted, 0u);
+}
+
+}  // namespace
+}  // namespace hpcgpt::json

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/ontology/ontology.hpp"
+
+namespace hpcgpt {
+namespace {
+
+using kb::KnowledgeBase;
+using ontology::Pattern;
+using ontology::TripleStore;
+
+// ---------------------------------------------------------------- kb
+
+TEST(Kb, ThirteenPlpCategories) {
+  const auto cats = KnowledgeBase::builtin().plp_categories();
+  EXPECT_EQ(cats.size(), 13u);  // Table 2 PLP category count
+}
+
+TEST(Kb, ContainsListing3And4GroundTruth) {
+  const KnowledgeBase& kb = KnowledgeBase::builtin();
+  bool codetrans = false;
+  for (const kb::PlpEntry& e : kb.plp) {
+    if (e.dataset == "CodeTrans" && e.category == "Code Translation" &&
+        e.language == "Java-C#") {
+      codetrans = true;
+    }
+  }
+  EXPECT_TRUE(codetrans) << "Listing 3 ground truth missing";
+
+  bool dgxh100 = false;
+  for (const kb::MlperfEntry& e : kb.mlperf) {
+    if (e.system == "dgxh100_n64" &&
+        e.accelerator == "NVIDIA H100-SXM5-80GB" &&
+        e.software == "MXNet NVIDIA Release 23.04") {
+      dgxh100 = true;
+    }
+  }
+  EXPECT_TRUE(dgxh100) << "Listing 4 ground truth missing";
+}
+
+TEST(Kb, FlattenFillsEverySlot) {
+  const kb::PlpEntry& e = KnowledgeBase::builtin().plp.front();
+  for (std::size_t v = 0; v < 3; ++v) {
+    const std::string text = flatten(e, v);
+    EXPECT_NE(text.find(e.dataset), std::string::npos) << v;
+    EXPECT_NE(text.find(e.category), std::string::npos) << v;
+    EXPECT_NE(text.find(e.language), std::string::npos) << v;
+  }
+  // The Figure 2 canonical phrasing.
+  EXPECT_NE(flatten(e, 0).find("A task called"), std::string::npos);
+}
+
+TEST(Kb, FlattenMlperfVariantsDiffer) {
+  const kb::MlperfEntry& e = KnowledgeBase::builtin().mlperf.front();
+  EXPECT_NE(flatten(e, 0), flatten(e, 1));
+  EXPECT_NE(flatten(e, 1), flatten(e, 2));
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_NE(flatten(e, v).find(e.system), std::string::npos);
+    EXPECT_NE(flatten(e, v).find(e.accelerator), std::string::npos);
+  }
+}
+
+TEST(Kb, UnstructuredCorpusNonTrivial) {
+  const auto& docs = kb::unstructured_corpus();
+  EXPECT_GE(docs.size(), 8u);
+  for (const std::string& d : docs) EXPECT_GT(d.size(), 100u);
+}
+
+// ------------------------------------------------------------ ontology
+
+TripleStore store() {
+  return ontology::import_knowledge_base(KnowledgeBase::builtin());
+}
+
+TEST(Ontology, ImportCreatesFiveTriplesPerEntry) {
+  const KnowledgeBase& kb = KnowledgeBase::builtin();
+  EXPECT_EQ(store().size(), (kb.plp.size() + kb.mlperf.size()) * 5);
+}
+
+TEST(Ontology, Listing3Query) {
+  // "What dataset for code translation from Java to C#?" as a structured
+  // query — the manual-effort path the paper contrasts with HPC-GPT.
+  const auto datasets = store().select(
+      {{"?d", "usedFor", "Code Translation"},
+       {"?d", "hasLanguage", "Java-C#"}},
+      "?d");
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_EQ(datasets[0], "CodeTrans");
+}
+
+TEST(Ontology, Listing4Query) {
+  const auto systems = store().select(
+      {{"?s", "hasAccelerator", "NVIDIA H100-SXM5-80GB"},
+       {"?s", "hasSoftware", "MXNet NVIDIA Release 23.04"}},
+      "?s");
+  ASSERT_EQ(systems.size(), 1u);
+  EXPECT_EQ(systems[0], "dgxh100_n64");
+}
+
+TEST(Ontology, ConjunctionNarrowsResults) {
+  const TripleStore s = store();
+  const auto all_h100 = s.select(
+      {{"?s", "hasAccelerator", "NVIDIA H100-SXM5-80GB"}}, "?s");
+  EXPECT_GT(all_h100.size(), 1u);
+  const auto narrowed = s.select(
+      {{"?s", "hasAccelerator", "NVIDIA H100-SXM5-80GB"},
+       {"?s", "ranBenchmark", "RetinaNet"}},
+      "?s");
+  ASSERT_EQ(narrowed.size(), 1u);
+  EXPECT_EQ(narrowed[0], "XE9680x8H100");
+}
+
+TEST(Ontology, SharedVariableJoins) {
+  // Which baseline works on the same dataset as clone detection in C/C++?
+  const auto models = store().select(
+      {{"?d", "usedFor", "Clone detection"},
+       {"?d", "hasLanguage", "C/C++"},
+       {"?d", "hasBaseline", "?m"}},
+      "?m");
+  // POJ-104 serves both clone detection and algorithm classification, so
+  // the join surfaces the baselines of both rows; CodeBERT must be one.
+  ASSERT_FALSE(models.empty());
+  EXPECT_NE(std::find(models.begin(), models.end(), "CodeBERT"),
+            models.end());
+}
+
+TEST(Ontology, NoMatchGivesEmpty) {
+  EXPECT_TRUE(
+      store().select({{"?s", "hasAccelerator", "Cerebras WSE-3"}}, "?s")
+          .empty());
+  // A wrong predicate also yields nothing rather than throwing.
+  EXPECT_TRUE(
+      store().select({{"?s", "poweredBy", "magic"}}, "?s").empty());
+}
+
+TEST(Ontology, FullyGroundPatternActsAsAsk) {
+  const auto r = store().query(
+      {{"CodeTrans", "hasLanguage", "Java-C#"}});
+  EXPECT_EQ(r.size(), 1u);  // one empty binding = "true"
+  EXPECT_TRUE(store().query(
+      {{"CodeTrans", "hasLanguage", "Python"}}).empty());
+}
+
+TEST(Ontology, VariablePredicateSupported) {
+  const auto bindings =
+      store().query({{"CodeTrans", "?p", "Java-C#"}});
+  ASSERT_EQ(bindings.size(), 1u);
+  EXPECT_EQ(bindings[0].at("?p"), "hasLanguage");
+}
+
+}  // namespace
+}  // namespace hpcgpt

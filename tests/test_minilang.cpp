@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "hpcgpt/minilang/ast.hpp"
+#include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/minilang/render.hpp"
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::minilang {
+namespace {
+
+/// A canonical racy program: a[i] = a[i-1] + 1 under `omp parallel for`.
+Program loop_carried_program() {
+  Program p;
+  p.name = "loop-carried";
+  p.decls.push_back({"a", true, 100, 0});
+  std::vector<Stmt> body;
+  body.push_back(assign(
+      array_ref("a", scalar_ref("i")),
+      bin_op('+', array_ref("a", bin_op('-', scalar_ref("i"), int_lit(1))),
+             int_lit(1))));
+  p.body.push_back(
+      parallel_for("i", int_lit(1), int_lit(100), std::move(body)));
+  return p;
+}
+
+Program reduction_program() {
+  Program p;
+  p.name = "reduction-sum";
+  p.decls.push_back({"a", true, 64, 2});
+  p.decls.push_back({"sum", false, 0, 0});
+  Clauses c;
+  c.reductions.push_back({'+', "sum"});
+  std::vector<Stmt> body;
+  body.push_back(assign(scalar_ref("sum"),
+                        bin_op('+', scalar_ref("sum"),
+                               array_ref("a", scalar_ref("i")))));
+  p.body.push_back(
+      parallel_for("i", int_lit(0), int_lit(64), std::move(body), c));
+  return p;
+}
+
+// ------------------------------------------------------------ AST
+
+TEST(Ast, CloneIsDeep) {
+  const Program p = loop_carried_program();
+  const Program q = p.clone();
+  EXPECT_EQ(q.name, p.name);
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.body[0].kind, Stmt::Kind::ParallelFor);
+  // Cloned expression trees are distinct objects.
+  EXPECT_NE(q.body[0].body[0].target.get(), p.body[0].body[0].target.get());
+}
+
+TEST(Ast, FindDecl) {
+  const Program p = reduction_program();
+  ASSERT_NE(p.find_decl("sum"), nullptr);
+  EXPECT_FALSE(p.find_decl("sum")->is_array);
+  EXPECT_EQ(p.find_decl("a")->size, 64);
+  EXPECT_EQ(p.find_decl("zzz"), nullptr);
+}
+
+TEST(Ast, ClausePredicates) {
+  Clauses c;
+  c.priv = {"tmp"};
+  c.firstprivate = {"n"};
+  c.reductions = {{'+', "sum"}};
+  EXPECT_TRUE(c.is_private("tmp"));
+  EXPECT_TRUE(c.is_private("n"));
+  EXPECT_FALSE(c.is_private("sum"));
+  EXPECT_TRUE(c.is_reduction("sum"));
+  EXPECT_FALSE(c.is_reduction("tmp"));
+}
+
+// ------------------------------------------------------------ render
+
+TEST(Render, CContainsOmpPragma) {
+  const std::string src = render(loop_carried_program(), Flavor::C);
+  EXPECT_NE(src.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(src.find("a[i] = (a[(i - 1)] + 1);"), std::string::npos);
+  EXPECT_NE(src.find("int main()"), std::string::npos);
+  EXPECT_NE(src.find("int a[100];"), std::string::npos);
+}
+
+TEST(Render, CRendersClauses) {
+  const std::string src = render(reduction_program(), Flavor::C);
+  EXPECT_NE(src.find("reduction(+:sum)"), std::string::npos);
+}
+
+TEST(Render, FortranUsesSentinels) {
+  const std::string src = render(loop_carried_program(), Flavor::Fortran);
+  EXPECT_NE(src.find("!$omp parallel do"), std::string::npos);
+  EXPECT_NE(src.find("!$omp end parallel do"), std::string::npos);
+  EXPECT_NE(src.find("program"), std::string::npos);
+  EXPECT_NE(src.find("integer :: a(100)"), std::string::npos);
+  EXPECT_NE(src.find("end do"), std::string::npos);
+  EXPECT_EQ(src.find("#pragma"), std::string::npos);
+}
+
+TEST(Render, SimdAndTargetDirectives) {
+  Program p;
+  p.name = "simd-prog";
+  p.decls.push_back({"a", true, 10, 0});
+  Clauses simd;
+  simd.simd = true;
+  std::vector<Stmt> body;
+  body.push_back(assign(array_ref("a", scalar_ref("i")), int_lit(1)));
+  p.body.push_back(parallel_for("i", int_lit(0), int_lit(10), std::move(body),
+                                simd));
+  EXPECT_NE(render(p, Flavor::C).find("parallel for simd"),
+            std::string::npos);
+
+  p.body[0].clauses.simd = false;
+  p.body[0].clauses.target = true;
+  EXPECT_NE(render(p, Flavor::C)
+                .find("target teams distribute parallel for"),
+            std::string::npos);
+  EXPECT_NE(render(p, Flavor::Fortran)
+                .find("target teams distribute parallel do"),
+            std::string::npos);
+}
+
+TEST(Render, FlavorNamesMatchTable5) {
+  EXPECT_EQ(flavor_name(Flavor::C), "C/C++");
+  EXPECT_EQ(flavor_name(Flavor::Fortran), "Fortran");
+}
+
+// ------------------------------------------------------------ parse
+
+TEST(Parse, RoundTripLoopCarried) {
+  const Program p = loop_carried_program();
+  const std::string src = render(p, Flavor::C);
+  const Program q = parse_c(src);
+  // Globals plus the local loop variable `i` are both recorded.
+  ASSERT_EQ(q.decls.size(), 2u);
+  ASSERT_NE(q.find_decl("a"), nullptr);
+  EXPECT_TRUE(q.find_decl("a")->is_array);
+  EXPECT_EQ(q.find_decl("a")->size, 100);
+  ASSERT_NE(q.find_decl("i"), nullptr);
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.body[0].kind, Stmt::Kind::ParallelFor);
+  EXPECT_EQ(q.body[0].loop_var, "i");
+  // Re-render must be a fixed point.
+  EXPECT_EQ(render(q, Flavor::C),
+            render(parse_c(render(q, Flavor::C)), Flavor::C));
+}
+
+TEST(Parse, RoundTripClauses) {
+  Program p = reduction_program();
+  p.body[0].clauses.priv = {"tmp"};
+  p.decls.push_back({"tmp", false, 0, 0});
+  const Program q = parse_c(render(p, Flavor::C));
+  // The non-zero array fill renders as an explicit init loop, so the
+  // parallel loop is the last statement.
+  ASSERT_EQ(q.body.size(), 2u);
+  EXPECT_EQ(q.body[0].kind, Stmt::Kind::SeqFor);
+  const Stmt& loop = q.body[1];
+  EXPECT_TRUE(loop.clauses.is_private("tmp"));
+  ASSERT_EQ(loop.clauses.reductions.size(), 1u);
+  EXPECT_EQ(loop.clauses.reductions[0].var, "sum");
+  EXPECT_EQ(loop.clauses.reductions[0].op, '+');
+}
+
+TEST(Parse, CriticalAtomicBarrier) {
+  const char* src = R"(
+#include <omp.h>
+int x = 0;
+int main() {
+  int i;
+  #pragma omp parallel num_threads(4)
+  {
+    #pragma omp critical
+    {
+      x = x + 1;
+    }
+    #pragma omp barrier
+    #pragma omp atomic
+    x = x + 1;
+  }
+  return 0;
+}
+)";
+  const Program p = parse_c(src);
+  ASSERT_EQ(p.body.size(), 1u);
+  const Stmt& region = p.body[0];
+  EXPECT_EQ(region.kind, Stmt::Kind::ParallelRegion);
+  EXPECT_EQ(region.clauses.num_threads, 4u);
+  ASSERT_EQ(region.body.size(), 3u);
+  EXPECT_EQ(region.body[0].kind, Stmt::Kind::Critical);
+  EXPECT_EQ(region.body[1].kind, Stmt::Kind::Barrier);
+  EXPECT_EQ(region.body[2].kind, Stmt::Kind::Atomic);
+}
+
+TEST(Parse, MasterSingleAndIf) {
+  const char* src = R"(
+int a[8];
+int flag = 0;
+int main() {
+  int i;
+  #pragma omp parallel
+  {
+    #pragma omp master
+    {
+      flag = 1;
+    }
+    #pragma omp single
+    {
+      a[0] = 7;
+    }
+  }
+  if (flag == 1) {
+    a[1] = 2;
+  }
+  return 0;
+}
+)";
+  const Program p = parse_c(src);
+  ASSERT_EQ(p.body.size(), 2u);
+  EXPECT_EQ(p.body[0].body[0].kind, Stmt::Kind::Master);
+  EXPECT_EQ(p.body[0].body[1].kind, Stmt::Kind::Single);
+  EXPECT_EQ(p.body[1].kind, Stmt::Kind::If);
+  EXPECT_EQ(p.body[1].cond->op, 'q');
+}
+
+TEST(Parse, ThreadIdCall) {
+  const char* src = R"(
+int a[16];
+int main() {
+  #pragma omp parallel num_threads(4)
+  {
+    a[omp_get_thread_num()] = omp_get_thread_num();
+  }
+  return 0;
+}
+)";
+  const Program p = parse_c(src);
+  const Stmt& set = p.body[0].body[0];
+  EXPECT_EQ(set.target->index->kind, Expr::Kind::ThreadId);
+}
+
+TEST(Parse, OperatorPrecedence) {
+  const Program p = parse_c("int x = 0;\nint main() { x = 1 + 2 * 3; return 0; }");
+  const Expr& e = *p.body[0].value;
+  ASSERT_EQ(e.kind, Expr::Kind::BinOp);
+  EXPECT_EQ(e.op, '+');
+  EXPECT_EQ(e.rhs->op, '*');
+}
+
+TEST(Parse, BareSnippetWithoutMain) {
+  // Snippets as they appear in Task-2 instructions (Table 1) lack main().
+  const Program p = parse_c(
+      "#pragma omp parallel for\nfor (i = 1; i < 50; i++) {\n"
+      "  y[i] = x[i] + y[(i - 1)];\n}\n");
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0].kind, Stmt::Kind::ParallelFor);
+}
+
+TEST(Parse, RejectsMalformed) {
+  EXPECT_THROW(parse_c("int main() { for (i = 0 i < 3; i++) {} }"),
+               ParseError);
+  EXPECT_THROW(parse_c("int main() { x = ; }"), ParseError);
+  EXPECT_THROW(parse_c("int main() { 5 = x; }"), ParseError);
+  EXPECT_THROW(parse_c("int main() { /* unterminated"), ParseError);
+}
+
+TEST(Parse, FortranRoundTripIsNotSupported) {
+  // Only the C flavour has a parser; Fortran input must fail loudly
+  // rather than mis-parse.
+  const std::string f = render(loop_carried_program(), Flavor::Fortran);
+  EXPECT_THROW(parse_c(f), ParseError);
+}
+
+}  // namespace
+}  // namespace hpcgpt::minilang

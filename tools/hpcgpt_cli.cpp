@@ -1,0 +1,289 @@
+// hpcgpt — command-line front end for the whole pipeline.
+//
+//   hpcgpt collect --out dataset.jsonl [--seed N] [--scale D]
+//       run the §3.2 instruction collection and write JSON-lines
+//   hpcgpt train --data dataset.jsonl --out model.bin
+//          [--base llama|llama2|gpt35|gpt4] [--lora R] [--epochs E]
+//          [--max-records N]
+//       pre-train a base model and fine-tune it on the dataset
+//   hpcgpt ask --model model.bin "question..."
+//       free-form Task-1 question answering
+//   hpcgpt detect [--model model.bin] file.c|file.f90
+//       race-check a source file with the four tools (and, when a model
+//       is given, the LLM-based method of Task 2)
+//   hpcgpt eval --model model.bin [--language c|fortran]
+//       score the model on the DataRaceBench-style evaluation suite
+//   hpcgpt serve --model model.bin
+//       answer questions from stdin, one per line (Figure-1 deployment)
+//   hpcgpt export-drb --dir DIR [--language c|fortran|both]
+//       write the DataRaceBench-style evaluation suite to disk as
+//       .c/.f90 sources plus a labels.csv (the dataset-release artifact)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/core/hpcgpt.hpp"
+#include <filesystem>
+
+#include "hpcgpt/datagen/pipeline.hpp"
+#include "hpcgpt/eval/metrics.hpp"
+#include "hpcgpt/kb/kb.hpp"
+#include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/race/detector.hpp"
+#include "hpcgpt/serve/server.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 && i + 1 < argc &&
+        std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[a.substr(2)] = argv[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      args.options[a.substr(2)] = "1";
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::string opt(const Args& args, const std::string& key,
+                const std::string& fallback) {
+  const auto it = args.options.find(key);
+  return it == args.options.end() ? fallback : it->second;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int cmd_collect(const Args& args) {
+  const std::uint64_t seed = std::stoull(opt(args, "seed", "2023"));
+  datagen::TeacherOptions topts;
+  topts.seed = seed;
+  datagen::TeacherModel teacher(topts);
+  datagen::Task1Spec t1;
+  t1.scale_divisor = std::stoull(opt(args, "scale", "8"));
+  t1.seed = seed + 1;
+  datagen::InstructionDataset data = datagen::collect_task1(teacher, t1);
+  datagen::InstructionDataset t2 =
+      datagen::collect_task2(teacher, {.seed = seed + 2});
+  for (auto& r : t2.records) data.records.push_back(std::move(r));
+
+  const std::string out_path = opt(args, "out", "dataset.jsonl");
+  std::ofstream out(out_path);
+  require(out.good(), "cannot write " + out_path);
+  out << datagen::to_jsonl(data.records);
+  std::printf("wrote %zu records to %s\n", data.records.size(),
+              out_path.c_str());
+  std::printf("task1: %zu emissions, %zu accepted | task2: %zu emissions, "
+              "%zu accepted\n",
+              data.task1_stats.input, data.task1_stats.accepted,
+              t2.task2_stats.input, t2.task2_stats.accepted);
+  return 0;
+}
+
+core::BaseModel base_by_name(const std::string& name) {
+  if (name == "llama") return core::BaseModel::Llama;
+  if (name == "llama2") return core::BaseModel::Llama2;
+  if (name == "gpt35") return core::BaseModel::Gpt35;
+  if (name == "gpt4") return core::BaseModel::Gpt4;
+  throw InvalidArgument("unknown base model: " + name);
+}
+
+int cmd_train(const Args& args) {
+  const auto records =
+      datagen::from_jsonl(read_file(opt(args, "data", "dataset.jsonl")));
+  std::printf("loaded %zu records\n", records.size());
+
+  const text::BpeTokenizer tokenizer = core::build_shared_tokenizer();
+  core::ModelOptions spec =
+      core::spec_for(base_by_name(opt(args, "base", "llama2")));
+  spec.name = "hpc-gpt (" + opt(args, "base", "llama2") + ")";
+  core::HpcGpt model(spec, tokenizer);
+  std::printf("pre-training %zu steps...\n", spec.pretrain_steps);
+  model.pretrain(kb::unstructured_corpus(), {});
+
+  const std::size_t lora = std::stoull(opt(args, "lora", "0"));
+  if (lora > 0) {
+    model.model().attach_lora(lora, 2.0f * static_cast<float>(lora), true);
+  }
+  core::FinetuneOptions fopts;
+  fopts.epochs = std::stoull(opt(args, "epochs", "3"));
+  fopts.learning_rate = lora > 0 ? 1e-3f : 2e-3f;
+  fopts.max_records = std::stoull(opt(args, "max-records", "0"));
+  std::printf("fine-tuning (%s, %zu epochs)...\n",
+              lora > 0 ? "LoRA" : "full", fopts.epochs);
+  const core::FinetuneReport report = model.finetune(records, fopts);
+  std::printf("loss %.3f -> %.3f over %zu steps, %zu trainable params, "
+              "%.1fs\n",
+              report.first_epoch_loss, report.last_epoch_loss, report.steps,
+              report.trainable_parameters, report.wall_seconds);
+
+  const std::string out_path = opt(args, "out", "model.bin");
+  model.save_bundle_file(out_path);
+  std::printf("saved bundle to %s\n", out_path.c_str());
+  return 0;
+}
+
+int cmd_ask(const Args& args) {
+  core::HpcGpt model =
+      core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  require(!args.positional.empty(), "usage: hpcgpt ask --model M \"question\"");
+  for (const std::string& q : args.positional) {
+    std::printf("Q: %s\nA: %s\n", q.c_str(), model.ask(q).c_str());
+  }
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  require(!args.positional.empty(), "usage: hpcgpt detect [--model M] file");
+  for (const std::string& path : args.positional) {
+    std::printf("== %s ==\n", path.c_str());
+    const std::string source = read_file(path);
+    const minilang::Program program = minilang::parse_any(source);
+    const minilang::Flavor flavor =
+        source.find("!$omp") != std::string::npos
+            ? minilang::Flavor::Fortran
+            : minilang::Flavor::C;
+    for (const auto& tool : race::make_all_tools()) {
+      const race::DetectionResult r = tool->analyze(program, flavor);
+      std::printf("  %-16s %s\n", tool->info().name.c_str(),
+                  r.verdict == race::Verdict::Race
+                      ? ("RACE on '" + r.races.front().var + "'").c_str()
+                  : r.verdict == race::Verdict::NoRace
+                      ? "no race"
+                      : ("unsupported: " + r.unsupported_reason).c_str());
+    }
+    const auto it = args.options.find("model");
+    if (it != args.options.end()) {
+      core::HpcGpt model = core::HpcGpt::load_bundle_file(it->second);
+      const std::string snippet = minilang::render_snippet(program, flavor);
+      const core::RaceVerdict v = model.classify_race(snippet, 256);
+      std::printf("  %-16s %s\n", model.name().c_str(),
+                  v == core::RaceVerdict::Yes   ? "RACE"
+                  : v == core::RaceVerdict::No  ? "no race"
+                                                : "prompt too long");
+    }
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  core::HpcGpt model =
+      core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  const minilang::Flavor flavor = opt(args, "language", "c") == "fortran"
+                                      ? minilang::Flavor::Fortran
+                                      : minilang::Flavor::C;
+  const auto suite = drb::evaluation_suite(flavor);
+  const eval::Confusion c = core::evaluate_llm(model, suite, 256);
+  std::vector<eval::ToolRow> rows(1);
+  rows[0].tool = model.name();
+  rows[0].language = minilang::flavor_name(flavor);
+  rows[0].confusion = c;
+  std::printf("%s", eval::render_table5(rows).c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  core::HpcGpt model =
+      core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  serve::InferenceServer server(model, 2);
+  std::printf("hpcgpt serving '%s' — one question per line, EOF to stop\n",
+              model.name().c_str());
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::printf("%s\n", server.submit(line).get().c_str());
+    std::fflush(stdout);
+  }
+  server.shutdown();
+  std::printf("served %zu requests\n", server.stats().requests_served);
+  return 0;
+}
+
+int cmd_export_drb(const Args& args) {
+  const std::string dir = opt(args, "dir", "drb_export");
+  const std::string language = opt(args, "language", "both");
+  std::vector<minilang::Flavor> flavors;
+  if (language == "c" || language == "both") {
+    flavors.push_back(minilang::Flavor::C);
+  }
+  if (language == "fortran" || language == "both") {
+    flavors.push_back(minilang::Flavor::Fortran);
+  }
+  require(!flavors.empty(), "language must be c, fortran or both");
+
+  // Plain mkdir via ofstream would fail on a missing directory; create it
+  // portably with std::filesystem.
+  std::filesystem::create_directories(dir);
+  std::ofstream labels(dir + "/labels.csv");
+  require(labels.good(), "cannot write labels.csv in " + dir);
+  labels << "file,language,category,has_race\n";
+  std::size_t written = 0;
+  for (const minilang::Flavor flavor : flavors) {
+    const auto suite = drb::evaluation_suite(flavor);
+    const char* ext = flavor == minilang::Flavor::C ? ".c" : ".f90";
+    for (const drb::TestCase& tc : suite) {
+      const std::string filename = tc.id + ext;
+      std::ofstream out(dir + "/" + filename);
+      require(out.good(), "cannot write " + filename);
+      out << tc.source;
+      labels << filename << ',' << minilang::flavor_name(flavor) << ",\""
+             << drb::category_name(tc.category) << "\"," 
+             << (tc.has_race ? "yes" : "no") << "\n";
+      ++written;
+    }
+  }
+  std::printf("wrote %zu programs + labels.csv to %s/\n", written,
+              dir.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hpcgpt <collect|train|ask|detect|eval|serve|export-drb> "
+               "[options]\n(see the header of tools/hpcgpt_cli.cpp)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "collect") return cmd_collect(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "ask") return cmd_ask(args);
+    if (command == "detect") return cmd_detect(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "export-drb") return cmd_export_drb(args);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hpcgpt: %s\n", e.what());
+    return 1;
+  }
+}
