@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_chunking"
+  "../bench/bench_ablation_chunking.pdb"
+  "CMakeFiles/bench_ablation_chunking.dir/bench_ablation_chunking.cpp.o"
+  "CMakeFiles/bench_ablation_chunking.dir/bench_ablation_chunking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

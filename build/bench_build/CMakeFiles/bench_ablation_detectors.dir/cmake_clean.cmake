@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_detectors"
+  "../bench/bench_ablation_detectors.pdb"
+  "CMakeFiles/bench_ablation_detectors.dir/bench_ablation_detectors.cpp.o"
+  "CMakeFiles/bench_ablation_detectors.dir/bench_ablation_detectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

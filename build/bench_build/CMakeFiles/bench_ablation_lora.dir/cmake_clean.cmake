@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lora"
+  "../bench/bench_ablation_lora.pdb"
+  "CMakeFiles/bench_ablation_lora.dir/bench_ablation_lora.cpp.o"
+  "CMakeFiles/bench_ablation_lora.dir/bench_ablation_lora.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

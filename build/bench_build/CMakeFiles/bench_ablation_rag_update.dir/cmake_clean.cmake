@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rag_update"
+  "../bench/bench_ablation_rag_update.pdb"
+  "CMakeFiles/bench_ablation_rag_update.dir/bench_ablation_rag_update.cpp.o"
+  "CMakeFiles/bench_ablation_rag_update.dir/bench_ablation_rag_update.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rag_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_flatten.cpp" "bench_build/CMakeFiles/bench_fig2_flatten.dir/bench_fig2_flatten.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig2_flatten.dir/bench_fig2_flatten.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/hpcgpt_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_flatten"
+  "../bench/bench_fig2_flatten.pdb"
+  "CMakeFiles/bench_fig2_flatten.dir/bench_fig2_flatten.cpp.o"
+  "CMakeFiles/bench_fig2_flatten.dir/bench_fig2_flatten.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_race_detection"
+  "../bench/bench_table5_race_detection.pdb"
+  "CMakeFiles/bench_table5_race_detection.dir/bench_table5_race_detection.cpp.o"
+  "CMakeFiles/bench_table5_race_detection.dir/bench_table5_race_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_race_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

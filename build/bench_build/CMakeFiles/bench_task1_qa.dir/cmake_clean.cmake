@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_task1_qa"
+  "../bench/bench_task1_qa.pdb"
+  "CMakeFiles/bench_task1_qa.dir/bench_task1_qa.cpp.o"
+  "CMakeFiles/bench_task1_qa.dir/bench_task1_qa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task1_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

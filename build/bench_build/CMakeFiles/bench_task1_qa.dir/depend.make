@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_task1_qa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_playground.dir/interpreter_playground.cpp.o"
+  "CMakeFiles/interpreter_playground.dir/interpreter_playground.cpp.o.d"
+  "interpreter_playground"
+  "interpreter_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

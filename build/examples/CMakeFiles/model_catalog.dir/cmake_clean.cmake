@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_catalog.dir/model_catalog.cpp.o"
+  "CMakeFiles/model_catalog.dir/model_catalog.cpp.o.d"
+  "model_catalog"
+  "model_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

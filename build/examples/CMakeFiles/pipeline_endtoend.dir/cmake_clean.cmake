@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_endtoend.dir/pipeline_endtoend.cpp.o"
+  "CMakeFiles/pipeline_endtoend.dir/pipeline_endtoend.cpp.o.d"
+  "pipeline_endtoend"
+  "pipeline_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

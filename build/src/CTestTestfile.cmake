@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("json")
+subdirs("text")
+subdirs("tensor")
+subdirs("nn")
+subdirs("minilang")
+subdirs("race")
+subdirs("drb")
+subdirs("kb")
+subdirs("ontology")
+subdirs("eval")
+subdirs("datagen")
+subdirs("retrieval")
+subdirs("core")
+subdirs("serve")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_core.dir/src/evaluation.cpp.o"
+  "CMakeFiles/hpcgpt_core.dir/src/evaluation.cpp.o.d"
+  "CMakeFiles/hpcgpt_core.dir/src/hpcgpt.cpp.o"
+  "CMakeFiles/hpcgpt_core.dir/src/hpcgpt.cpp.o.d"
+  "CMakeFiles/hpcgpt_core.dir/src/rag.cpp.o"
+  "CMakeFiles/hpcgpt_core.dir/src/rag.cpp.o.d"
+  "libhpcgpt_core.a"
+  "libhpcgpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/src/filter.cpp" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/filter.cpp.o" "gcc" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/filter.cpp.o.d"
+  "/root/repo/src/datagen/src/pipeline.cpp" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/pipeline.cpp.o" "gcc" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/datagen/src/record.cpp" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/record.cpp.o" "gcc" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/record.cpp.o.d"
+  "/root/repo/src/datagen/src/teacher.cpp" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/teacher.cpp.o" "gcc" "src/datagen/CMakeFiles/hpcgpt_datagen.dir/src/teacher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/hpcgpt_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hpcgpt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/hpcgpt_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/drb/CMakeFiles/hpcgpt_drb.dir/DependInfo.cmake"
+  "/root/repo/build/src/minilang/CMakeFiles/hpcgpt_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_datagen.dir/src/filter.cpp.o"
+  "CMakeFiles/hpcgpt_datagen.dir/src/filter.cpp.o.d"
+  "CMakeFiles/hpcgpt_datagen.dir/src/pipeline.cpp.o"
+  "CMakeFiles/hpcgpt_datagen.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/hpcgpt_datagen.dir/src/record.cpp.o"
+  "CMakeFiles/hpcgpt_datagen.dir/src/record.cpp.o.d"
+  "CMakeFiles/hpcgpt_datagen.dir/src/teacher.cpp.o"
+  "CMakeFiles/hpcgpt_datagen.dir/src/teacher.cpp.o.d"
+  "libhpcgpt_datagen.a"
+  "libhpcgpt_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_drb.dir/src/drb.cpp.o"
+  "CMakeFiles/hpcgpt_drb.dir/src/drb.cpp.o.d"
+  "libhpcgpt_drb.a"
+  "libhpcgpt_drb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_drb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_eval.dir/src/metrics.cpp.o"
+  "CMakeFiles/hpcgpt_eval.dir/src/metrics.cpp.o.d"
+  "libhpcgpt_eval.a"
+  "libhpcgpt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

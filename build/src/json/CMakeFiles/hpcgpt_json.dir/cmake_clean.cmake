@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_json.dir/src/json.cpp.o"
+  "CMakeFiles/hpcgpt_json.dir/src/json.cpp.o.d"
+  "libhpcgpt_json.a"
+  "libhpcgpt_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_kb.dir/src/kb.cpp.o"
+  "CMakeFiles/hpcgpt_kb.dir/src/kb.cpp.o.d"
+  "libhpcgpt_kb.a"
+  "libhpcgpt_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

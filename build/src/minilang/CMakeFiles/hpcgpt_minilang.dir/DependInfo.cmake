@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minilang/src/ast.cpp" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/ast.cpp.o" "gcc" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/ast.cpp.o.d"
+  "/root/repo/src/minilang/src/parse.cpp" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/parse.cpp.o" "gcc" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/parse.cpp.o.d"
+  "/root/repo/src/minilang/src/parse_fortran.cpp" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/parse_fortran.cpp.o" "gcc" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/parse_fortran.cpp.o.d"
+  "/root/repo/src/minilang/src/render.cpp" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/render.cpp.o" "gcc" "src/minilang/CMakeFiles/hpcgpt_minilang.dir/src/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

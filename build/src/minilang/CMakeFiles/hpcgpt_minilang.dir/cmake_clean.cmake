@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_minilang.dir/src/ast.cpp.o"
+  "CMakeFiles/hpcgpt_minilang.dir/src/ast.cpp.o.d"
+  "CMakeFiles/hpcgpt_minilang.dir/src/parse.cpp.o"
+  "CMakeFiles/hpcgpt_minilang.dir/src/parse.cpp.o.d"
+  "CMakeFiles/hpcgpt_minilang.dir/src/parse_fortran.cpp.o"
+  "CMakeFiles/hpcgpt_minilang.dir/src/parse_fortran.cpp.o.d"
+  "CMakeFiles/hpcgpt_minilang.dir/src/render.cpp.o"
+  "CMakeFiles/hpcgpt_minilang.dir/src/render.cpp.o.d"
+  "libhpcgpt_minilang.a"
+  "libhpcgpt_minilang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_minilang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

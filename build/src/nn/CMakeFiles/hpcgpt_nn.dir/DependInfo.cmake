@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/adam.cpp" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/adam.cpp.o" "gcc" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/adam.cpp.o.d"
+  "/root/repo/src/nn/src/checkpoint.cpp" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/src/linear.cpp" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/linear.cpp.o" "gcc" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/linear.cpp.o.d"
+  "/root/repo/src/nn/src/parameter.cpp" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/parameter.cpp.o" "gcc" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/parameter.cpp.o.d"
+  "/root/repo/src/nn/src/sampler.cpp" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/sampler.cpp.o" "gcc" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/sampler.cpp.o.d"
+  "/root/repo/src/nn/src/transformer.cpp" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/hpcgpt_nn.dir/src/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hpcgpt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hpcgpt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_nn.dir/src/adam.cpp.o"
+  "CMakeFiles/hpcgpt_nn.dir/src/adam.cpp.o.d"
+  "CMakeFiles/hpcgpt_nn.dir/src/checkpoint.cpp.o"
+  "CMakeFiles/hpcgpt_nn.dir/src/checkpoint.cpp.o.d"
+  "CMakeFiles/hpcgpt_nn.dir/src/linear.cpp.o"
+  "CMakeFiles/hpcgpt_nn.dir/src/linear.cpp.o.d"
+  "CMakeFiles/hpcgpt_nn.dir/src/parameter.cpp.o"
+  "CMakeFiles/hpcgpt_nn.dir/src/parameter.cpp.o.d"
+  "CMakeFiles/hpcgpt_nn.dir/src/sampler.cpp.o"
+  "CMakeFiles/hpcgpt_nn.dir/src/sampler.cpp.o.d"
+  "CMakeFiles/hpcgpt_nn.dir/src/transformer.cpp.o"
+  "CMakeFiles/hpcgpt_nn.dir/src/transformer.cpp.o.d"
+  "libhpcgpt_nn.a"
+  "libhpcgpt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_ontology.dir/src/ontology.cpp.o"
+  "CMakeFiles/hpcgpt_ontology.dir/src/ontology.cpp.o.d"
+  "libhpcgpt_ontology.a"
+  "libhpcgpt_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/src/detectors.cpp" "src/race/CMakeFiles/hpcgpt_race.dir/src/detectors.cpp.o" "gcc" "src/race/CMakeFiles/hpcgpt_race.dir/src/detectors.cpp.o.d"
+  "/root/repo/src/race/src/eraser.cpp" "src/race/CMakeFiles/hpcgpt_race.dir/src/eraser.cpp.o" "gcc" "src/race/CMakeFiles/hpcgpt_race.dir/src/eraser.cpp.o.d"
+  "/root/repo/src/race/src/features.cpp" "src/race/CMakeFiles/hpcgpt_race.dir/src/features.cpp.o" "gcc" "src/race/CMakeFiles/hpcgpt_race.dir/src/features.cpp.o.d"
+  "/root/repo/src/race/src/hb.cpp" "src/race/CMakeFiles/hpcgpt_race.dir/src/hb.cpp.o" "gcc" "src/race/CMakeFiles/hpcgpt_race.dir/src/hb.cpp.o.d"
+  "/root/repo/src/race/src/interp.cpp" "src/race/CMakeFiles/hpcgpt_race.dir/src/interp.cpp.o" "gcc" "src/race/CMakeFiles/hpcgpt_race.dir/src/interp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minilang/CMakeFiles/hpcgpt_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

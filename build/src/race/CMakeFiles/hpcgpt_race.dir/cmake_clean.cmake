@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_race.dir/src/detectors.cpp.o"
+  "CMakeFiles/hpcgpt_race.dir/src/detectors.cpp.o.d"
+  "CMakeFiles/hpcgpt_race.dir/src/eraser.cpp.o"
+  "CMakeFiles/hpcgpt_race.dir/src/eraser.cpp.o.d"
+  "CMakeFiles/hpcgpt_race.dir/src/features.cpp.o"
+  "CMakeFiles/hpcgpt_race.dir/src/features.cpp.o.d"
+  "CMakeFiles/hpcgpt_race.dir/src/hb.cpp.o"
+  "CMakeFiles/hpcgpt_race.dir/src/hb.cpp.o.d"
+  "CMakeFiles/hpcgpt_race.dir/src/interp.cpp.o"
+  "CMakeFiles/hpcgpt_race.dir/src/interp.cpp.o.d"
+  "libhpcgpt_race.a"
+  "libhpcgpt_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_retrieval.dir/src/vector_store.cpp.o"
+  "CMakeFiles/hpcgpt_retrieval.dir/src/vector_store.cpp.o.d"
+  "libhpcgpt_retrieval.a"
+  "libhpcgpt_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

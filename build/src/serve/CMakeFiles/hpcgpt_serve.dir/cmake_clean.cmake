@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_serve.dir/src/server.cpp.o"
+  "CMakeFiles/hpcgpt_serve.dir/src/server.cpp.o.d"
+  "libhpcgpt_serve.a"
+  "libhpcgpt_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_support.dir/src/strings.cpp.o"
+  "CMakeFiles/hpcgpt_support.dir/src/strings.cpp.o.d"
+  "CMakeFiles/hpcgpt_support.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/hpcgpt_support.dir/src/thread_pool.cpp.o.d"
+  "libhpcgpt_support.a"
+  "libhpcgpt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_tensor.dir/src/matrix.cpp.o"
+  "CMakeFiles/hpcgpt_tensor.dir/src/matrix.cpp.o.d"
+  "libhpcgpt_tensor.a"
+  "libhpcgpt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

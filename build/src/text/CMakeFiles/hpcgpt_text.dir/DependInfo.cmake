@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/src/chunker.cpp" "src/text/CMakeFiles/hpcgpt_text.dir/src/chunker.cpp.o" "gcc" "src/text/CMakeFiles/hpcgpt_text.dir/src/chunker.cpp.o.d"
+  "/root/repo/src/text/src/similarity.cpp" "src/text/CMakeFiles/hpcgpt_text.dir/src/similarity.cpp.o" "gcc" "src/text/CMakeFiles/hpcgpt_text.dir/src/similarity.cpp.o.d"
+  "/root/repo/src/text/src/tokenizer.cpp" "src/text/CMakeFiles/hpcgpt_text.dir/src/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/hpcgpt_text.dir/src/tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

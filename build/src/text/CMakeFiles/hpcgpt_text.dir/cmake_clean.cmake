@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_text.dir/src/chunker.cpp.o"
+  "CMakeFiles/hpcgpt_text.dir/src/chunker.cpp.o.d"
+  "CMakeFiles/hpcgpt_text.dir/src/similarity.cpp.o"
+  "CMakeFiles/hpcgpt_text.dir/src/similarity.cpp.o.d"
+  "CMakeFiles/hpcgpt_text.dir/src/tokenizer.cpp.o"
+  "CMakeFiles/hpcgpt_text.dir/src/tokenizer.cpp.o.d"
+  "libhpcgpt_text.a"
+  "libhpcgpt_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drb.dir/test_drb.cpp.o"
+  "CMakeFiles/test_drb.dir/test_drb.cpp.o.d"
+  "test_drb"
+  "test_drb.pdb"
+  "test_drb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

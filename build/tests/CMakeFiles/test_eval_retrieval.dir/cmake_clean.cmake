@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_retrieval.dir/test_eval_retrieval.cpp.o"
+  "CMakeFiles/test_eval_retrieval.dir/test_eval_retrieval.cpp.o.d"
+  "test_eval_retrieval"
+  "test_eval_retrieval.pdb"
+  "test_eval_retrieval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_property.dir/test_json_property.cpp.o"
+  "CMakeFiles/test_json_property.dir/test_json_property.cpp.o.d"
+  "test_json_property"
+  "test_json_property.pdb"
+  "test_json_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kb_ontology.dir/test_kb_ontology.cpp.o"
+  "CMakeFiles/test_kb_ontology.dir/test_kb_ontology.cpp.o.d"
+  "test_kb_ontology"
+  "test_kb_ontology.pdb"
+  "test_kb_ontology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kb_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minilang.dir/test_minilang.cpp.o"
+  "CMakeFiles/test_minilang.dir/test_minilang.cpp.o.d"
+  "test_minilang"
+  "test_minilang.pdb"
+  "test_minilang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minilang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

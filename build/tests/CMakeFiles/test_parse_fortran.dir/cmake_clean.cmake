@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parse_fortran.dir/test_parse_fortran.cpp.o"
+  "CMakeFiles/test_parse_fortran.dir/test_parse_fortran.cpp.o.d"
+  "test_parse_fortran"
+  "test_parse_fortran.pdb"
+  "test_parse_fortran[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parse_fortran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snippets.dir/test_snippets.cpp.o"
+  "CMakeFiles/test_snippets.dir/test_snippets.cpp.o.d"
+  "test_snippets"
+  "test_snippets.pdb"
+  "test_snippets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

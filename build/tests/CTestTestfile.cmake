@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_minilang[1]_include.cmake")
+include("/root/repo/build/tests/test_race[1]_include.cmake")
+include("/root/repo/build/tests/test_drb[1]_include.cmake")
+include("/root/repo/build/tests/test_kb_ontology[1]_include.cmake")
+include("/root/repo/build/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build/tests/test_eval_retrieval[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_parse_fortran[1]_include.cmake")
+include("/root/repo/build/tests/test_bundle_rag[1]_include.cmake")
+include("/root/repo/build/tests/test_snippets[1]_include.cmake")
+include("/root/repo/build/tests/test_json_property[1]_include.cmake")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/hpcgpt_cli.cpp" "tools/CMakeFiles/hpcgpt_cli.dir/hpcgpt_cli.cpp.o" "gcc" "tools/CMakeFiles/hpcgpt_cli.dir/hpcgpt_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpcgpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/hpcgpt_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hpcgpt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/hpcgpt_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/minilang/CMakeFiles/hpcgpt_minilang.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpcgpt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hpcgpt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/hpcgpt_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/hpcgpt_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/drb/CMakeFiles/hpcgpt_drb.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/hpcgpt_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hpcgpt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/retrieval/CMakeFiles/hpcgpt_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hpcgpt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcgpt_cli.dir/hpcgpt_cli.cpp.o"
+  "CMakeFiles/hpcgpt_cli.dir/hpcgpt_cli.cpp.o.d"
+  "hpcgpt"
+  "hpcgpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcgpt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
