@@ -1,0 +1,115 @@
+// Static-vs-dynamic agreement — the hpcgpt::analysis verifier next to the
+// four Table-5 tools on both DRB evaluation suites: per-tool confusion
+// against ground truth, then pairwise verdict agreement. The interesting
+// cells are llov vs hpcgpt-verifier (how much the MHP pass and the
+// GCD/range refinements buy over the compat detector) and the static vs
+// dynamic columns (complementary error modes: hidden input-dependent races
+// vs non-affine subscripts).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hpcgpt/core/evaluation.hpp"
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/eval/metrics.hpp"
+#include "hpcgpt/race/detector.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+struct ToolVerdicts {
+  std::string name;
+  std::vector<race::Verdict> verdicts;  // per suite case
+};
+
+// Fraction of cases both tools judged (neither Unsupported) on which they
+// agree, plus the size of that common-support set.
+struct Agreement {
+  double rate = 0.0;
+  std::size_t common = 0;
+};
+
+Agreement agreement(const ToolVerdicts& a, const ToolVerdicts& b) {
+  Agreement out;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    if (a.verdicts[i] == race::Verdict::Unsupported ||
+        b.verdicts[i] == race::Verdict::Unsupported) {
+      continue;
+    }
+    ++out.common;
+    if (a.verdicts[i] == b.verdicts[i]) ++same;
+  }
+  out.rate = out.common == 0 ? 0.0
+                             : static_cast<double>(same) /
+                                   static_cast<double>(out.common);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Agreement — hpcgpt::analysis verifier vs the Table-5 detectors");
+
+  for (const minilang::Flavor flavor :
+       {minilang::Flavor::C, minilang::Flavor::Fortran}) {
+    bench::section(std::string("suite: ") + minilang::flavor_name(flavor));
+    const auto suite = drb::evaluation_suite(flavor);
+
+    auto tools = race::make_all_tools();
+    tools.push_back(race::make_static_verifier());
+
+    // Ground-truth confusion (same §4.5 protocol as Table 5) and the raw
+    // per-case verdicts for the agreement matrix.
+    std::vector<eval::ToolRow> rows;
+    std::vector<ToolVerdicts> verdicts;
+    for (const auto& tool : tools) {
+      eval::ToolRow row;
+      row.tool = tool->info().name;
+      row.language = minilang::flavor_name(flavor);
+      row.confusion = core::evaluate_detector(*tool, suite);
+      rows.push_back(std::move(row));
+
+      ToolVerdicts tv;
+      tv.name = tool->info().name;
+      for (const drb::TestCase& tc : suite) {
+        tv.verdicts.push_back(
+            tool->analyze(tc.program, tc.flavor).verdict);
+      }
+      verdicts.push_back(std::move(tv));
+    }
+    std::printf("%s", eval::render_table5(rows).c_str());
+
+    std::printf("\npairwise agreement (share of commonly-supported cases "
+                "with equal verdicts):\n%-18s", "");
+    for (const ToolVerdicts& tv : verdicts) {
+      std::printf(" %16s", tv.name.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      std::printf("%-18s", verdicts[i].name.c_str());
+      for (std::size_t j = 0; j < verdicts.size(); ++j) {
+        const Agreement a = agreement(verdicts[i], verdicts[j]);
+        std::printf(" %9.3f (%3zu)", a.rate, a.common);
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::section("reading");
+  std::printf(
+      "The verifier judges every case (TSR 1.0): parallel regions that the\n"
+      "compat LLOV detector returns Unsupported on go through the MHP\n"
+      "barrier-phase analysis instead. Where llov and the verifier disagree\n"
+      "on commonly-supported cases, the delta is the GCD/range-test\n"
+      "refinements removing conservative dependence reports. Disagreement\n"
+      "with the dynamic tools concentrates on hidden input-dependent races\n"
+      "(static flags, dynamic misses) and non-affine subscripts (dynamic\n"
+      "flags, static skips with a note).\n");
+  return 0;
+}

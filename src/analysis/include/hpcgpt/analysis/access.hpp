@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/analysis/affine.hpp"
+#include "hpcgpt/analysis/stmt_index.hpp"
+#include "hpcgpt/minilang/ast.hpp"
+
+namespace hpcgpt::analysis {
+
+/// Access classification of one scalar inside a parallel loop. The
+/// unprot/prot/master flags reproduce the classification the original
+/// single-pass LLOV detector used (they are verdict-bearing); the order
+/// fields extend it for the scoping lints (read-before-write detection).
+struct ScalarUse {
+  bool unprot_write = false;
+  bool unprot_read = false;
+  bool prot_write = false;    ///< inside critical/atomic
+  bool master_write = false;  ///< inside master/single (one thread)
+  bool any_other_thread_access = false;
+  /// Collection-order position of the first read / first write (-1 = no
+  /// such access). Collection order approximates program order: branches
+  /// are explored in sequence, so a read that precedes every write on the
+  /// straight-line walk is a may-read-before-write.
+  int first_read_order = -1;
+  int first_write_order = -1;
+  /// A plain Assign whose RHS does not mention the variable (flags
+  /// reduction accumulators that are overwritten instead of accumulated).
+  bool non_accumulating_write = false;
+  std::vector<int> stmts;  ///< ids of statements touching the scalar
+};
+
+/// One array access inside a parallel loop with its affine decomposition.
+struct ArrayAccess {
+  bool is_write = false;
+  AffineIndex index;
+  bool analyzable = true;
+  int stmt = -1;
+};
+
+/// Everything the scoping and dependence passes need about one parallel
+/// loop, collected in a single walk. Scalars are split by data-sharing
+/// class: `shared` drives the race checks (exactly the accesses the
+/// original detector considered), `privatized` / `reductions` feed the
+/// clause lints.
+struct LoopAccesses {
+  std::map<std::string, ScalarUse> shared;
+  std::map<std::string, ScalarUse> privatized;  ///< private+firstprivate
+  std::map<std::string, ScalarUse> reductions;
+  /// Array accesses outside critical/atomic/master (dependence-test
+  /// candidates, as in the original detector).
+  std::map<std::string, std::vector<ArrayAccess>> arrays;
+};
+
+/// Walks `loop` (a ParallelFor) and classifies every access. The loop
+/// variable and nested sequential-loop variables are thread-local and do
+/// not appear in the result.
+LoopAccesses collect_loop_accesses(const minilang::Stmt& loop,
+                                   const StmtIndex& index);
+
+}  // namespace hpcgpt::analysis

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcgpt::analysis {
+
+/// The three composable passes of the static race verifier. The pass that
+/// produced a finding is part of the diagnostic so downstream consumers
+/// (the lint CLI, the datagen rationale text, the agreement eval) can
+/// attribute and summarize findings per pass.
+enum class PassId {
+  Mhp,         ///< may-happen-in-parallel region/phase analysis
+  Scoping,     ///< data-sharing & scoping clause lint
+  Dependence,  ///< loop dependence testing on affine subscripts
+};
+
+/// Finding severity. Only `Error` findings are race verdicts; `Warning`
+/// marks likely-but-unproven problems and `Note` records analysis facts
+/// (skipped subscripts, refuted dependences, redundant clauses).
+enum class Severity { Error, Warning, Note };
+
+std::string pass_name(PassId pass);
+std::string severity_name(Severity severity);
+
+/// One structured finding. `stmts` are pre-order statement ids over the
+/// analysed program (see StmtIndex); most findings carry the construct id
+/// plus the ids of the conflicting accesses.
+struct Diagnostic {
+  PassId pass = PassId::Scoping;
+  Severity severity = Severity::Error;
+  std::string variable;      ///< the conflicting/misscoped variable
+  std::vector<int> stmts;    ///< statement ids involved
+  std::string message;       ///< human-readable explanation
+};
+
+/// "[pass] severity: 'var' — message (stmts i,j)".
+std::string to_string(const Diagnostic& d);
+
+/// Result of one verifier run: every finding of every pass, in program
+/// traversal order, plus the structural facts the LLOV-compatible verdict
+/// mapping needs (loop-shaped vs region-shaped parallelism).
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+  /// Structural flags with the verifier's traversal semantics: toplevel
+  /// statements, descending sequential loops and conditionals.
+  bool saw_parallel_loop = false;
+  bool saw_parallel_region = false;
+  std::size_t statements = 0;  ///< statements indexed
+
+  bool has_errors() const;
+  const Diagnostic* first_error() const;
+  std::size_t count(PassId pass) const;
+  std::size_t count(PassId pass, Severity severity) const;
+
+  /// One line per pass: "mhp: 0 | scoping: 1 error, 1 note | ...".
+  std::string summary() const;
+  /// All diagnostics (one per line) followed by the summary line.
+  std::string render() const;
+};
+
+}  // namespace hpcgpt::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "hpcgpt/analysis/diagnostic.hpp"
+#include "hpcgpt/analysis/stmt_index.hpp"
+#include "hpcgpt/minilang/ast.hpp"
+
+namespace hpcgpt::analysis {
+
+/// May-happen-in-parallel facts for one program.
+///
+/// Parallel regions are segmented at barriers exactly like the simulated
+/// OpenMP runtime segments execution: a `barrier` statement ends a phase,
+/// and a `single` construct ends one too (it carries an implicit barrier).
+/// Two statements may run concurrently iff they live in the same parallel
+/// construct and the same barrier phase; statements of a parallel loop
+/// share one phase (iterations are concurrent). Serial statements are
+/// never concurrent with anything.
+struct MhpInfo {
+  struct Placement {
+    int construct = -1;  ///< statement id of the enclosing parallel
+                         ///< construct (-1 = serial code)
+    int phase = 0;       ///< barrier phase within the construct
+    bool single_thread = false;  ///< inside master/single
+  };
+
+  std::unordered_map<int, Placement> placement;  ///< stmt id -> placement
+  std::size_t parallel_constructs = 0;
+  std::size_t phases = 0;  ///< total phases across all regions
+
+  /// True when the two statements can execute concurrently on different
+  /// threads. Unknown ids are treated as serial (never concurrent).
+  bool may_happen_in_parallel(int stmt_a, int stmt_b) const;
+};
+
+/// Computes placements for every statement of the program.
+MhpInfo compute_mhp(const minilang::Program& program, const StmtIndex& index);
+
+/// Verifies the barrier-phase structure of every ParallelRegion: accesses
+/// placed in the same phase by different threads are checked for
+/// conflicting addresses (thread-id-offset and constant subscripts are
+/// compared symbolically; anything else is a conservative warning).
+/// Appends findings to `out`. Parallel *loops* are left to the scoping and
+/// dependence passes.
+void run_mhp_pass(const minilang::Program& program, const StmtIndex& index,
+                  const MhpInfo& info, std::vector<Diagnostic>& out);
+
+}  // namespace hpcgpt::analysis

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "hpcgpt/minilang/ast.hpp"
+
+namespace hpcgpt::analysis {
+
+/// Stable pre-order numbering of every statement in a program. All passes
+/// share one index so that statement ids in diagnostics are comparable
+/// across passes and renderable by the lint CLI ("stmt #7").
+class StmtIndex {
+ public:
+  static StmtIndex build(const minilang::Program& program);
+
+  /// Id of a statement node; -1 when the node is not part of the indexed
+  /// program (defensive — never expected in practice).
+  int id_of(const minilang::Stmt* stmt) const;
+
+  const minilang::Stmt* stmt_of(int id) const;
+  std::size_t size() const { return order_.size(); }
+
+ private:
+  std::vector<const minilang::Stmt*> order_;
+  std::unordered_map<const minilang::Stmt*, int> ids_;
+};
+
+}  // namespace hpcgpt::analysis

@@ -1,0 +1,158 @@
+#include "hpcgpt/analysis/access.hpp"
+
+#include <set>
+
+namespace hpcgpt::analysis {
+
+using minilang::Expr;
+using minilang::Stmt;
+
+namespace {
+
+bool mentions(const Expr& e, const std::string& name) {
+  switch (e.kind) {
+    case Expr::Kind::ScalarRef:
+      return e.name == name;
+    case Expr::Kind::ArrayRef:
+      return e.name == name || mentions(*e.index, name);
+    case Expr::Kind::BinOp:
+      return mentions(*e.lhs, name) || mentions(*e.rhs, name);
+    default:
+      return false;
+  }
+}
+
+/// The collection walk. Traversal order, protection tracking, and the
+/// verdict-bearing ScalarUse flags replicate the original single-pass
+/// detector exactly; the collector only adds bookkeeping (statement ids,
+/// access order, clause classification) on top.
+class Collector {
+ public:
+  Collector(const Stmt& loop, const StmtIndex& index)
+      : loop_(loop), index_(index) {
+    local_scalars_.insert(loop.loop_var);
+  }
+
+  LoopAccesses run() {
+    collect(loop_.body, /*in_prot=*/false, /*in_master=*/false);
+    return std::move(result_);
+  }
+
+ private:
+  /// Routes a scalar by data-sharing class; nullptr = thread-local
+  /// (loop variables), which never participates in any check.
+  ScalarUse* slot(const std::string& name) {
+    if (local_scalars_.count(name) > 0) return nullptr;
+    if (loop_.clauses.is_reduction(name)) return &result_.reductions[name];
+    if (loop_.clauses.is_private(name)) return &result_.privatized[name];
+    return &result_.shared[name];
+  }
+
+  void collect(const std::vector<Stmt>& body, bool in_prot, bool in_master) {
+    for (const Stmt& s : body) {
+      const int id = index_.id_of(&s);
+      switch (s.kind) {
+        case Stmt::Kind::Assign:
+          if (s.target->kind == Expr::Kind::ScalarRef &&
+              !mentions(*s.value, s.target->name)) {
+            if (ScalarUse* use = slot(s.target->name)) {
+              use->non_accumulating_write = true;
+            }
+          }
+          collect_access(*s.target, /*is_write=*/true, in_prot, in_master, id);
+          collect_access(*s.value, /*is_write=*/false, in_prot, in_master, id);
+          break;
+        case Stmt::Kind::Atomic:
+          collect_access(*s.target, true, /*in_prot=*/true, in_master, id);
+          collect_access(*s.value, false, /*in_prot=*/true, in_master, id);
+          break;
+        case Stmt::Kind::Critical:
+          collect(s.body, /*in_prot=*/true, in_master);
+          break;
+        case Stmt::Kind::Master:
+        case Stmt::Kind::Single:
+          collect(s.body, in_prot, /*in_master=*/true);
+          break;
+        case Stmt::Kind::If:
+          // Static analysis explores both branches: may-execute accesses
+          // participate in dependence testing.
+          collect_access(*s.cond, false, in_prot, in_master, id);
+          collect(s.body, in_prot, in_master);
+          break;
+        case Stmt::Kind::SeqFor: {
+          const bool added = local_scalars_.insert(s.loop_var).second;
+          collect(s.body, in_prot, in_master);
+          if (added) local_scalars_.erase(s.loop_var);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void collect_access(const Expr& e, bool is_write, bool in_prot,
+                      bool in_master, int stmt_id) {
+    switch (e.kind) {
+      case Expr::Kind::ScalarRef: {
+        ScalarUse* use = slot(e.name);
+        if (!use) return;
+        const int ord = order_++;
+        if (is_write) {
+          if (use->first_write_order == -1) use->first_write_order = ord;
+        } else if (use->first_read_order == -1) {
+          use->first_read_order = ord;
+        }
+        if (use->stmts.empty() || use->stmts.back() != stmt_id) {
+          use->stmts.push_back(stmt_id);
+        }
+        if (is_write) {
+          if (in_master) {
+            use->master_write = true;
+          } else if (in_prot) {
+            use->prot_write = true;
+          } else {
+            use->unprot_write = true;
+          }
+        } else {
+          if (!in_prot && !in_master) use->unprot_read = true;
+          if (!in_master) use->any_other_thread_access = true;
+        }
+        if (is_write && !in_master) use->any_other_thread_access = true;
+        return;
+      }
+      case Expr::Kind::ArrayRef: {
+        ArrayAccess a;
+        a.is_write = is_write;
+        a.index = affine_in(*e.index, loop_.loop_var);
+        a.analyzable = a.index.affine;
+        a.stmt = stmt_id;
+        // Accesses under critical/atomic are pairwise ordered and drop
+        // out of the dependence test.
+        if (!in_prot && !in_master) result_.arrays[e.name].push_back(a);
+        collect_access(*e.index, false, in_prot, in_master, stmt_id);
+        return;
+      }
+      case Expr::Kind::BinOp:
+        collect_access(*e.lhs, false, in_prot, in_master, stmt_id);
+        collect_access(*e.rhs, false, in_prot, in_master, stmt_id);
+        return;
+      default:
+        return;
+    }
+  }
+
+  const Stmt& loop_;
+  const StmtIndex& index_;
+  std::set<std::string> local_scalars_;
+  LoopAccesses result_;
+  int order_ = 0;
+};
+
+}  // namespace
+
+LoopAccesses collect_loop_accesses(const Stmt& loop, const StmtIndex& index) {
+  return Collector(loop, index).run();
+}
+
+}  // namespace hpcgpt::analysis

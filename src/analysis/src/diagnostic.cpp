@@ -1,0 +1,113 @@
+#include "hpcgpt/analysis/diagnostic.hpp"
+
+#include <sstream>
+
+namespace hpcgpt::analysis {
+
+std::string pass_name(PassId pass) {
+  switch (pass) {
+    case PassId::Mhp:
+      return "mhp";
+    case PassId::Scoping:
+      return "scoping";
+    case PassId::Dependence:
+      return "dependence";
+  }
+  return "unknown";
+}
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Error:
+      return "error";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Note:
+      return "note";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << "[" << pass_name(d.pass) << "] " << severity_name(d.severity) << ": '"
+     << d.variable << "' — " << d.message;
+  if (!d.stmts.empty()) {
+    os << " (stmt";
+    if (d.stmts.size() > 1) os << "s";
+    os << " ";
+    for (std::size_t i = 0; i < d.stmts.size(); ++i) {
+      if (i > 0) os << ",";
+      os << d.stmts[i];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+bool Report::has_errors() const { return first_error() != nullptr; }
+
+const Diagnostic* Report::first_error() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) return &d;
+  }
+  return nullptr;
+}
+
+std::size_t Report::count(PassId pass) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.pass == pass) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::count(PassId pass, Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.pass == pass && d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  const PassId passes[] = {PassId::Mhp, PassId::Scoping, PassId::Dependence};
+  bool first = true;
+  for (PassId p : passes) {
+    if (!first) os << " | ";
+    first = false;
+    os << pass_name(p) << ": ";
+    const std::size_t errors = count(p, Severity::Error);
+    const std::size_t warnings = count(p, Severity::Warning);
+    const std::size_t notes = count(p, Severity::Note);
+    if (errors == 0 && warnings == 0 && notes == 0) {
+      os << "0";
+      continue;
+    }
+    bool any = false;
+    if (errors > 0) {
+      os << errors << (errors == 1 ? " error" : " errors");
+      any = true;
+    }
+    if (warnings > 0) {
+      if (any) os << ", ";
+      os << warnings << (warnings == 1 ? " warning" : " warnings");
+      any = true;
+    }
+    if (notes > 0) {
+      if (any) os << ", ";
+      os << notes << (notes == 1 ? " note" : " notes");
+    }
+  }
+  return os.str();
+}
+
+std::string Report::render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) os << to_string(d) << "\n";
+  os << summary() << "\n";
+  return os.str();
+}
+
+}  // namespace hpcgpt::analysis

@@ -1,0 +1,431 @@
+#include "hpcgpt/analysis/mhp.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace hpcgpt::analysis {
+
+using minilang::Expr;
+using minilang::Program;
+using minilang::Stmt;
+
+namespace {
+
+/// Applies `fn` to every parallel construct of the program (toplevel or
+/// nested under serial control flow; parallel constructs do not nest in
+/// the mini-language).
+template <typename Fn>
+void for_each_parallel(const std::vector<Stmt>& body, Fn&& fn) {
+  for (const Stmt& s : body) {
+    if (s.kind == Stmt::Kind::ParallelFor ||
+        s.kind == Stmt::Kind::ParallelRegion) {
+      fn(s);
+    } else {
+      for_each_parallel(s.body, fn);
+    }
+  }
+}
+
+}  // namespace
+
+bool MhpInfo::may_happen_in_parallel(int stmt_a, int stmt_b) const {
+  const auto a = placement.find(stmt_a);
+  const auto b = placement.find(stmt_b);
+  if (a == placement.end() || b == placement.end()) return false;  // serial
+  if (a->second.construct != b->second.construct) return false;
+  if (a->second.phase != b->second.phase) return false;
+  if (stmt_a == stmt_b) {
+    // The same statement races with itself only when several threads
+    // execute it (region bodies and loop iterations, not master/single).
+    return !a->second.single_thread;
+  }
+  // Two master/single statements both run on thread 0, in program order.
+  return !(a->second.single_thread && b->second.single_thread);
+}
+
+namespace {
+
+class MhpBuilder {
+ public:
+  MhpBuilder(const StmtIndex& index, MhpInfo& info)
+      : index_(index), info_(info) {}
+
+  void region(const Stmt& r) {
+    ++info_.parallel_constructs;
+    const int id = index_.id_of(&r);
+    int phase = 0;
+    for (const Stmt& child : r.body) {
+      // Phases split exactly where the simulated runtime segments
+      // execution: at a direct-child barrier, and after a single
+      // construct (implicit barrier).
+      if (child.kind == Stmt::Kind::Barrier) {
+        place(child, id, phase, false);
+        ++phase;
+        continue;
+      }
+      place_subtree(child, id, phase, /*single_thread=*/false);
+      if (child.kind == Stmt::Kind::Single) ++phase;
+    }
+    info_.phases += static_cast<std::size_t>(phase) + 1;
+  }
+
+  void loop(const Stmt& l) {
+    ++info_.parallel_constructs;
+    const int id = index_.id_of(&l);
+    // All iterations of a worksharing loop are concurrent: one phase.
+    place(l, id, 0, false);
+    for (const Stmt& inner : l.body) place_subtree(inner, id, 0, false);
+    info_.phases += 1;
+  }
+
+ private:
+  void place(const Stmt& s, int construct, int phase, bool single_thread) {
+    info_.placement[index_.id_of(&s)] =
+        MhpInfo::Placement{construct, phase, single_thread};
+  }
+
+  void place_subtree(const Stmt& s, int construct, int phase,
+                     bool single_thread) {
+    const bool here = single_thread || s.kind == Stmt::Kind::Master ||
+                      s.kind == Stmt::Kind::Single;
+    place(s, construct, phase, here);
+    for (const Stmt& inner : s.body) {
+      place_subtree(inner, construct, phase, here);
+    }
+  }
+
+  const StmtIndex& index_;
+  MhpInfo& info_;
+};
+
+}  // namespace
+
+MhpInfo compute_mhp(const Program& program, const StmtIndex& index) {
+  MhpInfo info;
+  MhpBuilder builder(index, info);
+  for_each_parallel(program.body, [&](const Stmt& s) {
+    if (s.kind == Stmt::Kind::ParallelRegion) {
+      builder.region(s);
+    } else {
+      builder.loop(s);
+    }
+  });
+  return info;
+}
+
+// ===================================================== region verification
+
+namespace {
+
+/// One access inside a parallel region with its phase placement and a
+/// symbolic address: scalars, constant elements, thread-offset elements
+/// (a[tid+c]), or unknown. Accesses under master/single are folded with
+/// tid = 0 (the runtime executes them on thread 0).
+struct RegAccess {
+  enum class Addr { Scalar, Const, TidOffset, Unknown };
+
+  bool is_write = false;
+  bool prot = false;  ///< under atomic/critical
+  bool single_thread = false;
+  int phase = 0;
+  int stmt = -1;
+  Addr addr = Addr::Scalar;
+  std::int64_t off = 0;
+};
+
+/// Linear decomposition of an index expression in the thread id:
+/// index == coeff * tid + off.
+struct TidAffine {
+  bool ok = false;
+  std::int64_t coeff = 0;
+  std::int64_t off = 0;
+};
+
+TidAffine tid_affine(const Expr& e) {
+  TidAffine out;
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      out.ok = true;
+      out.off = e.value;
+      return out;
+    case Expr::Kind::ThreadId:
+      out.ok = true;
+      out.coeff = 1;
+      return out;
+    case Expr::Kind::BinOp: {
+      const TidAffine l = tid_affine(*e.lhs);
+      const TidAffine r = tid_affine(*e.rhs);
+      if (!l.ok || !r.ok) return out;
+      switch (e.op) {
+        case '+':
+          out = {true, l.coeff + r.coeff, l.off + r.off};
+          return out;
+        case '-':
+          out = {true, l.coeff - r.coeff, l.off - r.off};
+          return out;
+        case '*':
+          if (l.coeff == 0) {
+            out = {true, l.off * r.coeff, l.off * r.off};
+          } else if (r.coeff == 0) {
+            out = {true, l.coeff * r.off, l.off * r.off};
+          }
+          return out;
+        default:
+          return out;  // '%', '/', comparisons: unknown address
+      }
+    }
+    default:
+      return out;  // scalars (unknown value), nested arrays
+  }
+}
+
+class RegionChecker {
+ public:
+  RegionChecker(const Stmt& region, const StmtIndex& index,
+                const MhpInfo& info)
+      : region_(region), index_(index), info_(info) {}
+
+  void run(std::vector<Diagnostic>& out) {
+    scan(region_.body, /*in_prot=*/false);
+    check(out);
+  }
+
+ private:
+  void scan(const std::vector<Stmt>& body, bool in_prot) {
+    for (const Stmt& s : body) {
+      const int id = index_.id_of(&s);
+      switch (s.kind) {
+        case Stmt::Kind::Assign:
+          record(*s.target, true, in_prot, id);
+          record(*s.value, false, in_prot, id);
+          break;
+        case Stmt::Kind::Atomic:
+          record(*s.target, true, /*in_prot=*/true, id);
+          record(*s.value, false, /*in_prot=*/true, id);
+          break;
+        case Stmt::Kind::Critical:
+          scan(s.body, /*in_prot=*/true);
+          break;
+        case Stmt::Kind::Master:
+        case Stmt::Kind::Single:
+          scan(s.body, in_prot);  // placement carries single_thread
+          break;
+        case Stmt::Kind::If:
+          record(*s.cond, false, in_prot, id);
+          scan(s.body, in_prot);
+          break;
+        case Stmt::Kind::SeqFor: {
+          record(*s.lo, false, in_prot, id);
+          record(*s.hi, false, in_prot, id);
+          const bool added = locals_.insert(s.loop_var).second;
+          scan(s.body, in_prot);
+          if (added) locals_.erase(s.loop_var);
+          break;
+        }
+        default:
+          break;  // barriers carry no accesses; nested loops cannot occur
+      }
+    }
+  }
+
+  void record(const Expr& e, bool is_write, bool in_prot, int stmt_id) {
+    switch (e.kind) {
+      case Expr::Kind::ScalarRef: {
+        if (locals_.count(e.name) > 0) return;
+        if (region_.clauses.is_private(e.name) ||
+            region_.clauses.is_reduction(e.name)) {
+          return;
+        }
+        push(e.name, is_write, in_prot, stmt_id, RegAccess::Addr::Scalar, 0);
+        return;
+      }
+      case Expr::Kind::ArrayRef: {
+        const auto placed = info_.placement.find(stmt_id);
+        const bool st =
+            placed != info_.placement.end() && placed->second.single_thread;
+        TidAffine idx = tid_affine(*e.index);
+        // Index expressions over region-local sequential loop variables
+        // or shared scalars have unknown values.
+        if (idx.ok && mentions_local(*e.index)) idx.ok = false;
+        RegAccess::Addr addr = RegAccess::Addr::Unknown;
+        std::int64_t off = 0;
+        if (idx.ok) {
+          if (st) {
+            // master/single run on thread 0: tid folds to a constant.
+            addr = RegAccess::Addr::Const;
+            off = idx.off;
+          } else if (idx.coeff == 0) {
+            addr = RegAccess::Addr::Const;
+            off = idx.off;
+          } else if (idx.coeff == 1) {
+            addr = RegAccess::Addr::TidOffset;
+            off = idx.off;
+          }
+        }
+        push(e.name, is_write, in_prot, stmt_id, addr, off);
+        record(*e.index, false, in_prot, stmt_id);
+        return;
+      }
+      case Expr::Kind::BinOp:
+        record(*e.lhs, false, in_prot, stmt_id);
+        record(*e.rhs, false, in_prot, stmt_id);
+        return;
+      default:
+        return;
+    }
+  }
+
+  bool mentions_local(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::ScalarRef:
+        return locals_.count(e.name) > 0;
+      case Expr::Kind::ArrayRef:
+        return mentions_local(*e.index);
+      case Expr::Kind::BinOp:
+        return mentions_local(*e.lhs) || mentions_local(*e.rhs);
+      default:
+        return false;
+    }
+  }
+
+  void push(const std::string& name, bool is_write, bool in_prot, int stmt_id,
+            RegAccess::Addr addr, std::int64_t off) {
+    const auto placed = info_.placement.find(stmt_id);
+    RegAccess a;
+    a.is_write = is_write;
+    a.prot = in_prot;
+    a.single_thread =
+        placed != info_.placement.end() && placed->second.single_thread;
+    a.phase = placed != info_.placement.end() ? placed->second.phase : 0;
+    a.stmt = stmt_id;
+    a.addr = addr;
+    a.off = off;
+    vars_[name].push_back(a);
+  }
+
+  enum class Overlap { No, Maybe, Yes };
+
+  /// Can the two accesses, executed by *different* threads in the same
+  /// phase, touch the same address?
+  Overlap overlap(const RegAccess& a, const RegAccess& b) const {
+    const std::int64_t threads =
+        static_cast<std::int64_t>(region_.clauses.num_threads);
+    using Addr = RegAccess::Addr;
+    if (a.addr == Addr::Unknown || b.addr == Addr::Unknown) {
+      return Overlap::Maybe;
+    }
+    if (a.addr == Addr::Scalar || b.addr == Addr::Scalar) {
+      return Overlap::Yes;  // same variable, one address
+    }
+    if (a.addr == Addr::Const && b.addr == Addr::Const) {
+      return a.off == b.off ? Overlap::Yes : Overlap::No;
+    }
+    if (a.addr == Addr::TidOffset && b.addr == Addr::TidOffset) {
+      // tid1 + c1 == tid2 + c2 with tid1 != tid2 needs c1 != c2, and a
+      // thread id gap of |c1 - c2| within the team.
+      const std::int64_t gap = a.off > b.off ? a.off - b.off : b.off - a.off;
+      if (gap == 0) return Overlap::No;
+      if (threads > 0 && gap >= threads) return Overlap::No;
+      return Overlap::Yes;
+    }
+    // Const element k vs thread-offset element tid + c: thread k - c hits
+    // the constant element.
+    const RegAccess& konst = a.addr == Addr::Const ? a : b;
+    const RegAccess& tid = a.addr == Addr::Const ? b : a;
+    const std::int64_t t = konst.off - tid.off;
+    if (t < 0) return Overlap::No;
+    if (threads > 0 && t >= threads) return Overlap::No;
+    if (konst.single_thread && t == 0) {
+      return Overlap::No;  // the colliding thread IS the master thread
+    }
+    return Overlap::Yes;
+  }
+
+  void check(std::vector<Diagnostic>& out) {
+    const int region_id = index_.id_of(&region_);
+    for (const auto& [name, accs] : vars_) {
+      bool flagged = false;
+      const RegAccess* maybe_a = nullptr;
+      const RegAccess* maybe_b = nullptr;
+      for (std::size_t i = 0; i < accs.size() && !flagged; ++i) {
+        for (std::size_t j = i; j < accs.size() && !flagged; ++j) {
+          const RegAccess& a = accs[i];
+          const RegAccess& b = accs[j];
+          if (!a.is_write && !b.is_write) continue;
+          if (a.phase != b.phase) continue;
+          if (a.single_thread && b.single_thread) continue;  // both thread 0
+          if (a.prot && b.prot) continue;  // mutually ordered
+          if (i == j) {
+            // One statement, executed concurrently by every thread.
+            if (a.single_thread) continue;
+            if (a.addr == RegAccess::Addr::TidOffset) continue;  // disjoint
+            if (a.addr == RegAccess::Addr::Unknown) {
+              if (!maybe_a) maybe_a = &a, maybe_b = &b;
+              continue;
+            }
+            report(out, name, a, b,
+                   "written concurrently by every thread in the same "
+                   "barrier phase");
+            flagged = true;
+            continue;
+          }
+          switch (overlap(a, b)) {
+            case Overlap::Yes:
+              report(out, name, a, b,
+                     "conflicting accesses in the same barrier phase (no "
+                     "intervening barrier orders them)");
+              flagged = true;
+              break;
+            case Overlap::Maybe:
+              if (!maybe_a) maybe_a = &a, maybe_b = &b;
+              break;
+            case Overlap::No:
+              break;
+          }
+        }
+      }
+      if (!flagged && maybe_a != nullptr) {
+        Diagnostic d;
+        d.pass = PassId::Mhp;
+        d.severity = Severity::Warning;
+        d.variable = name;
+        d.stmts = {region_id, maybe_a->stmt, maybe_b->stmt};
+        d.message =
+            "cannot prove concurrent accesses in the same barrier phase "
+            "touch distinct elements";
+        out.push_back(std::move(d));
+      }
+    }
+  }
+
+  void report(std::vector<Diagnostic>& out, const std::string& name,
+              const RegAccess& a, const RegAccess& b, std::string msg) {
+    Diagnostic d;
+    d.pass = PassId::Mhp;
+    d.severity = Severity::Error;
+    d.variable = name;
+    d.stmts = {a.stmt};
+    if (b.stmt != a.stmt) d.stmts.push_back(b.stmt);
+    d.message = std::move(msg);
+    out.push_back(std::move(d));
+  }
+
+  const Stmt& region_;
+  const StmtIndex& index_;
+  const MhpInfo& info_;
+  std::set<std::string> locals_;
+  std::map<std::string, std::vector<RegAccess>> vars_;
+};
+
+}  // namespace
+
+void run_mhp_pass(const Program& program, const StmtIndex& index,
+                  const MhpInfo& info, std::vector<Diagnostic>& out) {
+  for_each_parallel(program.body, [&](const Stmt& s) {
+    if (s.kind != Stmt::Kind::ParallelRegion) return;
+    RegionChecker(s, index, info).run(out);
+  });
+}
+
+}  // namespace hpcgpt::analysis

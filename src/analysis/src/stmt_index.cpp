@@ -1,0 +1,35 @@
+#include "hpcgpt/analysis/stmt_index.hpp"
+
+namespace hpcgpt::analysis {
+
+using minilang::Program;
+using minilang::Stmt;
+
+namespace {
+
+void number(const Stmt& s, std::vector<const Stmt*>& order,
+            std::unordered_map<const Stmt*, int>& ids) {
+  ids.emplace(&s, static_cast<int>(order.size()));
+  order.push_back(&s);
+  for (const Stmt& inner : s.body) number(inner, order, ids);
+}
+
+}  // namespace
+
+StmtIndex StmtIndex::build(const Program& program) {
+  StmtIndex index;
+  for (const Stmt& s : program.body) number(s, index.order_, index.ids_);
+  return index;
+}
+
+int StmtIndex::id_of(const Stmt* stmt) const {
+  const auto it = ids_.find(stmt);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const Stmt* StmtIndex::stmt_of(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= order_.size()) return nullptr;
+  return order_[id];
+}
+
+}  // namespace hpcgpt::analysis

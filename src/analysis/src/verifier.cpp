@@ -1,0 +1,142 @@
+#include "hpcgpt/analysis/verifier.hpp"
+
+#include "hpcgpt/analysis/access.hpp"
+#include "hpcgpt/analysis/stmt_index.hpp"
+
+namespace hpcgpt::analysis {
+
+using minilang::Program;
+using minilang::Stmt;
+
+VerifierOptions VerifierOptions::llov_compat() {
+  VerifierOptions o;
+  o.verify_regions = false;
+  o.deep_traversal = false;
+  o.exhaustive = false;
+  o.scoping.extended_lints = false;
+  o.dependence.gcd_test = false;
+  o.dependence.range_test = false;
+  o.dependence.notes = false;
+  return o;
+}
+
+namespace {
+
+/// Appends `fresh` to `out`; in non-exhaustive mode only the first error
+/// survives (the original detector reported one race per loop and the
+/// scoping pass pre-empted the dependence pass).
+void merge(std::vector<Diagnostic>& out, std::vector<Diagnostic>&& fresh,
+           bool exhaustive) {
+  if (exhaustive) {
+    for (Diagnostic& d : fresh) out.push_back(std::move(d));
+    return;
+  }
+  for (Diagnostic& d : fresh) {
+    if (d.severity != Severity::Error) continue;
+    out.push_back(std::move(d));
+    return;
+  }
+}
+
+class Verifier {
+ public:
+  Verifier(const Program& program, const VerifierOptions& options)
+      : program_(program), options_(options) {}
+
+  Report run() {
+    const StmtIndex index = StmtIndex::build(program_);
+    report_.statements = index.size();
+
+    if (options_.verify_regions) {
+      const MhpInfo mhp = compute_mhp(program_, index);
+      run_mhp_pass(program_, index, mhp, report_.diagnostics);
+    }
+
+    for (const Stmt& s : program_.body) {
+      visit(s, index);
+      // The original detector stopped after the first toplevel statement
+      // that yielded a race.
+      if (!options_.exhaustive && report_.has_errors()) break;
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void visit(const Stmt& s, const StmtIndex& index) {
+    switch (s.kind) {
+      case Stmt::Kind::ParallelFor:
+        report_.saw_parallel_loop = true;
+        analyze_loop(s, index);
+        return;
+      case Stmt::Kind::ParallelRegion:
+        report_.saw_parallel_region = true;
+        if (options_.deep_traversal) descend(s, index);
+        return;
+      case Stmt::Kind::SeqFor:
+      case Stmt::Kind::If:
+        descend(s, index);
+        return;
+      default:
+        if (options_.deep_traversal) descend(s, index);
+        return;
+    }
+  }
+
+  void descend(const Stmt& s, const StmtIndex& index) {
+    for (const Stmt& inner : s.body) visit(inner, index);
+  }
+
+  void analyze_loop(const Stmt& loop, const StmtIndex& index) {
+    const LoopAccesses accesses = collect_loop_accesses(loop, index);
+
+    std::vector<Diagnostic> scoping;
+    run_scoping_pass(loop, accesses, index, options_.scoping, scoping);
+    const bool scoping_error = [&] {
+      for (const Diagnostic& d : scoping) {
+        if (d.severity == Severity::Error) return true;
+      }
+      return false;
+    }();
+    merge(report_.diagnostics, std::move(scoping), options_.exhaustive);
+
+    // The original detector never reached the subscript tests once a
+    // scalar rule fired; keep that pre-emption in compat mode.
+    if (!options_.exhaustive && scoping_error) return;
+
+    std::vector<Diagnostic> dependence;
+    run_dependence_pass(loop, accesses, index, options_.dependence,
+                        dependence);
+    merge(report_.diagnostics, std::move(dependence), options_.exhaustive);
+  }
+
+  const Program& program_;
+  const VerifierOptions& options_;
+  Report report_;
+};
+
+}  // namespace
+
+Report verify(const Program& program, const VerifierOptions& options) {
+  return Verifier(program, options).run();
+}
+
+std::string rationale_text(const Report& report) {
+  if (const Diagnostic* e = report.first_error()) {
+    return "Static analysis flags '" + e->variable + "' (" +
+           pass_name(e->pass) + " pass): " + e->message + ".";
+  }
+  std::size_t warnings = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity == Severity::Warning) ++warnings;
+  }
+  if (warnings > 0) {
+    return "Static analysis found no provable conflict, though " +
+           std::to_string(warnings) +
+           (warnings == 1 ? " access could not be proven disjoint."
+                          : " accesses could not be proven disjoint.");
+  }
+  return "Static analysis found no conflicting accesses across the "
+         "verified parallel constructs.";
+}
+
+}  // namespace hpcgpt::analysis

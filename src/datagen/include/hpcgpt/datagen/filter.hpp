@@ -60,11 +60,14 @@ class InstructionFilter {
 
   /// Parses and validates one raw completion. On success the clean record
   /// (with task/category metadata attached) is appended to the accepted
-  /// set and None is returned; otherwise the reject reason.
+  /// set and None is returned; otherwise the reject reason. `rationale`
+  /// rides along unvalidated — it is produced by the static analyzer, not
+  /// the teacher, so the Listing 1/2 rules do not apply to it.
   RejectReason offer(const std::string& raw_completion, Task task,
                      const std::string& category,
                      const std::string& language = "",
-                     const std::string& gold = "");
+                     const std::string& gold = "",
+                     const std::string& rationale = "");
 
   const std::vector<InstructionRecord>& accepted() const { return accepted_; }
   std::vector<InstructionRecord> take() { return std::move(accepted_); }

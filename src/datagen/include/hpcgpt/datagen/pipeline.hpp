@@ -23,6 +23,10 @@ struct Task1Spec {
 /// Task 2 uses the paper's exact Table 3 per-category counts.
 struct Task2Spec {
   std::uint64_t seed = 12;
+  /// Attach a one-sentence hpcgpt::analysis explanation to every record
+  /// (the diagnostic behind a "yes", the no-conflict summary behind a
+  /// "no"). Does not affect which records are accepted or their counts.
+  bool with_rationale = true;
 };
 
 /// The assembled instruction dataset with its collection accounting.

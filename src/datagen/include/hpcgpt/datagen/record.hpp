@@ -29,6 +29,10 @@ struct InstructionRecord {
   std::string language;
   /// Gold entity for exact-match scoring (dataset/system name, "yes"/"no").
   std::string gold;
+  /// Task 2 only: one-sentence static-analysis explanation of the label
+  /// (the hpcgpt::analysis finding behind a "yes", or the no-conflict
+  /// summary behind a "no"). Empty when rationale generation is off.
+  std::string rationale;
 
   json::Value to_json() const;
   static InstructionRecord from_json(const json::Value& value);

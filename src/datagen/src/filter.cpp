@@ -25,7 +25,8 @@ InstructionFilter::InstructionFilter(FilterRules rules) : rules_(rules) {}
 RejectReason InstructionFilter::offer(const std::string& raw_completion,
                                       Task task, const std::string& category,
                                       const std::string& language,
-                                      const std::string& gold) {
+                                      const std::string& gold,
+                                      const std::string& rationale) {
   ++stats_.input;
 
   // Salvage the JSON record even when wrapped in prose (extract_object),
@@ -48,6 +49,7 @@ RejectReason InstructionFilter::offer(const std::string& raw_completion,
   record.category = category;
   record.language = language;
   record.gold = gold;
+  record.rationale = rationale;
 
   if (task == Task::Task2Race && rules_.task2_yes_no) {
     const std::string lowered = strings::to_lower(record.output);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hpcgpt/analysis/verifier.hpp"
 #include "hpcgpt/drb/drb.hpp"
 #include "hpcgpt/support/error.hpp"
 
@@ -158,9 +159,16 @@ InstructionDataset collect_task2(TeacherModel& teacher,
              attempts < counts[c] * 4) {
         const drb::TestCase tc = drb::generate_case(cats[c], flavor, rng);
         const TeacherEmission emission = teacher.generate_race(tc);
+        // The rationale is a verifier product, not a teacher one: run the
+        // three-pass static analyzer over the case and attach its leading
+        // finding (or no-conflict summary) as explanation text.
+        std::string rationale;
+        if (spec.with_rationale) {
+          rationale = analysis::rationale_text(analysis::verify(tc.program));
+        }
         filter.offer(emission.completion, Task::Task2Race,
                      drb::category_name(cats[c]), language,
-                     tc.has_race ? "yes" : "no");
+                     tc.has_race ? "yes" : "no", rationale);
         ++attempts;
       }
     }

@@ -23,6 +23,7 @@ json::Value InstructionRecord::to_json() const {
   o["category"] = json::Value(category);
   if (!language.empty()) o["language"] = json::Value(language);
   if (!gold.empty()) o["gold"] = json::Value(gold);
+  if (!rationale.empty()) o["rationale"] = json::Value(rationale);
   return json::Value(std::move(o));
 }
 
@@ -41,6 +42,9 @@ InstructionRecord InstructionRecord::from_json(const json::Value& value) {
     r.language = v->as_string();
   }
   if (const json::Value* v = value.find("gold")) r.gold = v->as_string();
+  if (const json::Value* v = value.find("rationale")) {
+    r.rationale = v->as_string();
+  }
   return r;
 }
 

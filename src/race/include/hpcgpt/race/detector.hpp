@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,10 +16,36 @@ namespace hpcgpt::race {
 /// and lower the tool-support rate (TSR) exactly as in the paper's Table 5.
 enum class Verdict { Race, NoRace, Unsupported };
 
+/// The closed set of support gaps behind every `Verdict::Unsupported`.
+/// Detectors report one of these; the human-readable sentence comes from
+/// `unsupported_message` so reasons stay comparable across tools (the
+/// ablation benches group by them) instead of being free-form strings.
+enum class UnsupportedKind {
+  FortranTargetInstrumentation,  ///< gfortran+tsan vs target offload
+  FortranSimdMiscompile,         ///< gfortran+tsan vs simd loops
+  DeviceCodeUnreachable,         ///< binary instrumentation vs device code
+  OmptOffloadTracing,            ///< OMPT has no offload callbacks
+  FortranSimdToolchain,          ///< gfortran-7 rejects simd directives
+  ExecutionFault,                ///< the program crashed under execution
+  NonLoopParallelism,            ///< static verifier: loops only
+  NoDeviceInstrumentation,       ///< reference lockset tool vs device code
+};
+
+/// Canonical sentence for each support gap.
+std::string unsupported_message(UnsupportedKind kind);
+
 struct DetectionResult {
   Verdict verdict = Verdict::NoRace;
   std::vector<RaceReport> races;   ///< populated when verdict == Race
   std::string unsupported_reason;  ///< populated when Unsupported
+  std::optional<UnsupportedKind> unsupported_kind;
+
+  /// Sets the tri-state to Unsupported with the kind's canonical message.
+  void mark_unsupported(UnsupportedKind kind) {
+    verdict = Verdict::Unsupported;
+    unsupported_kind = kind;
+    unsupported_reason = unsupported_message(kind);
+  }
 };
 
 /// Static metadata printed in the Table 4 reproduction.
@@ -65,6 +92,14 @@ std::unique_ptr<Detector> make_llov();
 /// false-positive behaviour on fork-join programs.
 std::unique_ptr<Detector> make_eraser(std::size_t num_threads = 4,
                                       std::uint64_t seed = 1);
+
+/// The full hpcgpt::analysis verifier behind the Detector interface: MHP
+/// region analysis, scoping lint and refined dependence tests (GCD +
+/// range). Strictly more precise than `make_llov()` — it verifies
+/// non-loop parallel regions instead of returning Unsupported, and the
+/// range test removes the disjoint-halves false positive. Used by the
+/// static-vs-dynamic agreement evaluation.
+std::unique_ptr<Detector> make_static_verifier();
 
 /// All four tools, in Table 5 order.
 std::vector<std::unique_ptr<Detector>> make_all_tools();

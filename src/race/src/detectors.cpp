@@ -1,19 +1,39 @@
-#include <map>
 #include <optional>
-#include <set>
 
+#include "hpcgpt/analysis/verifier.hpp"
 #include "hpcgpt/race/detector.hpp"
-#include "hpcgpt/support/error.hpp"
 #include "hpcgpt/race/features.hpp"
 #include "hpcgpt/race/hb.hpp"
 #include "hpcgpt/race/interp.hpp"
+#include "hpcgpt/support/error.hpp"
 
 namespace hpcgpt::race {
 
-using minilang::Expr;
 using minilang::Flavor;
 using minilang::Program;
 using minilang::Stmt;
+
+std::string unsupported_message(UnsupportedKind kind) {
+  switch (kind) {
+    case UnsupportedKind::FortranTargetInstrumentation:
+      return "gfortran+tsan cannot instrument target offload regions";
+    case UnsupportedKind::FortranSimdMiscompile:
+      return "gfortran+tsan miscompiles simd-annotated loops";
+    case UnsupportedKind::DeviceCodeUnreachable:
+      return "dynamic binary instrumentation cannot reach device code";
+    case UnsupportedKind::OmptOffloadTracing:
+      return "OMPT offload tracing not supported";
+    case UnsupportedKind::FortranSimdToolchain:
+      return "gfortran-7 rejects simd directives under -fopenmp-tools";
+    case UnsupportedKind::ExecutionFault:
+      return "program faulted during execution";
+    case UnsupportedKind::NonLoopParallelism:
+      return "only loop-shaped parallel constructs are verified";
+    case UnsupportedKind::NoDeviceInstrumentation:
+      return "no instrumentation for device code";
+  }
+  return "unsupported";
+}
 
 namespace {
 
@@ -37,13 +57,11 @@ class DynamicDetector : public Detector {
 
   DetectionResult analyze(const Program& program, Flavor flavor) override {
     const ProgramFeatures f = scan_features(program);
-    if (const auto reason = unsupported_reason(f, flavor)) {
-      DetectionResult r;
-      r.verdict = Verdict::Unsupported;
-      r.unsupported_reason = *reason;
-      return r;
-    }
     DetectionResult result;
+    if (const auto gap = support_gap(f, flavor)) {
+      result.mark_unsupported(*gap);
+      return result;
+    }
     for (std::size_t rep = 0; rep < repetitions_; ++rep) {
       ExecOptions opts;
       opts.num_threads = num_threads_;
@@ -53,8 +71,7 @@ class DynamicDetector : public Detector {
         exec = execute(program, opts);
       } catch (const Error&) {
         // Crashing programs cannot be analysed dynamically.
-        result.verdict = Verdict::Unsupported;
-        result.unsupported_reason = "program faulted during execution";
+        result.mark_unsupported(UnsupportedKind::ExecutionFault);
         return result;
       }
       auto races = analyze_trace(exec.trace, profile_);
@@ -69,8 +86,9 @@ class DynamicDetector : public Detector {
   }
 
  protected:
-  /// Returns a reason string when the tool cannot process the program.
-  virtual std::optional<std::string> unsupported_reason(
+  /// Returns the support gap that keeps the tool from processing the
+  /// program, if any.
+  virtual std::optional<UnsupportedKind> support_gap(
       const ProgramFeatures& f, Flavor flavor) const = 0;
 
  private:
@@ -96,13 +114,13 @@ class TsanDetector final : public DynamicDetector {
             HbOptions{}, num_threads, seed, repetitions) {}
 
  protected:
-  std::optional<std::string> unsupported_reason(
+  std::optional<UnsupportedKind> support_gap(
       const ProgramFeatures& f, Flavor flavor) const override {
     if (flavor == Flavor::Fortran && f.has_target) {
-      return "gfortran+tsan cannot instrument target offload regions";
+      return UnsupportedKind::FortranTargetInstrumentation;
     }
     if (flavor == Flavor::Fortran && f.has_simd) {
-      return "gfortran+tsan miscompiles simd-annotated loops";
+      return UnsupportedKind::FortranSimdMiscompile;
     }
     return std::nullopt;
   }
@@ -125,11 +143,9 @@ class InspectorDetector final : public DynamicDetector {
             num_threads, seed, /*repetitions=*/1) {}
 
  protected:
-  std::optional<std::string> unsupported_reason(
+  std::optional<UnsupportedKind> support_gap(
       const ProgramFeatures& f, Flavor /*flavor*/) const override {
-    if (f.has_target) {
-      return "dynamic binary instrumentation cannot reach device code";
-    }
+    if (f.has_target) return UnsupportedKind::DeviceCodeUnreachable;
     return std::nullopt;
   }
 };
@@ -152,60 +168,54 @@ class RompDetector final : public DynamicDetector {
             num_threads, seed, /*repetitions=*/1) {}
 
  protected:
-  std::optional<std::string> unsupported_reason(
+  std::optional<UnsupportedKind> support_gap(
       const ProgramFeatures& f, Flavor flavor) const override {
-    if (f.has_target) return "OMPT offload tracing not supported";
+    if (f.has_target) return UnsupportedKind::OmptOffloadTracing;
     if (flavor == Flavor::Fortran && f.has_simd) {
-      return "gfortran-7 rejects simd directives under -fopenmp-tools";
+      return UnsupportedKind::FortranSimdToolchain;
     }
     return std::nullopt;
   }
 };
 
-// ==================================================== static detector
+// ==================================================== static detectors
 
-/// Access classification used by the LLOV-style static analysis.
-struct ScalarUse {
-  bool unprot_write = false;
-  bool unprot_read = false;
-  bool prot_write = false;   // inside critical/atomic
-  bool master_write = false; // inside master/single (one thread)
-  bool any_other_thread_access = false;
-};
+/// Converts the error findings of an analysis report into race reports,
+/// in report order (the first equals the original detector's single
+/// verdict-bearing race).
+void errors_to_races(const analysis::Report& report, DetectionResult& out) {
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.severity != analysis::Severity::Error) continue;
+    RaceReport r;
+    r.var = d.variable;
+    r.detail = d.message;
+    out.races.push_back(std::move(r));
+  }
+  if (!out.races.empty()) out.verdict = Verdict::Race;
+}
 
-struct ArrayAccess {
-  bool is_write = false;
-  AffineIndex index;
-  bool analyzable = true;
-};
-
-/// LLOV simulation: static dependence analysis over parallel loops —
-/// affine subscript tests (ZIV/SIV family) for arrays and data-sharing
-/// clause checking for scalars. No execution: catches races hidden behind
-/// runtime conditions (its recall advantage over dynamic tools on such
-/// cases) but stays silent on loops with non-affine subscripts (its main
-/// false-negative source) and does not model non-loop parallel regions
-/// (Unsupported, like the real tool's verifier scope).
+/// LLOV simulation, now a thin shim over hpcgpt::analysis running in
+/// compatibility scope: scoping + dependence passes only, loop-shaped
+/// constructs only, no GCD/range refinement. Catches races hidden behind
+/// runtime conditions (its recall advantage over dynamic tools) but stays
+/// silent on non-affine subscripts (its main false-negative source) and
+/// returns Unsupported for non-loop parallel regions, exactly like the
+/// original single-pass implementation whose Table 5 verdicts it keeps.
 class LlovDetector final : public Detector {
  public:
-  LlovDetector()
-      : info_{"LLOV", "N/A", "Clang/LLVM 6.0.1", "static"} {}
+  LlovDetector() : info_{"LLOV", "N/A", "Clang/LLVM 6.0.1", "static"} {}
 
   const ToolInfo& info() const override { return info_; }
 
   DetectionResult analyze(const Program& program, Flavor flavor) override {
     (void)flavor;  // LLVM front-ends normalize both languages to IR
+    const analysis::Report report =
+        analysis::verify(program, analysis::VerifierOptions::llov_compat());
     DetectionResult result;
-    bool saw_loop = false;
-    bool saw_region = false;
-    for (const Stmt& s : program.body) {
-      visit_toplevel(s, saw_loop, saw_region, result);
-      if (result.verdict == Verdict::Race) return result;
-    }
-    if (!saw_loop && saw_region) {
-      result.verdict = Verdict::Unsupported;
-      result.unsupported_reason =
-          "only loop-shaped parallel constructs are verified";
+    errors_to_races(report, result);
+    if (result.verdict == Verdict::Race) return result;
+    if (!report.saw_parallel_loop && report.saw_parallel_region) {
+      result.mark_unsupported(UnsupportedKind::NonLoopParallelism);
       return result;
     }
     result.verdict = Verdict::NoRace;
@@ -213,228 +223,29 @@ class LlovDetector final : public Detector {
   }
 
  private:
-  void visit_toplevel(const Stmt& s, bool& saw_loop, bool& saw_region,
-                      DetectionResult& result) {
-    switch (s.kind) {
-      case Stmt::Kind::ParallelFor:
-        saw_loop = true;
-        analyze_loop(s, result);
-        return;
-      case Stmt::Kind::ParallelRegion:
-        saw_region = true;
-        return;
-      case Stmt::Kind::SeqFor:
-      case Stmt::Kind::If:
-        for (const Stmt& inner : s.body) {
-          visit_toplevel(inner, saw_loop, saw_region, result);
-        }
-        return;
-      default:
-        return;
-    }
+  ToolInfo info_;
+};
+
+/// The full verifier: all three passes, deep traversal, GCD + range
+/// refinement. Never Unsupported — parallel regions are verified by the
+/// MHP pass instead of being declined.
+class StaticVerifierDetector final : public Detector {
+ public:
+  StaticVerifierDetector()
+      : info_{"hpcgpt-verifier", "0.1", "hpcgpt::analysis", "static"} {}
+
+  const ToolInfo& info() const override { return info_; }
+
+  DetectionResult analyze(const Program& program, Flavor flavor) override {
+    (void)flavor;  // pure AST analysis, language-independent
+    const analysis::Report report = analysis::verify(program);
+    DetectionResult result;
+    errors_to_races(report, result);
+    if (result.verdict != Verdict::Race) result.verdict = Verdict::NoRace;
+    return result;
   }
 
-  void analyze_loop(const Stmt& loop, DetectionResult& result) {
-    std::map<std::string, ScalarUse> scalars;
-    std::map<std::string, std::vector<ArrayAccess>> arrays;
-    std::set<std::string> local_scalars;  // loop var + nested seq loop vars
-    local_scalars.insert(loop.loop_var);
-
-    collect(loop.body, loop, /*in_prot=*/false, /*in_master=*/false,
-            local_scalars, scalars, arrays);
-
-    // ---- scalar data-sharing analysis ----
-    for (const auto& [name, use] : scalars) {
-      if (use.unprot_write && use.any_other_thread_access) {
-        report(result, name, "shared scalar written without protection");
-        return;
-      }
-      if (use.unprot_write) {
-        // Written by every iteration with no clause: write-write race.
-        report(result, name, "unprivatized scalar assigned in parallel loop");
-        return;
-      }
-      if (use.prot_write && use.unprot_read) {
-        report(result, name,
-               "protected write but unprotected read of shared scalar");
-        return;
-      }
-    }
-
-    // ---- array dependence analysis (SIV tests) ----
-    for (const auto& [name, accesses] : arrays) {
-      bool all_analyzable = true;
-      for (const ArrayAccess& a : accesses) {
-        if (!a.analyzable) all_analyzable = false;
-      }
-      if (!all_analyzable) continue;  // silent: the real tool's FN source
-      for (std::size_t i = 0; i < accesses.size(); ++i) {
-        if (!accesses[i].is_write) continue;
-        for (std::size_t j = 0; j < accesses.size(); ++j) {
-          if (i == j && accesses.size() > 1) {
-            // a write conflicts with itself across iterations only when
-            // the subscript is loop-invariant (every iteration hits the
-            // same element); handled below.
-          }
-          const AffineIndex& w = accesses[i].index;
-          const AffineIndex& o = accesses[j].index;
-          if (i == j) {
-            if (w.scale == 0) {
-              report(result, name,
-                     "loop-invariant subscript written by all iterations");
-              return;
-            }
-            continue;
-          }
-          if (w.scale == o.scale) {
-            const std::int64_t diff = o.offset - w.offset;
-            if (w.scale == 0) {
-              // ZIV: two loop-invariant subscripts conflict iff equal
-              // (every iteration touches that one element).
-              if (diff == 0) {
-                report(result, name, "loop-invariant subscript conflict");
-                return;
-              }
-              continue;
-            }
-            // Strong SIV test: a dependence exists iff the offset
-            // difference is a multiple of the common stride. The distance
-            // itself is NOT checked against the trip count — like the
-            // real tool, loop bounds are not part of the subscript test,
-            // which is the false-positive source on disjoint-halves
-            // kernels (write a[i], read a[i + n/2]).
-            if (diff != 0 && diff % w.scale == 0) {
-              report(result, name, "loop-carried dependence (SIV test)");
-              return;
-            }
-          } else {
-            // Different strides: the Diophantine system may have
-            // solutions; LLOV reports conservatively.
-            report(result, name,
-                   "coupled subscripts with unequal strides (MIV)");
-            return;
-          }
-        }
-      }
-    }
-  }
-
-  void collect(const std::vector<Stmt>& body, const Stmt& loop, bool in_prot,
-               bool in_master, std::set<std::string>& local_scalars,
-               std::map<std::string, ScalarUse>& scalars,
-               std::map<std::string, std::vector<ArrayAccess>>& arrays) {
-    for (const Stmt& s : body) {
-      switch (s.kind) {
-        case Stmt::Kind::Assign:
-          collect_access(*s.target, loop, /*is_write=*/true, in_prot,
-                         in_master, local_scalars, scalars, arrays);
-          collect_expr(*s.value, loop, in_prot, in_master, local_scalars,
-                       scalars, arrays);
-          break;
-        case Stmt::Kind::Atomic:
-          collect_access(*s.target, loop, true, /*in_prot=*/true, in_master,
-                         local_scalars, scalars, arrays);
-          collect_expr(*s.value, loop, /*in_prot=*/true, in_master,
-                       local_scalars, scalars, arrays);
-          break;
-        case Stmt::Kind::Critical:
-          collect(s.body, loop, /*in_prot=*/true, in_master, local_scalars,
-                  scalars, arrays);
-          break;
-        case Stmt::Kind::Master:
-        case Stmt::Kind::Single:
-          collect(s.body, loop, in_prot, /*in_master=*/true, local_scalars,
-                  scalars, arrays);
-          break;
-        case Stmt::Kind::If:
-          // Static analysis explores both branches: may-execute accesses
-          // participate in dependence testing.
-          collect_expr(*s.cond, loop, in_prot, in_master, local_scalars,
-                       scalars, arrays);
-          collect(s.body, loop, in_prot, in_master, local_scalars, scalars,
-                  arrays);
-          break;
-        case Stmt::Kind::SeqFor: {
-          const bool added = local_scalars.insert(s.loop_var).second;
-          collect(s.body, loop, in_prot, in_master, local_scalars, scalars,
-                  arrays);
-          if (added) local_scalars.erase(s.loop_var);
-          break;
-        }
-        default:
-          break;
-      }
-    }
-  }
-
-  void collect_expr(const Expr& e, const Stmt& loop, bool in_prot,
-                    bool in_master, std::set<std::string>& local_scalars,
-                    std::map<std::string, ScalarUse>& scalars,
-                    std::map<std::string, std::vector<ArrayAccess>>& arrays) {
-    collect_access(e, loop, /*is_write=*/false, in_prot, in_master,
-                   local_scalars, scalars, arrays);
-  }
-
-  void collect_access(const Expr& e, const Stmt& loop, bool is_write,
-                      bool in_prot, bool in_master,
-                      std::set<std::string>& local_scalars,
-                      std::map<std::string, ScalarUse>& scalars,
-                      std::map<std::string, std::vector<ArrayAccess>>& arrays) {
-    switch (e.kind) {
-      case Expr::Kind::ScalarRef: {
-        if (local_scalars.count(e.name) > 0) return;
-        if (loop.clauses.is_private(e.name) ||
-            loop.clauses.is_reduction(e.name)) {
-          return;
-        }
-        ScalarUse& use = scalars[e.name];
-        if (is_write) {
-          if (in_master) {
-            use.master_write = true;
-          } else if (in_prot) {
-            use.prot_write = true;
-          } else {
-            use.unprot_write = true;
-          }
-        } else {
-          if (!in_prot && !in_master) use.unprot_read = true;
-          if (!in_master) use.any_other_thread_access = true;
-        }
-        if (is_write && !in_master) use.any_other_thread_access = true;
-        return;
-      }
-      case Expr::Kind::ArrayRef: {
-        ArrayAccess a;
-        a.is_write = is_write;
-        a.index = affine_in(*e.index, loop.loop_var);
-        a.analyzable = a.index.affine;
-        // Accesses under critical/atomic are pairwise ordered and drop
-        // out of the dependence test.
-        if (!in_prot && !in_master) arrays[e.name].push_back(a);
-        collect_access(*e.index, loop, false, in_prot, in_master,
-                       local_scalars, scalars, arrays);
-        return;
-      }
-      case Expr::Kind::BinOp:
-        collect_access(*e.lhs, loop, false, in_prot, in_master,
-                       local_scalars, scalars, arrays);
-        collect_access(*e.rhs, loop, false, in_prot, in_master,
-                       local_scalars, scalars, arrays);
-        return;
-      default:
-        return;
-    }
-  }
-
-  static void report(DetectionResult& result, const std::string& var,
-                     const std::string& detail) {
-    result.verdict = Verdict::Race;
-    RaceReport r;
-    r.var = var;
-    r.detail = detail;
-    result.races.push_back(std::move(r));
-  }
-
+ private:
   ToolInfo info_;
 };
 
@@ -458,6 +269,10 @@ std::unique_ptr<Detector> make_romp(std::size_t num_threads,
 
 std::unique_ptr<Detector> make_llov() {
   return std::make_unique<LlovDetector>();
+}
+
+std::unique_ptr<Detector> make_static_verifier() {
+  return std::make_unique<StaticVerifierDetector>();
 }
 
 std::vector<std::unique_ptr<Detector>> make_all_tools() {

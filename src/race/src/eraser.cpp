@@ -34,8 +34,7 @@ class EraserDetector final : public Detector {
     const ProgramFeatures f = scan_features(program);
     DetectionResult result;
     if (f.has_target) {
-      result.verdict = Verdict::Unsupported;
-      result.unsupported_reason = "no instrumentation for device code";
+      result.mark_unsupported(UnsupportedKind::NoDeviceInstrumentation);
       return result;
     }
     (void)flavor;
@@ -43,8 +42,7 @@ class EraserDetector final : public Detector {
     try {
       exec = execute(program, {.num_threads = num_threads_, .seed = seed_});
     } catch (const Error&) {
-      result.verdict = Verdict::Unsupported;
-      result.unsupported_reason = "program faulted during execution";
+      result.mark_unsupported(UnsupportedKind::ExecutionFault);
       return result;
     }
     const auto races = lockset_analysis(exec.trace);

@@ -1,5 +1,7 @@
 #include "hpcgpt/race/features.hpp"
 
+#include "hpcgpt/analysis/affine.hpp"
+
 namespace hpcgpt::race {
 
 using minilang::Expr;
@@ -72,54 +74,11 @@ ProgramFeatures scan_features(const Program& program) {
 }
 
 AffineIndex affine_in(const Expr& index, const std::string& loop_var) {
-  AffineIndex out;
-  switch (index.kind) {
-    case Expr::Kind::IntLit:
-      out.affine = true;
-      out.offset = index.value;
-      return out;
-    case Expr::Kind::ScalarRef:
-      if (index.name == loop_var) {
-        out.affine = true;
-        out.scale = 1;
-      }
-      return out;  // other scalars: not affine in the loop variable
-    case Expr::Kind::BinOp: {
-      const AffineIndex l = affine_in(*index.lhs, loop_var);
-      const AffineIndex r = affine_in(*index.rhs, loop_var);
-      if (!l.affine || !r.affine) return out;
-      switch (index.op) {
-        case '+':
-          out.affine = true;
-          out.scale = l.scale + r.scale;
-          out.offset = l.offset + r.offset;
-          return out;
-        case '-':
-          out.affine = true;
-          out.scale = l.scale - r.scale;
-          out.offset = l.offset - r.offset;
-          return out;
-        case '*':
-          // Affine only when one side is a constant.
-          if (l.scale == 0) {
-            out.affine = true;
-            out.scale = l.offset * r.scale;
-            out.offset = l.offset * r.offset;
-          } else if (r.scale == 0) {
-            out.affine = true;
-            out.scale = l.scale * r.offset;
-            out.offset = l.offset * r.offset;
-          }
-          return out;
-        default:
-          return out;  // '/', '%', comparisons: not affine
-      }
-    }
-    case Expr::Kind::ArrayRef:
-    case Expr::Kind::ThreadId:
-      return out;
-  }
-  return out;
+  // Delegates to the canonical implementation in hpcgpt::analysis so the
+  // detectors and the standalone verifier can never disagree about which
+  // subscripts are analyzable.
+  const analysis::AffineIndex a = analysis::affine_in(index, loop_var);
+  return AffineIndex{a.affine, a.scale, a.offset};
 }
 
 }  // namespace hpcgpt::race
