@@ -1,0 +1,182 @@
+// Machine-readable perf trajectory for the inference engine.
+//
+// Runs the four headline measurements of the batched-engine work — the
+// blocked GEMM kernel, single-stream decode, GEMM prefill, and 8-stream
+// continuous-batching serving — and writes them as BENCH_perf.json so
+// every future perf PR has an apples-to-apples anchor on the same
+// machine. Each metric is best-of-N wall time (the standard way to
+// de-noise a shared CFS box: the minimum is the least-perturbed run).
+//
+// The embedded baseline block is the seed-commit measurement (commit
+// 9d3442e, the mutex-serialized server and naive triple-loop GEMM),
+// taken on the same machine with the seed's canonical build command
+// (`cmake -B build -S . && cmake --build build -j`, i.e. default
+// RelWithDebInfo). Keep it verbatim when regenerating on the same host;
+// re-measure the seed when moving to new hardware.
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/serve/server.hpp"
+#include "hpcgpt/support/rng.hpp"
+#include "hpcgpt/support/timer.hpp"
+#include "hpcgpt/tensor/matrix.hpp"
+
+namespace {
+
+using namespace hpcgpt;
+
+// Seed-commit numbers measured on this machine (see file comment).
+constexpr double kBaselineGemm128Gflops = 4.98;
+constexpr double kBaselineServer8StreamTokS = 9323.0;
+const char* const kBaselineProvenance =
+    "seed commit 9d3442e, canonical default build (RelWithDebInfo), "
+    "same machine, best-of-N wall time";
+
+double best_seconds(int reps, const std::function<void()>& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+double gemm128_gflops() {
+  Rng rng(1);
+  tensor::Matrix a(128, 128), b(128, 128), c(128, 128);
+  a.randomize(rng, 1.0f);
+  b.randomize(rng, 1.0f);
+  const double secs = best_seconds(40, [&] { tensor::matmul(a, b, c); });
+  return 2.0 * 128 * 128 * 128 / secs / 1e9;
+}
+
+core::HpcGpt make_model() {
+  core::ModelOptions spec = core::spec_for(core::BaseModel::Llama);
+  spec.pretrain_steps = 0;
+  return core::HpcGpt(spec, core::build_shared_tokenizer());
+}
+
+double decode_tokens_per_second(core::HpcGpt& model) {
+  const std::vector<text::TokenId> prompt(64, 65);
+  constexpr std::size_t kSteps = 128;
+  const double secs = best_seconds(8, [&] {
+    nn::DecodeState session = model.model().new_decode_state();
+    model.model().prefill(session, prompt);
+    for (std::size_t s = 0; s < kSteps; ++s) {
+      (void)model.model().decode_step(session, 65);
+    }
+  });
+  // Prefill is ~5% of the loop at these sizes; treating the whole loop
+  // as decode keeps the number conservative.
+  return static_cast<double>(kSteps) / secs;
+}
+
+double prefill_tokens_per_second(core::HpcGpt& model) {
+  const std::vector<text::TokenId> prompt(64, 65);
+  const double secs = best_seconds(16, [&] {
+    nn::DecodeState session = model.model().new_decode_state();
+    (void)model.model().prefill(session, prompt);
+  });
+  return static_cast<double>(prompt.size()) / secs;
+}
+
+struct ServerRun {
+  double tokens_per_second = 0.0;
+  double mean_occupancy = 0.0;
+  double mean_latency_seconds = 0.0;
+};
+
+ServerRun server_throughput(core::HpcGpt& model, std::size_t streams) {
+  const std::string question =
+      "Given the code snippet: \"for (i = 0; i < n; i++) a[i] = b[i] + "
+      "c[i];\", help me detect if adding pragma will cause a data race "
+      "problem?";
+  ServerRun best;
+  for (int rep = 0; rep < 5; ++rep) {
+    serve::ServerStats st;
+    Timer t;
+    {
+      serve::InferenceServer server(
+          model, serve::ServerOptions{.max_batch = streams,
+                                      .max_new_tokens = 48,
+                                      .admission_window_seconds = 0.002});
+      std::vector<std::future<std::string>> futures;
+      futures.reserve(streams);
+      for (std::size_t i = 0; i < streams; ++i) {
+        futures.push_back(server.submit(question));
+      }
+      for (auto& f : futures) (void)f.get();
+      server.shutdown();  // joins the scheduler: stats are final
+      st = server.stats();
+    }
+    const double wall = t.seconds();
+    const double tps = static_cast<double>(st.generated_tokens) / wall;
+    if (tps > best.tokens_per_second) {
+      best.tokens_per_second = tps;
+      best.mean_occupancy = st.mean_batch_occupancy();
+      best.mean_latency_seconds = st.mean_latency_seconds();
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_perf.json";
+
+  std::printf("bench_perf: GEMM 128 ...\n");
+  const double gemm = gemm128_gflops();
+  core::HpcGpt model = make_model();
+  std::printf("bench_perf: decode ...\n");
+  const double decode_tps = decode_tokens_per_second(model);
+  std::printf("bench_perf: prefill ...\n");
+  const double prefill_tps = prefill_tokens_per_second(model);
+  std::printf("bench_perf: server 1-stream ...\n");
+  const ServerRun single = server_throughput(model, 1);
+  std::printf("bench_perf: server 8-stream ...\n");
+  const ServerRun batched = server_throughput(model, 8);
+
+  json::Object baseline;
+  baseline["provenance"] = kBaselineProvenance;
+  baseline["gemm_128_gflops"] = kBaselineGemm128Gflops;
+  baseline["server_8stream_tokens_per_second"] = kBaselineServer8StreamTokS;
+
+  json::Object measured;
+  measured["gemm_128_gflops"] = gemm;
+  measured["decode_single_stream_tokens_per_second"] = decode_tps;
+  measured["prefill_tokens_per_second"] = prefill_tps;
+  measured["server_1stream_tokens_per_second"] = single.tokens_per_second;
+  measured["server_8stream_tokens_per_second"] = batched.tokens_per_second;
+  measured["server_8stream_mean_batch_occupancy"] = batched.mean_occupancy;
+  measured["server_8stream_mean_latency_seconds"] =
+      batched.mean_latency_seconds;
+
+  json::Object speedup;
+  speedup["gemm_128"] = gemm / kBaselineGemm128Gflops;
+  speedup["server_8stream"] =
+      batched.tokens_per_second / kBaselineServer8StreamTokS;
+
+  json::Object root;
+  root["bench"] = "inference_engine_perf";
+  root["method"] = "best-of-N wall time per metric; model llama_sim "
+                   "(untrained), prompt 64 tokens, 48 new tokens per "
+                   "request for server metrics";
+  root["baseline"] = std::move(baseline);
+  root["measured"] = std::move(measured);
+  root["speedup"] = std::move(speedup);
+
+  const std::string text = json::Value(std::move(root)).dump_pretty();
+  std::ofstream out(out_path);
+  out << text << "\n";
+  out.close();
+  std::printf("%s\nwrote %s\n", text.c_str(), out_path.c_str());
+  return 0;
+}

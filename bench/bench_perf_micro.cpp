@@ -4,12 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <future>
+
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/drb/drb.hpp"
 #include "hpcgpt/minilang/parse.hpp"
 #include "hpcgpt/race/hb.hpp"
 #include "hpcgpt/nn/sampler.hpp"
 #include "hpcgpt/race/interp.hpp"
+#include "hpcgpt/serve/server.hpp"
 #include "hpcgpt/support/rng.hpp"
 #include "hpcgpt/tensor/matrix.hpp"
 #include "hpcgpt/text/similarity.hpp"
@@ -151,6 +154,66 @@ void BM_GenerateCached(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_GenerateCached)->Arg(16)->Arg(48);
+
+// Steady-state single-stream decode: tokens/sec through the KV-cached
+// decode_step path after a prefilled prompt. items_per_second is the
+// engine's single-lane generation speed.
+void BM_DecodeThroughput(benchmark::State& state) {
+  const text::BpeTokenizer tok = core::build_shared_tokenizer();
+  core::ModelOptions spec = core::spec_for(core::BaseModel::Llama);
+  spec.pretrain_steps = 0;
+  core::HpcGpt model(spec, tok);
+  const std::vector<text::TokenId> prompt(64, 65);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();  // session setup + prefill are not decode work
+    nn::DecodeState session = model.model().new_decode_state();
+    text::TokenId next =
+        65;  // fixed id: identical work every iteration
+    model.model().prefill(session, prompt);
+    state.ResumeTiming();
+    for (std::size_t s = 0; s < steps; ++s) {
+      const auto logits = model.model().decode_step(session, next);
+      benchmark::DoNotOptimize(logits.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_DecodeThroughput)->Arg(48)->Arg(128);
+
+// Aggregate batched serving throughput: 8 concurrent requests through the
+// continuous-batching scheduler. items_per_second is generated tokens/sec
+// across all streams — the number the A7 experiment tracks.
+void BM_ServerThroughput(benchmark::State& state) {
+  const text::BpeTokenizer tok = core::build_shared_tokenizer();
+  core::ModelOptions spec = core::spec_for(core::BaseModel::Llama);
+  spec.pretrain_steps = 0;
+  core::HpcGpt model(spec, tok);
+  const std::string question =
+      "Given the code snippet: \"for (i = 0; i < n; i++) a[i] = b[i] + "
+      "c[i];\", help me detect if adding pragma will cause a data race "
+      "problem?";
+  const auto streams = static_cast<std::size_t>(state.range(0));
+  std::int64_t generated = 0;
+  for (auto _ : state) {
+    serve::InferenceServer server(
+        model, serve::ServerOptions{.max_batch = streams,
+                                    .max_new_tokens = 48,
+                                    .admission_window_seconds = 0.002});
+    std::vector<std::future<std::string>> futures;
+    futures.reserve(streams);
+    for (std::size_t i = 0; i < streams; ++i) {
+      futures.push_back(server.submit(question));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().size());
+    server.shutdown();
+    generated +=
+        static_cast<std::int64_t>(server.stats().generated_tokens);
+  }
+  state.SetItemsProcessed(generated);
+}
+BENCHMARK(BM_ServerThroughput)->Arg(1)->Arg(8)->UseRealTime();
 
 }  // namespace
 

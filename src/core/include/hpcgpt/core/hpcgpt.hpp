@@ -87,6 +87,13 @@ class HpcGpt {
   std::string ask(const std::string& question,
                   std::size_t max_new_tokens = 48);
 
+  /// The exact token prompt ask() would feed the model for `question`:
+  /// [BOS] question [SEP], left-clamped so `max_new_tokens` still fit in
+  /// the context window. Exposed so external engines (the batching
+  /// inference server) can drive prefill/decode_step themselves.
+  std::vector<text::TokenId> prompt_ids(const std::string& question,
+                                        std::size_t max_new_tokens) const;
+
   /// Race classification in the Table 1 format. Returns TooLong when the
   /// encoded prompt exceeds `token_limit` (the 8k-context analogue that
   /// produces TSR < 1 in Table 5).

@@ -221,8 +221,8 @@ std::vector<TokenId> HpcGpt::encode_prompt(const std::string& question) const {
   return ids;
 }
 
-std::string HpcGpt::ask(const std::string& question,
-                        std::size_t max_new_tokens) {
+std::vector<TokenId> HpcGpt::prompt_ids(const std::string& question,
+                                        std::size_t max_new_tokens) const {
   std::vector<TokenId> ids = encode_prompt(question);
   const std::size_t cap = options_.config.max_seq > max_new_tokens
                               ? options_.config.max_seq - max_new_tokens
@@ -231,6 +231,12 @@ std::string HpcGpt::ask(const std::string& question,
     ids.erase(ids.begin() + 1,
               ids.begin() + 1 + static_cast<std::ptrdiff_t>(ids.size() - cap));
   }
+  return ids;
+}
+
+std::string HpcGpt::ask(const std::string& question,
+                        std::size_t max_new_tokens) {
+  const std::vector<TokenId> ids = prompt_ids(question, max_new_tokens);
   nn::SampleOptions opts;
   opts.max_new_tokens = max_new_tokens;
   // KV-cached decoding: identical output to the full-forward path

@@ -44,6 +44,12 @@ class Linear {
   /// `x` has in_features() elements, `y` out_features().
   void apply(std::span<const float> x, std::span<float> y) const;
 
+  /// Stateless batched application y = x·W (+ LoRA term) over all rows of
+  /// `x` via the blocked GEMM. Like apply(), it neither reads nor writes
+  /// the training caches, so it is safe to call concurrently from many
+  /// threads — the prefill path of the batched inference engine.
+  void apply_rows(const tensor::Matrix& x, tensor::Matrix& y) const;
+
   void collect_parameters(ParameterList& out);
 
   std::size_t in_features() const { return weight_.value.rows(); }

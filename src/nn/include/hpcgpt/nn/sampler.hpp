@@ -27,9 +27,11 @@ std::vector<text::TokenId> generate(Transformer& model,
                                     const SampleOptions& options = {});
 
 /// KV-cached generation: identical results to generate() (token-for-token
-/// under greedy decoding and for any fixed sampling seed) at O(T·d) per
-/// emitted token instead of O(T²·d). See BM_Generate* in bench_perf_micro
-/// for the measured speedup.
+/// under greedy decoding and for any fixed sampling seed). The prompt is
+/// ingested in one batched GEMM prefill pass, then each emitted token
+/// costs one allocation-free O(T·d) decode step instead of a full
+/// O(T²·d) forward. See BM_Generate*/BM_DecodeThroughput in
+/// bench_perf_micro for the measured speedup.
 std::vector<text::TokenId> generate_cached(
     const Transformer& model, const std::vector<text::TokenId>& prompt_ids,
     const SampleOptions& options = {});

@@ -11,18 +11,88 @@
 namespace hpcgpt::nn {
 
 /// Per-block key/value cache for incremental (autoregressive) decoding:
-/// rows 0..length-1 hold the attention keys/values of already-processed
-/// positions, so each new token costs O(T·d) instead of re-running the
-/// full O(T²·d) forward.
+/// columns 0..length-1 hold the attention keys/values of already-
+/// processed positions, so each new token costs O(T·d) instead of
+/// re-running the full O(T²·d) forward.
+///
+/// Layout is feature-major (d_model × max_seq), i.e. transposed relative
+/// to the activation matrices: row i is the history of feature i across
+/// positions. That turns both attention passes of a decode step into
+/// unit-stride loops over positions — an axpy per query feature for the
+/// scores, a dot per output feature for the values — which vectorize
+/// 8-wide, where the position-major layout forced strided 12-element
+/// head-segment dots.
 struct KvCache {
-  tensor::Matrix k;  // max_seq × d_model
-  tensor::Matrix v;  // max_seq × d_model
+  tensor::Matrix k;  // d_model × max_seq
+  tensor::Matrix v;  // d_model × max_seq
 };
 
-/// Decoding session state: one KvCache per block plus the position count.
+/// Reusable per-session work buffers for the incremental decode path.
+/// Sized once from the config; forward_step/decode_step then run with
+/// zero heap allocations in steady state, which is what lets the serving
+/// scheduler interleave thousands of decode steps cheaply.
+struct DecodeScratch {
+  std::vector<float> x;         // residual stream row (d_model)
+  std::vector<float> normed;    // rmsnorm output     (d_model)
+  std::vector<float> q;         // query row          (d_model)
+  std::vector<float> k_row;     // new key row        (d_model)
+  std::vector<float> v_row;     // new value row      (d_model)
+  std::vector<float> attn;      // head-concat attention output (d_model)
+  std::vector<float> proj;      // wo/w_down output   (d_model)
+  std::vector<float> probs;     // attention weights  (max_seq)
+  std::vector<float> gate;      // SwiGLU gate lane   (d_ff)
+  std::vector<float> up;        // SwiGLU up lane     (d_ff)
+  std::vector<float> logits;    // head output        (vocab)
+
+  void resize(const TransformerConfig& config);
+};
+
+/// Work buffers for one batched decode round over several sessions.
+/// Owned by the scheduler (one per server), not per session: lanes come
+/// and go, the scratch persists. Row b of every matrix belongs to lane b.
+/// ensure() only reallocates when the lane count changes, so rounds with
+/// a stable batch are allocation-free apart from the GEMM outputs.
+struct BatchScratch {
+  tensor::Matrix x;       // residual stream        (batch × d_model)
+  tensor::Matrix normed;  // rmsnorm output         (batch × d_model)
+  tensor::Matrix q;       // query rows             (batch × d_model)
+  tensor::Matrix k_new;   // new key rows           (batch × d_model)
+  tensor::Matrix v_new;   // new value rows         (batch × d_model)
+  tensor::Matrix attn;    // attention output       (batch × d_model)
+  tensor::Matrix proj;    // wo/w_down output       (batch × d_model)
+  tensor::Matrix gate;    // SwiGLU gate lanes      (batch × d_ff)
+  tensor::Matrix up;      // SwiGLU up lanes        (batch × d_ff)
+  tensor::Matrix logits;  // head output            (batch × vocab)
+  std::vector<float> probs;  // attention weights, one lane at a time
+
+  void ensure(const TransformerConfig& config, std::size_t batch);
+};
+
+/// Work buffers for one prompt-ingestion (prefill) pass. One instance is
+/// reused across every block of the stack, so the ~9 activation matrices
+/// are allocated once per prompt instead of once per layer; the Linear
+/// apply_rows outputs additionally keep their storage between blocks
+/// because the shapes repeat.
+struct PrefillScratch {
+  tensor::Matrix normed;       // rmsnorm output      (seq × d_model)
+  tensor::Matrix q;            // query rows          (seq × d_model)
+  tensor::Matrix k_new;        // new key rows        (seq × d_model)
+  tensor::Matrix v_new;        // new value rows      (seq × d_model)
+  tensor::Matrix attn_concat;  // head-concat output  (seq × d_model)
+  tensor::Matrix attn_out;     // wo output           (seq × d_model)
+  tensor::Matrix gate;         // SwiGLU gate lanes   (seq × d_ff)
+  tensor::Matrix up;           // SwiGLU up lanes     (seq × d_ff)
+  tensor::Matrix mlp_out;      // w_down output       (seq × d_model)
+  std::vector<float> probs;    // attention weights, one row at a time
+
+  void ensure(const TransformerConfig& config, std::size_t seq);
+};
+
+/// Decoding session state: one KvCache per block, the position count and
+/// the allocation-free scratch arena shared by all blocks of the session.
 class DecodeState {
  public:
-  DecodeState(std::size_t n_layers, std::size_t max_seq, std::size_t d_model);
+  explicit DecodeState(const TransformerConfig& config);
 
   std::size_t length() const { return length_; }
 
@@ -30,6 +100,7 @@ class DecodeState {
   friend class Transformer;
   friend class TransformerBlock;
   std::vector<KvCache> blocks_;
+  DecodeScratch scratch_;
   std::size_t length_ = 0;
 };
 
@@ -53,8 +124,28 @@ class TransformerBlock {
 
   /// Incremental forward for one new position: `x` (d_model) is the
   /// residual-stream row at position `pos`; the block's keys/values are
-  /// appended to `cache`. Does not touch the training caches.
-  void forward_step(std::span<float> x, std::size_t pos, KvCache& cache) const;
+  /// appended to `cache`. Work buffers come from `scratch` — no heap
+  /// allocation. Does not touch the training caches.
+  void forward_step(std::span<float> x, std::size_t pos, KvCache& cache,
+                    DecodeScratch& scratch) const;
+
+  /// Batched prompt ingestion: `x` holds the residual-stream rows of
+  /// positions [pos0, pos0 + x.rows()); transforms them in place via the
+  /// blocked GEMMs and writes every K/V row of this block into `cache` in
+  /// one pass. Const and cache-free like forward_step, so concurrent
+  /// sessions can prefill the same block (each with its own scratch).
+  void forward_prefill(tensor::Matrix& x, std::size_t pos0, KvCache& cache,
+                       PrefillScratch& scratch) const;
+
+  /// One decode step for `x.rows()` independent sessions at once: row b of
+  /// `x` is the residual-stream row of lane b, whose cache/position come
+  /// from states[b] (this block's layer index is `layer`). All projections
+  /// run as row-batched GEMMs across lanes — the cross-request batching
+  /// that amortizes weight traffic over the batch — while attention stays
+  /// per-lane (each lane has its own cache horizon).
+  void forward_step_batch(tensor::Matrix& x,
+                          std::span<DecodeState* const> states,
+                          std::size_t layer, BatchScratch& scratch) const;
 
  private:
   TransformerConfig config_{};
@@ -115,8 +206,31 @@ class Transformer {
 
   /// Feeds one token through the KV-cached path and returns the logits of
   /// the new position (vocab-sized). Equivalent to logits(prefix).row(last)
-  /// but O(T·d) per call.
-  std::vector<float> decode_step(DecodeState& state, text::TokenId id) const;
+  /// but O(T·d) per call. The returned span points into the session's
+  /// scratch arena: it stays valid until the next decode_step/prefill on
+  /// the same state, and no allocation happens in steady state.
+  std::span<const float> decode_step(DecodeState& state,
+                                     text::TokenId id) const;
+
+  /// Batched prompt ingestion (the prefill half of the inference engine):
+  /// runs all of `ids` through the blocked-GEMM forward once, writes every
+  /// K/V row into the session caches in one pass and returns the logits of
+  /// the last position (same lifetime rules as decode_step). Equivalent to
+  /// calling decode_step per token, at GEMM rather than GEMV arithmetic
+  /// intensity. Thread-safe across states: the model is only read.
+  std::span<const float> prefill(DecodeState& state,
+                                 std::span<const text::TokenId> ids) const;
+
+  /// One decode step for a batch of independent sessions (the continuous-
+  /// batching inner loop): feeds ids[b] through states[b] for all b in one
+  /// pass, with every Linear running as a row-batched GEMM across lanes,
+  /// and returns the (batch × vocab) logits — row b belongs to lane b,
+  /// valid until the next call with the same scratch. States must be
+  /// distinct sessions of this model. Thread-safe w.r.t. the model (read
+  /// only); equivalent to calling decode_step(states[b], ids[b]) per lane.
+  const tensor::Matrix& decode_step_batch(
+      std::span<DecodeState* const> states,
+      std::span<const text::TokenId> ids, BatchScratch& scratch) const;
 
   /// Training step on one sequence: forward, cross-entropy against
   /// `targets` (target[i] is the id expected *at* position i, i.e. already

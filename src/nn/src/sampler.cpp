@@ -58,15 +58,13 @@ std::vector<text::TokenId> generate_cached(
   require(!prompt_ids.empty(), "generate_cached: empty prompt");
   Rng rng(options.seed);
   DecodeState state = model.new_decode_state();
-  std::vector<float> last;
-  for (const text::TokenId id : prompt_ids) {
-    last = model.decode_step(state, id);
-  }
+  // Prefill: the whole prompt goes through the batched GEMM path in one
+  // pass instead of one decode_step per prompt token.
+  std::span<const float> last = model.prefill(state, prompt_ids);
   std::vector<text::TokenId> out;
   for (std::size_t step = 0; step < options.max_new_tokens; ++step) {
     if (state.length() >= model.config().max_seq) break;
-    const text::TokenId next =
-        pick_token(std::span<const float>(last), options.temperature, rng);
+    const text::TokenId next = pick_token(last, options.temperature, rng);
     if (next == options.stop_token) break;
     out.push_back(next);
     if (out.size() == options.max_new_tokens ||

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/fastmath.hpp"
 
 namespace hpcgpt::nn {
 
@@ -55,10 +56,12 @@ void rmsnorm_backward(Parameter& gain, const Matrix& x,
   }
 }
 
-float silu(float x) { return x / (1.0f + std::exp(-x)); }
+// fast_expf keeps the SwiGLU loops vectorizable; forward and backward
+// share it so gradients stay consistent with the activations.
+float silu(float x) { return x / (1.0f + fast_expf(-x)); }
 
 float silu_grad(float x) {
-  const float s = 1.0f / (1.0f + std::exp(-x));
+  const float s = 1.0f / (1.0f + fast_expf(-x));
   return s * (1.0f + x * (1.0f - s));
 }
 
@@ -178,7 +181,7 @@ void TransformerBlock::forward(Matrix& x) {
       }
       float denom = 0.0f;
       for (std::size_t s = 0; s <= t; ++s) {
-        const float e = std::exp(p.at(t, s) - max_score);
+        const float e = fast_expf(p.at(t, s) - max_score);
         p.at(t, s) = e;
         denom += e;
       }
@@ -307,71 +310,294 @@ void rmsnorm_row(const hpcgpt::nn::Parameter& gain,
   for (std::size_t i = 0; i < d; ++i) out[i] = x[i] * r * g[i];
 }
 
+/// In-place softmax over probs[0..len), returning 1/sum so callers can
+/// fold the normalisation into the value pass. The max / exp / sum loops
+/// are deliberately separate: a fused exp+sum loop carries a float
+/// reduction that blocks vectorization, and the elementwise fast_expf
+/// pass is where the cycles go (it vectorizes 8-wide on its own).
+inline float softmax_inplace(float* __restrict probs, std::size_t len) {
+  float max_score = probs[0];
+  for (std::size_t s = 1; s < len; ++s) {
+    max_score = std::max(max_score, probs[s]);
+  }
+  for (std::size_t s = 0; s < len; ++s) {
+    probs[s] = fast_expf(probs[s] - max_score);
+  }
+  float denom = 0.0f;
+  for (std::size_t s = 0; s < len; ++s) denom += probs[s];
+  return 1.0f / denom;
+}
+
 }  // namespace
 
 void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
-                                    KvCache& cache) const {
+                                    KvCache& cache,
+                                    DecodeScratch& scratch) const {
   const std::size_t d = config_.d_model;
   const std::size_t hd = config_.head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
   // --- attention sub-layer ---
-  std::vector<float> normed(d);
+  std::span<float> normed(scratch.normed.data(), d);
   rmsnorm_row(norm1_gain_, x, normed);
-  std::vector<float> q(d);
+  std::span<float> q(scratch.q.data(), d);
   wq_.apply(normed, q);
-  wk_.apply(normed, cache.k.row(pos));
-  wv_.apply(normed, cache.v.row(pos));
+  std::span<float> k_row(scratch.k_row.data(), d);
+  std::span<float> v_row(scratch.v_row.data(), d);
+  wk_.apply(normed, k_row);
+  wv_.apply(normed, v_row);
+  // Scatter the new K/V row into column `pos` of the feature-major cache.
+  const std::size_t stride = cache.k.cols();
+  float* kc = cache.k.data() + pos;
+  float* vc = cache.v.data() + pos;
+  for (std::size_t i = 0; i < d; ++i) {
+    kc[i * stride] = k_row[i];
+    vc[i * stride] = v_row[i];
+  }
 
-  std::vector<float> attn(d, 0.0f);
-  std::vector<float> probs(pos + 1);
+  // Both attention passes run unit-stride over positions (see KvCache):
+  // scores as one axpy per query feature, values as one dot per output
+  // feature, softmax via the vectorizable fast_expf.
+  std::span<float> attn(scratch.attn.data(), d);
+  const std::size_t len = pos + 1;
+  float* __restrict probs = scratch.probs.data();
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
-    float max_score = -1e30f;
-    for (std::size_t s = 0; s <= pos; ++s) {
-      const auto k_row = cache.k.row(s);
-      float dot = 0.0f;
-      for (std::size_t i = 0; i < hd; ++i) dot += q[off + i] * k_row[off + i];
-      probs[s] = dot * scale;
-      max_score = std::max(max_score, probs[s]);
+    std::fill(probs, probs + len, 0.0f);
+    for (std::size_t i = 0; i < hd; ++i) {
+      const float qi = q[off + i] * scale;  // fold 1/sqrt(hd) into q
+      const float* __restrict kt = cache.k.row(off + i).data();
+      for (std::size_t s = 0; s < len; ++s) probs[s] += qi * kt[s];
     }
-    float denom = 0.0f;
-    for (std::size_t s = 0; s <= pos; ++s) {
-      probs[s] = std::exp(probs[s] - max_score);
-      denom += probs[s];
-    }
-    const float inv = 1.0f / denom;
-    for (std::size_t s = 0; s <= pos; ++s) {
-      const float p = probs[s] * inv;
-      const auto v_row = cache.v.row(s);
-      for (std::size_t i = 0; i < hd; ++i) attn[off + i] += p * v_row[off + i];
+    const float inv = softmax_inplace(probs, len);
+    for (std::size_t i = 0; i < hd; ++i) {
+      const float* __restrict vt = cache.v.row(off + i).data();
+      float acc = 0.0f;
+      for (std::size_t s = 0; s < len; ++s) acc += probs[s] * vt[s];
+      attn[off + i] = acc * inv;
     }
   }
-  std::vector<float> attn_out(d);
-  wo_.apply(attn, attn_out);
-  for (std::size_t i = 0; i < d; ++i) x[i] += attn_out[i];
+  std::span<float> proj(scratch.proj.data(), d);
+  wo_.apply(attn, proj);
+  for (std::size_t i = 0; i < d; ++i) x[i] += proj[i];
 
   // --- MLP sub-layer ---
   rmsnorm_row(norm2_gain_, x, normed);
-  std::vector<float> gate(config_.d_ff);
-  std::vector<float> up(config_.d_ff);
+  std::span<float> gate(scratch.gate.data(), config_.d_ff);
+  std::span<float> up(scratch.up.data(), config_.d_ff);
   w_gate_.apply(normed, gate);
   w_up_.apply(normed, up);
   for (std::size_t j = 0; j < config_.d_ff; ++j) {
     gate[j] = silu(gate[j]) * up[j];
   }
-  std::vector<float> mlp_out(d);
-  w_down_.apply(gate, mlp_out);
-  for (std::size_t i = 0; i < d; ++i) x[i] += mlp_out[i];
+  w_down_.apply(gate, proj);
+  for (std::size_t i = 0; i < d; ++i) x[i] += proj[i];
 }
 
-DecodeState::DecodeState(std::size_t n_layers, std::size_t max_seq,
-                         std::size_t d_model) {
-  blocks_.reserve(n_layers);
-  for (std::size_t l = 0; l < n_layers; ++l) {
-    blocks_.push_back(KvCache{tensor::Matrix(max_seq, d_model),
-                              tensor::Matrix(max_seq, d_model)});
+void TransformerBlock::forward_prefill(Matrix& x, std::size_t pos0,
+                                       KvCache& cache,
+                                       PrefillScratch& scratch) const {
+  const std::size_t seq = x.rows();
+  const std::size_t d = config_.d_model;
+  const std::size_t hd = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // --- attention sub-layer ---
+  Matrix& normed = scratch.normed;
+  for (std::size_t t = 0; t < seq; ++t) {
+    rmsnorm_row(norm1_gain_, x.row(t), normed.row(t));
   }
+  Matrix& q = scratch.q;
+  wq_.apply_rows(normed, q);
+  // K/V of the whole prompt land in the session cache in one GEMM pass
+  // each — this is the "write all K/V rows at once" half of prefill.
+  Matrix& k_new = scratch.k_new;
+  Matrix& v_new = scratch.v_new;
+  wk_.apply_rows(normed, k_new);
+  wv_.apply_rows(normed, v_new);
+  // Transpose-scatter into the feature-major cache: feature i's history
+  // is a contiguous run of columns [pos0, pos0 + seq) in row i.
+  for (std::size_t i = 0; i < d; ++i) {
+    float* __restrict kt = cache.k.row(i).data() + pos0;
+    float* __restrict vt = cache.v.row(i).data() + pos0;
+    for (std::size_t t = 0; t < seq; ++t) {
+      kt[t] = k_new.at(t, i);
+      vt[t] = v_new.at(t, i);
+    }
+  }
+
+  // Per-head causal attention over the feature-major cache: scores as
+  // unit-stride axpys per query feature, values as unit-stride dots per
+  // output feature, softmax via the vectorizable fast_expf. (Measured
+  // alternatives — per-head GEMM via matmul/matmul_nt, and 4-wide
+  // feature unrolling — both lose at these shapes: the causal horizons
+  // average seq/2, so dispatch and packing overheads dominate.)
+  Matrix& attn_concat = scratch.attn_concat;
+  std::vector<float>& probs = scratch.probs;
+  for (std::size_t h = 0; h < config_.n_heads; ++h) {
+    const std::size_t off = h * hd;
+    for (std::size_t t = 0; t < seq; ++t) {
+      const std::size_t len = pos0 + t + 1;  // causal horizon of this row
+      float* __restrict pr = probs.data();
+      std::fill(pr, pr + len, 0.0f);
+      for (std::size_t i = 0; i < hd; ++i) {
+        const float qi = q.at(t, off + i) * scale;
+        const float* __restrict kt = cache.k.row(off + i).data();
+        for (std::size_t s = 0; s < len; ++s) pr[s] += qi * kt[s];
+      }
+      const float inv = softmax_inplace(pr, len);
+      for (std::size_t i = 0; i < hd; ++i) {
+        const float* __restrict vt = cache.v.row(off + i).data();
+        float acc = 0.0f;
+        for (std::size_t s = 0; s < len; ++s) acc += pr[s] * vt[s];
+        attn_concat.at(t, off + i) = acc * inv;
+      }
+    }
+  }
+  Matrix& attn_out = scratch.attn_out;
+  wo_.apply_rows(attn_concat, attn_out);
+  tensor::add_inplace(x, attn_out);
+
+  // --- MLP sub-layer (SwiGLU) ---
+  for (std::size_t t = 0; t < seq; ++t) {
+    rmsnorm_row(norm2_gain_, x.row(t), normed.row(t));
+  }
+  Matrix& gate = scratch.gate;
+  Matrix& up = scratch.up;
+  w_gate_.apply_rows(normed, gate);
+  w_up_.apply_rows(normed, up);
+  for (std::size_t t = 0; t < seq; ++t) {
+    auto g = gate.row(t);
+    const auto u = up.row(t);
+    for (std::size_t j = 0; j < config_.d_ff; ++j) {
+      g[j] = silu(g[j]) * u[j];
+    }
+  }
+  Matrix& mlp_out = scratch.mlp_out;
+  w_down_.apply_rows(gate, mlp_out);
+  tensor::add_inplace(x, mlp_out);
+}
+
+void TransformerBlock::forward_step_batch(Matrix& x,
+                                          std::span<DecodeState* const> states,
+                                          std::size_t layer,
+                                          BatchScratch& scratch) const {
+  const std::size_t batch = x.rows();
+  const std::size_t hd = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // --- attention sub-layer ---
+  // The projections run once for the whole batch: one (batch × d) GEMM
+  // per weight instead of `batch` separate GEMVs, so each weight matrix
+  // is streamed through the cache once per round rather than per lane.
+  for (std::size_t b = 0; b < batch; ++b) {
+    rmsnorm_row(norm1_gain_, x.row(b), scratch.normed.row(b));
+  }
+  wq_.apply_rows(scratch.normed, scratch.q);
+  wk_.apply_rows(scratch.normed, scratch.k_new);
+  wv_.apply_rows(scratch.normed, scratch.v_new);
+
+  // Attention is inherently per-lane: every lane attends over its own
+  // cache at its own position. Same unit-stride loops as forward_step.
+  for (std::size_t b = 0; b < batch; ++b) {
+    KvCache& cache = states[b]->blocks_[layer];
+    const std::size_t pos = states[b]->length_;
+    const std::size_t stride = cache.k.cols();
+    const std::size_t d = config_.d_model;
+    float* kc = cache.k.data() + pos;
+    float* vc = cache.v.data() + pos;
+    const auto k_new = scratch.k_new.row(b);
+    const auto v_new = scratch.v_new.row(b);
+    for (std::size_t i = 0; i < d; ++i) {
+      kc[i * stride] = k_new[i];
+      vc[i * stride] = v_new[i];
+    }
+
+    const auto q = scratch.q.row(b);
+    auto attn = scratch.attn.row(b);
+    const std::size_t len = pos + 1;
+    float* __restrict probs = scratch.probs.data();
+    for (std::size_t h = 0; h < config_.n_heads; ++h) {
+      const std::size_t off = h * hd;
+      std::fill(probs, probs + len, 0.0f);
+      for (std::size_t i = 0; i < hd; ++i) {
+        const float qi = q[off + i] * scale;
+        const float* __restrict kt = cache.k.row(off + i).data();
+        for (std::size_t s = 0; s < len; ++s) probs[s] += qi * kt[s];
+      }
+      const float inv = softmax_inplace(probs, len);
+      for (std::size_t i = 0; i < hd; ++i) {
+        const float* __restrict vt = cache.v.row(off + i).data();
+        float acc = 0.0f;
+        for (std::size_t s = 0; s < len; ++s) acc += probs[s] * vt[s];
+        attn[off + i] = acc * inv;
+      }
+    }
+  }
+  wo_.apply_rows(scratch.attn, scratch.proj);
+  tensor::add_inplace(x, scratch.proj);
+
+  // --- MLP sub-layer (SwiGLU) ---
+  for (std::size_t b = 0; b < batch; ++b) {
+    rmsnorm_row(norm2_gain_, x.row(b), scratch.normed.row(b));
+  }
+  w_gate_.apply_rows(scratch.normed, scratch.gate);
+  w_up_.apply_rows(scratch.normed, scratch.up);
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto g = scratch.gate.row(b);
+    const auto u = scratch.up.row(b);
+    for (std::size_t j = 0; j < config_.d_ff; ++j) {
+      g[j] = silu(g[j]) * u[j];
+    }
+  }
+  w_down_.apply_rows(scratch.gate, scratch.proj);
+  tensor::add_inplace(x, scratch.proj);
+}
+
+void DecodeScratch::resize(const TransformerConfig& config) {
+  x.assign(config.d_model, 0.0f);
+  normed.assign(config.d_model, 0.0f);
+  q.assign(config.d_model, 0.0f);
+  k_row.assign(config.d_model, 0.0f);
+  v_row.assign(config.d_model, 0.0f);
+  attn.assign(config.d_model, 0.0f);
+  proj.assign(config.d_model, 0.0f);
+  probs.assign(config.max_seq, 0.0f);
+  gate.assign(config.d_ff, 0.0f);
+  up.assign(config.d_ff, 0.0f);
+  logits.assign(config.vocab_size, 0.0f);
+}
+
+void BatchScratch::ensure(const TransformerConfig& config,
+                          std::size_t batch) {
+  if (x.rows() != batch || x.cols() != config.d_model) {
+    x = tensor::Matrix(batch, config.d_model);
+    normed = tensor::Matrix(batch, config.d_model);
+    attn = tensor::Matrix(batch, config.d_model);
+  }
+  if (probs.size() < config.max_seq) probs.assign(config.max_seq, 0.0f);
+}
+
+void PrefillScratch::ensure(const TransformerConfig& config,
+                            std::size_t seq) {
+  // normed/attn_concat are read-and-written row-by-row, so they must be
+  // pre-sized; the apply_rows outputs size themselves and keep their
+  // storage between blocks because the shapes repeat.
+  if (normed.rows() != seq || normed.cols() != config.d_model) {
+    normed = tensor::Matrix(seq, config.d_model);
+    attn_concat = tensor::Matrix(seq, config.d_model);
+  }
+  if (probs.size() < config.max_seq) probs.assign(config.max_seq, 0.0f);
+}
+
+DecodeState::DecodeState(const TransformerConfig& config) {
+  blocks_.reserve(config.n_layers);
+  for (std::size_t l = 0; l < config.n_layers; ++l) {
+    blocks_.push_back(
+        KvCache{tensor::Matrix(config.d_model, config.max_seq),
+                tensor::Matrix(config.d_model, config.max_seq)});
+  }
+  scratch_.resize(config);
 }
 
 // ===================================================== Transformer
@@ -474,41 +700,102 @@ Matrix Transformer::logits(const std::vector<text::TokenId>& ids) {
 }
 
 DecodeState Transformer::new_decode_state() const {
-  return DecodeState(config_.n_layers, config_.max_seq, config_.d_model);
+  return DecodeState(config_);
 }
 
-std::vector<float> Transformer::decode_step(DecodeState& state,
-                                            text::TokenId id) const {
+std::span<const float> Transformer::decode_step(DecodeState& state,
+                                                text::TokenId id) const {
   const std::size_t pos = state.length_;
   require(pos < config_.max_seq, "decode_step: context exhausted");
   require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
           "decode_step: token id out of range");
 
-  std::vector<float> x(config_.d_model);
+  DecodeScratch& scratch = state.scratch_;
+  std::span<float> x(scratch.x.data(), config_.d_model);
   const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
   const auto pe = pos_emb_.value.row(pos);
   for (std::size_t i = 0; i < config_.d_model; ++i) x[i] = te[i] + pe[i];
 
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
-    blocks_[l]->forward_step(x, pos, state.blocks_[l]);
+    blocks_[l]->forward_step(x, pos, state.blocks_[l], scratch);
   }
 
-  std::vector<float> normed(config_.d_model);
-  {
-    float ms = 0.0f;
-    for (const float v : x) ms += v * v;
-    const float r = 1.0f /
-                    std::sqrt(ms / static_cast<float>(config_.d_model) +
-                              kNormEps);
-    const float* g = final_gain_.value.data();
-    for (std::size_t i = 0; i < config_.d_model; ++i) {
-      normed[i] = x[i] * r * g[i];
-    }
-  }
-  std::vector<float> out(config_.vocab_size);
-  head_.apply(normed, out);
+  std::span<float> normed(scratch.normed.data(), config_.d_model);
+  rmsnorm_row(final_gain_, x, normed);
+  head_.apply(normed, scratch.logits);
   ++state.length_;
-  return out;
+  return scratch.logits;
+}
+
+const Matrix& Transformer::decode_step_batch(
+    std::span<DecodeState* const> states, std::span<const text::TokenId> ids,
+    BatchScratch& scratch) const {
+  require(!states.empty() && states.size() == ids.size(),
+          "decode_step_batch: states/ids size mismatch");
+  const std::size_t batch = states.size();
+  scratch.ensure(config_, batch);
+
+  Matrix& x = scratch.x;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t pos = states[b]->length_;
+    require(pos < config_.max_seq, "decode_step_batch: context exhausted");
+    const auto id = ids[b];
+    require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
+            "decode_step_batch: token id out of range");
+    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
+    const auto pe = pos_emb_.value.row(pos);
+    auto xr = x.row(b);
+    for (std::size_t i = 0; i < config_.d_model; ++i) xr[i] = te[i] + pe[i];
+  }
+
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    blocks_[l]->forward_step_batch(x, states, l, scratch);
+  }
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    rmsnorm_row(final_gain_, x.row(b), scratch.normed.row(b));
+  }
+  head_.apply_rows(scratch.normed, scratch.logits);
+  for (std::size_t b = 0; b < batch; ++b) ++states[b]->length_;
+  return scratch.logits;
+}
+
+std::span<const float> Transformer::prefill(
+    DecodeState& state, std::span<const text::TokenId> ids) const {
+  require(!ids.empty(), "prefill: empty prompt");
+  const std::size_t pos0 = state.length_;
+  require(pos0 + ids.size() <= config_.max_seq,
+          "prefill: context exhausted");
+
+  Matrix x(ids.size(), config_.d_model);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const auto id = ids[t];
+    require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
+            "prefill: token id out of range");
+    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
+    const auto pe = pos_emb_.value.row(pos0 + t);
+    auto xr = x.row(t);
+    for (std::size_t i = 0; i < config_.d_model; ++i) xr[i] = te[i] + pe[i];
+  }
+
+  // One scratch arena for the whole stack: every block reuses the same
+  // activation matrices, so a prompt costs one set of allocations (and on
+  // repeated prefills of similar length, zero — apply_rows keeps storage).
+  PrefillScratch prefill_scratch;
+  prefill_scratch.ensure(config_, ids.size());
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    blocks_[l]->forward_prefill(x, pos0, state.blocks_[l], prefill_scratch);
+  }
+
+  // Only the last position's logits are needed downstream (the sampler
+  // feeds the next token through decode_step), so the head GEMV runs on
+  // one row instead of the whole prompt.
+  DecodeScratch& scratch = state.scratch_;
+  std::span<float> normed(scratch.normed.data(), config_.d_model);
+  rmsnorm_row(final_gain_, x.row(ids.size() - 1), normed);
+  head_.apply(normed, scratch.logits);
+  state.length_ = pos0 + ids.size();
+  return scratch.logits;
 }
 
 LossResult Transformer::train_step(

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -9,26 +10,82 @@
 #include <vector>
 
 #include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/nn/transformer.hpp"
 
 namespace hpcgpt::serve {
 
-/// Server statistics.
+/// Serving knobs (see README, "Server throughput knobs").
+struct ServerOptions {
+  /// Maximum number of requests decoded concurrently (continuous-batching
+  /// lanes). One long generation occupies one lane; the others keep
+  /// draining the queue.
+  std::size_t max_batch = 2;
+  /// Generation budget per request (mirrors HpcGpt::ask's default).
+  std::size_t max_new_tokens = 48;
+  /// When the scheduler goes idle→busy it may wait up to this long for
+  /// the queue to reach max_batch before starting the first round, so a
+  /// burst of near-simultaneous requests is decoded at full batch
+  /// occupancy instead of trickling in one lane at a time. 0 (default)
+  /// starts decoding immediately — lowest latency, lower aggregate
+  /// throughput under bursts. Requests arriving mid-flight are still
+  /// admitted every round regardless of this setting.
+  double admission_window_seconds = 0.0;
+};
+
+/// Server statistics. All fields are updated and read under the server
+/// mutex; stats() returns a consistent snapshot.
 struct ServerStats {
   std::size_t requests_served = 0;
   std::size_t max_queue_depth = 0;
+  std::size_t prompt_tokens = 0;       ///< tokens ingested via prefill
+  std::size_t generated_tokens = 0;    ///< tokens emitted by decode steps
+  std::size_t batch_rounds = 0;        ///< scheduler rounds with work
+  std::size_t batch_occupancy_sum = 0; ///< Σ active streams per round
+  std::size_t peak_batch = 0;          ///< max simultaneously active streams
+  double busy_seconds = 0.0;           ///< wall time in prefill/decode work
+  double latency_seconds_sum = 0.0;    ///< Σ submit→completion per request
+
+  /// Aggregate decode throughput while the scheduler was busy.
+  double tokens_per_second() const {
+    return busy_seconds > 0.0
+               ? static_cast<double>(generated_tokens) / busy_seconds
+               : 0.0;
+  }
+  /// Mean number of streams sharing a decode round (batching efficiency).
+  double mean_batch_occupancy() const {
+    return batch_rounds > 0
+               ? static_cast<double>(batch_occupancy_sum) /
+                     static_cast<double>(batch_rounds)
+               : 0.0;
+  }
+  /// Mean submit→completion latency per served request.
+  double mean_latency_seconds() const {
+    return requests_served > 0
+               ? latency_seconds_sum / static_cast<double>(requests_served)
+               : 0.0;
+  }
 };
 
-/// The deployment stage of Figure 1: a multi-threaded in-process
+/// The deployment stage of Figure 1: a continuous-batching in-process
 /// inference server in front of one HPC-GPT model.
 ///
-/// Requests are queued and answered asynchronously; because the
-/// transformer's forward caches are not re-entrant, a mutex serializes
-/// model access while the worker threads handle queuing, decoding and
-/// response delivery (the standard single-accelerator serving shape).
+/// Instead of serializing whole requests behind a model mutex, a single
+/// scheduler thread runs the batched inference engine: queued requests
+/// are admitted into up to `max_batch` decode lanes, each with its own
+/// KV-cache session (nn::DecodeState). New prompts are ingested through
+/// the GEMM prefill path; then every round advances all live lanes by
+/// one token through a single decode_step_batch call, so the weight
+/// matrices are streamed once per round instead of once per lane —
+/// cross-request batching, the throughput win of continuous batching.
+/// Finished streams retire and queued ones are admitted mid-flight, so
+/// one long generation no longer blocks the queue. Weights are only
+/// read during prefill/decode, which is what makes the per-lane
+/// sessions safe without a model lock.
 /// submit() returns a future; shutdown() drains the queue.
 class InferenceServer {
  public:
-  InferenceServer(core::HpcGpt& model, std::size_t workers = 2);
+  InferenceServer(core::HpcGpt& model, std::size_t max_batch = 2);
+  InferenceServer(core::HpcGpt& model, ServerOptions options);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -37,7 +94,8 @@ class InferenceServer {
   /// Enqueues a question; the future resolves to the generated answer.
   std::future<std::string> submit(std::string question);
 
-  /// Stops accepting requests, finishes the queued ones, joins workers.
+  /// Stops accepting requests, finishes the queued ones, joins the
+  /// scheduler.
   void shutdown();
 
   ServerStats stats() const;
@@ -46,18 +104,49 @@ class InferenceServer {
   struct Request {
     std::string question;
     std::promise<std::string> promise;
+    std::chrono::steady_clock::time_point submitted;
   };
 
-  void worker_loop();
+  /// One continuous-batching lane: an in-flight generation session.
+  struct Stream {
+    Request request;
+    nn::DecodeState state;
+    std::vector<text::TokenId> prompt;
+    std::vector<text::TokenId> out;
+    text::TokenId next = -1;     ///< candidate token (greedy argmax)
+    bool prefilled = false;
+    bool done = false;
+    std::exception_ptr error;
+
+    explicit Stream(Request req, nn::DecodeState s)
+        : request(std::move(req)), state(std::move(s)) {}
+  };
+
+  void scheduler_loop();
+  /// Tokenizes the prompt and runs the GEMM prefill for a freshly
+  /// admitted stream, producing its first candidate token.
+  void prefill_stream(Stream& stream);
+  /// Commits the pending candidate token of a prefilled stream and marks
+  /// it done when it hits EOS, the token budget or the context limit.
+  /// Returns true when the stream still needs a decode step this round.
+  bool emit_pending_token(Stream& stream);
+  void finish_stream(Stream& stream);
 
   core::HpcGpt& model_;
+  ServerOptions options_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Request> queue_;
-  std::vector<std::thread> workers_;
-  std::mutex model_mutex_;
+  std::thread scheduler_;
   ServerStats stats_;
   bool stopping_ = false;
+
+  // Scheduler-thread state: the shared batched-decode scratch plus the
+  // per-round lane gather buffers (reused so rounds stay allocation-free).
+  nn::BatchScratch batch_scratch_;
+  std::vector<Stream*> round_lanes_;
+  std::vector<nn::DecodeState*> round_states_;
+  std::vector<text::TokenId> round_tokens_;
 };
 
 }  // namespace hpcgpt::serve

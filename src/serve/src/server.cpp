@@ -1,15 +1,33 @@
 #include "hpcgpt/serve/server.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "hpcgpt/support/thread_pool.hpp"
+#include "hpcgpt/support/timer.hpp"
+#include "hpcgpt/text/tokenizer.hpp"
 
 namespace hpcgpt::serve {
 
-InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t workers)
-    : model_(model) {
-  workers_.reserve(std::max<std::size_t>(1, workers));
-  for (std::size_t i = 0; i < std::max<std::size_t>(1, workers); ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+namespace {
+
+text::TokenId argmax(std::span<const float> logits) {
+  return static_cast<text::TokenId>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t max_batch)
+    : InferenceServer(
+          model, ServerOptions{.max_batch = std::max<std::size_t>(1, max_batch),
+                               .max_new_tokens = 48}) {}
+
+InferenceServer::InferenceServer(core::HpcGpt& model, ServerOptions options)
+    : model_(model), options_(options) {
+  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
@@ -17,6 +35,7 @@ InferenceServer::~InferenceServer() { shutdown(); }
 std::future<std::string> InferenceServer::submit(std::string question) {
   Request request;
   request.question = std::move(question);
+  request.submitted = std::chrono::steady_clock::now();
   std::future<std::string> future = request.promise.get_future();
   {
     std::lock_guard lock(mutex_);
@@ -35,14 +54,11 @@ std::future<std::string> InferenceServer::submit(std::string question) {
 void InferenceServer::shutdown() {
   {
     std::lock_guard lock(mutex_);
-    if (stopping_ && workers_.empty()) return;
+    if (stopping_ && !scheduler_.joinable()) return;
     stopping_ = true;
   }
   available_.notify_all();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
+  if (scheduler_.joinable()) scheduler_.join();
 }
 
 ServerStats InferenceServer::stats() const {
@@ -50,23 +66,151 @@ ServerStats InferenceServer::stats() const {
   return stats_;
 }
 
-void InferenceServer::worker_loop() {
+void InferenceServer::prefill_stream(Stream& stream) {
+  try {
+    // Prompt ingestion: one batched GEMM pass writes the whole prompt's
+    // K/V rows and yields the first candidate token.
+    stream.prompt =
+        model_.prompt_ids(stream.request.question, options_.max_new_tokens);
+    stream.next = argmax(model_.model().prefill(stream.state, stream.prompt));
+    stream.prefilled = true;
+  } catch (...) {
+    stream.error = std::current_exception();
+    stream.done = true;
+  }
+}
+
+bool InferenceServer::emit_pending_token(Stream& stream) {
+  // Same stop conditions as nn::generate_cached, one token per round.
+  if (stream.next == text::BpeTokenizer::kEos ||
+      stream.out.size() >= options_.max_new_tokens ||
+      stream.state.length() >= model_.model().config().max_seq) {
+    stream.done = true;
+    return false;
+  }
+  stream.out.push_back(stream.next);
+  if (stream.out.size() >= options_.max_new_tokens ||
+      stream.state.length() >= model_.model().config().max_seq) {
+    stream.done = true;
+    return false;
+  }
+  return true;
+}
+
+void InferenceServer::finish_stream(Stream& stream) {
+  const double latency =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    stream.request.submitted)
+          .count();
+  // Stats first, promise second: a client that calls stats() right after
+  // its future resolves must see its own request counted.
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requests_served;
+    stats_.prompt_tokens += stream.prompt.size();
+    stats_.generated_tokens += stream.out.size();
+    stats_.latency_seconds_sum += latency;
+  }
+  if (stream.error) {
+    stream.request.promise.set_exception(stream.error);
+  } else {
+    stream.request.promise.set_value(model_.tokenizer().decode(stream.out));
+  }
+}
+
+void InferenceServer::scheduler_loop() {
+  std::vector<std::unique_ptr<Stream>> active;
   for (;;) {
-    Request request;
     {
       std::unique_lock lock(mutex_);
-      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      request = std::move(queue_.front());
-      queue_.pop_front();
-      ++stats_.requests_served;
+      if (active.empty()) {
+        available_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+        // Admission window: give a burst of arrivals a short chance to
+        // fill the batch so the first rounds run at full occupancy.
+        if (options_.admission_window_seconds > 0.0 && !stopping_) {
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(
+                      options_.admission_window_seconds));
+          available_.wait_until(lock, deadline, [this] {
+            return stopping_ || queue_.size() >= options_.max_batch;
+          });
+        }
+      }
+      // Continuous batching: top the batch up from the queue every round,
+      // not just when it empties.
+      while (!queue_.empty() && active.size() < options_.max_batch) {
+        active.push_back(std::make_unique<Stream>(
+            std::move(queue_.front()), model_.model().new_decode_state()));
+        queue_.pop_front();
+      }
+      if (active.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      stats_.peak_batch = std::max(stats_.peak_batch, active.size());
     }
-    try {
-      std::lock_guard model_lock(model_mutex_);
-      request.promise.set_value(model_.ask(request.question));
-    } catch (...) {
-      request.promise.set_exception(std::current_exception());
+
+    // One scheduler round: fresh lanes get their prompt ingested through
+    // the GEMM prefill (independent sessions over read-only weights, so
+    // they can run in parallel; GEMMs inside nest safely thanks to the
+    // pool's run-inline-on-worker guard), then every live lane advances
+    // one token through a single cross-request batched decode step.
+    Timer round_timer;
+    parallel_for(
+        0, active.size(),
+        [&](std::size_t i) {
+          if (!active[i]->prefilled && !active[i]->done) {
+            prefill_stream(*active[i]);
+          }
+        },
+        1);
+
+    round_lanes_.clear();
+    round_states_.clear();
+    round_tokens_.clear();
+    for (auto& stream : active) {
+      if (stream->done || !emit_pending_token(*stream)) continue;
+      round_lanes_.push_back(stream.get());
+      round_states_.push_back(&stream->state);
+      round_tokens_.push_back(stream->next);
     }
+    if (!round_lanes_.empty()) {
+      try {
+        const tensor::Matrix& logits = model_.model().decode_step_batch(
+            round_states_, round_tokens_, batch_scratch_);
+        for (std::size_t b = 0; b < round_lanes_.size(); ++b) {
+          round_lanes_[b]->next = argmax(logits.row(b));
+        }
+      } catch (...) {
+        // Batch-level failure (we pre-check per-lane preconditions, so
+        // this is defensive): fail every lane that was in the batch.
+        for (Stream* lane : round_lanes_) {
+          lane->error = std::current_exception();
+          lane->done = true;
+        }
+      }
+    }
+    const double round_seconds = round_timer.seconds();
+
+    std::size_t retired = 0;
+    for (auto& stream : active) {
+      if (stream->done) {
+        finish_stream(*stream);
+        stream.reset();
+        ++retired;
+      }
+    }
+    if (retired > 0) {
+      active.erase(std::remove(active.begin(), active.end(), nullptr),
+                   active.end());
+    }
+    std::lock_guard lock(mutex_);
+    ++stats_.batch_rounds;
+    stats_.batch_occupancy_sum += active.size() + retired;
+    stats_.busy_seconds += round_seconds;
   }
 }
 

@@ -33,6 +33,12 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers. Used by
+  /// parallel_for to run nested parallel regions inline instead of
+  /// re-submitting to the pool — a worker that blocked waiting on chunks
+  /// it queued behind itself would deadlock the pool.
+  bool on_worker_thread() const noexcept;
+
   /// Enqueues `fn` and returns a future for its result.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
@@ -69,6 +75,9 @@ class ThreadPool {
 /// which matches the regular, equally-sized iterations this codebase
 /// produces (tensor rows, test cases). `grain` bounds the minimum chunk so
 /// tiny ranges run inline without synchronization cost.
+///
+/// Safe to call from inside a task running on `pool`: a nested call runs
+/// the whole range inline on the calling worker (never self-deadlocks).
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);

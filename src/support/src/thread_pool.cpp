@@ -6,6 +6,17 @@
 
 namespace hpcgpt {
 
+namespace {
+
+// The pool (if any) whose worker_loop owns the current thread.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return current_pool == this;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -26,6 +37,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -48,6 +60,14 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
   if (begin >= end) return;
+  if (pool.on_worker_thread()) {
+    // Nested parallel region issued from one of this pool's own workers:
+    // run inline. Submitting and waiting here could deadlock — every
+    // worker might be blocked inside this wait with the chunks queued
+    // behind them.
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   const std::size_t total = end - begin;
   const std::size_t max_chunks =
       std::max<std::size_t>(1, total / std::max<std::size_t>(1, grain));

@@ -63,7 +63,10 @@ class Matrix {
 };
 
 /// out = a · b. Shapes: (m×k)·(k×n) → (m×n). Parallel over row blocks of
-/// `a` via the global thread pool; the kernel is a cache-friendly ikj loop.
+/// `a` via the global thread pool. Large shapes run a cache-blocked
+/// kernel: B is packed once into NR-wide column panels, then an MR×NR
+/// register tile streams each panel with a KC-deep k loop (see DESIGN.md,
+/// "Inference engine"); small shapes fall back to a plain ikj loop.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = a · bᵀ. Shapes: (m×k)·(n×k)ᵀ → (m×n).

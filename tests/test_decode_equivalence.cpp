@@ -1,0 +1,151 @@
+// Decode-equivalence suite: the inference engine's fast path (GEMM
+// prefill + KV-cached decode_step / decode_step_batch) must be
+// observationally identical to the reference path that re-runs the full
+// logits() forward for every position. Greedy token-id identity is the
+// contract the serving stack depends on — a kernel or cache-layout bug
+// that shifts logits enough to flip an argmax shows up here for every
+// model preset of the experiment zoo.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+namespace {
+
+using namespace hpcgpt;
+
+const text::BpeTokenizer& shared_tokenizer() {
+  static const text::BpeTokenizer tok = core::build_shared_tokenizer();
+  return tok;
+}
+
+core::HpcGpt make_preset(core::BaseModel base) {
+  core::ModelOptions spec = core::spec_for(base);
+  // Untrained weights: equivalence is a property of the forward math, not
+  // of training, and skipping pretraining keeps the suite fast. Each
+  // preset still gets its own init seed, so all four weight sets differ.
+  spec.pretrain_steps = 0;
+  return core::HpcGpt(spec, shared_tokenizer());
+}
+
+text::TokenId argmax(std::span<const float> logits) {
+  return static_cast<text::TokenId>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+std::vector<text::TokenId> random_prompt(Rng& rng, std::size_t len,
+                                         std::size_t vocab) {
+  std::vector<text::TokenId> ids(len);
+  for (auto& id : ids) {
+    // Skip the special tokens (0..3): real prompts start with BOS and
+    // then carry ordinary vocabulary.
+    id = static_cast<text::TokenId>(4 + rng.next_below(vocab - 4));
+  }
+  return ids;
+}
+
+/// Reference greedy generation: one full logits() forward per emitted
+/// token, argmax of the last row. O(T^2) per token — the path the engine
+/// replaces, kept here as ground truth.
+std::vector<text::TokenId> greedy_reference(nn::Transformer& model,
+                                            std::vector<text::TokenId> ids,
+                                            std::size_t steps) {
+  std::vector<text::TokenId> out;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const tensor::Matrix logits = model.logits(ids);
+    const text::TokenId next = argmax(logits.row(logits.rows() - 1));
+    out.push_back(next);
+    ids.push_back(next);
+  }
+  return out;
+}
+
+/// Engine greedy generation: one prefill over the prompt, then KV-cached
+/// decode_step per token.
+std::vector<text::TokenId> greedy_engine(
+    const nn::Transformer& model, const std::vector<text::TokenId>& ids,
+    std::size_t steps) {
+  nn::DecodeState state = model.new_decode_state();
+  std::vector<text::TokenId> out;
+  text::TokenId next = argmax(model.prefill(state, ids));
+  for (std::size_t s = 0; s < steps; ++s) {
+    out.push_back(next);
+    if (s + 1 < steps) next = argmax(model.decode_step(state, next));
+  }
+  return out;
+}
+
+class DecodeEquivalence
+    : public ::testing::TestWithParam<core::BaseModel> {};
+
+TEST_P(DecodeEquivalence, PrefillPlusDecodeMatchesFullForwards) {
+  core::HpcGpt model = make_preset(GetParam());
+  const std::size_t vocab = model.model().config().vocab_size;
+  Rng rng(2023);
+  for (const std::size_t prompt_len : {1u, 3u, 7u, 16u, 33u}) {
+    const auto prompt = random_prompt(rng, prompt_len, vocab);
+    const auto expect = greedy_reference(model.model(), prompt, 12);
+    const auto got = greedy_engine(model.model(), prompt, 12);
+    EXPECT_EQ(expect, got) << model.name() << " prompt_len=" << prompt_len;
+  }
+}
+
+TEST_P(DecodeEquivalence, BatchedDecodeMatchesSingleLane) {
+  core::HpcGpt model = make_preset(GetParam());
+  const std::size_t vocab = model.model().config().vocab_size;
+  const nn::Transformer& m = model.model();
+  Rng rng(7);
+
+  // Four lanes with different prompts, advanced together through
+  // decode_step_batch; a twin set advanced one lane at a time through
+  // decode_step. Both must emit identical ids: cross-request batching is
+  // a scheduling transform, not a numerics change.
+  constexpr std::size_t kLanes = 4;
+  constexpr std::size_t kSteps = 10;
+  std::vector<std::vector<text::TokenId>> prompts;
+  for (std::size_t b = 0; b < kLanes; ++b) {
+    prompts.push_back(random_prompt(rng, 2 + 3 * b, vocab));
+  }
+
+  std::vector<nn::DecodeState> batch_states;
+  std::vector<nn::DecodeState> single_states;
+  std::vector<text::TokenId> batch_next(kLanes);
+  std::vector<text::TokenId> single_next(kLanes);
+  for (std::size_t b = 0; b < kLanes; ++b) {
+    batch_states.push_back(m.new_decode_state());
+    single_states.push_back(m.new_decode_state());
+    batch_next[b] = argmax(m.prefill(batch_states[b], prompts[b]));
+    single_next[b] = argmax(m.prefill(single_states[b], prompts[b]));
+    ASSERT_EQ(batch_next[b], single_next[b]) << "lane " << b;
+  }
+
+  nn::BatchScratch scratch;
+  std::vector<nn::DecodeState*> lane_ptrs;
+  for (auto& s : batch_states) lane_ptrs.push_back(&s);
+  for (std::size_t step = 0; step < kSteps; ++step) {
+    const tensor::Matrix& logits =
+        m.decode_step_batch(lane_ptrs, batch_next, scratch);
+    for (std::size_t b = 0; b < kLanes; ++b) {
+      batch_next[b] = argmax(logits.row(b));
+      single_next[b] =
+          argmax(m.decode_step(single_states[b], single_next[b]));
+      EXPECT_EQ(batch_next[b], single_next[b])
+          << model.name() << " lane=" << b << " step=" << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, DecodeEquivalence,
+    ::testing::Values(core::BaseModel::Llama, core::BaseModel::Llama2,
+                      core::BaseModel::Gpt35, core::BaseModel::Gpt4),
+    [](const ::testing::TestParamInfo<core::BaseModel>& info) {
+      return core::spec_for(info.param).name;
+    });
+
+}  // namespace

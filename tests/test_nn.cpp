@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <span>
 #include <vector>
 
 #include "hpcgpt/nn/adam.hpp"
@@ -360,13 +361,49 @@ TEST(DecodeCache, StepLogitsMatchFullForward) {
   const auto full = model.logits(ids);
   DecodeState state = model.new_decode_state();
   for (std::size_t t = 0; t < ids.size(); ++t) {
-    const std::vector<float> step = model.decode_step(state, ids[t]);
+    const std::span<const float> step = model.decode_step(state, ids[t]);
     ASSERT_EQ(step.size(), full.cols());
     for (std::size_t v = 0; v < step.size(); ++v) {
       EXPECT_NEAR(step[v], full.at(t, v), 1e-4f) << "t=" << t << " v=" << v;
     }
   }
   EXPECT_EQ(state.length(), ids.size());
+}
+
+TEST(DecodeCache, PrefillMatchesFullForward) {
+  Transformer model(tiny_config(), 91);
+  const auto ids = ids_of({1, 4, 2, 7, 3});
+  const auto full = model.logits(ids);
+  DecodeState state = model.new_decode_state();
+  const std::span<const float> last = model.prefill(state, ids);
+  EXPECT_EQ(state.length(), ids.size());
+  ASSERT_EQ(last.size(), full.cols());
+  for (std::size_t v = 0; v < last.size(); ++v) {
+    EXPECT_NEAR(last[v], full.at(ids.size() - 1, v), 1e-4f) << "v=" << v;
+  }
+  // Decode after prefill attends over the prefilled K/V rows.
+  const std::span<const float> next = model.decode_step(state, 5);
+  auto longer = ids;
+  longer.push_back(5);
+  const auto full2 = model.logits(longer);
+  for (std::size_t v = 0; v < next.size(); ++v) {
+    EXPECT_NEAR(next[v], full2.at(longer.size() - 1, v), 1e-4f) << "v=" << v;
+  }
+}
+
+TEST(DecodeCache, PrefillInChunksMatchesSinglePrefill) {
+  Transformer model(tiny_config(), 23);
+  const auto ids = ids_of({2, 6, 1, 8, 4, 3});
+  DecodeState whole = model.new_decode_state();
+  const std::span<const float> a = model.prefill(whole, ids);
+  DecodeState chunked = model.new_decode_state();
+  model.prefill(chunked, std::span<const text::TokenId>(ids).subspan(0, 2));
+  const std::span<const float> b =
+      model.prefill(chunked, std::span<const text::TokenId>(ids).subspan(2));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_NEAR(a[v], b[v], 1e-4f) << "v=" << v;
+  }
 }
 
 TEST(DecodeCache, MatchesFullForwardWithLora) {
@@ -384,7 +421,7 @@ TEST(DecodeCache, MatchesFullForwardWithLora) {
   const auto ids = ids_of({2, 9, 5, 1});
   const auto full = model.logits(ids);
   DecodeState state = model.new_decode_state();
-  std::vector<float> last;
+  std::span<const float> last;
   for (const auto id : ids) last = model.decode_step(state, id);
   for (std::size_t v = 0; v < last.size(); ++v) {
     EXPECT_NEAR(last[v], full.at(ids.size() - 1, v), 1e-4f);

@@ -221,6 +221,35 @@ TEST(ParallelFor, PropagatesException) {
                ParseError);
 }
 
+TEST(ParallelFor, NestedCallFromPoolWorkerNeverSelfDeadlocks) {
+  // Pool-in-pool guard: the serving scheduler issues parallel_for (lane
+  // prefills) from threads that themselves sit inside GEMM parallel_for
+  // regions on the global pool. A nested call must run inline on the
+  // calling worker (or on free workers) — if it ever re-queues behind
+  // itself this test hangs and ctest's timeout flags the regression.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 0, 4, [&](std::size_t) {
+    parallel_for(pool, 0, 8, [&](std::size_t) {
+      parallel_for(pool, 0, 2, [&](std::size_t) { total.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(total.load(), 4 * 8 * 2);
+}
+
+TEST(ParallelFor, NestedCallOnGlobalPoolFromWorkerTask) {
+  // Same guard against the exact production shape: a task submitted to
+  // the global pool (like the scheduler's prefill lambda) issuing
+  // parallel_for on that same pool (like the GEMM row loop).
+  std::atomic<int> total{0};
+  auto f = ThreadPool::global().submit([&] {
+    parallel_for(0, 64, [&](std::size_t) { total.fetch_add(1); });
+    return 0;
+  });
+  EXPECT_EQ(f.get(), 0);
+  EXPECT_EQ(total.load(), 64);
+}
+
 TEST(ParallelFor, GrainForcesInlineExecution) {
   ThreadPool pool(4);
   std::vector<int> hits(10, 0);  // no atomics: must run single-threaded
