@@ -91,6 +91,9 @@ struct ServerRun {
   double tokens_per_second = 0.0;
   double mean_occupancy = 0.0;
   double mean_latency_seconds = 0.0;
+  /// metrics_json() snapshot of the best rep — the obs view of the same
+  /// run, embedded into BENCH_perf.json for cross-PR comparison.
+  std::string metrics_json;
 };
 
 ServerRun server_throughput(core::HpcGpt& model, std::size_t streams) {
@@ -101,20 +104,24 @@ ServerRun server_throughput(core::HpcGpt& model, std::size_t streams) {
   ServerRun best;
   for (int rep = 0; rep < 5; ++rep) {
     serve::ServerStats st;
+    std::string metrics;
     Timer t;
     {
       serve::InferenceServer server(
           model, serve::ServerOptions{.max_batch = streams,
                                       .max_new_tokens = 48,
                                       .admission_window_seconds = 0.002});
-      std::vector<std::future<std::string>> futures;
+      std::vector<std::future<core::GenerationResult>> futures;
       futures.reserve(streams);
       for (std::size_t i = 0; i < streams; ++i) {
-        futures.push_back(server.submit(question));
+        core::GenerationRequest request;
+        request.prompt = question;
+        futures.push_back(server.submit(std::move(request)));
       }
       for (auto& f : futures) (void)f.get();
       server.shutdown();  // joins the scheduler: stats are final
       st = server.stats();
+      metrics = server.metrics_json();
     }
     const double wall = t.seconds();
     const double tps = static_cast<double>(st.generated_tokens) / wall;
@@ -122,6 +129,7 @@ ServerRun server_throughput(core::HpcGpt& model, std::size_t streams) {
       best.tokens_per_second = tps;
       best.mean_occupancy = st.mean_batch_occupancy();
       best.mean_latency_seconds = st.mean_latency_seconds();
+      best.metrics_json = std::move(metrics);
     }
   }
   return best;
@@ -172,6 +180,9 @@ int main(int argc, char** argv) {
   root["baseline"] = std::move(baseline);
   root["measured"] = std::move(measured);
   root["speedup"] = std::move(speedup);
+  // Full obs snapshot of the best 8-stream rep (server registry +
+  // process-wide substrate counters), parsed back so it nests as JSON.
+  root["obs"] = json::parse(batched.metrics_json);
 
   const std::string text = json::Value(std::move(root)).dump_pretty();
   std::ofstream out(out_path);

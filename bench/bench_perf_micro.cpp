@@ -201,12 +201,14 @@ void BM_ServerThroughput(benchmark::State& state) {
         model, serve::ServerOptions{.max_batch = streams,
                                     .max_new_tokens = 48,
                                     .admission_window_seconds = 0.002});
-    std::vector<std::future<std::string>> futures;
+    std::vector<std::future<core::GenerationResult>> futures;
     futures.reserve(streams);
     for (std::size_t i = 0; i < streams; ++i) {
-      futures.push_back(server.submit(question));
+      core::GenerationRequest request;
+      request.prompt = question;
+      futures.push_back(server.submit(std::move(request)));
     }
-    for (auto& f : futures) benchmark::DoNotOptimize(f.get().size());
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().text.size());
     server.shutdown();
     generated +=
         static_cast<std::int64_t>(server.stats().generated_tokens);

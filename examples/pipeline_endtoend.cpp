@@ -81,16 +81,22 @@ int main() {
   // ---------------- stage 4: deployment ---------------------------------
   std::printf("[stage 4] deployment (inference server, 3 workers)\n");
   serve::InferenceServer server(model, 3);
-  std::vector<std::future<std::string>> pending;
+  std::vector<std::future<core::GenerationResult>> pending;
   const std::vector<std::string> questions{
       "Which dataset fits defect detection tasks written in C?",
       "What accelerator does the dgxa100_n8 system use?",
       "Name a representative baseline model for the CodeSearchNet dataset.",
   };
-  for (const std::string& q : questions) pending.push_back(server.submit(q));
+  for (const std::string& q : questions) {
+    pending.push_back(server.submit(core::GenerationRequest{.prompt = q}));
+  }
   for (std::size_t i = 0; i < questions.size(); ++i) {
-    std::printf("  Q: %s\n  A: %s\n", questions[i].c_str(),
-                pending[i].get().c_str());
+    const core::GenerationResult result = pending[i].get();
+    std::printf("  Q: %s\n  A: %s   [%zu tokens, %s, %.0f ms]\n",
+                questions[i].c_str(), result.text.c_str(),
+                result.generated_tokens,
+                std::string(core::finish_reason_name(result.finish)).c_str(),
+                result.latency_seconds * 1e3);
   }
   server.shutdown();
   std::printf("  served %zu requests (max queue depth %zu)\n",

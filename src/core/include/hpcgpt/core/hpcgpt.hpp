@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "hpcgpt/core/generation.hpp"
 #include "hpcgpt/datagen/record.hpp"
 #include "hpcgpt/nn/adam.hpp"
 #include "hpcgpt/nn/transformer.hpp"
@@ -60,6 +61,14 @@ struct FinetuneReport {
 /// Outcome of a race-classification query.
 enum class RaceVerdict { Yes, No, TooLong };
 
+/// Typed outcome of the unified classify_race surface: the verdict plus
+/// the same per-request accounting every other generation path reports.
+/// TooLong pairs with FinishReason::ContextLimit.
+struct RaceClassification {
+  RaceVerdict verdict = RaceVerdict::No;
+  GenerationResult result;
+};
+
 /// An HPC-GPT model instance: shared tokenizer + transformer + the
 /// pre-train / fine-tune / ask / classify operations of the Figure 1
 /// pipeline.
@@ -83,7 +92,13 @@ class HpcGpt {
       const std::vector<datagen::InstructionRecord>& records,
       const FinetuneOptions& options = {});
 
-  /// Free-form question answering (greedy decoding).
+  /// Free-form question answering (greedy decoding) with full
+  /// per-request accounting: token usage, finish reason and latency. The
+  /// single entry point behind ask(), the CLI, the evaluation harness
+  /// and the inference server. request.id is echoed into the result.
+  GenerationResult generate(const GenerationRequest& request);
+
+  /// Convenience wrapper over generate(): returns only the text.
   std::string ask(const std::string& question,
                   std::size_t max_new_tokens = 48);
 
@@ -94,11 +109,20 @@ class HpcGpt {
   std::vector<text::TokenId> prompt_ids(const std::string& question,
                                         std::size_t max_new_tokens) const;
 
-  /// Race classification in the Table 1 format. Returns TooLong when the
-  /// encoded prompt exceeds `token_limit` (the 8k-context analogue that
-  /// produces TSR < 1 in Table 5).
+  /// Race classification in the Table 1 format over the unified request
+  /// surface: request.prompt is the code snippet, request.token_limit the
+  /// 8k-context analogue (the verdict is TooLong / ContextLimit when the
+  /// encoded instruction prompt exceeds it — the effect that produces
+  /// TSR < 1 in Table 5).
+  RaceClassification classify_race(const GenerationRequest& request);
+
+  /// Legacy wrapper over the request form; returns only the verdict.
   RaceVerdict classify_race(const std::string& snippet,
                             std::size_t token_limit);
+
+  /// Token count of the encoded free-form prompt for `question` (before
+  /// any context clamping) — what token_limit checks compare against.
+  std::size_t question_prompt_tokens(const std::string& question) const;
 
   /// Builds the exact Task-2 instruction text around a snippet.
   static std::string race_instruction(const std::string& snippet);

@@ -26,14 +26,15 @@ eval::Confusion evaluate_llm(HpcGpt& model,
                              const std::vector<drb::TestCase>& suite,
                              std::size_t token_limit) {
   eval::Confusion c;
+  GenerationRequest request;
+  request.token_limit = token_limit;
   for (const drb::TestCase& tc : suite) {
-    const std::string snippet =
-        minilang::render_snippet(tc.program, tc.flavor);
-    const RaceVerdict v = model.classify_race(snippet, token_limit);
-    if (v == RaceVerdict::TooLong) {
+    request.prompt = minilang::render_snippet(tc.program, tc.flavor);
+    const RaceClassification rc = model.classify_race(request);
+    if (rc.verdict == RaceVerdict::TooLong) {
       c.add_unsupported();
     } else {
-      c.add(tc.has_race, v == RaceVerdict::Yes);
+      c.add(tc.has_race, rc.verdict == RaceVerdict::Yes);
     }
   }
   return c;

@@ -8,6 +8,8 @@
 #include "hpcgpt/kb/kb.hpp"
 #include "hpcgpt/nn/checkpoint.hpp"
 #include "hpcgpt/nn/sampler.hpp"
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/timer.hpp"
 
@@ -15,6 +17,31 @@ namespace hpcgpt::core {
 
 using text::BpeTokenizer;
 using text::TokenId;
+
+namespace {
+
+/// Training-loop metrics (process-wide): per-step wall time of the two
+/// Figure-1 training stages, so regressions in the backprop path show up
+/// in `hpcgpt obs dump` without a dedicated bench run.
+struct TrainingMetrics {
+  obs::Counter& pretrain_steps;
+  obs::Histogram& pretrain_step_seconds;
+  obs::Counter& finetune_steps;
+  obs::Histogram& finetune_step_seconds;
+};
+
+TrainingMetrics& training_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static TrainingMetrics m{
+      r.counter("core.pretrain.steps"),
+      r.histogram("core.pretrain.step_seconds"),
+      r.counter("core.finetune.steps"),
+      r.histogram("core.finetune.step_seconds"),
+  };
+  return m;
+}
+
+}  // namespace
 
 std::string base_model_name(BaseModel base) {
   switch (base) {
@@ -117,7 +144,10 @@ void HpcGpt::pretrain(
       std::min<std::size_t>(options_.config.max_seq, 128);
   nn::Adam optimizer(nn::AdamConfig{.learning_rate = options_.pretrain_lr});
   Rng rng(options_.seed * 31 + 7);
+  HPCGPT_TRACE("core.pretrain");
+  TrainingMetrics& metrics = training_metrics();
   for (std::size_t step = 0; step < options_.pretrain_steps; ++step) {
+    Timer step_timer;
     const std::size_t max_start =
         stream.size() > window + 1 ? stream.size() - window - 1 : 0;
     const std::size_t start =
@@ -133,6 +163,8 @@ void HpcGpt::pretrain(
     model_.zero_grad();
     model_.train_step(ids, targets);
     optimizer.step(model_.parameters());
+    metrics.pretrain_steps.add(1);
+    metrics.pretrain_step_seconds.observe(step_timer.seconds());
   }
 }
 
@@ -189,6 +221,8 @@ FinetuneReport HpcGpt::finetune(
   report.trainable_parameters =
       nn::parameter_count(model_.parameters(), /*trainable_only=*/true);
 
+  HPCGPT_TRACE("core.finetune");
+  TrainingMetrics& metrics = training_metrics();
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
     std::size_t counted = 0;
@@ -197,9 +231,12 @@ FinetuneReport HpcGpt::finetune(
       const Encoded e =
           encode_sft(tokenizer_, *r, options_.config.max_seq);
       if (e.ids.empty()) continue;
+      Timer step_timer;
       model_.zero_grad();
       const nn::LossResult loss = model_.train_step(e.ids, e.targets);
       optimizer.step(model_.parameters());
+      metrics.finetune_steps.add(1);
+      metrics.finetune_step_seconds.observe(step_timer.seconds());
       epoch_loss += loss.loss;
       ++counted;
       ++report.steps;
@@ -234,15 +271,50 @@ std::vector<TokenId> HpcGpt::prompt_ids(const std::string& question,
   return ids;
 }
 
-std::string HpcGpt::ask(const std::string& question,
-                        std::size_t max_new_tokens) {
-  const std::vector<TokenId> ids = prompt_ids(question, max_new_tokens);
+GenerationResult HpcGpt::generate(const GenerationRequest& request) {
+  HPCGPT_TRACE("core.generate");
+  Timer timer;
+  GenerationResult result;
+  result.id = request.id;
+  const std::size_t budget =
+      request.max_new_tokens > 0 ? request.max_new_tokens : 48;
+  if (request.token_limit > 0) {
+    const std::size_t unclamped = encode_prompt(request.prompt).size();
+    if (unclamped > request.token_limit) {
+      result.prompt_tokens = unclamped;
+      result.finish = FinishReason::ContextLimit;
+      result.latency_seconds = timer.seconds();
+      return result;
+    }
+  }
+  const std::vector<TokenId> ids = prompt_ids(request.prompt, budget);
+  result.prompt_tokens = ids.size();
   nn::SampleOptions opts;
-  opts.max_new_tokens = max_new_tokens;
+  opts.max_new_tokens = budget;
   // KV-cached decoding: identical output to the full-forward path
   // (tested in DecodeCache.*), O(T·d) per token instead of O(T²·d).
   const auto out = nn::generate_cached(model_, ids, opts);
-  return tokenizer_.decode(out);
+  result.generated_tokens = out.size();
+  result.text = tokenizer_.decode(out);
+  // generate_cached stops on the stop token, the budget or the context
+  // edge; the sizes recover which one fired.
+  if (out.size() >= budget) {
+    result.finish = FinishReason::Budget;
+  } else if (ids.size() + out.size() >= model_.config().max_seq) {
+    result.finish = FinishReason::ContextLimit;
+  } else {
+    result.finish = FinishReason::Eos;
+  }
+  result.latency_seconds = timer.seconds();
+  return result;
+}
+
+std::string HpcGpt::ask(const std::string& question,
+                        std::size_t max_new_tokens) {
+  GenerationRequest request;
+  request.prompt = question;
+  request.max_new_tokens = max_new_tokens;
+  return generate(request).text;
 }
 
 std::string HpcGpt::race_instruction(const std::string& snippet) {
@@ -256,20 +328,48 @@ std::size_t HpcGpt::prompt_tokens(const std::string& snippet) const {
   return encode_prompt(race_instruction(snippet)).size();
 }
 
-RaceVerdict HpcGpt::classify_race(const std::string& snippet,
-                                  std::size_t token_limit) {
+RaceClassification HpcGpt::classify_race(const GenerationRequest& request) {
+  HPCGPT_TRACE("core.classify_race");
+  Timer timer;
+  RaceClassification rc;
+  rc.result.id = request.id;
   const std::vector<TokenId> prompt =
-      encode_prompt(race_instruction(snippet));
+      encode_prompt(race_instruction(request.prompt));
+  rc.result.prompt_tokens = prompt.size();
   const auto yes = tokenizer_.encode("yes");
   const auto no = tokenizer_.encode("no");
   const std::size_t longest = std::max(yes.size(), no.size());
-  if (prompt.size() + longest > token_limit ||
+  const std::size_t limit = request.token_limit > 0
+                                ? request.token_limit
+                                : options_.config.max_seq;
+  if (prompt.size() + longest > limit ||
       prompt.size() + longest > options_.config.max_seq) {
-    return RaceVerdict::TooLong;
+    rc.verdict = RaceVerdict::TooLong;
+    rc.result.finish = FinishReason::ContextLimit;
+    rc.result.latency_seconds = timer.seconds();
+    return rc;
   }
   const double lp_yes = nn::continuation_logprob(model_, prompt, yes);
   const double lp_no = nn::continuation_logprob(model_, prompt, no);
-  return lp_yes >= lp_no ? RaceVerdict::Yes : RaceVerdict::No;
+  rc.verdict = lp_yes >= lp_no ? RaceVerdict::Yes : RaceVerdict::No;
+  const auto& answer = rc.verdict == RaceVerdict::Yes ? yes : no;
+  rc.result.text = rc.verdict == RaceVerdict::Yes ? "yes" : "no";
+  rc.result.generated_tokens = answer.size();
+  rc.result.finish = FinishReason::Eos;
+  rc.result.latency_seconds = timer.seconds();
+  return rc;
+}
+
+RaceVerdict HpcGpt::classify_race(const std::string& snippet,
+                                  std::size_t token_limit) {
+  GenerationRequest request;
+  request.prompt = snippet;
+  request.token_limit = token_limit;
+  return classify_race(request).verdict;
+}
+
+std::size_t HpcGpt::question_prompt_tokens(const std::string& question) const {
+  return encode_prompt(question).size();
 }
 
 namespace {

@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/fastmath.hpp"
+#include "hpcgpt/support/timer.hpp"
 
 namespace hpcgpt::nn {
 
@@ -12,6 +15,37 @@ using tensor::Matrix;
 namespace {
 
 constexpr float kNormEps = 1e-5f;
+
+/// Process-wide inference metrics, resolved once. KV occupancy is
+/// recorded in absolute cached positions; the serving layer knows the
+/// config's max_seq if a percentage view is wanted.
+struct InferenceMetrics {
+  obs::Counter& prefill_calls;
+  obs::Counter& prefill_tokens;
+  obs::Histogram& prefill_seconds;
+  obs::Counter& decode_steps;
+  obs::Counter& decode_rounds;
+  obs::Counter& decode_lane_steps;
+  obs::Histogram& decode_round_seconds;
+  obs::Histogram& kv_occupancy;
+};
+
+InferenceMetrics& inference_metrics() {
+  static const double kOccupancyBounds[] = {8,   16,  32,   64,  128,
+                                            256, 512, 1024, 2048};
+  auto& r = obs::MetricsRegistry::global();
+  static InferenceMetrics m{
+      r.counter("nn.prefill.calls"),
+      r.counter("nn.prefill.tokens"),
+      r.histogram("nn.prefill.seconds"),
+      r.counter("nn.decode.steps"),
+      r.counter("nn.decode.rounds"),
+      r.counter("nn.decode.lane_steps"),
+      r.histogram("nn.decode.round_seconds"),
+      r.histogram("nn.kv.occupancy", kOccupancyBounds),
+  };
+  return m;
+}
 
 /// normed[t] = x[t] * inv_rms[t] ⊙ gain ; inv_rms[t] = (mean(x[t]²)+eps)^-½
 void rmsnorm_forward(const Parameter& gain, const Matrix& x, Matrix& normed,
@@ -705,6 +739,7 @@ DecodeState Transformer::new_decode_state() const {
 
 std::span<const float> Transformer::decode_step(DecodeState& state,
                                                 text::TokenId id) const {
+  inference_metrics().decode_steps.add(1);
   const std::size_t pos = state.length_;
   require(pos < config_.max_seq, "decode_step: context exhausted");
   require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
@@ -732,6 +767,9 @@ const Matrix& Transformer::decode_step_batch(
     BatchScratch& scratch) const {
   require(!states.empty() && states.size() == ids.size(),
           "decode_step_batch: states/ids size mismatch");
+  HPCGPT_TRACE("nn.decode_step_batch");
+  InferenceMetrics& metrics = inference_metrics();
+  Timer round_timer;
   const std::size_t batch = states.size();
   scratch.ensure(config_, batch);
 
@@ -756,13 +794,24 @@ const Matrix& Transformer::decode_step_batch(
     rmsnorm_row(final_gain_, x.row(b), scratch.normed.row(b));
   }
   head_.apply_rows(scratch.normed, scratch.logits);
-  for (std::size_t b = 0; b < batch; ++b) ++states[b]->length_;
+  std::size_t cached_positions = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    cached_positions += ++states[b]->length_;
+  }
+  metrics.decode_rounds.add(1);
+  metrics.decode_lane_steps.add(batch);
+  metrics.decode_round_seconds.observe(round_timer.seconds());
+  metrics.kv_occupancy.observe(static_cast<double>(cached_positions) /
+                               static_cast<double>(batch));
   return scratch.logits;
 }
 
 std::span<const float> Transformer::prefill(
     DecodeState& state, std::span<const text::TokenId> ids) const {
   require(!ids.empty(), "prefill: empty prompt");
+  HPCGPT_TRACE("nn.prefill");
+  InferenceMetrics& metrics = inference_metrics();
+  Timer prefill_timer;
   const std::size_t pos0 = state.length_;
   require(pos0 + ids.size() <= config_.max_seq,
           "prefill: context exhausted");
@@ -795,6 +844,10 @@ std::span<const float> Transformer::prefill(
   rmsnorm_row(final_gain_, x.row(ids.size() - 1), normed);
   head_.apply(normed, scratch.logits);
   state.length_ = pos0 + ids.size();
+  metrics.prefill_calls.add(1);
+  metrics.prefill_tokens.add(ids.size());
+  metrics.prefill_seconds.observe(prefill_timer.seconds());
+  metrics.kv_occupancy.observe(static_cast<double>(state.length_));
   return scratch.logits;
 }
 

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/json/json.hpp"
+
+namespace hpcgpt::obs {
+
+/// One completed span. Times are seconds relative to the sink's epoch
+/// (process start), so event streams from one run are directly comparable.
+struct TraceEvent {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::uint32_t thread = 0;  ///< small per-process thread ordinal
+};
+
+/// Bounded ring buffer of completed spans. Recording is off by default —
+/// the hot paths check one relaxed atomic and skip everything else — and
+/// when on, the newest `capacity` spans are kept: the buffer wraps,
+/// overwriting the oldest, so a long-running server keeps a rolling
+/// window instead of growing without bound.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 4096);
+
+  static TraceSink& global();
+
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops buffered events and resizes the ring.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  void record(std::string name, double start_seconds,
+              double duration_seconds);
+
+  /// Buffered events, oldest first (handles wraparound).
+  std::vector<TraceEvent> events() const;
+  /// Total record() calls since construction/clear — exceeds
+  /// events().size() once the ring has wrapped.
+  std::uint64_t total_recorded() const;
+  void clear();
+
+  /// JSON array of {name, ts_us, dur_us, tid} objects (chrome-trace-like
+  /// field meanings), oldest first.
+  json::Value to_json() const;
+
+  /// Seconds since the sink's epoch, on the steady clock spans use.
+  double now_seconds() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;        ///< ring slot the next event lands in
+  std::uint64_t recorded_ = 0;  ///< lifetime record() count
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII scoped timer: measures from construction to destruction and
+/// records into the sink — only if the sink was enabled when the span was
+/// opened. With recording off, constructing a Span is one relaxed load.
+class Span {
+ public:
+  explicit Span(const char* name, TraceSink& sink = TraceSink::global())
+      : sink_(sink), armed_(sink.enabled()), name_(name) {
+    if (armed_) start_ = sink_.now_seconds();
+  }
+  ~Span() {
+    if (armed_) sink_.record(name_, start_, sink_.now_seconds() - start_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSink& sink_;
+  bool armed_;
+  const char* name_;
+  double start_ = 0.0;
+};
+
+}  // namespace hpcgpt::obs
+
+/// HPCGPT_TRACE("label"): opens a scoped profiling span for the rest of
+/// the enclosing block. Compiled out entirely (no Span, no atomic load)
+/// when the build defines HPCGPT_OBS_DISABLED; otherwise a disabled sink
+/// costs one relaxed load per span.
+#if defined(HPCGPT_OBS_DISABLED)
+#define HPCGPT_TRACE(name)
+#else
+#define HPCGPT_OBS_CONCAT2(a, b) a##b
+#define HPCGPT_OBS_CONCAT(a, b) HPCGPT_OBS_CONCAT2(a, b)
+#define HPCGPT_TRACE(name) \
+  ::hpcgpt::obs::Span HPCGPT_OBS_CONCAT(hpcgpt_obs_span_, __LINE__)(name)
+#endif

@@ -1,0 +1,131 @@
+#include "hpcgpt/obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()),
+          "Histogram: bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v; past-the-end selects the overflow bucket.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered;
+  // the CAS loop is portable and uncontended sums converge in one pass.
+  double prev = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(prev, prev + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> default_latency_bounds() {
+  static const std::array<double, 22> kBounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+      5e-3, 1e-2, 2e-2, 5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0};
+  return kBounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = default_latency_bounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::vector<double>(bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+json::Object MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  json::Object counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = static_cast<std::size_t>(c->value());
+  }
+  json::Object gauges;
+  for (const auto& [name, g] : gauges_) {
+    json::Object entry;
+    entry["value"] = static_cast<std::int64_t>(g->value());
+    entry["max"] = static_cast<std::int64_t>(g->max_value());
+    gauges[name] = std::move(entry);
+  }
+  json::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    json::Object entry;
+    entry["count"] = static_cast<std::size_t>(h->count());
+    entry["sum"] = h->sum();
+    entry["mean"] = h->mean();
+    json::Array buckets;
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      json::Object bucket;
+      bucket["le"] = i < h->bounds().size()
+                         ? json::Value(h->bounds()[i])
+                         : json::Value("inf");
+      bucket["count"] = static_cast<std::size_t>(h->bucket_count(i));
+      buckets.push_back(std::move(bucket));
+    }
+    entry["buckets"] = std::move(buckets);
+    histograms[name] = std::move(entry);
+  }
+  json::Object root;
+  root["counters"] = std::move(counters);
+  root["gauges"] = std::move(gauges);
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  return json::Value(snapshot()).dump_pretty();
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace hpcgpt::obs

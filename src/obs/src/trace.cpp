@@ -1,0 +1,106 @@
+#include "hpcgpt/obs/trace.hpp"
+
+#include <thread>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::obs {
+
+namespace {
+
+/// Small stable per-thread ordinal (0, 1, 2, ...) so trace events carry a
+/// readable thread id instead of an opaque native handle.
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+void TraceSink::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::size_t TraceSink::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+double TraceSink::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void TraceSink::record(std::string name, double start_seconds,
+                       double duration_seconds) {
+  TraceEvent event{std::move(name), start_seconds, duration_seconds,
+                   thread_ordinal()};
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);  // wraparound: overwrite the oldest
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: insertion order is chronological
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceSink::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+void TraceSink::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+json::Value TraceSink::to_json() const {
+  json::Array out;
+  for (const TraceEvent& e : events()) {
+    json::Object o;
+    o["name"] = e.name;
+    o["ts_us"] = e.start_seconds * 1e6;
+    o["dur_us"] = e.duration_seconds * 1e6;
+    o["tid"] = static_cast<std::size_t>(e.thread);
+    out.push_back(std::move(o));
+  }
+  return json::Value(std::move(out));
+}
+
+}  // namespace hpcgpt::obs

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
@@ -9,8 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "hpcgpt/core/generation.hpp"
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/nn/transformer.hpp"
+#include "hpcgpt/obs/metrics.hpp"
 
 namespace hpcgpt::serve {
 
@@ -20,7 +23,9 @@ struct ServerOptions {
   /// lanes). One long generation occupies one lane; the others keep
   /// draining the queue.
   std::size_t max_batch = 2;
-  /// Generation budget per request (mirrors HpcGpt::ask's default).
+  /// Default generation budget per request (mirrors HpcGpt::ask's
+  /// default). Requests can override it via GenerationRequest::
+  /// max_new_tokens.
   std::size_t max_new_tokens = 48;
   /// When the scheduler goes idle→busy it may wait up to this long for
   /// the queue to reach max_batch before starting the first round, so a
@@ -32,10 +37,13 @@ struct ServerOptions {
   double admission_window_seconds = 0.0;
 };
 
-/// Server statistics. All fields are updated and read under the server
-/// mutex; stats() returns a consistent snapshot.
+/// Server statistics — a consistent snapshot view over the server's
+/// metrics registry (the registry holds the live values; stats() samples
+/// them under the server mutex so counters in one snapshot agree with
+/// each other). Rejected requests are not counted as served.
 struct ServerStats {
   std::size_t requests_served = 0;
+  std::size_t requests_rejected = 0;   ///< submitted after shutdown
   std::size_t max_queue_depth = 0;
   std::size_t prompt_tokens = 0;       ///< tokens ingested via prefill
   std::size_t generated_tokens = 0;    ///< tokens emitted by decode steps
@@ -81,7 +89,14 @@ struct ServerStats {
 /// one long generation no longer blocks the queue. Weights are only
 /// read during prefill/decode, which is what makes the per-lane
 /// sessions safe without a model lock.
-/// submit() returns a future; shutdown() drains the queue.
+///
+/// submit() takes a core::GenerationRequest and returns a future
+/// core::GenerationResult carrying text, token counts, finish reason and
+/// latency; shutdown() drains the queue, and submissions after shutdown
+/// resolve (not throw) with FinishReason::Rejected. Every server owns a
+/// private obs::MetricsRegistry — queue depth, admission latency, TTFT,
+/// inter-token latency, per-round occupancy — exported via
+/// metrics_json(); ServerStats is a thin snapshot view over it.
 class InferenceServer {
  public:
   InferenceServer(core::HpcGpt& model, std::size_t max_batch = 2);
@@ -91,19 +106,39 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueues a question; the future resolves to the generated answer.
+  /// Enqueues a generation request. request.max_new_tokens == 0 uses the
+  /// server default; request.id == 0 is replaced with a fresh server-
+  /// assigned id (echoed in the result). After shutdown() the future
+  /// resolves immediately with FinishReason::Rejected — check
+  /// GenerationResult::ok().
+  std::future<core::GenerationResult> submit(core::GenerationRequest request);
+
+  /// Deprecated string-only surface, kept for existing callers: forwards
+  /// to the typed submit() and yields only the answer text. A rejected
+  /// request (submit after shutdown) surfaces as an Error exception from
+  /// future::get(), matching the old contract.
+  [[deprecated("use submit(core::GenerationRequest)")]]
   std::future<std::string> submit(std::string question);
 
   /// Stops accepting requests, finishes the queued ones, joins the
   /// scheduler.
   void shutdown();
 
+  /// Consistent snapshot of the serving counters (view over metrics()).
   ServerStats stats() const;
+
+  /// This server's private metric registry (live values).
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// JSON snapshot: {"server": <this server's registry>, "process":
+  /// <obs::MetricsRegistry::global()>} — the substrate layers (tensor,
+  /// nn) record into the process registry.
+  std::string metrics_json() const;
 
  private:
   struct Request {
-    std::string question;
-    std::promise<std::string> promise;
+    core::GenerationRequest request;
+    std::promise<core::GenerationResult> promise;
     std::chrono::steady_clock::time_point submitted;
   };
 
@@ -113,7 +148,10 @@ class InferenceServer {
     nn::DecodeState state;
     std::vector<text::TokenId> prompt;
     std::vector<text::TokenId> out;
+    std::size_t budget = 0;      ///< resolved per-request token budget
     text::TokenId next = -1;     ///< candidate token (greedy argmax)
+    core::FinishReason finish = core::FinishReason::Eos;
+    std::chrono::steady_clock::time_point last_token;
     bool prefilled = false;
     bool done = false;
     std::exception_ptr error;
@@ -122,23 +160,49 @@ class InferenceServer {
         : request(std::move(req)), state(std::move(s)) {}
   };
 
+  /// Cached references into registry_ so the scheduler hot path never
+  /// takes the registry lock (names resolve once, in the constructor).
+  struct Metrics {
+    obs::Counter& completed;        ///< serve.requests.completed
+    obs::Counter& rejected;         ///< serve.requests.rejected
+    obs::Counter& prompt_tokens;    ///< serve.tokens.prompt
+    obs::Counter& generated_tokens; ///< serve.tokens.generated
+    obs::Counter& rounds;           ///< serve.rounds.count
+    obs::Counter& occupancy_sum;    ///< serve.rounds.occupancy_sum
+    obs::Gauge& queue_depth;        ///< serve.queue.depth (max = peak)
+    obs::Gauge& lanes;              ///< serve.batch.lanes (max = peak)
+    obs::Histogram& admission_seconds;   ///< submit → lane admission
+    obs::Histogram& ttft_seconds;        ///< submit → first token
+    obs::Histogram& inter_token_seconds; ///< gap between emitted tokens
+    obs::Histogram& round_seconds;       ///< per-round busy time
+    obs::Histogram& round_occupancy;     ///< lanes per round
+    obs::Histogram& request_latency_seconds;  ///< submit → completion
+
+    explicit Metrics(obs::MetricsRegistry& r);
+  };
+
   void scheduler_loop();
   /// Tokenizes the prompt and runs the GEMM prefill for a freshly
-  /// admitted stream, producing its first candidate token.
+  /// admitted stream, producing its first candidate token. Enforces the
+  /// request's token_limit (finish = ContextLimit, no text) before
+  /// touching the model.
   void prefill_stream(Stream& stream);
   /// Commits the pending candidate token of a prefilled stream and marks
-  /// it done when it hits EOS, the token budget or the context limit.
-  /// Returns true when the stream still needs a decode step this round.
+  /// it done when it hits EOS, the token budget or the context limit
+  /// (recording which, as the stream's finish reason). Returns true when
+  /// the stream still needs a decode step this round.
   bool emit_pending_token(Stream& stream);
   void finish_stream(Stream& stream);
 
   core::HpcGpt& model_;
   ServerOptions options_;
+  obs::MetricsRegistry registry_;
+  Metrics metrics_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Request> queue_;
   std::thread scheduler_;
-  ServerStats stats_;
+  std::uint64_t next_id_ = 1;  ///< server-assigned request ids (under mutex_)
   bool stopping_ = false;
 
   // Scheduler-thread state: the shared batched-decode scratch plus the

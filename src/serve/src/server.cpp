@@ -1,9 +1,12 @@
 #include "hpcgpt/serve/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <utility>
 
+#include "hpcgpt/obs/trace.hpp"
+#include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/thread_pool.hpp"
 #include "hpcgpt/support/timer.hpp"
 #include "hpcgpt/text/tokenizer.hpp"
@@ -17,7 +20,32 @@ text::TokenId argmax(std::span<const float> logits) {
       logits.begin(), std::max_element(logits.begin(), logits.end())));
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+// Lanes-per-round buckets: small integers, so each occupancy level gets
+// its own bucket up to the plausible lane counts.
+constexpr std::array<double, 8> kOccupancyBounds = {1, 2, 3, 4, 6, 8, 12, 16};
+
 }  // namespace
+
+InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
+    : completed(r.counter("serve.requests.completed")),
+      rejected(r.counter("serve.requests.rejected")),
+      prompt_tokens(r.counter("serve.tokens.prompt")),
+      generated_tokens(r.counter("serve.tokens.generated")),
+      rounds(r.counter("serve.rounds.count")),
+      occupancy_sum(r.counter("serve.rounds.occupancy_sum")),
+      queue_depth(r.gauge("serve.queue.depth")),
+      lanes(r.gauge("serve.batch.lanes")),
+      admission_seconds(r.histogram("serve.admission.seconds")),
+      ttft_seconds(r.histogram("serve.ttft.seconds")),
+      inter_token_seconds(r.histogram("serve.inter_token.seconds")),
+      round_seconds(r.histogram("serve.round.seconds")),
+      round_occupancy(r.histogram("serve.round.occupancy", kOccupancyBounds)),
+      request_latency_seconds(r.histogram("serve.request.latency_seconds")) {}
 
 InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t max_batch)
     : InferenceServer(
@@ -25,30 +53,58 @@ InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t max_batch)
                                .max_new_tokens = 48}) {}
 
 InferenceServer::InferenceServer(core::HpcGpt& model, ServerOptions options)
-    : model_(model), options_(options) {
+    : model_(model), options_(options), metrics_(registry_) {
   options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  if (options_.max_new_tokens == 0) options_.max_new_tokens = 48;
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::future<std::string> InferenceServer::submit(std::string question) {
-  Request request;
-  request.question = std::move(question);
-  request.submitted = std::chrono::steady_clock::now();
-  std::future<std::string> future = request.promise.get_future();
+std::future<core::GenerationResult> InferenceServer::submit(
+    core::GenerationRequest request) {
+  if (request.max_new_tokens == 0) {
+    request.max_new_tokens = options_.max_new_tokens;
+  }
+  Request entry;
+  entry.request = std::move(request);
+  entry.submitted = std::chrono::steady_clock::now();
+  std::future<core::GenerationResult> future = entry.promise.get_future();
   {
     std::lock_guard lock(mutex_);
+    if (entry.request.id == 0) entry.request.id = next_id_++;
     if (stopping_) {
-      request.promise.set_exception(std::make_exception_ptr(
-          Error("InferenceServer: submit after shutdown")));
+      // A request the scheduler will never see resolves (rather than
+      // throws) with the typed rejection, and is counted.
+      metrics_.rejected.add(1);
+      core::GenerationResult rejected;
+      rejected.id = entry.request.id;
+      rejected.finish = core::FinishReason::Rejected;
+      entry.promise.set_value(std::move(rejected));
       return future;
     }
-    queue_.push_back(std::move(request));
-    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    queue_.push_back(std::move(entry));
+    metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   available_.notify_one();
   return future;
+}
+
+std::future<std::string> InferenceServer::submit(std::string question) {
+  core::GenerationRequest request;
+  request.prompt = std::move(question);
+  std::future<core::GenerationResult> typed = submit(std::move(request));
+  // Deferred adapter: get() on the returned future waits on the typed
+  // future inline (no extra thread) and restores the legacy contract of
+  // throwing on submit-after-shutdown.
+  return std::async(std::launch::deferred,
+                    [f = std::move(typed)]() mutable -> std::string {
+                      core::GenerationResult result = f.get();
+                      if (!result.ok()) {
+                        throw Error("InferenceServer: submit after shutdown");
+                      }
+                      return std::move(result.text);
+                    });
 }
 
 void InferenceServer::shutdown() {
@@ -62,16 +118,47 @@ void InferenceServer::shutdown() {
 }
 
 ServerStats InferenceServer::stats() const {
+  // The registry values are individually atomic; the mutex makes the
+  // *snapshot* consistent — every writer updates them under the same
+  // lock, so counters in one ServerStats agree with each other.
   std::lock_guard lock(mutex_);
-  return stats_;
+  ServerStats s;
+  s.requests_served = metrics_.completed.value();
+  s.requests_rejected = metrics_.rejected.value();
+  s.max_queue_depth =
+      static_cast<std::size_t>(metrics_.queue_depth.max_value());
+  s.prompt_tokens = metrics_.prompt_tokens.value();
+  s.generated_tokens = metrics_.generated_tokens.value();
+  s.batch_rounds = metrics_.rounds.value();
+  s.batch_occupancy_sum = metrics_.occupancy_sum.value();
+  s.peak_batch = static_cast<std::size_t>(metrics_.lanes.max_value());
+  s.busy_seconds = metrics_.round_seconds.sum();
+  s.latency_seconds_sum = metrics_.request_latency_seconds.sum();
+  return s;
+}
+
+std::string InferenceServer::metrics_json() const {
+  json::Object root;
+  root["server"] = registry_.snapshot();
+  root["process"] = obs::MetricsRegistry::global().snapshot();
+  return json::Value(std::move(root)).dump();
 }
 
 void InferenceServer::prefill_stream(Stream& stream) {
+  HPCGPT_TRACE("serve.prefill");
   try {
+    const core::GenerationRequest& req = stream.request.request;
+    if (req.token_limit > 0 &&
+        model_.question_prompt_tokens(req.prompt) > req.token_limit) {
+      // Typed form of the old TooLong outcome: nothing is ingested, the
+      // result carries ContextLimit and no text.
+      stream.finish = core::FinishReason::ContextLimit;
+      stream.done = true;
+      return;
+    }
     // Prompt ingestion: one batched GEMM pass writes the whole prompt's
     // K/V rows and yields the first candidate token.
-    stream.prompt =
-        model_.prompt_ids(stream.request.question, options_.max_new_tokens);
+    stream.prompt = model_.prompt_ids(req.prompt, stream.budget);
     stream.next = argmax(model_.model().prefill(stream.state, stream.prompt));
     stream.prefilled = true;
   } catch (...) {
@@ -82,15 +169,37 @@ void InferenceServer::prefill_stream(Stream& stream) {
 
 bool InferenceServer::emit_pending_token(Stream& stream) {
   // Same stop conditions as nn::generate_cached, one token per round.
-  if (stream.next == text::BpeTokenizer::kEos ||
-      stream.out.size() >= options_.max_new_tokens ||
-      stream.state.length() >= model_.model().config().max_seq) {
+  if (stream.next == text::BpeTokenizer::kEos) {
+    stream.finish = core::FinishReason::Eos;
+    stream.done = true;
+    return false;
+  }
+  if (stream.out.size() >= stream.budget) {
+    stream.finish = core::FinishReason::Budget;
+    stream.done = true;
+    return false;
+  }
+  if (stream.state.length() >= model_.model().config().max_seq) {
+    stream.finish = core::FinishReason::ContextLimit;
     stream.done = true;
     return false;
   }
   stream.out.push_back(stream.next);
-  if (stream.out.size() >= options_.max_new_tokens ||
-      stream.state.length() >= model_.model().config().max_seq) {
+  const auto now = std::chrono::steady_clock::now();
+  if (stream.out.size() == 1) {
+    metrics_.ttft_seconds.observe(seconds_since(stream.request.submitted));
+  } else {
+    metrics_.inter_token_seconds.observe(
+        std::chrono::duration<double>(now - stream.last_token).count());
+  }
+  stream.last_token = now;
+  if (stream.out.size() >= stream.budget) {
+    stream.finish = core::FinishReason::Budget;
+    stream.done = true;
+    return false;
+  }
+  if (stream.state.length() >= model_.model().config().max_seq) {
+    stream.finish = core::FinishReason::ContextLimit;
     stream.done = true;
     return false;
   }
@@ -98,23 +207,27 @@ bool InferenceServer::emit_pending_token(Stream& stream) {
 }
 
 void InferenceServer::finish_stream(Stream& stream) {
-  const double latency =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    stream.request.submitted)
-          .count();
+  const double latency = seconds_since(stream.request.submitted);
+  core::GenerationResult result;
+  result.id = stream.request.request.id;
+  result.prompt_tokens = stream.prompt.size();
+  result.generated_tokens = stream.out.size();
+  result.finish = stream.finish;
+  result.latency_seconds = latency;
+  if (!stream.error) result.text = model_.tokenizer().decode(stream.out);
   // Stats first, promise second: a client that calls stats() right after
   // its future resolves must see its own request counted.
   {
     std::lock_guard lock(mutex_);
-    ++stats_.requests_served;
-    stats_.prompt_tokens += stream.prompt.size();
-    stats_.generated_tokens += stream.out.size();
-    stats_.latency_seconds_sum += latency;
+    metrics_.completed.add(1);
+    metrics_.prompt_tokens.add(stream.prompt.size());
+    metrics_.generated_tokens.add(stream.out.size());
+    metrics_.request_latency_seconds.observe(latency);
   }
   if (stream.error) {
     stream.request.promise.set_exception(stream.error);
   } else {
-    stream.request.promise.set_value(model_.tokenizer().decode(stream.out));
+    stream.request.promise.set_value(std::move(result));
   }
 }
 
@@ -141,16 +254,23 @@ void InferenceServer::scheduler_loop() {
       }
       // Continuous batching: top the batch up from the queue every round,
       // not just when it empties.
+      const auto now = std::chrono::steady_clock::now();
       while (!queue_.empty() && active.size() < options_.max_batch) {
-        active.push_back(std::make_unique<Stream>(
-            std::move(queue_.front()), model_.model().new_decode_state()));
+        Request entry = std::move(queue_.front());
         queue_.pop_front();
+        metrics_.admission_seconds.observe(
+            std::chrono::duration<double>(now - entry.submitted).count());
+        auto stream = std::make_unique<Stream>(std::move(entry),
+                                               model_.model().new_decode_state());
+        stream->budget = stream->request.request.max_new_tokens;
+        active.push_back(std::move(stream));
       }
+      metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       if (active.empty()) {
         if (stopping_) return;
         continue;
       }
-      stats_.peak_batch = std::max(stats_.peak_batch, active.size());
+      metrics_.lanes.set(static_cast<std::int64_t>(active.size()));
     }
 
     // One scheduler round: fresh lanes get their prompt ingested through
@@ -158,6 +278,7 @@ void InferenceServer::scheduler_loop() {
     // they can run in parallel; GEMMs inside nest safely thanks to the
     // pool's run-inline-on-worker guard), then every live lane advances
     // one token through a single cross-request batched decode step.
+    HPCGPT_TRACE("serve.round");
     Timer round_timer;
     parallel_for(
         0, active.size(),
@@ -208,9 +329,11 @@ void InferenceServer::scheduler_loop() {
                    active.end());
     }
     std::lock_guard lock(mutex_);
-    ++stats_.batch_rounds;
-    stats_.batch_occupancy_sum += active.size() + retired;
-    stats_.busy_seconds += round_seconds;
+    metrics_.rounds.add(1);
+    metrics_.occupancy_sum.add(active.size() + retired);
+    metrics_.round_occupancy.observe(
+        static_cast<double>(active.size() + retired));
+    metrics_.round_seconds.observe(round_seconds);
   }
 }
 

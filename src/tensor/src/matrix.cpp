@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/thread_pool.hpp"
 
@@ -337,24 +338,42 @@ void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
       m, k_dim, n, packed, out);
 }
 
+// GEMM call-volume accounting: two relaxed atomic adds per matmul entry,
+// negligible next to even the smallest kernel. Every future perf PR reads
+// its arithmetic workload off these counters (`tensor.gemm.*`).
+void count_gemm(std::size_t m, std::size_t k_dim, std::size_t n) {
+  static obs::Counter& calls =
+      obs::MetricsRegistry::global().counter("tensor.gemm.calls");
+  static obs::Counter& flops =
+      obs::MetricsRegistry::global().counter("tensor.gemm.flops");
+  calls.add(1);
+  flops.add(2 * m * k_dim * n);
+}
+
 }  // namespace
 
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  count_gemm(a.rows(), a.cols(), b.cols());
   gemm_nn<false>(a, b, out);
 }
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  count_gemm(a.rows(), a.cols(), b.cols());
   gemm_nn<true>(a, b, out);
 }
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  count_gemm(a.rows(), a.cols(), b.rows());
   gemm_nt<false>(a, b, out);
 }
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  count_gemm(a.rows(), a.cols(), b.rows());
   gemm_nt<true>(a, b, out);
 }
 void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  count_gemm(a.cols(), a.rows(), b.cols());
   gemm_tn<false>(a, b, out);
 }
 void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  count_gemm(a.cols(), a.rows(), b.cols());
   gemm_tn<true>(a, b, out);
 }
 

@@ -6,6 +6,10 @@
 #include "hpcgpt/kb/kb.hpp"
 #include "hpcgpt/serve/server.hpp"
 
+// The deprecated string submit() overload is still part of the serving
+// contract; the Serve tests below pin its forwarding behavior down.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace hpcgpt::core {
 namespace {
 
@@ -171,6 +175,62 @@ TEST(Evaluation, Task1ExactMatchScoresContainment) {
   const double acc = task1_exact_match(model, held_out, 5);
   EXPECT_GE(acc, 0.0);
   EXPECT_LE(acc, 1.0);
+}
+
+TEST(Generation, GenerateReportsAccountingAndMatchesAsk) {
+  HpcGpt model(tiny_spec(0), tokenizer());
+  GenerationRequest request;
+  request.prompt = "What is a data race?";
+  request.max_new_tokens = 5;
+  request.id = 77;
+  const GenerationResult result = model.generate(request);
+  EXPECT_EQ(result.id, 77u);
+  EXPECT_TRUE(result.ok());
+  EXPECT_GT(result.prompt_tokens, 0u);
+  EXPECT_LE(result.generated_tokens, 5u);
+  if (result.generated_tokens == 5u) {
+    EXPECT_EQ(result.finish, FinishReason::Budget);
+  } else {
+    EXPECT_EQ(result.finish, FinishReason::Eos);
+  }
+  EXPECT_GT(result.latency_seconds, 0.0);
+  // ask() is a thin wrapper over the same path: identical text.
+  EXPECT_EQ(result.text, model.ask(request.prompt, 5));
+}
+
+TEST(Generation, GenerateHonorsTokenLimit) {
+  HpcGpt model(tiny_spec(0), tokenizer());
+  GenerationRequest request;
+  request.prompt = "What is a data race in an OpenMP worksharing loop?";
+  request.token_limit = 1;  // any real prompt exceeds this
+  const GenerationResult result = model.generate(request);
+  EXPECT_EQ(result.finish, FinishReason::ContextLimit);
+  EXPECT_TRUE(result.text.empty());
+  EXPECT_EQ(result.generated_tokens, 0u);
+  EXPECT_GT(result.prompt_tokens, 1u);
+  EXPECT_TRUE(result.ok());  // it ran; it just hit the context budget
+}
+
+TEST(Generation, ClassifyRaceTypedAgreesWithLegacyWrapper) {
+  HpcGpt model(tiny_spec(0), tokenizer());
+  const std::string snippet =
+      "for (i = 0; i < n; i++) { a[i] = a[i] + 1; }";
+  GenerationRequest request;
+  request.prompt = snippet;
+  request.token_limit = 256;
+  const RaceClassification rc = model.classify_race(request);
+  EXPECT_EQ(rc.verdict, model.classify_race(snippet, 256));
+  EXPECT_NE(rc.verdict, RaceVerdict::TooLong);
+  EXPECT_EQ(rc.result.finish, FinishReason::Eos);
+  EXPECT_GT(rc.result.prompt_tokens, 0u);
+  EXPECT_TRUE(rc.result.text == "yes" || rc.result.text == "no");
+
+  // Starved token budget: typed TooLong pairs with ContextLimit.
+  request.token_limit = 2;
+  const RaceClassification too_long = model.classify_race(request);
+  EXPECT_EQ(too_long.verdict, RaceVerdict::TooLong);
+  EXPECT_EQ(too_long.result.finish, FinishReason::ContextLimit);
+  EXPECT_TRUE(too_long.result.text.empty());
 }
 
 TEST(Serve, ServerAnswersConcurrentRequests) {

@@ -1,0 +1,197 @@
+// Observability-substrate tests: counter/gauge semantics, histogram
+// bucket-boundary placement, the deterministic JSON snapshot shape, the
+// trace ring's wraparound behavior and Span/HPCGPT_TRACE gating.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <thread>
+#include <vector>
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
+
+namespace {
+
+using namespace hpcgpt;
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeTracksPeak) {
+  obs::Gauge g;
+  g.set(3);
+  g.set(7);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 7);
+  g.reset();
+  EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  // Bucket i counts v <= bounds[i] (first matching bound): the boundary
+  // value itself lands in its own bucket, just above it spills to the
+  // next, and anything past the last bound lands in the overflow bucket.
+  obs::Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.observe(1.001); // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(5.0);   // bucket 2
+  h.observe(7.5);   // overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 17.001, 1e-9);
+  EXPECT_NEAR(h.mean(), 17.001 / 6.0, 1e-9);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Metrics, DefaultLatencyBoundsAreSortedAndWide) {
+  const auto bounds = obs::default_latency_bounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(Metrics, RegistrySnapshotJsonIsDeterministic) {
+  // Golden snapshot: sorted keys plus integer-valued numbers printed as
+  // integers make the compact dump byte-stable, so downstream tooling
+  // (BENCH_perf.json diffs, obs dump) can rely on the exact shape.
+  obs::MetricsRegistry registry;
+  registry.counter("req.total").add(3);
+  obs::Gauge& depth = registry.gauge("queue.depth");
+  depth.set(2);
+  depth.set(1);
+  obs::Histogram& lat = registry.histogram("lat", std::array<double, 2>{1.0, 2.0});
+  lat.observe(1.0);
+  lat.observe(3.0);
+
+  const std::string dump = json::Value(registry.snapshot()).dump();
+  EXPECT_EQ(dump,
+            "{\"counters\":{\"req.total\":3},"
+            "\"gauges\":{\"queue.depth\":{\"max\":2,\"value\":1}},"
+            "\"histograms\":{\"lat\":{"
+            "\"buckets\":[{\"count\":1,\"le\":1},{\"count\":0,\"le\":2},"
+            "{\"count\":1,\"le\":\"inf\"}],"
+            "\"count\":2,\"mean\":2,\"sum\":4}}}");
+}
+
+TEST(Metrics, RegistryResetKeepsReferencesValid) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("x");
+  obs::Histogram& h = registry.histogram("y");
+  c.add(5);
+  h.observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.add(1);  // cached references survive a reset
+  EXPECT_EQ(registry.counter("x").value(), 1u);
+}
+
+TEST(Metrics, RegistryIsThreadSafeUnderConcurrentUse) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter& c = registry.counter("shared");
+      obs::Histogram& h = registry.histogram("shared.lat");
+      for (int i = 0; i < kAdds; ++i) {
+        c.add(1);
+        h.observe(1e-5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads * kAdds));
+  EXPECT_EQ(registry.histogram("shared.lat").count(),
+            static_cast<std::uint64_t>(kThreads * kAdds));
+}
+
+TEST(Trace, RingBufferWrapsKeepingNewestEvents) {
+  obs::TraceSink sink(/*capacity=*/4);
+  sink.enable(true);
+  for (int i = 0; i < 6; ++i) {
+    sink.record("e" + std::to_string(i), static_cast<double>(i), 0.5);
+  }
+  EXPECT_EQ(sink.total_recorded(), 6u);
+  const std::vector<obs::TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);  // ring capacity, oldest two overwritten
+  EXPECT_EQ(events.front().name, "e2");
+  EXPECT_EQ(events.back().name, "e5");
+  // Oldest-first ordering across the wrap point.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].start_seconds, events[i].start_seconds);
+  }
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(Trace, SpanRecordsOnlyWhileSinkEnabled) {
+  obs::TraceSink sink(8);
+  { obs::Span span("disabled", sink); }
+  EXPECT_EQ(sink.total_recorded(), 0u);
+  sink.enable(true);
+  { obs::Span span("enabled", sink); }
+  EXPECT_EQ(sink.total_recorded(), 1u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "enabled");
+  EXPECT_GE(events[0].duration_seconds, 0.0);
+}
+
+TEST(Trace, MacroCompilesAndUsesGlobalSink) {
+  // HPCGPT_TRACE targets the global sink; when the build compiles spans
+  // out (HPCGPT_OBS_DISABLED), the macro must still be syntactically
+  // transparent and simply record nothing.
+  obs::TraceSink& sink = obs::TraceSink::global();
+  sink.clear();
+  sink.enable(true);
+  { HPCGPT_TRACE("macro.test"); }
+  sink.enable(false);
+#if defined(HPCGPT_OBS_DISABLED)
+  EXPECT_EQ(sink.total_recorded(), 0u);
+#else
+  EXPECT_EQ(sink.total_recorded(), 1u);
+  EXPECT_EQ(sink.events().at(0).name, "macro.test");
+#endif
+  sink.clear();
+}
+
+TEST(Trace, ToJsonEmitsChromeTraceLikeFields) {
+  obs::TraceSink sink(4);
+  sink.enable(true);
+  sink.record("phase", 0.001, 0.002);
+  const json::Value json = sink.to_json();
+  ASSERT_TRUE(json.is_array());
+  ASSERT_EQ(json.as_array().size(), 1u);
+  const json::Value& event = json.as_array()[0];
+  EXPECT_EQ(event.at("name").as_string(), "phase");
+  EXPECT_NEAR(event.at("ts_us").as_number(), 1000.0, 1e-9);
+  EXPECT_NEAR(event.at("dur_us").as_number(), 2000.0, 1e-9);
+  EXPECT_GE(event.at("tid").as_int(), 0);
+}
+
+}  // namespace

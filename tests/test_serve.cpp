@@ -1,6 +1,8 @@
 // Serving-layer tests: the continuous-batching scheduler, the ServerStats
 // accessor under concurrency (regression for the unsynchronized-snapshot
-// race), and the admission-window batching knob. These run under
+// race), the admission-window batching knob, and the typed
+// GenerationRequest/GenerationResult surface (per-request budgets, finish
+// reasons, rejection after shutdown, metrics_json). These run under
 // -DHPCGPT_SANITIZE=thread in the perf-smoke lane, where the stats hammer
 // is an actual race detector workload.
 
@@ -8,12 +10,18 @@
 
 #include <atomic>
 #include <future>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/json/json.hpp"
 #include "hpcgpt/serve/server.hpp"
+
+// The deprecated string submit() overload is still part of the serving
+// contract; LegacyStringSubmitForwardsToTypedPath pins it down.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace {
 
@@ -29,6 +37,14 @@ core::HpcGpt& shared_model() {
 }
 
 const std::string kQuestion = "Does this loop have a data race?";
+
+std::future<core::GenerationResult> submit_question(
+    serve::InferenceServer& server, std::size_t max_new_tokens = 0) {
+  core::GenerationRequest request;
+  request.prompt = kQuestion;
+  request.max_new_tokens = max_new_tokens;
+  return server.submit(std::move(request));
+}
 
 TEST(Serve, StatsSnapshotIsConsistentUnderConcurrentSubmits) {
   // Regression for the ServerStats race: stats() used to copy the struct
@@ -64,10 +80,10 @@ TEST(Serve, StatsSnapshotIsConsistentUnderConcurrentSubmits) {
   }
 
   constexpr std::size_t kRequests = 24;
-  std::vector<std::future<std::string>> futures;
+  std::vector<std::future<core::GenerationResult>> futures;
   futures.reserve(kRequests);
   for (std::size_t i = 0; i < kRequests; ++i) {
-    futures.push_back(server.submit(kQuestion));
+    futures.push_back(submit_question(server));
   }
   for (auto& f : futures) (void)f.get();
 
@@ -94,8 +110,8 @@ TEST(Serve, ContinuousBatchingKeepsQueueDraining) {
   serve::InferenceServer server(
       shared_model(),
       serve::ServerOptions{.max_batch = 2, .max_new_tokens = 24});
-  std::vector<std::future<std::string>> futures;
-  for (int i = 0; i < 6; ++i) futures.push_back(server.submit(kQuestion));
+  std::vector<std::future<core::GenerationResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(submit_question(server));
   for (auto& f : futures) (void)f.get();
   server.shutdown();
 
@@ -116,8 +132,8 @@ TEST(Serve, AdmissionWindowFillsTheFirstBatch) {
       serve::ServerOptions{.max_batch = 4,
                            .max_new_tokens = 8,
                            .admission_window_seconds = 0.25});
-  std::vector<std::future<std::string>> futures;
-  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(kQuestion));
+  std::vector<std::future<core::GenerationResult>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(submit_question(server));
   for (auto& f : futures) (void)f.get();
   server.shutdown();
 
@@ -135,8 +151,8 @@ TEST(Serve, StatsAfterShutdownAreFinal) {
     serve::InferenceServer server(
         shared_model(),
         serve::ServerOptions{.max_batch = 3, .max_new_tokens = 4});
-    auto f1 = server.submit(kQuestion);
-    auto f2 = server.submit(kQuestion);
+    auto f1 = submit_question(server);
+    auto f2 = submit_question(server);
     (void)f1.get();
     (void)f2.get();
     server.shutdown();
@@ -145,6 +161,136 @@ TEST(Serve, StatsAfterShutdownAreFinal) {
   EXPECT_EQ(st.requests_served, 2u);
   EXPECT_GT(st.prompt_tokens, 0u);
   EXPECT_GT(st.latency_seconds_sum, 0.0);
+}
+
+TEST(Serve, TypedResultsAccountingMatchesServerStats) {
+  // The per-request accounting in GenerationResult and the aggregate
+  // ServerStats view over the metrics registry must describe the same
+  // run: summed token counts equal, ids unique and nonzero, latencies
+  // within the aggregate sum.
+  serve::InferenceServer server(
+      shared_model(),
+      serve::ServerOptions{.max_batch = 3, .max_new_tokens = 10});
+  constexpr std::size_t kRequests = 9;
+  std::vector<std::future<core::GenerationResult>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(submit_question(server));
+  }
+  std::vector<core::GenerationResult> results;
+  results.reserve(kRequests);
+  for (auto& f : futures) results.push_back(f.get());
+  server.shutdown();
+  const serve::ServerStats st = server.stats();
+
+  std::size_t prompt_sum = 0;
+  std::size_t generated_sum = 0;
+  double latency_sum = 0.0;
+  std::set<std::uint64_t> ids;
+  for (const core::GenerationResult& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_NE(r.id, 0u);
+    ids.insert(r.id);
+    EXPECT_GT(r.prompt_tokens, 0u);
+    EXPECT_LE(r.generated_tokens, 10u);
+    EXPECT_GT(r.latency_seconds, 0.0);
+    EXPECT_TRUE(r.finish == core::FinishReason::Eos ||
+                r.finish == core::FinishReason::Budget);
+    prompt_sum += r.prompt_tokens;
+    generated_sum += r.generated_tokens;
+    latency_sum += r.latency_seconds;
+  }
+  EXPECT_EQ(ids.size(), kRequests);
+  EXPECT_EQ(st.requests_served, kRequests);
+  EXPECT_EQ(st.prompt_tokens, prompt_sum);
+  EXPECT_EQ(st.generated_tokens, generated_sum);
+  EXPECT_NEAR(st.latency_seconds_sum, latency_sum, 1e-6);
+}
+
+TEST(Serve, PerRequestBudgetOverridesServerDefault) {
+  serve::InferenceServer server(
+      shared_model(),
+      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 24});
+  auto tight = submit_question(server, /*max_new_tokens=*/3);
+  auto wide = submit_question(server);  // server default: 24
+  const core::GenerationResult tight_result = tight.get();
+  const core::GenerationResult wide_result = wide.get();
+  server.shutdown();
+
+  EXPECT_LE(tight_result.generated_tokens, 3u);
+  if (tight_result.generated_tokens == 3u) {
+    EXPECT_EQ(tight_result.finish, core::FinishReason::Budget);
+  }
+  EXPECT_LE(wide_result.generated_tokens, 24u);
+  // The untrained model does not emit EOS within 3 tokens here, so the
+  // tight budget really bit: the wide request decoded further.
+  EXPECT_GE(wide_result.generated_tokens, tight_result.generated_tokens);
+}
+
+TEST(Serve, SubmitAfterShutdownResolvesRejected) {
+  serve::InferenceServer server(shared_model(), 1);
+  server.shutdown();
+  core::GenerationRequest request;
+  request.prompt = kQuestion;
+  request.id = 1234;
+  const core::GenerationResult result = server.submit(std::move(request)).get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.finish, core::FinishReason::Rejected);
+  EXPECT_EQ(result.id, 1234u);
+  EXPECT_TRUE(result.text.empty());
+  EXPECT_EQ(result.generated_tokens, 0u);
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.requests_rejected, 1u);
+  EXPECT_EQ(st.requests_served, 0u);
+}
+
+TEST(Serve, LegacyStringSubmitForwardsToTypedPath) {
+  serve::InferenceServer server(
+      shared_model(),
+      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 6});
+  // Greedy decoding is deterministic: the deprecated overload must yield
+  // exactly the typed path's text.
+  const std::string via_string = server.submit(kQuestion).get();
+  const core::GenerationResult typed = submit_question(server).get();
+  EXPECT_EQ(via_string, typed.text);
+  server.shutdown();
+  // And after shutdown the legacy overload keeps its throwing contract
+  // (the typed path resolves with Rejected instead).
+  auto late = server.submit(kQuestion);
+  EXPECT_THROW((void)late.get(), Error);
+  EXPECT_EQ(server.stats().requests_rejected, 1u);
+}
+
+TEST(Serve, MetricsJsonExposesServerAndProcessRegistries) {
+  serve::InferenceServer server(
+      shared_model(),
+      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 5});
+  constexpr std::size_t kRequests = 4;
+  std::vector<std::future<core::GenerationResult>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(submit_question(server));
+  }
+  for (auto& f : futures) (void)f.get();
+  server.shutdown();
+
+  const json::Value root = json::parse(server.metrics_json());
+  const json::Value& srv = root.at("server");
+  EXPECT_EQ(srv.at("counters").at("serve.requests.completed").as_int(),
+            static_cast<std::int64_t>(kRequests));
+  EXPECT_GT(srv.at("counters").at("serve.tokens.generated").as_int(), 0);
+  // Every request records exactly one admission and one TTFT sample.
+  EXPECT_EQ(srv.at("histograms").at("serve.ttft.seconds").at("count").as_int(),
+            static_cast<std::int64_t>(kRequests));
+  EXPECT_EQ(
+      srv.at("histograms").at("serve.admission.seconds").at("count").as_int(),
+      static_cast<std::int64_t>(kRequests));
+  EXPECT_GT(
+      srv.at("histograms").at("serve.round.occupancy").at("count").as_int(), 0);
+  EXPECT_GT(srv.at("gauges").at("serve.batch.lanes").at("max").as_int(), 0);
+  // The process registry carries the substrate counters: the prefill
+  // GEMMs and batched decode rounds this run just performed.
+  const json::Value& process = root.at("process");
+  EXPECT_GT(process.at("counters").at("tensor.gemm.calls").as_int(), 0);
+  EXPECT_GT(process.at("counters").at("nn.decode.rounds").as_int(), 0);
 }
 
 }  // namespace

@@ -13,8 +13,12 @@
 //       is given, the LLM-based method of Task 2)
 //   hpcgpt eval --model model.bin [--language c|fortran]
 //       score the model on the DataRaceBench-style evaluation suite
-//   hpcgpt serve --model model.bin
-//       answer questions from stdin, one per line (Figure-1 deployment)
+//   hpcgpt serve --model model.bin [--metrics]
+//       answer questions from stdin, one per line (Figure-1 deployment);
+//       --metrics prints the server's metrics JSON on shutdown
+//   hpcgpt obs dump [--model model.bin] [--question "..."] [--compact]
+//       dump the process metrics registry (and, when a model is given,
+//       trace one generation first so the snapshot has content)
 //   hpcgpt export-drb --dir DIR [--language c|fortran|both]
 //       write the DataRaceBench-style evaluation suite to disk as
 //       .c/.f90 sources plus a labels.csv (the dataset-release artifact)
@@ -35,6 +39,8 @@
 #include "hpcgpt/eval/metrics.hpp"
 #include "hpcgpt/kb/kb.hpp"
 #include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/race/detector.hpp"
 #include "hpcgpt/serve/server.hpp"
 
@@ -214,11 +220,41 @@ int cmd_serve(const Args& args) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    std::printf("%s\n", server.submit(line).get().c_str());
+    core::GenerationRequest request;
+    request.prompt = line;
+    const core::GenerationResult result = server.submit(std::move(request)).get();
+    std::printf("%s\n", result.text.c_str());
     std::fflush(stdout);
   }
   server.shutdown();
   std::printf("served %zu requests\n", server.stats().requests_served);
+  if (args.options.count("metrics") > 0) {
+    std::printf("%s\n", server.metrics_json().c_str());
+  }
+  return 0;
+}
+
+int cmd_obs(const Args& args) {
+  require(!args.positional.empty() && args.positional[0] == "dump",
+          "usage: hpcgpt obs dump [--model M] [--question Q] [--compact]");
+  const auto model_it = args.options.find("model");
+  if (model_it != args.options.end()) {
+    // Run one traced generation so the dump demonstrates live content:
+    // span events in the trace ring plus GEMM/prefill/decode counters.
+    core::HpcGpt model = core::HpcGpt::load_bundle_file(model_it->second);
+    obs::TraceSink::global().enable(true);
+    core::GenerationRequest request;
+    request.prompt = opt(args, "question", "What is a data race?");
+    model.generate(request);
+    obs::TraceSink::global().enable(false);
+  }
+  json::Object root;
+  root["metrics"] = obs::MetricsRegistry::global().snapshot();
+  root["trace"] = obs::TraceSink::global().to_json();
+  const json::Value dump{std::move(root)};
+  std::printf("%s\n", args.options.count("compact") > 0
+                          ? dump.dump().c_str()
+                          : dump.dump_pretty().c_str());
   return 0;
 }
 
@@ -262,8 +298,9 @@ int cmd_export_drb(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hpcgpt <collect|train|ask|detect|eval|serve|export-drb> "
-               "[options]\n(see the header of tools/hpcgpt_cli.cpp)\n");
+               "usage: hpcgpt <collect|train|ask|detect|eval|serve|obs|"
+               "export-drb> [options]\n"
+               "(see the header of tools/hpcgpt_cli.cpp)\n");
   return 2;
 }
 
@@ -280,6 +317,7 @@ int main(int argc, char** argv) {
     if (command == "detect") return cmd_detect(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "obs") return cmd_obs(args);
     if (command == "export-drb") return cmd_export_drb(args);
     return usage();
   } catch (const Error& e) {
