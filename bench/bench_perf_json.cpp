@@ -17,11 +17,14 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/json/json.hpp"
+#include "hpcgpt/nn/trainer.hpp"
 #include "hpcgpt/serve/server.hpp"
 #include "hpcgpt/support/rng.hpp"
 #include "hpcgpt/support/timer.hpp"
@@ -135,6 +138,64 @@ ServerRun server_throughput(core::HpcGpt& model, std::size_t streams) {
   return best;
 }
 
+// ---- training throughput (the data-parallel engine headline) ----
+
+std::vector<nn::TrainSequence> train_corpus(const nn::TransformerConfig& cfg) {
+  Rng rng(7);
+  std::vector<nn::TrainSequence> out;
+  for (int k = 0; k < 16; ++k) {
+    nn::TrainSequence s;
+    for (int i = 0; i < 64; ++i) {
+      s.ids.push_back(
+          static_cast<text::TokenId>(4 + rng.next_below(cfg.vocab_size - 8)));
+    }
+    s.targets.assign(s.ids.size(), -1);
+    for (std::size_t i = 0; i + 1 < s.ids.size(); ++i) {
+      s.targets[i] = static_cast<std::int32_t>(s.ids[i + 1]);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t corpus_tokens(std::span<const nn::TrainSequence> data) {
+  std::size_t tokens = 0;
+  for (const auto& s : data) tokens += s.ids.size();
+  return tokens;
+}
+
+/// The pre-engine loop (one zero_grad / train_step / per-tensor Adam pass
+/// per sequence) — the sequential baseline the speedup criterion is
+/// measured against.
+double train_tps_classic_loop(const nn::TransformerConfig& cfg,
+                              std::span<const nn::TrainSequence> data) {
+  nn::Transformer model(cfg, 1);
+  nn::Adam adam((nn::AdamConfig()));
+  auto epoch = [&] {
+    for (const nn::TrainSequence& s : data) {
+      model.zero_grad();
+      (void)model.train_step(s.ids, s.targets);
+      (void)adam.step(model.parameters());
+    }
+  };
+  epoch();  // warm the training scratch
+  const double secs = best_seconds(3, epoch);
+  return static_cast<double>(corpus_tokens(data)) / secs;
+}
+
+double train_tps_engine(const nn::TransformerConfig& cfg,
+                        std::span<const nn::TrainSequence> data,
+                        std::size_t workers) {
+  nn::Transformer model(cfg, 1);
+  nn::TrainerOptions topts;
+  topts.workers = workers;
+  topts.micro_batch = 4;
+  nn::Trainer trainer(model, topts);
+  (void)trainer.run_epoch(data);  // warm replicas + scratch
+  const double secs = best_seconds(3, [&] { (void)trainer.run_epoch(data); });
+  return static_cast<double>(corpus_tokens(data)) / secs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,6 +213,16 @@ int main(int argc, char** argv) {
   std::printf("bench_perf: server 8-stream ...\n");
   const ServerRun batched = server_throughput(model, 8);
 
+  const nn::TransformerConfig train_cfg =
+      core::spec_for(core::BaseModel::Llama).config;
+  const std::vector<nn::TrainSequence> corpus = train_corpus(train_cfg);
+  std::printf("bench_perf: train sequential ...\n");
+  const double train_seq_tps = train_tps_classic_loop(train_cfg, corpus);
+  std::printf("bench_perf: train engine w1 ...\n");
+  const double train_w1_tps = train_tps_engine(train_cfg, corpus, 1);
+  std::printf("bench_perf: train engine w4 ...\n");
+  const double train_w4_tps = train_tps_engine(train_cfg, corpus, 4);
+
   json::Object baseline;
   baseline["provenance"] = kBaselineProvenance;
   baseline["gemm_128_gflops"] = kBaselineGemm128Gflops;
@@ -166,17 +237,27 @@ int main(int argc, char** argv) {
   measured["server_8stream_mean_batch_occupancy"] = batched.mean_occupancy;
   measured["server_8stream_mean_latency_seconds"] =
       batched.mean_latency_seconds;
+  measured["train_tokens_per_second_sequential"] = train_seq_tps;
+  measured["train_tokens_per_second_workers1"] = train_w1_tps;
+  measured["train_tokens_per_second_workers4"] = train_w4_tps;
 
   json::Object speedup;
   speedup["gemm_128"] = gemm / kBaselineGemm128Gflops;
   speedup["server_8stream"] =
       batched.tokens_per_second / kBaselineServer8StreamTokS;
+  speedup["train_workers4_vs_sequential"] = train_w4_tps / train_seq_tps;
 
   json::Object root;
   root["bench"] = "inference_engine_perf";
   root["method"] = "best-of-N wall time per metric; model llama_sim "
                    "(untrained), prompt 64 tokens, 48 new tokens per "
-                   "request for server metrics";
+                   "request for server metrics; training over 16x64-token "
+                   "sequences, engine micro_batch 4 (sequential baseline is "
+                   "the classic per-sequence loop)";
+  // Data-parallel speedup is bounded by the core count of the bench host;
+  // record it so cross-machine comparisons read the w4 number correctly.
+  root["hardware_concurrency"] =
+      static_cast<double>(std::thread::hardware_concurrency());
   root["baseline"] = std::move(baseline);
   root["measured"] = std::move(measured);
   root["speedup"] = std::move(speedup);

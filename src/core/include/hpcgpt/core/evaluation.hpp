@@ -43,7 +43,8 @@ struct ExperimentOptions {
   FinetuneOptions sft{.epochs = 3,
                       .learning_rate = 1e-3f,
                       .max_records = 900,
-                      .shuffle_seed = 5};
+                      .shuffle_seed = 5,
+                      .train = {}};
   /// Percentage scaling of every model's pre-training steps (tests use a
   /// small value to stay fast).
   std::size_t pretrain_percent = 100;

@@ -19,6 +19,22 @@ enum class BaseModel { Llama, Llama2, Gpt35, Gpt4 };
 
 std::string base_model_name(BaseModel base);
 
+/// Data-parallel training-engine knobs, shared by pretrain and finetune
+/// (they configure the nn::Trainer; see DESIGN.md "Training engine").
+/// The defaults reproduce the classic one-sequence-per-step sequential
+/// loop exactly, so existing training runs are unchanged unless opted in.
+struct TrainOptions {
+  /// Data-parallel workers (model replicas). 0 = all hardware threads.
+  /// Any value reproduces workers=1 up to float summation order.
+  std::size_t workers = 1;
+  /// Sequences accumulated (and gradient-averaged) per optimizer step.
+  std::size_t micro_batch = 1;
+  /// Fine-tuning only: concatenate short instruction pairs up to the
+  /// context window (targets masked with -1 at boundaries) so train
+  /// steps feed the blocked GEMM at batch width instead of width ~30.
+  bool pack_sequences = false;
+};
+
 /// Hyper-parameters of one model instance.
 struct ModelOptions {
   std::string name = "llama_sim";
@@ -30,6 +46,9 @@ struct ModelOptions {
   std::size_t hpc_exposure = 0;
   float pretrain_lr = 3e-3f;
   std::uint64_t seed = 1;
+  /// Engine knobs for the pre-training loop (packing does not apply:
+  /// pre-training windows already fill the training width).
+  TrainOptions train;
 };
 
 /// The default architecture used throughout the experiments (sized to
@@ -47,15 +66,25 @@ struct FinetuneOptions {
   /// Subsample cap on training records (0 = all) — wall-clock control.
   std::size_t max_records = 0;
   std::uint64_t shuffle_seed = 5;
+  /// Engine knobs for the fine-tuning loop.
+  TrainOptions train;
 };
 
 struct FinetuneReport {
   std::size_t records_used = 0;
+  /// Train steps taken (packed sequences when packing is on).
   std::size_t steps = 0;
   double first_epoch_loss = 0.0;
   double last_epoch_loss = 0.0;
   std::size_t trainable_parameters = 0;
   double wall_seconds = 0.0;
+  /// Total input tokens fed through train steps, and the resulting
+  /// training throughput (tokens / wall_seconds) — the headline number
+  /// the A-series perf bench tracks.
+  std::size_t tokens = 0;
+  double tokens_per_second = 0.0;
+  /// Resolved data-parallel worker count used by the engine.
+  std::size_t workers = 1;
 };
 
 /// Outcome of a race-classification query.

@@ -8,6 +8,7 @@
 #include "hpcgpt/kb/kb.hpp"
 #include "hpcgpt/nn/checkpoint.hpp"
 #include "hpcgpt/nn/sampler.hpp"
+#include "hpcgpt/nn/trainer.hpp"
 #include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/support/error.hpp"
@@ -20,9 +21,11 @@ using text::TokenId;
 
 namespace {
 
-/// Training-loop metrics (process-wide): per-step wall time of the two
-/// Figure-1 training stages, so regressions in the backprop path show up
-/// in `hpcgpt obs dump` without a dedicated bench run.
+/// Training-loop metrics (process-wide): step counts and mean per-step
+/// wall time of the two Figure-1 training stages (one observation per
+/// epoch since the engine owns the inner loop — the per-shard timing
+/// detail lives in the nn.train.* metrics), so regressions in the
+/// backprop path show up in `hpcgpt obs dump` without a dedicated bench.
 struct TrainingMetrics {
   obs::Counter& pretrain_steps;
   obs::Histogram& pretrain_step_seconds;
@@ -142,29 +145,44 @@ void HpcGpt::pretrain(
 
   const std::size_t window =
       std::min<std::size_t>(options_.config.max_seq, 128);
-  nn::Adam optimizer(nn::AdamConfig{.learning_rate = options_.pretrain_lr});
   Rng rng(options_.seed * 31 + 7);
   HPCGPT_TRACE("core.pretrain");
   TrainingMetrics& metrics = training_metrics();
+
+  // Draw every window up front with the exact RNG call sequence of the
+  // classic loop (one next_below per step), then hand the whole epoch to
+  // the engine — window selection stays bit-identical across worker and
+  // micro-batch settings.
+  std::vector<nn::TrainSequence> sequences;
+  sequences.reserve(options_.pretrain_steps);
   for (std::size_t step = 0; step < options_.pretrain_steps; ++step) {
-    Timer step_timer;
     const std::size_t max_start =
         stream.size() > window + 1 ? stream.size() - window - 1 : 0;
     const std::size_t start =
         max_start == 0 ? 0
                        : static_cast<std::size_t>(rng.next_below(max_start));
     const std::size_t len = std::min(window, stream.size() - start - 1);
-    std::vector<TokenId> ids(stream.begin() + static_cast<std::ptrdiff_t>(start),
-                             stream.begin() + static_cast<std::ptrdiff_t>(start + len));
-    std::vector<std::int32_t> targets(len);
+    nn::TrainSequence seq;
+    seq.ids.assign(stream.begin() + static_cast<std::ptrdiff_t>(start),
+                   stream.begin() + static_cast<std::ptrdiff_t>(start + len));
+    seq.targets.resize(len);
     for (std::size_t i = 0; i < len; ++i) {
-      targets[i] = stream[start + i + 1];
+      seq.targets[i] = stream[start + i + 1];
     }
-    model_.zero_grad();
-    model_.train_step(ids, targets);
-    optimizer.step(model_.parameters());
-    metrics.pretrain_steps.add(1);
-    metrics.pretrain_step_seconds.observe(step_timer.seconds());
+    sequences.push_back(std::move(seq));
+  }
+
+  nn::TrainerOptions topts;
+  topts.adam.learning_rate = options_.pretrain_lr;
+  topts.workers = options_.train.workers;
+  topts.micro_batch = options_.train.micro_batch;
+  nn::Trainer trainer(model_, topts);
+  Timer epoch_timer;
+  const nn::TrainStats stats = trainer.run_epoch(sequences);
+  metrics.pretrain_steps.add(stats.sequences);
+  if (stats.sequences > 0) {
+    metrics.pretrain_step_seconds.observe(
+        epoch_timer.seconds() / static_cast<double>(stats.sequences));
   }
 }
 
@@ -215,37 +233,50 @@ FinetuneReport HpcGpt::finetune(
     order.resize(options.max_records);
   }
 
-  nn::Adam optimizer(nn::AdamConfig{.learning_rate = options.learning_rate});
+  nn::TrainerOptions topts;
+  topts.adam.learning_rate = options.learning_rate;
+  topts.workers = options.train.workers;
+  topts.micro_batch = options.train.micro_batch;
+  nn::Trainer trainer(model_, topts);
+
   FinetuneReport report;
   report.records_used = order.size();
+  report.workers = trainer.workers();
   report.trainable_parameters =
       nn::parameter_count(model_.parameters(), /*trainable_only=*/true);
 
   HPCGPT_TRACE("core.finetune");
   TrainingMetrics& metrics = training_metrics();
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    double epoch_loss = 0.0;
-    std::size_t counted = 0;
     shuffle(order, rng);
+    std::vector<nn::TrainSequence> sequences;
+    sequences.reserve(order.size());
     for (const datagen::InstructionRecord* r : order) {
-      const Encoded e =
-          encode_sft(tokenizer_, *r, options_.config.max_seq);
-      if (e.ids.empty()) continue;
-      Timer step_timer;
-      model_.zero_grad();
-      const nn::LossResult loss = model_.train_step(e.ids, e.targets);
-      optimizer.step(model_.parameters());
-      metrics.finetune_steps.add(1);
-      metrics.finetune_step_seconds.observe(step_timer.seconds());
-      epoch_loss += loss.loss;
-      ++counted;
-      ++report.steps;
+      Encoded e = encode_sft(tokenizer_, *r, options_.config.max_seq);
+      if (e.ids.empty()) continue;  // over-long example: skipped
+      sequences.push_back(
+          nn::TrainSequence{std::move(e.ids), std::move(e.targets)});
     }
-    const double mean = counted > 0 ? epoch_loss / counted : 0.0;
-    if (epoch == 0) report.first_epoch_loss = mean;
-    report.last_epoch_loss = mean;
+    if (options.train.pack_sequences) {
+      sequences = nn::pack_sequences(sequences, options_.config.max_seq);
+    }
+    Timer epoch_timer;
+    const nn::TrainStats stats = trainer.run_epoch(sequences);
+    metrics.finetune_steps.add(stats.sequences);
+    if (stats.sequences > 0) {
+      metrics.finetune_step_seconds.observe(
+          epoch_timer.seconds() / static_cast<double>(stats.sequences));
+    }
+    report.steps += stats.sequences;
+    report.tokens += stats.tokens;
+    if (epoch == 0) report.first_epoch_loss = stats.mean_loss;
+    report.last_epoch_loss = stats.mean_loss;
   }
   report.wall_seconds = timer.seconds();
+  report.tokens_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.tokens) / report.wall_seconds
+          : 0.0;
   return report;
 }
 

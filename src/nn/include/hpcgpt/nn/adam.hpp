@@ -1,5 +1,8 @@
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "hpcgpt/nn/parameter.hpp"
 
 namespace hpcgpt::nn {
@@ -15,11 +18,15 @@ struct AdamConfig {
   float grad_clip = 1.0f;  ///< global-norm clip; <= 0 disables
 };
 
-/// Decoupled-weight-decay Adam over an explicit parameter list.
+/// Decoupled-weight-decay Adam over flattened parameters.
 ///
-/// Skips parameters marked non-trainable (frozen LoRA bases), so PEFT
-/// fine-tuning updates only the adapter matrices — the trainable-parameter
-/// reduction the paper gets from LoRA/PEFT.
+/// The update runs as one fused elementwise pass over contiguous
+/// value/grad/moment arrays (step(values, grads)) rather than a
+/// per-tensor loop — moments live here as two flat vectors sized to the
+/// trainable element count. Skipping parameters marked non-trainable
+/// (frozen LoRA bases) falls out of the flattening: FlatParamView never
+/// includes them, so PEFT fine-tuning updates only the adapter matrices —
+/// the trainable-parameter reduction the paper gets from LoRA/PEFT.
 class Adam {
  public:
   explicit Adam(AdamConfig config) : config_(config) {}
@@ -30,13 +37,29 @@ class Adam {
   /// Applies one update using the gradients accumulated in `params`,
   /// then leaves gradients untouched (caller zeroes them).
   /// Returns the pre-clip global gradient norm.
+  ///
+  /// Convenience wrapper over the fused form: flattens the trainable
+  /// subset, gathers values+grads, runs step(values, grads) and scatters
+  /// the values back. If the trainable set changes shape between calls
+  /// (e.g. LoRA attached mid-run), the moments reset to zero.
   double step(const ParameterList& params);
+
+  /// The fused core: one elementwise pass over `values` using `grads`,
+  /// with the flat moment vectors resized (zero-initialized) to match on
+  /// first use. Returns the pre-clip global gradient norm of `grads`.
+  /// The data-parallel trainer calls this directly with its reduced
+  /// gradient buffer, then broadcasts `values` to the model replicas.
+  double step(std::span<float> values, std::span<const float> grads);
 
   std::size_t steps_taken() const { return t_; }
 
  private:
   AdamConfig config_;
   std::size_t t_ = 0;
+  std::vector<float> m_, v_;  // flat first/second moments
+  // Scratch + cached view for the ParameterList entry point.
+  FlatParamView view_;
+  std::vector<float> values_, grads_;
 };
 
 }  // namespace hpcgpt::nn

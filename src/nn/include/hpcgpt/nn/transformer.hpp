@@ -164,6 +164,17 @@ class TransformerBlock {
   tensor::Matrix in2_, normed2_;
   std::vector<float> inv_rms2_;
   tensor::Matrix gate_pre_, up_, swiglu_;
+
+  // ---- training scratch (PrefillScratch-style reuse) ----
+  // forward/backward temporaries that keep their storage across train
+  // steps: packed sequences repeat the same shapes, so after the first
+  // step the whole train path runs without per-call tensor allocations.
+  tensor::Matrix attn_out_, mlp_out_;                 // forward
+  tensor::Matrix d_swiglu_, d_gate_pre_, d_up_;       // MLP backward
+  tensor::Matrix d_normed_sum_, d_normed_tmp_;        // Linear backward dx
+  tensor::Matrix d_resid_;                            // rmsnorm backward dx
+  tensor::Matrix d_attn_concat_, dq_, dk_, dv_;       // attention backward
+  std::vector<float> dprobs_;                         // one row at a time
 };
 
 /// Result of a training forward+backward step on one sequence.
@@ -262,6 +273,8 @@ class Transformer {
   tensor::Matrix hidden_in_;   // pre-final-norm activations
   tensor::Matrix hidden_out_;  // post-final-norm activations
   std::vector<float> final_inv_rms_;
+  // training scratch, reused across steps like the block-level buffers
+  tensor::Matrix logit_mat_, dlogits_, d_hidden_out_, dx_;
 };
 
 }  // namespace hpcgpt::nn

@@ -2,15 +2,34 @@
 
 #include <cmath>
 
+#include "hpcgpt/support/error.hpp"
+
 namespace hpcgpt::nn {
 
 double Adam::step(const ParameterList& params) {
+  // Rebuilding the view is a pointer walk — noise next to the fused pass.
+  view_ = FlatParamView(params);
+  values_.resize(view_.size());
+  grads_.resize(view_.size());
+  view_.gather_values(values_);
+  view_.gather_grads(grads_);
+  const double grad_norm = step(values_, grads_);
+  view_.scatter_values(values_);
+  return grad_norm;
+}
+
+double Adam::step(std::span<float> values, std::span<const float> grads) {
+  require(values.size() == grads.size(), "Adam::step: values/grads mismatch");
+  if (m_.size() != values.size()) {
+    // First step, or the trainable set changed shape: fresh moments.
+    m_.assign(values.size(), 0.0f);
+    v_.assign(values.size(), 0.0f);
+  }
   ++t_;
 
   double grad_sq = 0.0;
-  for (const Parameter* p : params) {
-    if (!p->trainable) continue;
-    grad_sq += p->grad.squared_norm();
+  for (const float g : grads) {
+    grad_sq += static_cast<double>(g) * static_cast<double>(g);
   }
   const double grad_norm = std::sqrt(grad_sq);
   float clip_scale = 1.0f;
@@ -23,28 +42,27 @@ double Adam::step(const ParameterList& params) {
   const float bias2 =
       1.0f - std::pow(config_.beta2, static_cast<float>(t_));
 
-  for (Parameter* p : params) {
-    if (!p->trainable) continue;
-    if (p->adam_m.empty()) {
-      p->adam_m = tensor::Matrix(p->value.rows(), p->value.cols());
-      p->adam_v = tensor::Matrix(p->value.rows(), p->value.cols());
-    }
-    float* w = p->value.data();
-    const float* g = p->grad.data();
-    float* m = p->adam_m.data();
-    float* v = p->adam_v.data();
-    for (std::size_t i = 0; i < p->count(); ++i) {
-      const float gi = g[i] * clip_scale;
-      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * gi;
-      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * gi * gi;
-      const float m_hat = m[i] / bias1;
-      const float v_hat = v[i] / bias2;
-      float update = m_hat / (std::sqrt(v_hat) + config_.epsilon);
-      if (config_.weight_decay > 0.0f) {
-        update += config_.weight_decay * w[i];
-      }
-      w[i] -= config_.learning_rate * update;
-    }
+  // One fused elementwise pass over the contiguous arrays. The branchless
+  // body (weight decay folded in via a constant) vectorizes; the old
+  // per-tensor loop paid the loop setup + moment-lazy-alloc checks per
+  // parameter instead of per step.
+  float* __restrict w = values.data();
+  const float* __restrict g = grads.data();
+  float* __restrict m = m_.data();
+  float* __restrict v = v_.data();
+  const float b1 = config_.beta1, b2 = config_.beta2;
+  const float lr = config_.learning_rate, eps = config_.epsilon;
+  const float wd = config_.weight_decay;
+  const std::size_t n = values.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float gi = g[i] * clip_scale;
+    m[i] = b1 * m[i] + (1.0f - b1) * gi;
+    v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    float update = m_hat / (std::sqrt(v_hat) + eps);
+    if (wd > 0.0f) update += wd * w[i];
+    w[i] -= lr * update;
   }
   return grad_norm;
 }

@@ -31,11 +31,18 @@ void Linear::attach_lora(std::size_t rank, float alpha, bool freeze_base,
 
 void Linear::forward(const Matrix& x, Matrix& y) {
   require(x.cols() == in_features(), "Linear::forward: width mismatch");
-  y = Matrix(x.rows(), out_features());
+  // Shape-checked reuse (cf. apply_rows): the training loop calls this
+  // with persistent scratch every step and matmul overwrites, so steps
+  // over repeating sequence lengths allocate nothing here.
+  if (y.rows() != x.rows() || y.cols() != out_features()) {
+    y = Matrix(x.rows(), out_features());
+  }
   matmul(x, weight_.value, y);
   cached_x_ = x;
   if (lora_rank_ > 0) {
-    cached_xa_ = Matrix(x.rows(), lora_rank_);
+    if (cached_xa_.rows() != x.rows() || cached_xa_.cols() != lora_rank_) {
+      cached_xa_ = Matrix(x.rows(), lora_rank_);
+    }
     matmul(x, lora_a_.value, cached_xa_);
     Matrix lora_out(x.rows(), out_features());
     matmul(cached_xa_, lora_b_.value, lora_out);
@@ -50,7 +57,9 @@ void Linear::backward(const Matrix& dy, Matrix& dx) {
   if (weight_.trainable) {
     matmul_tn_acc(cached_x_, dy, weight_.grad);  // dW += x^T dy
   }
-  dx = Matrix(cached_x_.rows(), in_features());
+  if (dx.rows() != cached_x_.rows() || dx.cols() != in_features()) {
+    dx = Matrix(cached_x_.rows(), in_features());
+  }
   matmul_nt(dy, weight_.value, dx);  // dx = dy W^T
 
   if (lora_rank_ > 0) {

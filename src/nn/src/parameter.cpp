@@ -1,5 +1,9 @@
 #include "hpcgpt/nn/parameter.hpp"
 
+#include <cstring>
+
+#include "hpcgpt/support/error.hpp"
+
 namespace hpcgpt::nn {
 
 std::size_t parameter_count(const ParameterList& params,
@@ -10,6 +14,49 @@ std::size_t parameter_count(const ParameterList& params,
     total += p->count();
   }
   return total;
+}
+
+FlatParamView::FlatParamView(const ParameterList& params) {
+  for (Parameter* p : params) {
+    if (!p->trainable) continue;
+    params_.push_back(p);
+    size_ += p->count();
+  }
+}
+
+void FlatParamView::gather_values(std::span<float> out) const {
+  require(out.size() == size_, "FlatParamView::gather_values: size mismatch");
+  float* dst = out.data();
+  for (const Parameter* p : params_) {
+    std::memcpy(dst, p->value.data(), p->count() * sizeof(float));
+    dst += p->count();
+  }
+}
+
+void FlatParamView::scatter_values(std::span<const float> in) const {
+  require(in.size() == size_, "FlatParamView::scatter_values: size mismatch");
+  const float* src = in.data();
+  for (Parameter* p : params_) {
+    std::memcpy(p->value.data(), src, p->count() * sizeof(float));
+    src += p->count();
+  }
+}
+
+void FlatParamView::gather_grads(std::span<float> out) const {
+  require(out.size() == size_, "FlatParamView::gather_grads: size mismatch");
+  float* dst = out.data();
+  for (const Parameter* p : params_) {
+    std::memcpy(dst, p->grad.data(), p->count() * sizeof(float));
+    dst += p->count();
+  }
+}
+
+bool FlatParamView::same_shape(const FlatParamView& other) const {
+  if (params_.size() != other.params_.size()) return false;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->count() != other.params_[i]->count()) return false;
+  }
+  return true;
 }
 
 }  // namespace hpcgpt::nn

@@ -47,11 +47,19 @@ InferenceMetrics& inference_metrics() {
   return m;
 }
 
+/// Shape-checked reuse for training scratch: reallocates only when the
+/// shape changes, so steps over repeating sequence lengths (packed
+/// batches pin them near max_seq) run allocation-free. Contents are NOT
+/// cleared — callers either overwrite every element or zero explicitly.
+void ensure_shape(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) m = Matrix(rows, cols);
+}
+
 /// normed[t] = x[t] * inv_rms[t] ⊙ gain ; inv_rms[t] = (mean(x[t]²)+eps)^-½
 void rmsnorm_forward(const Parameter& gain, const Matrix& x, Matrix& normed,
                      std::vector<float>& inv_rms) {
   const std::size_t d = x.cols();
-  normed = Matrix(x.rows(), d);
+  ensure_shape(normed, x.rows(), d);
   inv_rms.assign(x.rows(), 0.0f);
   const float* g = gain.value.data();
   for (std::size_t t = 0; t < x.rows(); ++t) {
@@ -70,7 +78,7 @@ void rmsnorm_backward(Parameter& gain, const Matrix& x,
                       const std::vector<float>& inv_rms,
                       const Matrix& dnormed, Matrix& dx) {
   const std::size_t d = x.cols();
-  dx = Matrix(x.rows(), d);
+  ensure_shape(dx, x.rows(), d);
   const float* g = gain.value.data();
   float* dg = gain.grad.data();
   for (std::size_t t = 0; t < x.rows(); ++t) {
@@ -196,8 +204,9 @@ void TransformerBlock::forward(Matrix& x) {
   wk_.forward(normed1_, k_);
   wv_.forward(normed1_, v_);
 
-  probs_.assign(config_.n_heads, Matrix(seq, seq));
-  attn_concat_ = Matrix(seq, config_.d_model);
+  probs_.resize(config_.n_heads);
+  for (Matrix& p : probs_) ensure_shape(p, seq, seq);
+  ensure_shape(attn_concat_, seq, config_.d_model);
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
     Matrix& p = probs_[h];
@@ -233,26 +242,24 @@ void TransformerBlock::forward(Matrix& x) {
     }
   }
 
-  Matrix attn_out;
-  wo_.forward(attn_concat_, attn_out);
+  wo_.forward(attn_concat_, attn_out_);
   x = in1_;
-  tensor::add_inplace(x, attn_out);
+  tensor::add_inplace(x, attn_out_);
 
   // --- MLP sub-layer (SwiGLU) ---
   in2_ = x;
   rmsnorm_forward(norm2_gain_, in2_, normed2_, inv_rms2_);
   w_gate_.forward(normed2_, gate_pre_);
   w_up_.forward(normed2_, up_);
-  swiglu_ = Matrix(seq, config_.d_ff);
+  ensure_shape(swiglu_, seq, config_.d_ff);
   for (std::size_t t = 0; t < seq; ++t) {
     for (std::size_t j = 0; j < config_.d_ff; ++j) {
       swiglu_.at(t, j) = silu(gate_pre_.at(t, j)) * up_.at(t, j);
     }
   }
-  Matrix mlp_out;
-  w_down_.forward(swiglu_, mlp_out);
+  w_down_.forward(swiglu_, mlp_out_);
   x = in2_;
-  tensor::add_inplace(x, mlp_out);
+  tensor::add_inplace(x, mlp_out_);
 }
 
 void TransformerBlock::backward(Matrix& dx) {
@@ -261,33 +268,34 @@ void TransformerBlock::backward(Matrix& dx) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
 
   // --- MLP sub-layer backward ---
-  Matrix d_swiglu;
-  w_down_.backward(dx, d_swiglu);
-  Matrix d_gate_pre(seq, config_.d_ff);
-  Matrix d_up(seq, config_.d_ff);
+  w_down_.backward(dx, d_swiglu_);
+  ensure_shape(d_gate_pre_, seq, config_.d_ff);
+  ensure_shape(d_up_, seq, config_.d_ff);
   for (std::size_t t = 0; t < seq; ++t) {
     for (std::size_t j = 0; j < config_.d_ff; ++j) {
       const float g = gate_pre_.at(t, j);
-      d_gate_pre.at(t, j) = d_swiglu.at(t, j) * up_.at(t, j) * silu_grad(g);
-      d_up.at(t, j) = d_swiglu.at(t, j) * silu(g);
+      d_gate_pre_.at(t, j) =
+          d_swiglu_.at(t, j) * up_.at(t, j) * silu_grad(g);
+      d_up_.at(t, j) = d_swiglu_.at(t, j) * silu(g);
     }
   }
-  Matrix d_normed2a, d_normed2b;
-  w_gate_.backward(d_gate_pre, d_normed2a);
-  w_up_.backward(d_up, d_normed2b);
-  tensor::add_inplace(d_normed2a, d_normed2b);
-  Matrix d_in2_from_norm;
-  rmsnorm_backward(norm2_gain_, in2_, inv_rms2_, d_normed2a,
-                   d_in2_from_norm);
-  tensor::add_inplace(dx, d_in2_from_norm);  // residual + norm path
+  w_gate_.backward(d_gate_pre_, d_normed_sum_);
+  w_up_.backward(d_up_, d_normed_tmp_);
+  tensor::add_inplace(d_normed_sum_, d_normed_tmp_);
+  rmsnorm_backward(norm2_gain_, in2_, inv_rms2_, d_normed_sum_, d_resid_);
+  tensor::add_inplace(dx, d_resid_);  // residual + norm path
 
   // --- attention sub-layer backward ---
-  Matrix d_attn_concat;
-  wo_.backward(dx, d_attn_concat);
+  wo_.backward(dx, d_attn_concat_);
 
-  Matrix dq(seq, config_.d_model);
-  Matrix dk(seq, config_.d_model);
-  Matrix dv(seq, config_.d_model);
+  // dq/dk/dv accumulate across heads and rows: zero the reused storage.
+  ensure_shape(dq_, seq, config_.d_model);
+  ensure_shape(dk_, seq, config_.d_model);
+  ensure_shape(dv_, seq, config_.d_model);
+  dq_.zero();
+  dk_.zero();
+  dv_.zero();
+  if (dprobs_.size() < seq) dprobs_.resize(seq);
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
     const Matrix& p = probs_[h];
@@ -295,11 +303,11 @@ void TransformerBlock::backward(Matrix& dx) {
       // dprobs[t][s] = <d_attn_concat[t]_h, v[s]_h> ; dv accumulation
       float dp_dot_p = 0.0f;
       // first pass: compute dprobs and the softmax-correction inner product
-      std::vector<float> dprobs(t + 1);
+      float* __restrict dprobs = dprobs_.data();
       for (std::size_t s = 0; s <= t; ++s) {
         float dot = 0.0f;
         for (std::size_t i = 0; i < hd; ++i) {
-          dot += d_attn_concat.at(t, off + i) * v_.at(s, off + i);
+          dot += d_attn_concat_.at(t, off + i) * v_.at(s, off + i);
         }
         dprobs[s] = dot;
         dp_dot_p += dot * p.at(t, s);
@@ -308,27 +316,24 @@ void TransformerBlock::backward(Matrix& dx) {
         const float pts = p.at(t, s);
         // dv[s] += p[t][s] * d_attn_concat[t]
         for (std::size_t i = 0; i < hd; ++i) {
-          dv.at(s, off + i) += pts * d_attn_concat.at(t, off + i);
+          dv_.at(s, off + i) += pts * d_attn_concat_.at(t, off + i);
         }
         const float dscore = pts * (dprobs[s] - dp_dot_p) * scale;
         for (std::size_t i = 0; i < hd; ++i) {
-          dq.at(t, off + i) += dscore * k_.at(s, off + i);
-          dk.at(s, off + i) += dscore * q_.at(t, off + i);
+          dq_.at(t, off + i) += dscore * k_.at(s, off + i);
+          dk_.at(s, off + i) += dscore * q_.at(t, off + i);
         }
       }
     }
   }
 
-  Matrix d_normed1, tmp;
-  wq_.backward(dq, d_normed1);
-  wk_.backward(dk, tmp);
-  tensor::add_inplace(d_normed1, tmp);
-  wv_.backward(dv, tmp);
-  tensor::add_inplace(d_normed1, tmp);
-  Matrix d_in1_from_norm;
-  rmsnorm_backward(norm1_gain_, in1_, inv_rms1_, d_normed1,
-                   d_in1_from_norm);
-  tensor::add_inplace(dx, d_in1_from_norm);
+  wq_.backward(dq_, d_normed_sum_);
+  wk_.backward(dk_, d_normed_tmp_);
+  tensor::add_inplace(d_normed_sum_, d_normed_tmp_);
+  wv_.backward(dv_, d_normed_tmp_);
+  tensor::add_inplace(d_normed_sum_, d_normed_tmp_);
+  rmsnorm_backward(norm1_gain_, in1_, inv_rms1_, d_normed_sum_, d_resid_);
+  tensor::add_inplace(dx, d_resid_);
 }
 
 namespace {
@@ -857,12 +862,13 @@ LossResult Transformer::train_step(
   require(ids.size() == targets.size(),
           "train_step: ids/targets length mismatch");
   forward_hidden(ids);
-  Matrix logit_mat;
-  head_.forward(hidden_out_, logit_mat);
+  head_.forward(hidden_out_, logit_mat_);
 
-  // Cross-entropy + dlogits in one pass.
-  Matrix dlogits(logit_mat.rows(), logit_mat.cols());
-  tensor::softmax_rows(logit_mat);  // logit_mat now holds probabilities
+  // Cross-entropy + dlogits in one pass. dlogits_ is reused scratch and
+  // rows with masked targets are skipped below, so zero it up front.
+  ensure_shape(dlogits_, logit_mat_.rows(), logit_mat_.cols());
+  dlogits_.zero();
+  tensor::softmax_rows(logit_mat_);  // logit_mat_ now holds probabilities
   std::size_t counted = 0;
   double loss = 0.0;
   for (std::size_t t = 0; t < ids.size(); ++t) {
@@ -876,27 +882,25 @@ LossResult Transformer::train_step(
     if (targets[t] < 0) continue;
     const auto target = static_cast<std::size_t>(targets[t]);
     require(target < config_.vocab_size, "train_step: target out of range");
-    const auto probs = logit_mat.row(t);
+    const auto probs = logit_mat_.row(t);
     loss -= std::log(std::max(probs[target], 1e-12f));
-    auto dl = dlogits.row(t);
+    auto dl = dlogits_.row(t);
     for (std::size_t v = 0; v < config_.vocab_size; ++v) {
       dl[v] = probs[v] * inv_count;
     }
     dl[target] -= inv_count;
   }
 
-  Matrix d_hidden_out;
-  head_.backward(dlogits, d_hidden_out);
-  Matrix dx;
-  rmsnorm_backward(final_gain_, hidden_in_, final_inv_rms_, d_hidden_out,
-                   dx);
+  head_.backward(dlogits_, d_hidden_out_);
+  rmsnorm_backward(final_gain_, hidden_in_, final_inv_rms_, d_hidden_out_,
+                   dx_);
   for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
-    (*it)->backward(dx);
+    (*it)->backward(dx_);
   }
   // Embedding gradients.
   if (tok_emb_.trainable || pos_emb_.trainable) {
     for (std::size_t t = 0; t < ids.size(); ++t) {
-      const auto dxr = dx.row(t);
+      const auto dxr = dx_.row(t);
       if (tok_emb_.trainable) {
         auto gr = tok_emb_.grad.row(static_cast<std::size_t>(ids[t]));
         for (std::size_t i = 0; i < config_.d_model; ++i) gr[i] += dxr[i];

@@ -57,6 +57,9 @@ class ThreadPool {
   /// The process-wide default pool, sized to the hardware.
   static ThreadPool& global();
 
+  /// True while a ParallelInlineGuard is alive on the calling thread.
+  static bool inline_region_active() noexcept;
+
  private:
   void worker_loop();
 
@@ -65,6 +68,22 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+};
+
+/// RAII scope that forces every parallel_for issued from the calling
+/// thread to run inline (single-threaded), regardless of which pool it
+/// targets. This is how an outer parallel engine — the data-parallel
+/// trainer runs one model replica per OS thread — keeps the inner tensor
+/// kernels from re-submitting row blocks to the global pool: without the
+/// guard, W trainer threads would funnel their GEMM chunks through the
+/// global queue, serializing on its workers instead of using their own
+/// core. Nestable; the effect ends when the outermost guard dies.
+class ParallelInlineGuard {
+ public:
+  ParallelInlineGuard();
+  ~ParallelInlineGuard();
+  ParallelInlineGuard(const ParallelInlineGuard&) = delete;
+  ParallelInlineGuard& operator=(const ParallelInlineGuard&) = delete;
 };
 
 /// Runs `body(i)` for every i in [begin, end), split into contiguous chunks

@@ -11,11 +11,22 @@ namespace {
 // The pool (if any) whose worker_loop owns the current thread.
 thread_local const ThreadPool* current_pool = nullptr;
 
+// Depth of ParallelInlineGuard scopes alive on the current thread.
+thread_local int inline_region_depth = 0;
+
 }  // namespace
 
 bool ThreadPool::on_worker_thread() const noexcept {
   return current_pool == this;
 }
+
+bool ThreadPool::inline_region_active() noexcept {
+  return inline_region_depth > 0;
+}
+
+ParallelInlineGuard::ParallelInlineGuard() { ++inline_region_depth; }
+
+ParallelInlineGuard::~ParallelInlineGuard() { --inline_region_depth; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -60,6 +71,12 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
   if (begin >= end) return;
+  if (ThreadPool::inline_region_active()) {
+    // An outer engine owns this thread's parallelism (see
+    // ParallelInlineGuard): run the whole range here.
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
   if (pool.on_worker_thread()) {
     // Nested parallel region issued from one of this pool's own workers:
     // run inline. Submitting and waiting here could deadlock — every

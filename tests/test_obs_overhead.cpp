@@ -66,6 +66,16 @@ double best_seconds(int reps) {
 }
 
 TEST(ObsOverhead, TracingStaysWithinFivePercentOfDisabled) {
+  // Under TSan the relaxed atomics inside the span layer become runtime
+  // interceptor calls, which dwarfs the real overhead (~20% observed) —
+  // that lane is for the race check, not the timing budget.
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer build: timing guard is not meaningful";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "sanitizer build: timing guard is not meaningful";
+#endif
+#endif
   obs::TraceSink& sink = obs::TraceSink::global();
   constexpr int kReps = 5;
   constexpr int kAttempts = 4;

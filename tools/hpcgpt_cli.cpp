@@ -4,8 +4,12 @@
 //       run the §3.2 instruction collection and write JSON-lines
 //   hpcgpt train --data dataset.jsonl --out model.bin
 //          [--base llama|llama2|gpt35|gpt4] [--lora R] [--epochs E]
-//          [--max-records N]
-//       pre-train a base model and fine-tune it on the dataset
+//          [--max-records N] [--workers W] [--micro-batch B] [--pack]
+//       pre-train a base model and fine-tune it on the dataset;
+//       --workers W runs the data-parallel engine with W model replicas
+//       (0 = all cores), --micro-batch B averages B sequences per
+//       optimizer step, --pack concatenates short examples to the
+//       context window
 //   hpcgpt ask --model model.bin "question..."
 //       free-form Task-1 question answering
 //   hpcgpt detect [--model model.bin] file.c|file.f90
@@ -138,13 +142,22 @@ int cmd_train(const Args& args) {
   fopts.epochs = std::stoull(opt(args, "epochs", "3"));
   fopts.learning_rate = lora > 0 ? 1e-3f : 2e-3f;
   fopts.max_records = std::stoull(opt(args, "max-records", "0"));
-  std::printf("fine-tuning (%s, %zu epochs)...\n",
-              lora > 0 ? "LoRA" : "full", fopts.epochs);
+  fopts.train.workers = std::stoull(opt(args, "workers", "1"));
+  fopts.train.micro_batch = std::stoull(opt(args, "micro-batch", "1"));
+  fopts.train.pack_sequences = args.options.count("pack") > 0;
+  std::printf("fine-tuning (%s, %zu epochs, workers %s, micro-batch %zu"
+              "%s)...\n",
+              lora > 0 ? "LoRA" : "full", fopts.epochs,
+              fopts.train.workers == 0 ? "auto"
+                                       : opt(args, "workers", "1").c_str(),
+              fopts.train.micro_batch,
+              fopts.train.pack_sequences ? ", packed" : "");
   const core::FinetuneReport report = model.finetune(records, fopts);
   std::printf("loss %.3f -> %.3f over %zu steps, %zu trainable params, "
-              "%.1fs\n",
+              "%.1fs (%zu workers, %.0f tok/s)\n",
               report.first_epoch_loss, report.last_epoch_loss, report.steps,
-              report.trainable_parameters, report.wall_seconds);
+              report.trainable_parameters, report.wall_seconds,
+              report.workers, report.tokens_per_second);
 
   const std::string out_path = opt(args, "out", "model.bin");
   model.save_bundle_file(out_path);
