@@ -248,6 +248,7 @@ FinetuneReport HpcGpt::finetune(
   HPCGPT_TRACE("core.finetune");
   TrainingMetrics& metrics = training_metrics();
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    HPCGPT_TRACE("core.finetune.epoch");
     shuffle(order, rng);
     std::vector<nn::TrainSequence> sequences;
     sequences.reserve(order.size());

@@ -156,11 +156,18 @@ TrainStats Trainer::run_epoch(std::span<const TrainSequence> sequences) {
 
   const std::size_t flat = master_view_.size();
   for (std::size_t start = 0; start < n; start += options_.micro_batch) {
+    // Per-step trace: shard work (wherever it runs), the gradient
+    // reduction and the optimizer all nest under this span. Pool workers
+    // adopt step_context so their shard spans join the step's trace
+    // instead of starting orphan traces on their own threads.
+    HPCGPT_TRACE("nn.train.step");
+    const obs::TraceContext step_context = obs::current_trace_context();
     const std::size_t batch = std::min(options_.micro_batch, n - start);
     const std::size_t active = std::min(workers_, batch);
     const std::size_t per_worker = (batch + active - 1) / active;
 
     auto run_shard = [&](std::size_t w) {
+      HPCGPT_TRACE("nn.train.shard");
       Timer shard_timer;
       const std::size_t lo = start + w * per_worker;
       const std::size_t hi = std::min(start + batch, lo + per_worker);
@@ -184,8 +191,9 @@ TrainStats Trainer::run_epoch(std::span<const TrainSequence> sequences) {
       std::vector<std::future<void>> pending;
       pending.reserve(active - 1);
       for (std::size_t w = 1; w < active; ++w) {
-        pending.push_back(pool_->submit([&run_shard, w] {
+        pending.push_back(pool_->submit([&run_shard, step_context, w] {
           ParallelInlineGuard inline_guard;
+          HPCGPT_TRACE_ADOPT(step_context);
           run_shard(w);
         }));
       }
@@ -203,25 +211,31 @@ TrainStats Trainer::run_epoch(std::span<const TrainSequence> sequences) {
     // pairing depends only on `active`, never on thread timing, so the
     // float sum is deterministic run-to-run.
     Timer reduce_timer;
-    for (std::size_t stride = 1; stride < active; stride *= 2) {
-      for (std::size_t w = 0; w + stride < active; w += 2 * stride) {
-        float* __restrict dst = worker_grads_[w].data();
-        const float* __restrict src = worker_grads_[w + stride].data();
-        for (std::size_t i = 0; i < flat; ++i) dst[i] += src[i];
+    {
+      HPCGPT_TRACE("nn.train.reduce");
+      for (std::size_t stride = 1; stride < active; stride *= 2) {
+        for (std::size_t w = 0; w + stride < active; w += 2 * stride) {
+          float* __restrict dst = worker_grads_[w].data();
+          const float* __restrict src = worker_grads_[w + stride].data();
+          for (std::size_t i = 0; i < flat; ++i) dst[i] += src[i];
+        }
       }
-    }
-    if (batch > 1) {
-      const float inv = 1.0f / static_cast<float>(batch);
-      float* __restrict g = worker_grads_[0].data();
-      for (std::size_t i = 0; i < flat; ++i) g[i] *= inv;
+      if (batch > 1) {
+        const float inv = 1.0f / static_cast<float>(batch);
+        float* __restrict g = worker_grads_[0].data();
+        for (std::size_t i = 0; i < flat; ++i) g[i] *= inv;
+      }
     }
     metrics.reduce_seconds.observe(reduce_timer.seconds());
 
     Timer opt_timer;
-    master_view_.gather_values(flat_values_);
-    stats.last_grad_norm = optimizer_.step(flat_values_, worker_grads_[0]);
-    master_view_.scatter_values(flat_values_);
-    broadcast_values();
+    {
+      HPCGPT_TRACE("nn.train.optimizer");
+      master_view_.gather_values(flat_values_);
+      stats.last_grad_norm = optimizer_.step(flat_values_, worker_grads_[0]);
+      master_view_.scatter_values(flat_values_);
+      broadcast_values();
+    }
     metrics.optimizer_seconds.observe(opt_timer.seconds());
     metrics.optimizer_steps.add(1);
     metrics.grad_norm.observe(stats.last_grad_norm);

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
+
+namespace hpcgpt::obs {
+
+/// Chrome trace-event / Perfetto JSON for a sink's buffered spans:
+/// {"traceEvents": [...], "displayTimeUnit": "ms", "otherData":
+/// {"dropped_events", "total_recorded"}}. Each span becomes a complete
+/// ("ph":"X") event with microsecond ts/dur, pid `pid`, tid = the span's
+/// thread ordinal, and {trace_id, span_id, parent_id} in args; process
+/// and thread name metadata events make the track labels readable. The
+/// output loads directly in chrome://tracing or ui.perfetto.dev.
+json::Value perfetto_trace(const TraceSink& sink,
+                           std::string_view process_name = "hpcgpt",
+                           int pid = 1);
+/// perfetto_trace serialized compactly.
+std::string perfetto_trace_json(const TraceSink& sink,
+                                std::string_view process_name = "hpcgpt",
+                                int pid = 1);
+
+/// Prometheus text exposition (text/plain; version=0.0.4) of a metrics
+/// snapshot. Metric names are sanitized (every non [a-zA-Z0-9_] byte
+/// becomes '_'): counters export as-is, gauges as the live value plus a
+/// `<name>_peak` companion, histograms as cumulative `<name>_bucket{le=}`
+/// series with `_sum` and `_count`.
+std::string prometheus_text(const json::Object& snapshot);
+/// Convenience overload over registry.snapshot().
+std::string prometheus_text(const MetricsRegistry& registry);
+
+/// flamegraph.pl-compatible folded stacks: one line per distinct span
+/// path ("root;child;leaf <weight>"), weight = aggregate self time in
+/// integer microseconds (child time subtracted from each parent). Spans
+/// whose parent is missing from `events` (evicted by ring wraparound, or
+/// id-less legacy records) start their own root stack.
+std::string folded_stacks(std::span<const TraceEvent> events);
+/// Convenience overload over sink.events().
+std::string folded_stacks(const TraceSink& sink);
+
+}  // namespace hpcgpt::obs

@@ -55,6 +55,10 @@ class Gauge {
 /// relaxed atomic updates — no locks, safe from any thread.
 class Histogram {
  public:
+  /// Bounds are validated at registration: every bound must be finite and
+  /// the sequence strictly ascending (no duplicates). A violation throws
+  /// InvalidArgument naming the offending index instead of silently
+  /// misbinning every later observation.
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
@@ -70,6 +74,12 @@ class Histogram {
     const std::uint64_t n = count();
     return n > 0 ? sum() / static_cast<double>(n) : 0.0;
   }
+  /// Quantile estimate (q in [0,1]) by linear interpolation within the
+  /// containing bucket, taking 0 as the lower edge of the first bucket.
+  /// Ranks landing in the unbounded overflow bucket clamp to the last
+  /// bound (the estimate cannot exceed what the buckets resolve). Returns
+  /// 0 when the histogram is empty.
+  double quantile(double q) const;
   void reset();
 
  private:
@@ -108,7 +118,9 @@ class MetricsRegistry {
 
   /// Deterministic JSON snapshot: {"counters": {...}, "gauges":
   /// {name: {value, max}}, "histograms": {name: {count, sum, mean,
-  /// buckets: [{le, count}...]}}} with sorted keys.
+  /// p50, p95, p99, buckets: [{le, count}...]}}} with sorted keys.
+  /// The p* fields are bucket-interpolated latency quantiles (see
+  /// Histogram::quantile), so snapshots report latencies directly.
   json::Object snapshot() const;
   std::string snapshot_json() const;
 

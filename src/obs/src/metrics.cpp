@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "hpcgpt/support/error.hpp"
 
@@ -9,8 +10,19 @@ namespace hpcgpt::obs {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
-  require(std::is_sorted(bounds_.begin(), bounds_.end()),
-          "Histogram: bounds must be ascending");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i])) {
+      throw InvalidArgument("Histogram: bound " + std::to_string(i) +
+                            " is not finite");
+    }
+    if (i > 0 && !(bounds_[i - 1] < bounds_[i])) {
+      throw InvalidArgument(
+          "Histogram: bounds must be strictly ascending (bound " +
+          std::to_string(i) + " = " + std::to_string(bounds_[i]) +
+          " does not exceed bound " + std::to_string(i - 1) + " = " +
+          std::to_string(bounds_[i - 1]) + ")");
+    }
+  }
 }
 
 void Histogram::observe(double v) {
@@ -25,6 +37,34 @@ void Histogram::observe(double v) {
   while (!sum_.compare_exchange_weak(prev, prev + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in (0, n]; walk the cumulative distribution to the
+  // containing bucket, then interpolate linearly inside it. Counts are
+  // read relaxed, so a snapshot racing live observations is approximate —
+  // the same contract as every other accessor here.
+  const double target = std::max(q * static_cast<double>(n), 1e-12);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c =
+        static_cast<double>(counts_[i].load(std::memory_order_relaxed));
+    if (c <= 0.0) continue;
+    if (cumulative + c >= target) {
+      if (i >= bounds_.size()) {
+        // Overflow bucket: unbounded above, clamp to the last edge.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      return lower + (upper - lower) * ((target - cumulative) / c);
+    }
+    cumulative += c;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void Histogram::reset() {
@@ -98,6 +138,9 @@ json::Object MetricsRegistry::snapshot() const {
     entry["count"] = static_cast<std::size_t>(h->count());
     entry["sum"] = h->sum();
     entry["mean"] = h->mean();
+    entry["p50"] = h->quantile(0.50);
+    entry["p95"] = h->quantile(0.95);
+    entry["p99"] = h->quantile(0.99);
     json::Array buckets;
     for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       json::Object bucket;

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/support/error.hpp"
 
 namespace hpcgpt::obs {
@@ -17,7 +18,35 @@ std::uint32_t thread_ordinal() {
   return id;
 }
 
+/// The thread's current span context. Process-global (not per-sink): a
+/// thread is inside at most one span stack at a time regardless of which
+/// sink the spans record into.
+thread_local TraceContext t_current_context;
+
+/// Ring-wraparound losses, surfaced process-wide so a truncated trace
+/// shows up in every metrics snapshot next to the export header count.
+Counter& trace_dropped_counter() {
+  static Counter& c = MetricsRegistry::global().counter("obs.trace.dropped");
+  return c;
+}
+
 }  // namespace
+
+TraceContext current_trace_context() { return t_current_context; }
+
+void set_current_trace_context(TraceContext context) {
+  t_current_context = context;
+}
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 TraceSink::TraceSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
@@ -37,6 +66,7 @@ void TraceSink::set_capacity(std::size_t capacity) {
   ring_.reserve(capacity_);
   next_ = 0;
   recorded_ = 0;
+  dropped_ = 0;
 }
 
 std::size_t TraceSink::capacity() const {
@@ -50,18 +80,31 @@ double TraceSink::now_seconds() const {
       .count();
 }
 
+void TraceSink::record(TraceEvent event) {
+  event.thread = thread_ordinal();
+  bool overwrote = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[next_] = std::move(event);  // wraparound: overwrite the oldest
+      ++dropped_;
+      overwrote = true;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++recorded_;
+  }
+  if (overwrote) trace_dropped_counter().add(1);
+}
+
 void TraceSink::record(std::string name, double start_seconds,
                        double duration_seconds) {
-  TraceEvent event{std::move(name), start_seconds, duration_seconds,
-                   thread_ordinal()};
-  std::lock_guard lock(mutex_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-  } else {
-    ring_[next_] = std::move(event);  // wraparound: overwrite the oldest
-  }
-  next_ = (next_ + 1) % capacity_;
-  ++recorded_;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_seconds = start_seconds;
+  event.duration_seconds = duration_seconds;
+  record(std::move(event));
 }
 
 std::vector<TraceEvent> TraceSink::events() const {
@@ -83,11 +126,17 @@ std::uint64_t TraceSink::total_recorded() const {
   return recorded_;
 }
 
+std::uint64_t TraceSink::dropped_count() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
 void TraceSink::clear() {
   std::lock_guard lock(mutex_);
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
+  dropped_ = 0;
 }
 
 json::Value TraceSink::to_json() const {
@@ -98,6 +147,9 @@ json::Value TraceSink::to_json() const {
     o["ts_us"] = e.start_seconds * 1e6;
     o["dur_us"] = e.duration_seconds * 1e6;
     o["tid"] = static_cast<std::size_t>(e.thread);
+    o["trace_id"] = static_cast<std::size_t>(e.trace_id);
+    o["span_id"] = static_cast<std::size_t>(e.span_id);
+    o["parent_id"] = static_cast<std::size_t>(e.parent_id);
     out.push_back(std::move(o));
   }
   return json::Value(std::move(out));

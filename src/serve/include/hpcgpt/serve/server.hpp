@@ -14,6 +14,7 @@
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/nn/transformer.hpp"
 #include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
 
 namespace hpcgpt::serve {
 
@@ -140,6 +141,13 @@ class InferenceServer {
     core::GenerationRequest request;
     std::promise<core::GenerationResult> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Request-scoped trace (global TraceSink enabled at submit): every
+    /// span this request touches — queue wait, prefill, each decode
+    /// round — shares trace.trace_id and parents on trace.span_id (the
+    /// "serve.request" root recorded at completion). Inactive when
+    /// tracing was off at submit.
+    obs::TraceContext trace;
+    double submitted_seconds = 0.0;  ///< sink-epoch submit timestamp
   };
 
   /// One continuous-batching lane: an in-flight generation session.

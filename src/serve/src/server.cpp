@@ -29,6 +29,24 @@ double seconds_since(std::chrono::steady_clock::time_point t) {
 // its own bucket up to the plausible lane counts.
 constexpr std::array<double, 8> kOccupancyBounds = {1, 2, 3, 4, 6, 8, 12, 16};
 
+/// Records one request-scoped span (child of the request's root unless
+/// `as_root`) into the global sink. Used for the phases whose lifetime
+/// does not match a C++ scope on one thread — queue wait, the shared
+/// decode round, and the submit→completion root itself.
+void record_request_span(const char* name, double start_seconds,
+                         double duration_seconds,
+                         const obs::TraceContext& trace,
+                         bool as_root = false) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.start_seconds = start_seconds;
+  event.duration_seconds = duration_seconds;
+  event.trace_id = trace.trace_id;
+  event.span_id = as_root ? trace.span_id : obs::next_span_id();
+  event.parent_id = as_root ? 0 : trace.span_id;
+  obs::TraceSink::global().record(std::move(event));
+}
+
 }  // namespace
 
 InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
@@ -69,6 +87,17 @@ std::future<core::GenerationResult> InferenceServer::submit(
   Request entry;
   entry.request = std::move(request);
   entry.submitted = std::chrono::steady_clock::now();
+  {
+    // Request-scoped tracing: decided once, at submit, so a request keeps
+    // (or lacks) its trace consistently even if the sink toggles
+    // mid-flight.
+    obs::TraceSink& sink = obs::TraceSink::global();
+    if (sink.enabled()) {
+      entry.trace.trace_id = obs::next_trace_id();
+      entry.trace.span_id = obs::next_span_id();
+      entry.submitted_seconds = sink.now_seconds();
+    }
+  }
   std::future<core::GenerationResult> future = entry.promise.get_future();
   {
     std::lock_guard lock(mutex_);
@@ -145,6 +174,10 @@ std::string InferenceServer::metrics_json() const {
 }
 
 void InferenceServer::prefill_stream(Stream& stream) {
+  // Prefill may run on a pool worker: adopt the request's trace context
+  // so the span below (and the GEMM spans under it) parent on the
+  // request root instead of whatever the worker was doing.
+  HPCGPT_TRACE_ADOPT(stream.request.trace);
   HPCGPT_TRACE("serve.prefill");
   try {
     const core::GenerationRequest& req = stream.request.request;
@@ -208,6 +241,14 @@ bool InferenceServer::emit_pending_token(Stream& stream) {
 
 void InferenceServer::finish_stream(Stream& stream) {
   const double latency = seconds_since(stream.request.submitted);
+  if (stream.request.trace.active()) {
+    // Root span: the whole submit→completion lifetime; the queue /
+    // prefill / decode-round spans all parent on this id.
+    record_request_span(
+        "serve.request", stream.request.submitted_seconds,
+        obs::TraceSink::global().now_seconds() - stream.request.submitted_seconds,
+        stream.request.trace, /*as_root=*/true);
+  }
   core::GenerationResult result;
   result.id = stream.request.request.id;
   result.prompt_tokens = stream.prompt.size();
@@ -260,6 +301,14 @@ void InferenceServer::scheduler_loop() {
         queue_.pop_front();
         metrics_.admission_seconds.observe(
             std::chrono::duration<double>(now - entry.submitted).count());
+        if (entry.trace.active()) {
+          // Queue-wait span: submit → lane admission, child of the
+          // request root.
+          record_request_span(
+              "serve.queue", entry.submitted_seconds,
+              obs::TraceSink::global().now_seconds() - entry.submitted_seconds,
+              entry.trace);
+        }
         auto stream = std::make_unique<Stream>(std::move(entry),
                                                model_.model().new_decode_state());
         stream->budget = stream->request.request.max_new_tokens;
@@ -299,6 +348,15 @@ void InferenceServer::scheduler_loop() {
       round_tokens_.push_back(stream->next);
     }
     if (!round_lanes_.empty()) {
+      // The decode step is shared across lanes, so the same wall-clock
+      // interval is recorded once per *traced* request — each request's
+      // timeline stays complete on its own trace_id.
+      bool any_traced = false;
+      for (const Stream* lane : round_lanes_) {
+        any_traced = any_traced || lane->request.trace.active();
+      }
+      const double decode_start =
+          any_traced ? obs::TraceSink::global().now_seconds() : 0.0;
       try {
         const tensor::Matrix& logits = model_.model().decode_step_batch(
             round_states_, round_tokens_, batch_scratch_);
@@ -311,6 +369,16 @@ void InferenceServer::scheduler_loop() {
         for (Stream* lane : round_lanes_) {
           lane->error = std::current_exception();
           lane->done = true;
+        }
+      }
+      if (any_traced) {
+        const double decode_dur =
+            obs::TraceSink::global().now_seconds() - decode_start;
+        for (const Stream* lane : round_lanes_) {
+          if (lane->request.trace.active()) {
+            record_request_span("serve.decode.round", decode_start,
+                                decode_dur, lane->request.trace);
+          }
         }
       }
     }

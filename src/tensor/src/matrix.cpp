@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/thread_pool.hpp"
 
@@ -352,28 +353,37 @@ void count_gemm(std::size_t m, std::size_t k_dim, std::size_t n) {
 
 }  // namespace
 
+// GEMM tracing: only multi-row (prefill/training-shaped, m >= 16) calls
+// get spans — per-token decode GEMMs fire thousands of times per second
+// and would both flood the ring buffer and blow the obs-overhead budget.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   count_gemm(a.rows(), a.cols(), b.cols());
+  HPCGPT_TRACE_IF("tensor.gemm", a.rows() >= 16);
   gemm_nn<false>(a, b, out);
 }
 void matmul_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   count_gemm(a.rows(), a.cols(), b.cols());
+  HPCGPT_TRACE_IF("tensor.gemm", a.rows() >= 16);
   gemm_nn<true>(a, b, out);
 }
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
   count_gemm(a.rows(), a.cols(), b.rows());
+  HPCGPT_TRACE_IF("tensor.gemm", a.rows() >= 16);
   gemm_nt<false>(a, b, out);
 }
 void matmul_nt_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   count_gemm(a.rows(), a.cols(), b.rows());
+  HPCGPT_TRACE_IF("tensor.gemm", a.rows() >= 16);
   gemm_nt<true>(a, b, out);
 }
 void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
   count_gemm(a.cols(), a.rows(), b.cols());
+  HPCGPT_TRACE_IF("tensor.gemm", a.cols() >= 16);
   gemm_tn<false>(a, b, out);
 }
 void matmul_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   count_gemm(a.cols(), a.rows(), b.cols());
+  HPCGPT_TRACE_IF("tensor.gemm", a.cols() >= 16);
   gemm_tn<true>(a, b, out);
 }
 

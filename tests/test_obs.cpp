@@ -1,14 +1,17 @@
 // Observability-substrate tests: counter/gauge semantics, histogram
-// bucket-boundary placement, the deterministic JSON snapshot shape, the
-// trace ring's wraparound behavior and Span/HPCGPT_TRACE gating.
+// bucket-boundary placement and quantile estimates, the deterministic
+// JSON snapshot shape, the trace ring's wraparound/drop accounting,
+// Span/HPCGPT_TRACE gating and the Perfetto/Prometheus/folded exporters.
 
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "hpcgpt/json/json.hpp"
+#include "hpcgpt/obs/export.hpp"
 #include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/obs/trace.hpp"
 
@@ -61,6 +64,51 @@ TEST(Metrics, HistogramRejectsUnsortedBounds) {
   EXPECT_THROW(obs::Histogram({2.0, 1.0}), Error);
 }
 
+TEST(Metrics, HistogramValidatesBoundsStructurally) {
+  // Strictly ascending is the contract: duplicates would make a bucket
+  // unreachable, non-finite edges would poison every quantile.
+  EXPECT_THROW(obs::Histogram({1.0, 1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(
+      obs::Histogram({1.0, std::numeric_limits<double>::infinity()}),
+      InvalidArgument);
+  EXPECT_THROW(
+      obs::Histogram({std::numeric_limits<double>::quiet_NaN(), 1.0}),
+      InvalidArgument);
+  try {
+    obs::Histogram h({3.0, 2.0});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // The diagnostic names the offending edge and its value.
+    EXPECT_NE(std::string(e.what()).find("strictly ascending"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2"), std::string::npos);
+  }
+  EXPECT_NO_THROW(obs::Histogram({1.0, 2.0, 5.0}));
+}
+
+TEST(Metrics, HistogramQuantilesInterpolateWithinBuckets) {
+  obs::Histogram h({10.0, 20.0, 40.0});
+  // 10 observations in (0,10], 10 in (10,20]: the CDF is piecewise
+  // linear with a knee at every bucket edge.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  // p50: rank 10 of 20 is exactly the top of bucket 0.
+  EXPECT_NEAR(h.quantile(0.50), 10.0, 1e-9);
+  // p95: rank 19 is 9/10 through bucket 1 → 10 + 0.9*10.
+  EXPECT_NEAR(h.quantile(0.95), 19.0, 1e-9);
+  // p25: rank 5 is halfway through bucket 0 (lower edge 0).
+  EXPECT_NEAR(h.quantile(0.25), 5.0, 1e-9);
+}
+
+TEST(Metrics, HistogramQuantileOverflowClampsToLastBound) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(100.0);  // overflow bucket: unbounded above
+  EXPECT_NEAR(h.quantile(0.99), 2.0, 1e-9);
+  obs::Histogram empty({1.0, 2.0});
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+}
+
 TEST(Metrics, DefaultLatencyBoundsAreSortedAndWide) {
   const auto bounds = obs::default_latency_bounds();
   ASSERT_FALSE(bounds.empty());
@@ -91,7 +139,8 @@ TEST(Metrics, RegistrySnapshotJsonIsDeterministic) {
             "\"histograms\":{\"lat\":{"
             "\"buckets\":[{\"count\":1,\"le\":1},{\"count\":0,\"le\":2},"
             "{\"count\":1,\"le\":\"inf\"}],"
-            "\"count\":2,\"mean\":2,\"sum\":4}}}");
+            "\"count\":2,\"mean\":2,\"p50\":1,\"p95\":2,\"p99\":2,"
+            "\"sum\":4}}}");
 }
 
 TEST(Metrics, RegistryResetKeepsReferencesValid) {
@@ -180,6 +229,26 @@ TEST(Trace, MacroCompilesAndUsesGlobalSink) {
   sink.clear();
 }
 
+TEST(Trace, WraparoundIsCountedAsDropped) {
+  obs::TraceSink sink(/*capacity=*/3);
+  sink.enable(true);
+  obs::Counter& dropped_counter =
+      obs::MetricsRegistry::global().counter("obs.trace.dropped");
+  const std::uint64_t counter_before = dropped_counter.value();
+  for (int i = 0; i < 5; ++i) {
+    sink.record("e" + std::to_string(i), static_cast<double>(i), 0.1);
+  }
+  EXPECT_EQ(sink.dropped_count(), 2u);
+  EXPECT_EQ(sink.total_recorded(), 5u);
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.total_recorded() - sink.dropped_count(),
+            sink.events().size());
+  // The process-wide counter mirrors drops from every sink.
+  EXPECT_EQ(dropped_counter.value() - counter_before, 2u);
+  sink.clear();
+  EXPECT_EQ(sink.dropped_count(), 0u);
+}
+
 TEST(Trace, ToJsonEmitsChromeTraceLikeFields) {
   obs::TraceSink sink(4);
   sink.enable(true);
@@ -192,6 +261,107 @@ TEST(Trace, ToJsonEmitsChromeTraceLikeFields) {
   EXPECT_NEAR(event.at("ts_us").as_number(), 1000.0, 1e-9);
   EXPECT_NEAR(event.at("dur_us").as_number(), 2000.0, 1e-9);
   EXPECT_GE(event.at("tid").as_int(), 0);
+}
+
+obs::TraceEvent make_event(const char* name, double start, double dur,
+                           std::uint64_t trace, std::uint64_t span,
+                           std::uint64_t parent) {
+  obs::TraceEvent e;
+  e.name = name;
+  e.start_seconds = start;
+  e.duration_seconds = dur;
+  e.trace_id = trace;
+  e.span_id = span;
+  e.parent_id = parent;
+  return e;
+}
+
+TEST(Export, PerfettoTraceHasMetadataAndCompleteEvents) {
+  obs::TraceSink sink(8);
+  sink.enable(true);
+  sink.record(make_event("root", 0.001, 0.004, 7, 10, 0));
+  sink.record(make_event("child", 0.002, 0.001, 7, 11, 10));
+
+  const json::Value trace = obs::perfetto_trace(sink, "test-proc", 42);
+  const json::Object& root = trace.as_object();
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ms");
+  EXPECT_EQ(root.at("otherData").at("dropped_events").as_int(), 0);
+  EXPECT_EQ(root.at("otherData").at("total_recorded").as_int(), 2);
+
+  const json::Array& events = root.at("traceEvents").as_array();
+  std::size_t metadata = 0, complete = 0;
+  for (const json::Value& e : events) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++complete;
+    EXPECT_EQ(e.at("pid").as_int(), 42);
+    if (e.at("name").as_string() == "child") {
+      EXPECT_NEAR(e.at("ts").as_number(), 2000.0, 1e-6);
+      EXPECT_NEAR(e.at("dur").as_number(), 1000.0, 1e-6);
+      EXPECT_EQ(e.at("args").at("trace_id").as_int(), 7);
+      EXPECT_EQ(e.at("args").at("parent_id").as_int(), 10);
+    }
+  }
+  EXPECT_GE(metadata, 2u);  // process_name + at least one thread_name
+  EXPECT_EQ(complete, 2u);
+}
+
+TEST(Export, PrometheusTextExposesAllThreeMetricKinds) {
+  obs::MetricsRegistry registry;
+  registry.counter("req.total").add(3);
+  registry.gauge("queue.depth").set(5);
+  obs::Histogram& lat =
+      registry.histogram("lat.s", std::array<double, 2>{0.1, 1.0});
+  lat.observe(0.05);
+  lat.observe(0.5);
+  lat.observe(9.0);
+
+  const std::string text = obs::prometheus_text(registry);
+  // Names are sanitized ('.' → '_'); buckets are cumulative with +Inf.
+  EXPECT_NE(text.find("# TYPE req_total counter\nreq_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("queue_depth 5\n"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth_peak 5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_s_bucket{le=\"0.1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_s_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_s_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_s_count 3\n"), std::string::npos);
+}
+
+TEST(Export, FoldedStacksChargeSelfTimeAndJoinPaths) {
+  // root (10ms) has two children (3ms + 2ms): root's folded weight is
+  // its self time, 5ms; grandchild nests two levels deep.
+  std::vector<obs::TraceEvent> events;
+  events.push_back(make_event("root", 0.0, 0.010, 1, 1, 0));
+  events.push_back(make_event("childA", 0.001, 0.003, 1, 2, 1));
+  events.push_back(make_event("childB", 0.005, 0.002, 1, 3, 1));
+  events.push_back(make_event("leaf", 0.0015, 0.001, 1, 4, 2));
+
+  const std::string folded = obs::folded_stacks(events);
+  EXPECT_NE(folded.find("root 5000\n"), std::string::npos);
+  EXPECT_NE(folded.find("root;childA 2000\n"), std::string::npos);
+  EXPECT_NE(folded.find("root;childB 2000\n"), std::string::npos);
+  EXPECT_NE(folded.find("root;childA;leaf 1000\n"), std::string::npos);
+}
+
+TEST(Export, FoldedStacksAggregateRepeatedPathsAndOrphans) {
+  std::vector<obs::TraceEvent> events;
+  // Two invocations of the same leaf under the same-named parent path
+  // aggregate into one line; a span whose parent was evicted from the
+  // ring roots its own stack.
+  events.push_back(make_event("work", 0.0, 0.004, 1, 1, 0));
+  events.push_back(make_event("gemm", 0.000, 0.001, 1, 2, 1));
+  events.push_back(make_event("gemm", 0.002, 0.001, 1, 3, 1));
+  events.push_back(make_event("orphan", 0.1, 0.002, 9, 50, 999));
+
+  const std::string folded = obs::folded_stacks(events);
+  EXPECT_NE(folded.find("work;gemm 2000\n"), std::string::npos);
+  EXPECT_NE(folded.find("work 2000\n"), std::string::npos);
+  EXPECT_NE(folded.find("orphan 2000\n"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// hpcgpt_benchdiff — the perf-regression gate over BENCH_perf.json files.
+//
+//   hpcgpt_benchdiff baseline.json candidate.json
+//       [--threshold PCT] [--scale-candidate F]
+//
+// Compares every numeric metric the two files' "measured" sections share
+// and fails (exit 1) when any gated metric regressed by more than the
+// threshold (default 15%). Direction is inferred from the metric name:
+// throughput-like metrics (tokens_per_second, gflops) must not drop;
+// latency-like metrics (latency, ttft, p95/p99 seconds) must not rise.
+// Metrics matching neither family are printed as informational only.
+//
+// --scale-candidate F is a test hook: it multiplies the candidate's
+// throughput metrics by F and divides its latency metrics by F before
+// comparing, so CI can verify the gate trips on a synthetic regression
+// (e.g. F=0.8 simulates a uniform 20% slowdown).
+//
+// Exit codes: 0 = no gated regression, 1 = regression detected,
+// 2 = usage or parse error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/support/error.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+enum class Direction { HigherBetter, LowerBetter, Informational };
+
+Direction classify(const std::string& name) {
+  const auto contains = [&](const char* needle) {
+    return name.find(needle) != std::string::npos;
+  };
+  if (contains("tokens_per_second") || contains("gflops")) {
+    return Direction::HigherBetter;
+  }
+  if (contains("latency") || contains("ttft") || contains("seconds")) {
+    return Direction::LowerBetter;
+  }
+  return Direction::Informational;
+}
+
+json::Object load_measured(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value root = json::parse(buffer.str());
+  require(root.is_object(), path + ": top level is not an object");
+  const auto it = root.as_object().find("measured");
+  require(it != root.as_object().end() && it->second.is_object(),
+          path + ": no \"measured\" object");
+  return it->second.as_object();
+}
+
+struct Options {
+  std::string baseline;
+  std::string candidate;
+  double threshold_pct = 15.0;
+  double scale_candidate = 1.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: hpcgpt_benchdiff baseline.json candidate.json "
+               "[--threshold PCT] [--scale-candidate F]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value_of = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+      if (a == flag && i + 1 < argc) return argv[++i];
+      throw InvalidArgument("missing value for " + std::string(flag));
+    };
+    try {
+      if (a.rfind("--threshold", 0) == 0) {
+        opts.threshold_pct = std::stod(value_of("--threshold"));
+      } else if (a.rfind("--scale-candidate", 0) == 0) {
+        opts.scale_candidate = std::stod(value_of("--scale-candidate"));
+      } else if (a.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "hpcgpt_benchdiff: unknown option %s\n",
+                     a.c_str());
+        return usage();
+      } else {
+        positional.push_back(a);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hpcgpt_benchdiff: %s\n", e.what());
+      return usage();
+    }
+  }
+  if (positional.size() != 2) return usage();
+  opts.baseline = positional[0];
+  opts.candidate = positional[1];
+
+  try {
+    const json::Object base = load_measured(opts.baseline);
+    const json::Object cand = load_measured(opts.candidate);
+
+    std::printf("%-44s %14s %14s %8s  %s\n", "metric", "baseline",
+                "candidate", "delta%", "verdict");
+    std::size_t compared = 0;
+    std::vector<std::string> regressions;
+    for (const auto& [name, base_value] : base) {
+      const auto it = cand.find(name);
+      if (it == cand.end() || !base_value.is_number() ||
+          !it->second.is_number()) {
+        continue;
+      }
+      const Direction dir = classify(name);
+      const double b = base_value.as_number();
+      double c = it->second.as_number();
+      if (dir == Direction::HigherBetter) c *= opts.scale_candidate;
+      if (dir == Direction::LowerBetter) c /= opts.scale_candidate;
+      const double delta_pct = b != 0.0 ? (c - b) / b * 100.0 : 0.0;
+
+      const char* verdict = "info";
+      const bool gated = dir != Direction::Informational && b != 0.0;
+      if (gated) {
+        const bool regressed =
+            dir == Direction::HigherBetter
+                ? c < b * (1.0 - opts.threshold_pct / 100.0)
+                : c > b * (1.0 + opts.threshold_pct / 100.0);
+        verdict = regressed ? "REGRESSED" : "ok";
+        if (regressed) regressions.push_back(name);
+      }
+      std::printf("%-44s %14.6g %14.6g %+7.1f%%  %s\n", name.c_str(), b, c,
+                  delta_pct, verdict);
+      ++compared;
+    }
+    require(compared > 0, "no shared numeric metrics under \"measured\"");
+
+    if (!regressions.empty()) {
+      std::printf("\n%zu metric(s) regressed beyond %.1f%%:\n",
+                  regressions.size(), opts.threshold_pct);
+      for (const std::string& name : regressions) {
+        std::printf("  %s\n", name.c_str());
+      }
+      return 1;
+    }
+    std::printf("\nno regression beyond %.1f%% across %zu metric(s)\n",
+                opts.threshold_pct, compared);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hpcgpt_benchdiff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -5,11 +5,12 @@
 //   hpcgpt train --data dataset.jsonl --out model.bin
 //          [--base llama|llama2|gpt35|gpt4] [--lora R] [--epochs E]
 //          [--max-records N] [--workers W] [--micro-batch B] [--pack]
+//          [--trace-out trace.json]
 //       pre-train a base model and fine-tune it on the dataset;
 //       --workers W runs the data-parallel engine with W model replicas
 //       (0 = all cores), --micro-batch B averages B sequences per
 //       optimizer step, --pack concatenates short examples to the
-//       context window
+//       context window, --trace-out writes a Perfetto trace of the run
 //   hpcgpt ask --model model.bin "question..."
 //       free-form Task-1 question answering
 //   hpcgpt detect [--model model.bin] file.c|file.f90
@@ -17,12 +18,16 @@
 //       is given, the LLM-based method of Task 2)
 //   hpcgpt eval --model model.bin [--language c|fortran]
 //       score the model on the DataRaceBench-style evaluation suite
-//   hpcgpt serve --model model.bin [--metrics]
+//   hpcgpt serve --model model.bin [--metrics] [--trace-out trace.json]
 //       answer questions from stdin, one per line (Figure-1 deployment);
-//       --metrics prints the server's metrics JSON on shutdown
+//       --metrics prints the server's metrics JSON on shutdown,
+//       --trace-out writes a Perfetto/Chrome trace of every request
 //   hpcgpt obs dump [--model model.bin] [--question "..."] [--compact]
+//          [--format json|prom|perfetto|folded]
 //       dump the process metrics registry (and, when a model is given,
-//       trace one generation first so the snapshot has content)
+//       trace one generation first so the snapshot has content);
+//       prom = Prometheus text exposition, perfetto = trace-event JSON,
+//       folded = flamegraph.pl folded stacks
 //   hpcgpt export-drb --dir DIR [--language c|fortran|both]
 //       write the DataRaceBench-style evaluation suite to disk as
 //       .c/.f90 sources plus a labels.csv (the dataset-release artifact)
@@ -43,6 +48,7 @@
 #include "hpcgpt/eval/metrics.hpp"
 #include "hpcgpt/kb/kb.hpp"
 #include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/obs/export.hpp"
 #include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/race/detector.hpp"
@@ -61,13 +67,18 @@ Args parse_args(int argc, char** argv, int from) {
   Args args;
   for (int i = from; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0 && i + 1 < argc &&
-        std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[a.substr(2)] = argv[++i];
-    } else if (a.rfind("--", 0) == 0) {
-      args.options[a.substr(2)] = "1";
-    } else {
+    if (a.rfind("--", 0) != 0) {
       args.positional.push_back(a);
+      continue;
+    }
+    // Both spellings work: --key value and --key=value.
+    const std::size_t eq = a.find('=');
+    if (eq != std::string::npos) {
+      args.options[a.substr(2, eq - 2)] = a.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[a.substr(2)] = argv[++i];
+    } else {
+      args.options[a.substr(2)] = "1";
     }
   }
   return args;
@@ -121,10 +132,15 @@ core::BaseModel base_by_name(const std::string& name) {
   throw InvalidArgument("unknown base model: " + name);
 }
 
+void begin_trace_capture();
+void write_trace_capture(const std::string& path);
+
 int cmd_train(const Args& args) {
   const auto records =
       datagen::from_jsonl(read_file(opt(args, "data", "dataset.jsonl")));
   std::printf("loaded %zu records\n", records.size());
+  const std::string trace_out = opt(args, "trace-out", "");
+  if (!trace_out.empty()) begin_trace_capture();
 
   const text::BpeTokenizer tokenizer = core::build_shared_tokenizer();
   core::ModelOptions spec =
@@ -162,6 +178,7 @@ int cmd_train(const Args& args) {
   const std::string out_path = opt(args, "out", "model.bin");
   model.save_bundle_file(out_path);
   std::printf("saved bundle to %s\n", out_path.c_str());
+  if (!trace_out.empty()) write_trace_capture(trace_out);
   return 0;
 }
 
@@ -224,9 +241,34 @@ int cmd_eval(const Args& args) {
   return 0;
 }
 
+/// --trace-out=FILE support, shared by serve and train: arms the global
+/// sink (with a deep ring so a whole run fits) before the workload, then
+/// writes the Perfetto JSON artifact afterwards.
+void begin_trace_capture() {
+  obs::TraceSink& sink = obs::TraceSink::global();
+  sink.set_capacity(1 << 16);
+  sink.clear();
+  sink.enable(true);
+}
+
+void write_trace_capture(const std::string& path) {
+  obs::TraceSink& sink = obs::TraceSink::global();
+  sink.enable(false);
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "cannot write " + path);
+  out << obs::perfetto_trace_json(sink);
+  std::printf("wrote %zu trace events (%llu dropped) to %s — open in "
+              "ui.perfetto.dev or chrome://tracing\n",
+              sink.events().size(),
+              static_cast<unsigned long long>(sink.dropped_count()),
+              path.c_str());
+}
+
 int cmd_serve(const Args& args) {
   core::HpcGpt model =
       core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  const std::string trace_out = opt(args, "trace-out", "");
+  if (!trace_out.empty()) begin_trace_capture();
   serve::InferenceServer server(model, 2);
   std::printf("hpcgpt serving '%s' — one question per line, EOF to stop\n",
               model.name().c_str());
@@ -244,12 +286,14 @@ int cmd_serve(const Args& args) {
   if (args.options.count("metrics") > 0) {
     std::printf("%s\n", server.metrics_json().c_str());
   }
+  if (!trace_out.empty()) write_trace_capture(trace_out);
   return 0;
 }
 
 int cmd_obs(const Args& args) {
   require(!args.positional.empty() && args.positional[0] == "dump",
-          "usage: hpcgpt obs dump [--model M] [--question Q] [--compact]");
+          "usage: hpcgpt obs dump [--model M] [--question Q] [--compact] "
+          "[--format json|prom|perfetto|folded]");
   const auto model_it = args.options.find("model");
   if (model_it != args.options.end()) {
     // Run one traced generation so the dump demonstrates live content:
@@ -261,13 +305,31 @@ int cmd_obs(const Args& args) {
     model.generate(request);
     obs::TraceSink::global().enable(false);
   }
-  json::Object root;
-  root["metrics"] = obs::MetricsRegistry::global().snapshot();
-  root["trace"] = obs::TraceSink::global().to_json();
-  const json::Value dump{std::move(root)};
-  std::printf("%s\n", args.options.count("compact") > 0
-                          ? dump.dump().c_str()
-                          : dump.dump_pretty().c_str());
+  const std::string format = opt(args, "format", "json");
+  if (format == "prom") {
+    // Prometheus text exposition of the process registry (pipe into a
+    // node_exporter textfile or curl-compatible scrape mock).
+    std::printf("%s", obs::prometheus_text(obs::MetricsRegistry::global())
+                          .c_str());
+  } else if (format == "perfetto") {
+    std::printf("%s\n",
+                obs::perfetto_trace_json(obs::TraceSink::global()).c_str());
+  } else if (format == "folded") {
+    // flamegraph.pl-ready folded stacks of the buffered spans.
+    std::printf("%s", obs::folded_stacks(obs::TraceSink::global()).c_str());
+  } else {
+    require(format == "json",
+            "obs dump: unknown --format (json|prom|perfetto|folded)");
+    json::Object root;
+    root["metrics"] = obs::MetricsRegistry::global().snapshot();
+    root["trace"] = obs::TraceSink::global().to_json();
+    root["trace_dropped"] =
+        static_cast<std::size_t>(obs::TraceSink::global().dropped_count());
+    const json::Value dump{std::move(root)};
+    std::printf("%s\n", args.options.count("compact") > 0
+                            ? dump.dump().c_str()
+                            : dump.dump_pretty().c_str());
+  }
   return 0;
 }
 
