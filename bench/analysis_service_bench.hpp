@@ -1,0 +1,114 @@
+#pragma once
+
+// Shared workload for the analysis-service throughput measurements:
+// bench_analysis_service (the standalone runner) and bench_perf_json
+// (the BENCH_perf.json trajectory) must time exactly the same thing.
+//
+// The workload models the CI traffic the VerificationService is built
+// for: a translation unit of DRB-generated functions, re-submitted in
+// full after every edit with exactly one function changed.
+//
+//   cold: a fresh service analyzes the whole unit (every function is a
+//         cache miss — parse + three passes each).
+//   warm: the same service re-verifies the unit with one function
+//         edited per iteration (N-1 text-hash hits + 1 miss).
+//
+// Both are reported as functions verified per second, best-of-N to
+// de-noise a shared box; the warm/cold ratio is the incremental win the
+// perf gate tracks (see DESIGN.md, "Analysis service").
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpcgpt/analysis/service.hpp"
+#include "hpcgpt/drb/drb.hpp"
+#include "hpcgpt/minilang/ast.hpp"
+#include "hpcgpt/minilang/render.hpp"
+#include "hpcgpt/support/rng.hpp"
+#include "hpcgpt/support/timer.hpp"
+
+namespace hpcgpt::bench {
+
+/// One DRB case with a trailing `bench_salt = <salt>` assignment, so
+/// every function in the unit has a distinct AST fingerprint even when a
+/// category's generator emits a fixed pattern. Rendered C-flavoured.
+inline std::string analysis_bench_function(drb::Category category,
+                                           Rng& rng, std::int64_t salt) {
+  drb::TestCase tc = drb::generate_case(category, minilang::Flavor::C, rng);
+  minilang::Program program = std::move(tc.program);
+  program.decls.push_back({"bench_salt", false, 0, 0});
+  program.body.push_back(minilang::assign(minilang::scalar_ref("bench_salt"),
+                                          minilang::int_lit(salt)));
+  return minilang::render(program, minilang::Flavor::C);
+}
+
+/// A translation unit of `n` distinct functions cycling through the DRB
+/// categories.
+inline analysis::VerifyRequest analysis_bench_unit(std::size_t n) {
+  Rng rng(2023);
+  const auto& categories = drb::all_categories();
+  analysis::VerifyRequest request;
+  request.unit = "bench_unit";
+  for (std::size_t i = 0; i < n; ++i) {
+    const drb::Category category = categories[i % categories.size()];
+    request.functions.push_back(
+        {"fn" + std::to_string(i),
+         analysis_bench_function(category, rng,
+                                 static_cast<std::int64_t>(i))});
+  }
+  return request;
+}
+
+struct AnalysisServiceBench {
+  double cold_per_second = 0.0;  ///< fresh service, all misses
+  double warm_per_second = 0.0;  ///< 1 of N functions edited per round
+  std::size_t functions = 0;
+  analysis::VerificationService::CacheStats warm_cache;  ///< final counters
+};
+
+/// Runs the cold and warm measurements over one `functions`-sized unit.
+inline AnalysisServiceBench run_analysis_service_bench(
+    std::size_t functions = 24, int cold_reps = 5, int warm_reps = 40) {
+  AnalysisServiceBench result;
+  result.functions = functions;
+  const analysis::VerifyRequest unit = analysis_bench_unit(functions);
+
+  // Cold: every rep gets a fresh cache, so every function pays the full
+  // parse + analyze path.
+  double cold_best = 1e30;
+  for (int rep = 0; rep < cold_reps; ++rep) {
+    analysis::ServiceOptions options;
+    options.ground_rationales = false;  // metric-only workload
+    analysis::VerificationService service(options);
+    Timer t;
+    (void)service.verify(unit);
+    cold_best = std::min(cold_best, t.seconds());
+  }
+  result.cold_per_second = static_cast<double>(functions) / cold_best;
+
+  // Warm: one long-lived service, pre-warmed, then re-verified with one
+  // freshly edited function per rep (the rep counter is rendered into
+  // the source, so each round is exactly N-1 hits + 1 miss).
+  analysis::ServiceOptions options;
+  options.ground_rationales = false;
+  analysis::VerificationService service(options);
+  (void)service.verify(unit);
+  Rng edit_rng(7);
+  const auto& categories = drb::all_categories();
+  analysis::VerifyRequest edited = analysis_bench_unit(functions);
+  double warm_best = 1e30;
+  for (int rep = 0; rep < warm_reps; ++rep) {
+    edited.functions[0].source = analysis_bench_function(
+        categories[rep % categories.size()], edit_rng, 1000 + rep);
+    Timer t;
+    (void)service.verify(edited);
+    warm_best = std::min(warm_best, t.seconds());
+  }
+  result.warm_per_second = static_cast<double>(functions) / warm_best;
+  result.warm_cache = service.cache_stats();
+  return result;
+}
+
+}  // namespace hpcgpt::bench

@@ -1,0 +1,76 @@
+// Analysis-service throughput: cold vs warm cache.
+//
+//   bench_analysis_service [BENCH_perf.json]
+//
+// Times the CI re-verification workload (see analysis_service_bench.hpp):
+// a 24-function DRB translation unit analyzed by a fresh service (cold,
+// all cache misses) and re-verified with one function edited per round
+// (warm, N-1 hits + 1 miss). Prints both as functions/second plus the
+// warm/cold ratio, and — when given a BENCH_perf.json path — merges
+// `analysis_per_second_cold` / `analysis_per_second_warm` into its
+// "measured" section so hpcgpt_benchdiff gates them like every other
+// throughput metric (the *_per_second family is higher-is-better).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis_service_bench.hpp"
+#include "hpcgpt/json/json.hpp"
+
+using namespace hpcgpt;
+
+namespace {
+
+/// Inserts/overwrites the two analysis metrics in an existing
+/// BENCH_perf.json (or starts a minimal document when the file is
+/// missing), leaving every other metric untouched.
+void merge_into(const std::string& path, const bench::AnalysisServiceBench& r) {
+  json::Value root;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      root = json::parse(buffer.str());
+    } else {
+      json::Object fresh;
+      fresh["bench"] = "inference_engine_perf";
+      fresh["measured"] = json::Object{};
+      root = json::Value(std::move(fresh));
+    }
+  }
+  json::Object& top = root.as_object();
+  if (top.find("measured") == top.end() || !top["measured"].is_object()) {
+    top["measured"] = json::Object{};
+  }
+  json::Object& measured = top["measured"].as_object();
+  measured["analysis_per_second_cold"] = r.cold_per_second;
+  measured["analysis_per_second_warm"] = r.warm_per_second;
+  std::ofstream out(path);
+  out << root.dump_pretty() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::AnalysisServiceBench r = bench::run_analysis_service_bench();
+  std::printf("bench_analysis_service: %zu-function unit, 1 edit/round\n",
+              r.functions);
+  std::printf("analysis_per_second_cold  %10.1f\n", r.cold_per_second);
+  std::printf("analysis_per_second_warm  %10.1f\n", r.warm_per_second);
+  std::printf("warm/cold speedup         %10.2fx\n",
+              r.cold_per_second > 0.0 ? r.warm_per_second / r.cold_per_second
+                                      : 0.0);
+  std::printf("cache: %llu hits, %llu misses, %llu evictions, %zu entries\n",
+              static_cast<unsigned long long>(r.warm_cache.hits),
+              static_cast<unsigned long long>(r.warm_cache.misses),
+              static_cast<unsigned long long>(r.warm_cache.evictions),
+              r.warm_cache.entries);
+  if (argc > 1) {
+    merge_into(argv[1], r);
+    std::printf("merged analysis_per_second_{cold,warm} into %s\n", argv[1]);
+  }
+  return 0;
+}

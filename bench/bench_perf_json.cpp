@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis_service_bench.hpp"
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/json/json.hpp"
 #include "hpcgpt/nn/trainer.hpp"
@@ -222,6 +223,9 @@ int main(int argc, char** argv) {
   const double train_w1_tps = train_tps_engine(train_cfg, corpus, 1);
   std::printf("bench_perf: train engine w4 ...\n");
   const double train_w4_tps = train_tps_engine(train_cfg, corpus, 4);
+  std::printf("bench_perf: analysis service cold/warm ...\n");
+  const bench::AnalysisServiceBench analysis_bench =
+      bench::run_analysis_service_bench();
 
   json::Object baseline;
   baseline["provenance"] = kBaselineProvenance;
@@ -251,12 +255,22 @@ int main(int argc, char** argv) {
   measured["train_tokens_per_second_sequential"] = train_seq_tps;
   measured["train_tokens_per_second_workers1"] = train_w1_tps;
   measured["train_tokens_per_second_workers4"] = train_w4_tps;
+  // Analysis-as-a-service: functions verified per second on the CI
+  // re-verification workload (24-function DRB unit; warm = one function
+  // edited per round, so N-1 requests are cache hits). Both are gated by
+  // benchdiff as *_per_second throughput metrics.
+  measured["analysis_per_second_cold"] = analysis_bench.cold_per_second;
+  measured["analysis_per_second_warm"] = analysis_bench.warm_per_second;
 
   json::Object speedup;
   speedup["gemm_128"] = gemm / kBaselineGemm128Gflops;
   speedup["server_8stream"] =
       batched.tokens_per_second / kBaselineServer8StreamTokS;
   speedup["train_workers4_vs_sequential"] = train_w4_tps / train_seq_tps;
+  speedup["analysis_warm_vs_cold"] =
+      analysis_bench.cold_per_second > 0.0
+          ? analysis_bench.warm_per_second / analysis_bench.cold_per_second
+          : 0.0;
 
   json::Object root;
   root["bench"] = "inference_engine_perf";

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,8 +36,32 @@ struct Diagnostic {
   std::string message;       ///< human-readable explanation
 };
 
+/// Full field equality (including the message text).
+bool operator==(const Diagnostic& a, const Diagnostic& b);
+
 /// "[pass] severity: 'var' — message (stmts i,j)".
 std::string to_string(const Diagnostic& d);
+
+/// Stable structured identity of a finding: pass, severity, variable and
+/// the statement span — the message text is excluded, so rewording a
+/// diagnostic does not change its identity. This is the deduplication key
+/// and the per-diagnostic fingerprint the analysis service reports.
+std::uint64_t fingerprint(const Diagnostic& d);
+
+/// Order- and content-sensitive hash over a whole report: every field of
+/// every diagnostic (messages included) plus the structural flags. Two
+/// reports fingerprint identically exactly when they are bitwise-equal —
+/// the check the service's cached-vs-fresh tests assert.
+struct Report;
+std::uint64_t fingerprint(const Report& report);
+
+/// Removes diagnostics whose identity fingerprint (pass + severity +
+/// variable + statement span) already appeared earlier in the list,
+/// keeping first occurrences in order. Because only later *identical-key*
+/// findings are dropped, first_error() and has_errors() are unaffected —
+/// verdicts (Table 5, llov_compat) cannot change. Returns the number of
+/// diagnostics removed.
+std::size_t deduplicate(std::vector<Diagnostic>& diagnostics);
 
 /// Result of one verifier run: every finding of every pass, in program
 /// traversal order, plus the structural facts the LLOV-compatible verdict

@@ -1,8 +1,54 @@
 #include "hpcgpt/analysis/diagnostic.hpp"
 
 #include <sstream>
+#include <unordered_set>
+
+#include "hpcgpt/support/hash.hpp"
 
 namespace hpcgpt::analysis {
+
+bool operator==(const Diagnostic& a, const Diagnostic& b) {
+  return a.pass == b.pass && a.severity == b.severity &&
+         a.variable == b.variable && a.stmts == b.stmts &&
+         a.message == b.message;
+}
+
+std::uint64_t fingerprint(const Diagnostic& d) {
+  Fnv1aHasher h;
+  h.u8(static_cast<std::uint8_t>(d.pass));
+  h.u8(static_cast<std::uint8_t>(d.severity));
+  h.str(d.variable);
+  h.u64(d.stmts.size());
+  for (int s : d.stmts) h.i64(s);
+  return h.value();
+}
+
+std::uint64_t fingerprint(const Report& report) {
+  Fnv1aHasher h;
+  h.u64(report.diagnostics.size());
+  for (const Diagnostic& d : report.diagnostics) {
+    h.u64(fingerprint(d));
+    h.str(d.message);  // identity fingerprints exclude it; this one must not
+  }
+  h.u8(report.saw_parallel_loop ? 1 : 0);
+  h.u8(report.saw_parallel_region ? 1 : 0);
+  h.u64(report.statements);
+  return h.value();
+}
+
+std::size_t deduplicate(std::vector<Diagnostic>& diagnostics) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(diagnostics.size());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    if (!seen.insert(fingerprint(diagnostics[i])).second) continue;
+    if (kept != i) diagnostics[kept] = std::move(diagnostics[i]);
+    ++kept;
+  }
+  const std::size_t removed = diagnostics.size() - kept;
+  diagnostics.resize(kept);
+  return removed;
+}
 
 std::string pass_name(PassId pass) {
   switch (pass) {

@@ -58,6 +58,10 @@ class Verifier {
       // that yielded a race.
       if (!options_.exhaustive && report_.has_errors()) break;
     }
+    // Identical findings (same pass + statement span + variable) reported
+    // through more than one access pair collapse to their first
+    // occurrence; verdicts are unaffected (see deduplicate()).
+    deduplicate(report_.diagnostics);
     return std::move(report_);
   }
 

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hpcgpt/minilang/ast.hpp"
+
+namespace hpcgpt::minilang {
+
+/// Structural content hashes over the mini-language AST.
+///
+/// fingerprint(*) hashes a node exactly as built: two programs
+/// fingerprint identically when they have the same declaration set (order
+/// ignored — it carries no semantics), the same statement tree, the same
+/// clauses and literals. `Program::name` is deliberately excluded —
+/// analysis results do not depend on it, so a renamed but otherwise
+/// untouched function can still hit the analysis cache.
+std::uint64_t fingerprint(const Expr& expr);
+std::uint64_t fingerprint(const Stmt& stmt);
+std::uint64_t fingerprint(const Program& program);
+
+/// The *flavour-independent* program hash the analysis service keys its
+/// cache on: the fingerprint of the program's C-render → parse normal
+/// form. The two renderers represent declaration initializers differently
+/// (C materializes init loops, Fortran keeps them on the declaration), so
+/// raw ASTs of the same program can disagree across surfaces; the normal
+/// form collapses a hand-built AST, its C rendering and its Fortran
+/// rendering — plus any whitespace edit of either — onto one
+/// representative.
+std::uint64_t canonical_fingerprint(const Program& program);
+
+}  // namespace hpcgpt::minilang

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "hpcgpt/analysis/service.hpp"
 #include "hpcgpt/core/generation.hpp"
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/nn/transformer.hpp"
@@ -36,6 +37,9 @@ struct ServerOptions {
   /// throughput under bursts. Requests arriving mid-flight are still
   /// admitted every round regardless of this setting.
   double admission_window_seconds = 0.0;
+  /// Knobs of the co-hosted analysis service (cache capacity, verifier
+  /// options, grounding) behind the typed verification request kind.
+  analysis::ServiceOptions verification;
 };
 
 /// Server statistics — a consistent snapshot view over the server's
@@ -45,6 +49,8 @@ struct ServerOptions {
 struct ServerStats {
   std::size_t requests_served = 0;
   std::size_t requests_rejected = 0;   ///< submitted after shutdown
+  std::size_t requests_verified = 0;   ///< verification requests completed
+  std::size_t verifications_rejected = 0;  ///< verify submits after shutdown
   std::size_t max_queue_depth = 0;
   std::size_t prompt_tokens = 0;       ///< tokens ingested via prefill
   std::size_t generated_tokens = 0;    ///< tokens emitted by decode steps
@@ -114,6 +120,21 @@ class InferenceServer {
   /// GenerationResult::ok().
   std::future<core::GenerationResult> submit(core::GenerationRequest request);
 
+  /// The second typed request kind: race verification, served alongside
+  /// generation (the CI-style linting workload). The request is handed to
+  /// the co-hosted analysis::VerificationService on the shared thread
+  /// pool — it consumes no decode lane, so verification traffic and token
+  /// generation overlap freely. After shutdown() the future resolves
+  /// immediately with accepted == false (the typed-rejection contract of
+  /// the generation path). A `serve.verify` span parents the service's
+  /// `analysis.verify` span when tracing is armed at submit.
+  std::future<analysis::VerifyResponse> submit(
+      analysis::VerifyRequest request);
+
+  /// The co-hosted analysis service (its registry carries the
+  /// analysis.cache.{hits,misses,evictions} counters).
+  const analysis::VerificationService& verifier() const { return verifier_; }
+
   /// Deprecated string-only surface, kept for existing callers: forwards
   /// to the typed submit() and yields only the answer text. A rejected
   /// request (submit after shutdown) surfaces as an Error exception from
@@ -173,6 +194,8 @@ class InferenceServer {
   struct Metrics {
     obs::Counter& completed;        ///< serve.requests.completed
     obs::Counter& rejected;         ///< serve.requests.rejected
+    obs::Counter& verified;         ///< serve.verify.completed
+    obs::Counter& verify_rejected;  ///< serve.verify.rejected
     obs::Counter& prompt_tokens;    ///< serve.tokens.prompt
     obs::Counter& generated_tokens; ///< serve.tokens.generated
     obs::Counter& rounds;           ///< serve.rounds.count
@@ -206,12 +229,18 @@ class InferenceServer {
   ServerOptions options_;
   obs::MetricsRegistry registry_;
   Metrics metrics_;
+  analysis::VerificationService verifier_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Request> queue_;
   std::thread scheduler_;
   std::uint64_t next_id_ = 1;  ///< server-assigned request ids (under mutex_)
   bool stopping_ = false;
+  /// Verification tasks dispatched to the pool and not yet resolved;
+  /// shutdown() waits for this to reach zero (verify_idle_) so in-flight
+  /// tasks never outlive the service they run on.
+  std::size_t verify_inflight_ = 0;
+  std::condition_variable verify_idle_;
 
   // Scheduler-thread state: the shared batched-decode scratch plus the
   // per-round lane gather buffers (reused so rounds stay allocation-free).

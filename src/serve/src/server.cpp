@@ -52,6 +52,8 @@ void record_request_span(const char* name, double start_seconds,
 InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
     : completed(r.counter("serve.requests.completed")),
       rejected(r.counter("serve.requests.rejected")),
+      verified(r.counter("serve.verify.completed")),
+      verify_rejected(r.counter("serve.verify.rejected")),
       prompt_tokens(r.counter("serve.tokens.prompt")),
       generated_tokens(r.counter("serve.tokens.generated")),
       rounds(r.counter("serve.rounds.count")),
@@ -71,7 +73,10 @@ InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t max_batch)
                                .max_new_tokens = 48}) {}
 
 InferenceServer::InferenceServer(core::HpcGpt& model, ServerOptions options)
-    : model_(model), options_(options), metrics_(registry_) {
+    : model_(model),
+      options_(options),
+      metrics_(registry_),
+      verifier_(options_.verification) {
   options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
   if (options_.max_new_tokens == 0) options_.max_new_tokens = 48;
   scheduler_ = std::thread([this] { scheduler_loop(); });
@@ -136,14 +141,60 @@ std::future<std::string> InferenceServer::submit(std::string question) {
                     });
 }
 
+std::future<analysis::VerifyResponse> InferenceServer::submit(
+    analysis::VerifyRequest request) {
+  auto promise = std::make_shared<std::promise<analysis::VerifyResponse>>();
+  std::future<analysis::VerifyResponse> future = promise->get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      metrics_.verify_rejected.add(1);
+      analysis::VerifyResponse rejected;
+      rejected.unit = request.unit;
+      rejected.accepted = false;
+      promise->set_value(std::move(rejected));
+      return future;
+    }
+    ++verify_inflight_;
+  }
+  // Capture the submitter's trace context so the pool-side serve.verify
+  // span (and the service's analysis.verify under it) parents on
+  // whatever span the caller had open at submit time.
+  const obs::TraceContext trace = obs::current_trace_context();
+  auto shared = std::make_shared<analysis::VerifyRequest>(std::move(request));
+  ThreadPool::global().submit([this, promise, shared, trace] {
+    HPCGPT_TRACE_ADOPT(trace);
+    analysis::VerifyResponse response;
+    {
+      HPCGPT_TRACE("serve.verify");
+      response = verifier_.verify(*shared);
+    }
+    {
+      std::lock_guard lock(mutex_);
+      metrics_.verified.add(1);
+      --verify_inflight_;
+      // Notify under the lock: once it is released a waiting shutdown()
+      // may destroy the server, so `this` is not touched after the scope
+      // ends (the promise is shared_ptr-owned and outlives the server).
+      if (verify_inflight_ == 0) verify_idle_.notify_all();
+    }
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
 void InferenceServer::shutdown() {
   {
     std::lock_guard lock(mutex_);
-    if (stopping_ && !scheduler_.joinable()) return;
     stopping_ = true;
   }
   available_.notify_all();
   if (scheduler_.joinable()) scheduler_.join();
+  // Verification tasks run on the shared pool, not the scheduler; wait
+  // them out so none touches the service after shutdown returns (and the
+  // destructor can safely tear the service down).
+  std::unique_lock lock(mutex_);
+  verify_idle_.wait(lock, [this] { return verify_inflight_ == 0; });
 }
 
 ServerStats InferenceServer::stats() const {
@@ -154,6 +205,8 @@ ServerStats InferenceServer::stats() const {
   ServerStats s;
   s.requests_served = metrics_.completed.value();
   s.requests_rejected = metrics_.rejected.value();
+  s.requests_verified = metrics_.verified.value();
+  s.verifications_rejected = metrics_.verify_rejected.value();
   s.max_queue_depth =
       static_cast<std::size_t>(metrics_.queue_depth.max_value());
   s.prompt_tokens = metrics_.prompt_tokens.value();
@@ -169,6 +222,7 @@ ServerStats InferenceServer::stats() const {
 std::string InferenceServer::metrics_json() const {
   json::Object root;
   root["server"] = registry_.snapshot();
+  root["analysis"] = verifier_.metrics().snapshot();
   root["process"] = obs::MetricsRegistry::global().snapshot();
   return json::Value(std::move(root)).dump();
 }

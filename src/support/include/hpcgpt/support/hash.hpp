@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hpcgpt {
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// This is the content-hashing primitive behind the analysis service's
+/// incremental cache (minilang AST fingerprints, diagnostic identities):
+/// cheap, dependency-free, and — because multi-byte integers are fed in
+/// explicitly little-endian — stable across platforms, so fingerprints
+/// can be persisted and compared between runs and machines. Not a
+/// cryptographic hash; collisions are possible but at 64 bits negligible
+/// for cache sizes in the thousands.
+class Fnv1aHasher {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+
+  /// Explicit little-endian byte order, independent of host endianness.
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, 8);
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed, so consecutive strings cannot alias ("ab","c" vs
+  /// "a","bc").
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+/// One-shot convenience over a string (the text-level cache key of the
+/// analysis service).
+inline std::uint64_t fnv1a(std::string_view s) {
+  Fnv1aHasher h;
+  h.str(s);
+  return h.value();
+}
+
+}  // namespace hpcgpt

@@ -1,0 +1,20 @@
+// missing-private-c81945
+#include <omp.h>
+#include <stdio.h>
+
+int y[51];
+int buf[51];
+int t = 0;
+
+int main() {
+  int init_i, i;
+  for (init_i = 0; init_i < 51; init_i++) {
+    y[init_i] = ((init_i * 2) + 0);
+  }
+  #pragma omp parallel for
+  for (i = 0; i < 51; i++) {
+    t = (y[i] * 2);
+    buf[i] = t;
+  }
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hpcgpt/analysis/access.hpp"
@@ -10,6 +12,8 @@
 #include "hpcgpt/analysis/verifier.hpp"
 #include "hpcgpt/drb/drb.hpp"
 #include "hpcgpt/minilang/ast.hpp"
+#include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/minilang/render.hpp"
 #include "hpcgpt/race/detector.hpp"
 #include "hpcgpt/support/rng.hpp"
 
@@ -450,6 +454,103 @@ TEST(Report, RationaleTextIsAlwaysNonEmpty) {
   // Error rationales name the variable.
   const std::string racy = rationale_text(verify(loop_carried()));
   EXPECT_NE(racy.find("'a'"), std::string::npos);
+}
+
+TEST(Report, RationaleForEmptyReportIsTheCleanSentence) {
+  const Report empty;  // no diagnostics, no constructs analysed
+  const std::string text = rationale_text(empty);
+  EXPECT_FALSE(text.empty());
+  EXPECT_NE(text.find("no conflicting accesses"), std::string::npos);
+}
+
+TEST(Report, RationaleFollowsFirstErrorAcrossMultiErrorReports) {
+  // Hand-built two-error report: the rationale must track first_error(),
+  // i.e. document order, not severity or pass precedence.
+  Report r;
+  r.diagnostics.push_back({PassId::Scoping, Severity::Error, "t", {1, 2},
+                           "shared scalar written without protection"});
+  r.diagnostics.push_back({PassId::Dependence, Severity::Error, "a", {1, 3},
+                           "loop-carried dependence (SIV test)"});
+  const std::string forward = rationale_text(r);
+  EXPECT_NE(forward.find("'t'"), std::string::npos);
+  EXPECT_NE(forward.find("scoping"), std::string::npos);
+  std::swap(r.diagnostics[0], r.diagnostics[1]);
+  const std::string reversed = rationale_text(r);
+  EXPECT_NE(reversed.find("'a'"), std::string::npos);
+  EXPECT_NE(reversed.find("dependence"), std::string::npos);
+}
+
+TEST(Report, RationaleCountsWarningsWithCorrectPlural) {
+  Report r;
+  r.diagnostics.push_back({PassId::Dependence, Severity::Warning, "a", {1},
+                           "subscript could not be proven disjoint"});
+  const std::string one = rationale_text(r);
+  EXPECT_NE(one.find("1 access "), std::string::npos);
+  r.diagnostics.push_back({PassId::Dependence, Severity::Warning, "b", {2},
+                           "subscript could not be proven disjoint"});
+  const std::string two = rationale_text(r);
+  EXPECT_NE(two.find("2 accesses "), std::string::npos);
+}
+
+TEST(Report, RationaleSurvivesFortranRenderRoundTrip) {
+  // The Task-2 explanation must be identical whether the program arrived
+  // as an AST or as Fortran-flavoured source text (the service's
+  // flavour-independence contract, satellite of the render round-trip).
+  for (const auto make : {&loop_carried, &vector_add}) {
+    const minilang::Program original = make();
+    const minilang::Program reparsed = minilang::parse_any(
+        minilang::render(original, minilang::Flavor::Fortran));
+    EXPECT_EQ(rationale_text(verify(original)),
+              rationale_text(verify(reparsed)));
+  }
+}
+
+// ---------------------------------------------------------- deduplication
+
+TEST(Deduplicate, DropsLaterIdenticalIdentityKeepsFirstMessage) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({PassId::Scoping, Severity::Error, "t", {1, 2}, "first"});
+  // Same identity (pass/severity/variable/stmts), reworded message: a
+  // duplicate — the first wording survives.
+  diags.push_back({PassId::Scoping, Severity::Error, "t", {1, 2}, "reworded"});
+  // Different statement span: not a duplicate.
+  diags.push_back({PassId::Scoping, Severity::Error, "t", {1, 3}, "first"});
+  // Different severity: not a duplicate.
+  diags.push_back({PassId::Scoping, Severity::Note, "t", {1, 2}, "first"});
+  EXPECT_EQ(deduplicate(diags), 1u);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].message, "first");
+  EXPECT_EQ(diags[1].stmts, (std::vector<int>{1, 3}));
+  EXPECT_EQ(diags[2].severity, Severity::Note);
+}
+
+TEST(Deduplicate, EmptyAndSingletonAreNoOps) {
+  std::vector<Diagnostic> none;
+  EXPECT_EQ(deduplicate(none), 0u);
+  std::vector<Diagnostic> one;
+  one.push_back({PassId::Mhp, Severity::Error, "a", {0}, "m"});
+  EXPECT_EQ(deduplicate(one), 0u);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(Deduplicate, VerifierReportsCarryNoDuplicateFindings) {
+  // End to end: exhaustive-mode reports out of the verifier never contain
+  // two findings with the same identity fingerprint, and the compat
+  // verdicts of Table 5 are untouched by the collapse.
+  VerifierOptions exhaustive;
+  exhaustive.exhaustive = true;
+  for (const drb::Category cat : drb::all_categories()) {
+    Rng rng(11);
+    const drb::TestCase tc =
+        drb::generate_case(cat, minilang::Flavor::C, rng);
+    const Report r = verify(tc.program, exhaustive);
+    std::vector<std::uint64_t> keys;
+    for (const Diagnostic& d : r.diagnostics) keys.push_back(fingerprint(d));
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+        << "duplicate finding in " << drb::category_name(cat) << "\n"
+        << r.render();
+  }
 }
 
 // ------------------------------------------------------- LLOV delegation

@@ -6,7 +6,7 @@
 // Compares every numeric metric the two files' "measured" sections share
 // and fails (exit 1) when any gated metric regressed by more than the
 // threshold (default 15%). Direction is inferred from the metric name:
-// throughput-like metrics (tokens_per_second, gflops) must not drop;
+// throughput-like metrics (*_per_second, gflops) must not drop;
 // latency-like metrics (latency, ttft, p95/p99 seconds) must not rise.
 // Metrics matching neither family are printed as informational only.
 //
@@ -37,7 +37,7 @@ Direction classify(const std::string& name) {
   const auto contains = [&](const char* needle) {
     return name.find(needle) != std::string::npos;
   };
-  if (contains("tokens_per_second") || contains("gflops")) {
+  if (contains("per_second") || contains("gflops")) {
     return Direction::HigherBetter;
   }
   if (contains("latency") || contains("ttft") || contains("seconds")) {

@@ -28,6 +28,16 @@
 //       trace one generation first so the snapshot has content);
 //       prom = Prometheus text exposition, perfetto = trace-event JSON,
 //       folded = flamegraph.pl folded stacks
+//   hpcgpt verify-serve [--compat] [--explain] [--cache N] [--metrics]
+//          [file...]
+//       analysis-as-a-service loop (no model needed): positional files
+//       are each verified as a single-function unit, then every stdin
+//       line of whitespace-separated paths is served as one translation
+//       unit — re-submitted files hit the result cache ([hit] in the
+//       output). --explain attaches the Task-2 rationale and its DRB
+//       knowledge-base grounding, --compat restricts to the
+//       LLOV-compatible scope, --metrics prints the service registry
+//       (analysis.cache.{hits,misses,evictions} and friends) at EOF
 //   hpcgpt export-drb --dir DIR [--language c|fortran|both]
 //       write the DataRaceBench-style evaluation suite to disk as
 //       .c/.f90 sources plus a labels.csv (the dataset-release artifact)
@@ -40,6 +50,7 @@
 #include <sstream>
 #include <string>
 
+#include "hpcgpt/analysis/service.hpp"
 #include "hpcgpt/core/evaluation.hpp"
 #include "hpcgpt/core/hpcgpt.hpp"
 #include <filesystem>
@@ -63,6 +74,15 @@ struct Args {
   std::vector<std::string> positional;
 };
 
+// Flags that never take a value. Without this list a boolean flag
+// directly before a positional would swallow it (`verify-serve
+// --explain kernel.c` used to parse kernel.c as the value of --explain
+// and verify nothing).
+bool is_boolean_flag(const std::string& name) {
+  return name == "pack" || name == "metrics" || name == "compact" ||
+         name == "compat" || name == "explain";
+}
+
 Args parse_args(int argc, char** argv, int from) {
   Args args;
   for (int i = from; i < argc; ++i) {
@@ -75,7 +95,8 @@ Args parse_args(int argc, char** argv, int from) {
     const std::size_t eq = a.find('=');
     if (eq != std::string::npos) {
       args.options[a.substr(2, eq - 2)] = a.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (!is_boolean_flag(a.substr(2)) && i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[a.substr(2)] = argv[++i];
     } else {
       args.options[a.substr(2)] = "1";
@@ -333,6 +354,85 @@ int cmd_obs(const Args& args) {
   return 0;
 }
 
+int cmd_verify_serve(const Args& args) {
+  analysis::ServiceOptions sopts;
+  if (args.options.count("compat") > 0) {
+    sopts.verifier = analysis::VerifierOptions::llov_compat();
+  }
+  sopts.cache_capacity = std::stoull(opt(args, "cache", "1024"));
+  const bool explain = args.options.count("explain") > 0;
+  sopts.ground_rationales = explain;
+  analysis::VerificationService service(sopts);
+
+  bool any_errors = false;
+  const auto print_response = [&](const analysis::VerifyResponse& r) {
+    for (const analysis::FunctionReport& f : r.functions) {
+      if (!f.parsed) {
+        std::printf("  %-24s [%s] parse error: %s\n", f.name.c_str(),
+                    f.cache_hit ? "hit " : "miss", f.parse_error.c_str());
+        continue;
+      }
+      std::printf("  %-24s [%s] %s\n", f.name.c_str(),
+                  f.cache_hit ? "hit " : "miss",
+                  f.has_errors() ? "race" : "clean");
+      if (explain) {
+        std::printf("    %s\n", f.rationale.c_str());
+        for (const std::string& chunk : f.grounding) {
+          std::printf("    grounded in: %s\n", chunk.c_str());
+        }
+      }
+    }
+    std::printf("%s\n", r.summary().c_str());
+    any_errors |= r.has_errors();
+  };
+  const auto verify_unit = [&](const std::vector<std::string>& paths,
+                               std::string unit) {
+    analysis::VerifyRequest request;
+    request.unit = std::move(unit);
+    request.explain = explain;
+    for (const std::string& p : paths) {
+      request.functions.push_back({p, read_file(p)});
+    }
+    print_response(service.verify(request));
+  };
+
+  for (const std::string& path : args.positional) {
+    verify_unit({path}, path);
+  }
+  if (args.positional.empty()) {
+    // Serving loop: only when no files were given, so `verify-serve
+    // file.c` exits instead of waiting on a terminal's stdin.
+    std::printf("hpcgpt verify-serve — one unit per line (whitespace-"
+                "separated source paths), EOF to stop\n");
+    std::string line;
+    std::size_t unit_no = 0;
+    while (std::getline(std::cin, line)) {
+      std::istringstream split(line);
+      std::vector<std::string> paths;
+      for (std::string token; split >> token;) paths.push_back(token);
+      if (paths.empty()) continue;
+      try {
+        verify_unit(paths, "unit" + std::to_string(unit_no++));
+      } catch (const Error& e) {
+        // A bad path must not kill the serving loop.
+        std::printf("error: %s\n", e.what());
+      }
+      std::fflush(stdout);
+    }
+  }
+  const analysis::VerificationService::CacheStats cs = service.cache_stats();
+  std::printf("cache: %llu hits, %llu misses, %llu evictions, %zu/%zu "
+              "entries\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              static_cast<unsigned long long>(cs.evictions), cs.entries,
+              cs.capacity);
+  if (args.options.count("metrics") > 0) {
+    std::printf("%s\n", service.metrics_json().c_str());
+  }
+  return any_errors ? 1 : 0;
+}
+
 int cmd_export_drb(const Args& args) {
   const std::string dir = opt(args, "dir", "drb_export");
   const std::string language = opt(args, "language", "both");
@@ -373,8 +473,8 @@ int cmd_export_drb(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: hpcgpt <collect|train|ask|detect|eval|serve|obs|"
-               "export-drb> [options]\n"
+               "usage: hpcgpt <collect|train|ask|detect|eval|serve|"
+               "verify-serve|obs|export-drb> [options]\n"
                "(see the header of tools/hpcgpt_cli.cpp)\n");
   return 2;
 }
@@ -392,6 +492,7 @@ int main(int argc, char** argv) {
     if (command == "detect") return cmd_detect(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "verify-serve") return cmd_verify_serve(args);
     if (command == "obs") return cmd_obs(args);
     if (command == "export-drb") return cmd_export_drb(args);
     return usage();

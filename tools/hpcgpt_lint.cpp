@@ -37,17 +37,33 @@ struct Args {
   std::vector<std::string> positional;
 };
 
+/// True for flags that never take a value. Without this distinction the
+/// parser used to swallow the token after a boolean flag, so
+/// `hpcgpt_lint --quiet file.c` consumed file.c as the "value" of
+/// --quiet and linted nothing.
+bool is_boolean_flag(const std::string& name) {
+  return name == "compat" || name == "quiet";
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a.rfind("--", 0) == 0 && i + 1 < argc &&
-        std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[a.substr(2)] = argv[++i];
-    } else if (a.rfind("--", 0) == 0) {
-      args.options[a.substr(2)] = "1";
-    } else {
+    if (a.rfind("--", 0) != 0) {
       args.positional.push_back(a);
+      continue;
+    }
+    std::string name = a.substr(2);
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {  // --key=value works for any option
+      args.options[name.substr(0, eq)] = name.substr(eq + 1);
+    } else if (is_boolean_flag(name)) {
+      args.options[name] = "1";
+    } else if (i + 1 < argc &&
+               std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[name] = argv[++i];
+    } else {
+      args.options[name] = "1";
     }
   }
   return args;
