@@ -46,6 +46,11 @@ struct ModelOptions {
   std::size_t hpc_exposure = 0;
   float pretrain_lr = 3e-3f;
   std::uint64_t seed = 1;
+  /// Inference weight storage (CLI --quant). Applied after construction /
+  /// bundle load via HpcGpt::set_quant_mode; Fp32 keeps the trainable
+  /// model. Quantization happens post-training: pretrain/finetune require
+  /// Fp32 and a quantized instance cannot be re-saved.
+  tensor::QuantMode quant = tensor::QuantMode::Fp32;
   /// Engine knobs for the pre-training loop (packing does not apply:
   /// pre-training windows already fill the training width).
   TrainOptions train;
@@ -108,6 +113,15 @@ class HpcGpt {
   const std::string& name() const { return options_.name; }
   const text::BpeTokenizer& tokenizer() const { return tokenizer_; }
   nn::Transformer& model() { return model_; }
+
+  /// Quantizes the transformer's weights for inference (int8/fp16); see
+  /// nn::Transformer::set_quant_mode for the exact semantics. The serve
+  /// flow is load-then-quantize: bundles always carry fp32 weights.
+  void set_quant_mode(tensor::QuantMode mode) {
+    model_.set_quant_mode(mode);
+    options_.quant = model_.quant_mode();
+  }
+  tensor::QuantMode quant_mode() const { return model_.quant_mode(); }
 
   /// Language-model pre-training on raw text. `hpc_examples` (possibly
   /// empty) are labelled instances serialized into the stream per

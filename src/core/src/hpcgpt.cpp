@@ -106,8 +106,17 @@ HpcGpt::HpcGpt(ModelOptions options, BpeTokenizer tokenizer)
       model_([&] {
         nn::TransformerConfig c = options_.config;
         c.vocab_size = std::max(c.vocab_size, tokenizer_.vocab_size());
+        // Quantization is an inference-time repack applied after any
+        // pretraining this instance will do, not at construction.
+        c.quant = tensor::QuantMode::Fp32;
         return nn::Transformer(c, options_.seed);
-      }()) {}
+      }()) {
+  if (options_.quant != tensor::QuantMode::Fp32) {
+    // Requested an inference-only instance: repack immediately. A later
+    // pretrain()/finetune() on it fails with the train-on-quantized error.
+    set_quant_mode(options_.quant);
+  }
+}
 
 HpcGpt::HpcGpt(ModelOptions options, BpeTokenizer tokenizer,
                nn::Transformer model)

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 
+#include "hpcgpt/tensor/quant.hpp"
+
 namespace hpcgpt::nn {
 
 /// Hyper-parameters of a decoder-only transformer.
@@ -24,6 +26,12 @@ struct TransformerConfig {
   /// When true, base weights are frozen and only LoRA matrices train —
   /// the PEFT configuration the paper uses for fine-tuning.
   bool train_lora_only = false;
+
+  /// Weight storage for inference (Transformer::set_quant_mode applies
+  /// it post-construction and keeps this in sync). Runtime state, not
+  /// architecture: checkpoints always carry fp32-trained weights and do
+  /// not serialize this field.
+  tensor::QuantMode quant = tensor::QuantMode::Fp32;
 
   std::size_t head_dim() const { return d_model / n_heads; }
 };

@@ -5,6 +5,7 @@
 
 #include "hpcgpt/nn/parameter.hpp"
 #include "hpcgpt/tensor/matrix.hpp"
+#include "hpcgpt/tensor/quant.hpp"
 
 namespace hpcgpt::nn {
 
@@ -52,10 +53,36 @@ class Linear {
 
   void collect_parameters(ParameterList& out);
 
-  std::size_t in_features() const { return weight_.value.rows(); }
-  std::size_t out_features() const { return weight_.value.cols(); }
+  /// Repacks W into `mode` storage (int8 per-output-channel or fp16) and
+  /// frees the fp32 weight — the layer becomes inference-only: apply,
+  /// apply_rows and forward route through the quantized kernels;
+  /// backward throws. LoRA must be merged first (merge_lora()), and a
+  /// layer can only be quantized once. `mode == Fp32` is a no-op.
+  void quantize(tensor::QuantMode mode);
+
+  tensor::QuantMode quant_mode() const { return qmode_; }
+  bool quantized() const { return qmode_ != tensor::QuantMode::Fp32; }
+
+  /// Bytes of weight storage in the current mode (fp32 matrix or packed
+  /// quantized form; LoRA factors included when attached).
+  std::size_t weight_memory_bytes() const;
+
+  std::size_t in_features() const {
+    return quantized() ? qweight_.rows() : weight_.value.rows();
+  }
+  std::size_t out_features() const {
+    return quantized() ? qweight_.cols() : weight_.value.cols();
+  }
   bool has_lora() const { return lora_rank_ > 0; }
   const Parameter& weight() const { return weight_; }
+
+  /// Packed quantized weights — meaningful only when quantized(). The
+  /// decode loop uses these directly (gemv_prequant) to share one
+  /// activation quantization across sibling layers consuming the same
+  /// normalized row.
+  const tensor::QuantizedMatrix& quantized_weights() const {
+    return qweight_;
+  }
 
  private:
   Parameter weight_;
@@ -63,6 +90,8 @@ class Linear {
   Parameter lora_b_;
   std::size_t lora_rank_ = 0;
   float lora_scale_ = 0.0f;
+  tensor::QuantizedMatrix qweight_;
+  tensor::QuantMode qmode_ = tensor::QuantMode::Fp32;
 
   // forward() caches (single in-flight activation; the training loop is
   // strictly forward-then-backward per sequence).

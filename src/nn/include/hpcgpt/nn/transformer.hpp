@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -43,6 +44,8 @@ struct DecodeScratch {
   std::vector<float> gate;      // SwiGLU gate lane   (d_ff)
   std::vector<float> up;        // SwiGLU up lane     (d_ff)
   std::vector<float> logits;    // head output        (vocab)
+  std::vector<std::int8_t> qx;  // shared int8 activation row (d_model
+                                // padded to the quantizer chunk)
 
   void resize(const TransformerConfig& config);
 };
@@ -115,6 +118,12 @@ class TransformerBlock {
   void attach_lora(const TransformerConfig& config, Rng& rng);
   void merge_lora();
   void collect_parameters(ParameterList& out);
+
+  /// Quantizes all seven projections to `mode` (see Linear::quantize);
+  /// the rmsnorm gains stay fp32 (they are d_model-sized vectors).
+  void quantize(tensor::QuantMode mode);
+  /// Bytes of weight storage in the current mode.
+  std::size_t weight_memory_bytes() const;
 
   /// x is (T × d_model); transformed in place.
   void forward(tensor::Matrix& x);
@@ -208,6 +217,22 @@ class Transformer {
   /// Folds adapters into base weights.
   void merge_lora();
 
+  /// Switches the model to quantized inference: every projection (all
+  /// blocks + head) is repacked to `mode` storage (int8 per-channel or
+  /// fp16) and the fp32 copies are freed; embeddings move to fp16 row
+  /// tables in both modes (they are lookups, not matvecs). One-way and
+  /// inference-only afterwards — train_step throws, checkpoints must be
+  /// saved from the fp32 model, and LoRA adapters (if any) are merged
+  /// first. Decode/prefill/serve paths dispatch through the active
+  /// tensor::kernels tier automatically. `Fp32` is a no-op on an
+  /// unquantized model.
+  void set_quant_mode(tensor::QuantMode mode);
+  tensor::QuantMode quant_mode() const { return quant_mode_; }
+
+  /// Bytes of weight storage in the current mode (the per-preset memory
+  /// footprint metric: fp32 vs fp16 vs int8).
+  std::size_t weight_memory_bytes() const;
+
   /// Logits for each position of `ids` (len × vocab). Pure inference —
   /// does not populate training caches.
   tensor::Matrix logits(const std::vector<text::TokenId>& ids);
@@ -258,12 +283,20 @@ class Transformer {
  private:
   tensor::Matrix embed(const std::vector<text::TokenId>& ids) const;
   tensor::Matrix forward_hidden(const std::vector<text::TokenId>& ids);
+  /// out = tok_emb[id] + pos_emb[pos], reading fp32 or fp16 storage
+  /// depending on quant_mode_.
+  void add_embed_row(text::TokenId id, std::size_t pos,
+                     std::span<float> out) const;
 
   TransformerConfig config_;
   Rng init_rng_;
+  tensor::QuantMode quant_mode_ = tensor::QuantMode::Fp32;
 
   Parameter tok_emb_;   // vocab × d
   Parameter pos_emb_;   // max_seq × d
+  // Quantized-mode embedding tables (fp16 rows; replace the fp32 values).
+  std::vector<tensor::Half> tok_emb_h_;
+  std::vector<tensor::Half> pos_emb_h_;
   std::vector<std::unique_ptr<TransformerBlock>> blocks_;
   Parameter final_gain_;
   Linear head_;         // d × vocab

@@ -46,6 +46,9 @@ std::string get_string(const std::string& in, std::size_t& pos) {
 }  // namespace
 
 std::string save_checkpoint(Transformer& model) {
+  require(model.quant_mode() == tensor::QuantMode::Fp32,
+          "save_checkpoint: model is quantized — checkpoints carry the "
+          "fp32 weights (quantize after loading, not before saving)");
   std::string out;
   out += kMagic;
   const TransformerConfig& c = model.config();

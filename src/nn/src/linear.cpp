@@ -31,6 +31,14 @@ void Linear::attach_lora(std::size_t rank, float alpha, bool freeze_base,
 
 void Linear::forward(const Matrix& x, Matrix& y) {
   require(x.cols() == in_features(), "Linear::forward: width mismatch");
+  if (quantized()) {
+    // Inference-only: no activation caching, so a later backward() on
+    // this layer fails its shape check rather than silently training
+    // against stale activations.
+    qweight_.matmul(x, y);
+    cached_x_ = Matrix();
+    return;
+  }
   // Shape-checked reuse (cf. apply_rows): the training loop calls this
   // with persistent scratch every step and matmul overwrites, so steps
   // over repeating sequence lengths allocate nothing here.
@@ -52,6 +60,8 @@ void Linear::forward(const Matrix& x, Matrix& y) {
 }
 
 void Linear::backward(const Matrix& dy, Matrix& dx) {
+  require(!quantized(), "Linear::backward: layer is quantized (inference"
+          " only) — training requires fp32 weights");
   require(dy.rows() == cached_x_.rows() && dy.cols() == out_features(),
           "Linear::backward: gradient shape mismatch");
   if (weight_.trainable) {
@@ -82,6 +92,10 @@ void Linear::backward(const Matrix& dy, Matrix& dx) {
 void Linear::apply(std::span<const float> x, std::span<float> y) const {
   require(x.size() == in_features() && y.size() == out_features(),
           "Linear::apply: size mismatch");
+  if (quantized()) {
+    qweight_.gemv(x, y);
+    return;
+  }
   // Dense axpy over weight rows — activations are never sparse, so no
   // zero-skip branch (it only adds a mispredict per row). Four weight
   // rows per iteration: the restrict-qualified, unrolled form keeps the
@@ -127,6 +141,10 @@ void Linear::apply(std::span<const float> x, std::span<float> y) const {
 
 void Linear::apply_rows(const Matrix& x, Matrix& y) const {
   require(x.cols() == in_features(), "Linear::apply_rows: width mismatch");
+  if (quantized()) {
+    qweight_.matmul(x, y);
+    return;
+  }
   // Reuse the caller's buffer when the shape already matches: the batched
   // decode loop calls this with persistent scratch matrices every step,
   // and matmul overwrites, so skipping the reallocation makes steady-state
@@ -155,6 +173,29 @@ void Linear::merge_lora() {
   lora_a_ = Parameter();
   lora_b_ = Parameter();
   weight_.trainable = true;
+}
+
+void Linear::quantize(tensor::QuantMode mode) {
+  if (mode == tensor::QuantMode::Fp32) return;
+  require(!quantized(), "Linear::quantize: layer is already quantized");
+  require(lora_rank_ == 0,
+          "Linear::quantize: merge the LoRA adapter first (merge_lora)");
+  qweight_ = tensor::QuantizedMatrix::quantize(weight_.value, mode);
+  qmode_ = mode;
+  // Drop the fp32 copy — the memory reduction is the point — and freeze
+  // the (now empty) parameter so trainers skip it.
+  weight_.value = Matrix();
+  weight_.grad = Matrix();
+  weight_.trainable = false;
+}
+
+std::size_t Linear::weight_memory_bytes() const {
+  std::size_t bytes = quantized() ? qweight_.memory_bytes()
+                                  : weight_.value.size() * sizeof(float);
+  if (lora_rank_ > 0) {
+    bytes += (lora_a_.value.size() + lora_b_.value.size()) * sizeof(float);
+  }
+  return bytes;
 }
 
 void Linear::collect_parameters(ParameterList& out) {

@@ -7,6 +7,7 @@
 #include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/fastmath.hpp"
 #include "hpcgpt/support/timer.hpp"
+#include "hpcgpt/tensor/kernels.hpp"
 
 namespace hpcgpt::nn {
 
@@ -192,6 +193,25 @@ void TransformerBlock::collect_parameters(ParameterList& out) {
   w_down_.collect_parameters(out);
 }
 
+void TransformerBlock::quantize(tensor::QuantMode mode) {
+  wq_.quantize(mode);
+  wk_.quantize(mode);
+  wv_.quantize(mode);
+  wo_.quantize(mode);
+  w_gate_.quantize(mode);
+  w_up_.quantize(mode);
+  w_down_.quantize(mode);
+}
+
+std::size_t TransformerBlock::weight_memory_bytes() const {
+  return (norm1_gain_.value.size() + norm2_gain_.value.size()) *
+             sizeof(float) +
+         wq_.weight_memory_bytes() + wk_.weight_memory_bytes() +
+         wv_.weight_memory_bytes() + wo_.weight_memory_bytes() +
+         w_gate_.weight_memory_bytes() + w_up_.weight_memory_bytes() +
+         w_down_.weight_memory_bytes();
+}
+
 void TransformerBlock::forward(Matrix& x) {
   const std::size_t seq = x.rows();
   const std::size_t hd = config_.head_dim();
@@ -338,15 +358,13 @@ void TransformerBlock::backward(Matrix& dx) {
 
 namespace {
 
-/// Row-wise RMSNorm without training caches (decode path).
+/// Row-wise RMSNorm without training caches (decode path). Routed
+/// through the ISA-dispatched kernel: all inference paths (single-lane,
+/// batched, prefill) share it, so they stay mutually consistent.
 void rmsnorm_row(const hpcgpt::nn::Parameter& gain,
                  std::span<const float> x, std::span<float> out) {
-  const std::size_t d = x.size();
-  float ms = 0.0f;
-  for (const float v : x) ms += v * v;
-  const float r = 1.0f / std::sqrt(ms / static_cast<float>(d) + kNormEps);
-  const float* g = gain.value.data();
-  for (std::size_t i = 0; i < d; ++i) out[i] = x[i] * r * g[i];
+  tensor::kernels::active().rmsnorm_row(x.data(), gain.value.data(),
+                                        x.size(), kNormEps, out.data());
 }
 
 /// In-place softmax over probs[0..len), returning 1/sum so callers can
@@ -380,11 +398,22 @@ void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
   std::span<float> normed(scratch.normed.data(), d);
   rmsnorm_row(norm1_gain_, x, normed);
   std::span<float> q(scratch.q.data(), d);
-  wq_.apply(normed, q);
   std::span<float> k_row(scratch.k_row.data(), d);
   std::span<float> v_row(scratch.v_row.data(), d);
-  wk_.apply(normed, k_row);
-  wv_.apply(normed, v_row);
+  if (wq_.quant_mode() == tensor::QuantMode::Int8) {
+    // wq/wk/wv consume the same normalized row: quantize it once and
+    // share the bytes. The quantizer depends on the row alone, so this
+    // is bitwise-identical to three independent apply() calls.
+    const float xs = tensor::kernels::quantize_row_i8(
+        normed.data(), d, scratch.qx.size(), scratch.qx.data());
+    wq_.quantized_weights().gemv_prequant(scratch.qx.data(), xs, q);
+    wk_.quantized_weights().gemv_prequant(scratch.qx.data(), xs, k_row);
+    wv_.quantized_weights().gemv_prequant(scratch.qx.data(), xs, v_row);
+  } else {
+    wq_.apply(normed, q);
+    wk_.apply(normed, k_row);
+    wv_.apply(normed, v_row);
+  }
   // Scatter the new K/V row into column `pos` of the feature-major cache.
   const std::size_t stride = cache.k.cols();
   float* kc = cache.k.data() + pos;
@@ -395,26 +424,21 @@ void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
   }
 
   // Both attention passes run unit-stride over positions (see KvCache):
-  // scores as one axpy per query feature, values as one dot per output
-  // feature, softmax via the vectorizable fast_expf.
+  // scores, softmax and the value reduction go through the ISA-dispatched
+  // fp32 kernels (tensor::kernels) — the decode loop's hottest non-GEMV
+  // work, SIMD-tiered alongside the quantized GEMVs.
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active();
   std::span<float> attn(scratch.attn.data(), d);
   const std::size_t len = pos + 1;
   float* __restrict probs = scratch.probs.data();
+  const std::size_t kv_stride = cache.k.cols();
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
-    std::fill(probs, probs + len, 0.0f);
-    for (std::size_t i = 0; i < hd; ++i) {
-      const float qi = q[off + i] * scale;  // fold 1/sqrt(hd) into q
-      const float* __restrict kt = cache.k.row(off + i).data();
-      for (std::size_t s = 0; s < len; ++s) probs[s] += qi * kt[s];
-    }
-    const float inv = softmax_inplace(probs, len);
-    for (std::size_t i = 0; i < hd; ++i) {
-      const float* __restrict vt = cache.v.row(off + i).data();
-      float acc = 0.0f;
-      for (std::size_t s = 0; s < len; ++s) acc += probs[s] * vt[s];
-      attn[off + i] = acc * inv;
-    }
+    kt.attn_scores(q.data() + off, scale, cache.k.data() + off * kv_stride,
+                   hd, kv_stride, len, probs);
+    const float inv = kt.softmax_row(probs, len);
+    kt.attn_values(probs, inv, cache.v.data() + off * kv_stride, hd,
+                   kv_stride, len, attn.data() + off);
   }
   std::span<float> proj(scratch.proj.data(), d);
   wo_.apply(attn, proj);
@@ -424,11 +448,17 @@ void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
   rmsnorm_row(norm2_gain_, x, normed);
   std::span<float> gate(scratch.gate.data(), config_.d_ff);
   std::span<float> up(scratch.up.data(), config_.d_ff);
-  w_gate_.apply(normed, gate);
-  w_up_.apply(normed, up);
-  for (std::size_t j = 0; j < config_.d_ff; ++j) {
-    gate[j] = silu(gate[j]) * up[j];
+  if (w_gate_.quant_mode() == tensor::QuantMode::Int8) {
+    // Same single-quantization trick as the QKV projections above.
+    const float xs = tensor::kernels::quantize_row_i8(
+        normed.data(), d, scratch.qx.size(), scratch.qx.data());
+    w_gate_.quantized_weights().gemv_prequant(scratch.qx.data(), xs, gate);
+    w_up_.quantized_weights().gemv_prequant(scratch.qx.data(), xs, up);
+  } else {
+    w_gate_.apply(normed, gate);
+    w_up_.apply(normed, up);
   }
+  kt.silu_mul(gate.data(), up.data(), config_.d_ff);
   w_down_.apply(gate, proj);
   for (std::size_t i = 0; i < d; ++i) x[i] += proj[i];
 }
@@ -473,24 +503,19 @@ void TransformerBlock::forward_prefill(Matrix& x, std::size_t pos0,
   // average seq/2, so dispatch and packing overheads dominate.)
   Matrix& attn_concat = scratch.attn_concat;
   std::vector<float>& probs = scratch.probs;
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active();
+  const std::size_t kv_stride = cache.k.cols();
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
     for (std::size_t t = 0; t < seq; ++t) {
       const std::size_t len = pos0 + t + 1;  // causal horizon of this row
       float* __restrict pr = probs.data();
-      std::fill(pr, pr + len, 0.0f);
-      for (std::size_t i = 0; i < hd; ++i) {
-        const float qi = q.at(t, off + i) * scale;
-        const float* __restrict kt = cache.k.row(off + i).data();
-        for (std::size_t s = 0; s < len; ++s) pr[s] += qi * kt[s];
-      }
-      const float inv = softmax_inplace(pr, len);
-      for (std::size_t i = 0; i < hd; ++i) {
-        const float* __restrict vt = cache.v.row(off + i).data();
-        float acc = 0.0f;
-        for (std::size_t s = 0; s < len; ++s) acc += pr[s] * vt[s];
-        attn_concat.at(t, off + i) = acc * inv;
-      }
+      kt.attn_scores(q.row(t).data() + off, scale,
+                     cache.k.data() + off * kv_stride, hd, kv_stride, len,
+                     pr);
+      const float inv = kt.softmax_row(pr, len);
+      kt.attn_values(pr, inv, cache.v.data() + off * kv_stride, hd,
+                     kv_stride, len, attn_concat.row(t).data() + off);
     }
   }
   Matrix& attn_out = scratch.attn_out;
@@ -506,11 +531,7 @@ void TransformerBlock::forward_prefill(Matrix& x, std::size_t pos0,
   w_gate_.apply_rows(normed, gate);
   w_up_.apply_rows(normed, up);
   for (std::size_t t = 0; t < seq; ++t) {
-    auto g = gate.row(t);
-    const auto u = up.row(t);
-    for (std::size_t j = 0; j < config_.d_ff; ++j) {
-      g[j] = silu(g[j]) * u[j];
-    }
+    kt.silu_mul(gate.row(t).data(), up.row(t).data(), config_.d_ff);
   }
   Matrix& mlp_out = scratch.mlp_out;
   w_down_.apply_rows(gate, mlp_out);
@@ -556,21 +577,17 @@ void TransformerBlock::forward_step_batch(Matrix& x,
     auto attn = scratch.attn.row(b);
     const std::size_t len = pos + 1;
     float* __restrict probs = scratch.probs.data();
+    // Same dispatched kernels as the single-lane step, so batched decode
+    // stays bit-identical to lane-at-a-time decode.
+    const tensor::kernels::KernelTable& kt = tensor::kernels::active();
+    const std::size_t kv_stride = cache.k.cols();
     for (std::size_t h = 0; h < config_.n_heads; ++h) {
       const std::size_t off = h * hd;
-      std::fill(probs, probs + len, 0.0f);
-      for (std::size_t i = 0; i < hd; ++i) {
-        const float qi = q[off + i] * scale;
-        const float* __restrict kt = cache.k.row(off + i).data();
-        for (std::size_t s = 0; s < len; ++s) probs[s] += qi * kt[s];
-      }
-      const float inv = softmax_inplace(probs, len);
-      for (std::size_t i = 0; i < hd; ++i) {
-        const float* __restrict vt = cache.v.row(off + i).data();
-        float acc = 0.0f;
-        for (std::size_t s = 0; s < len; ++s) acc += probs[s] * vt[s];
-        attn[off + i] = acc * inv;
-      }
+      kt.attn_scores(q.data() + off, scale, cache.k.data() + off * kv_stride,
+                     hd, kv_stride, len, probs);
+      const float inv = kt.softmax_row(probs, len);
+      kt.attn_values(probs, inv, cache.v.data() + off * kv_stride, hd,
+                     kv_stride, len, attn.data() + off);
     }
   }
   wo_.apply_rows(scratch.attn, scratch.proj);
@@ -582,12 +599,10 @@ void TransformerBlock::forward_step_batch(Matrix& x,
   }
   w_gate_.apply_rows(scratch.normed, scratch.gate);
   w_up_.apply_rows(scratch.normed, scratch.up);
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active();
   for (std::size_t b = 0; b < batch; ++b) {
-    auto g = scratch.gate.row(b);
-    const auto u = scratch.up.row(b);
-    for (std::size_t j = 0; j < config_.d_ff; ++j) {
-      g[j] = silu(g[j]) * u[j];
-    }
+    kt.silu_mul(scratch.gate.row(b).data(), scratch.up.row(b).data(),
+                config_.d_ff);
   }
   w_down_.apply_rows(scratch.gate, scratch.proj);
   tensor::add_inplace(x, scratch.proj);
@@ -605,6 +620,7 @@ void DecodeScratch::resize(const TransformerConfig& config) {
   gate.assign(config.d_ff, 0.0f);
   up.assign(config.d_ff, 0.0f);
   logits.assign(config.vocab_size, 0.0f);
+  qx.assign((config.d_model + 15) / 16 * 16, 0);
 }
 
 void BatchScratch::ensure(const TransformerConfig& config,
@@ -664,6 +680,12 @@ Transformer::Transformer(const TransformerConfig& config, std::uint64_t seed)
     blocks_.back()->init(init_rng_);
   }
   if (config.lora_rank > 0) attach_lora();
+  if (config.quant != tensor::QuantMode::Fp32) {
+    // Honor a pre-set config.quant (core::ModelOptions threads it here):
+    // construct fp32, then repack. set_quant_mode re-records the field.
+    config_.quant = tensor::QuantMode::Fp32;
+    set_quant_mode(config.quant);
+  }
 }
 
 ParameterList Transformer::parameters() {
@@ -705,6 +727,65 @@ void Transformer::merge_lora() {
   config_.train_lora_only = false;
 }
 
+void Transformer::set_quant_mode(tensor::QuantMode mode) {
+  if (mode == tensor::QuantMode::Fp32) {
+    require(quant_mode_ == tensor::QuantMode::Fp32,
+            "set_quant_mode: cannot dequantize back to fp32 (the fp32 "
+            "weights were freed) — reload the checkpoint instead");
+    return;
+  }
+  require(quant_mode_ == tensor::QuantMode::Fp32,
+          "set_quant_mode: model is already quantized");
+  require(config_.lora_rank == 0,
+          "set_quant_mode: merge LoRA adapters first (merge_lora)");
+  for (auto& block : blocks_) block->quantize(mode);
+  head_.quantize(mode);
+  // Embeddings become fp16 row tables in both modes: they are gathered
+  // per token, not multiplied, so int8 would cost accuracy for no kernel
+  // win. The norm gains stay fp32 (d_model-sized).
+  tok_emb_h_ = tok_emb_.value.to_half();
+  pos_emb_h_ = pos_emb_.value.to_half();
+  tok_emb_.value = Matrix();
+  tok_emb_.grad = Matrix();
+  tok_emb_.trainable = false;
+  pos_emb_.value = Matrix();
+  pos_emb_.grad = Matrix();
+  pos_emb_.trainable = false;
+  quant_mode_ = mode;
+  config_.quant = mode;
+}
+
+std::size_t Transformer::weight_memory_bytes() const {
+  std::size_t bytes = final_gain_.value.size() * sizeof(float) +
+                      head_.weight_memory_bytes();
+  if (quant_mode_ == tensor::QuantMode::Fp32) {
+    bytes += (tok_emb_.value.size() + pos_emb_.value.size()) * sizeof(float);
+  } else {
+    bytes += (tok_emb_h_.size() + pos_emb_h_.size()) * sizeof(tensor::Half);
+  }
+  for (const auto& block : blocks_) bytes += block->weight_memory_bytes();
+  return bytes;
+}
+
+void Transformer::add_embed_row(text::TokenId id, std::size_t pos,
+                                std::span<float> out) const {
+  const std::size_t d = config_.d_model;
+  if (quant_mode_ == tensor::QuantMode::Fp32) {
+    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
+    const auto pe = pos_emb_.value.row(pos);
+    for (std::size_t i = 0; i < d; ++i) out[i] = te[i] + pe[i];
+  } else {
+    // fp16 row tables: the dispatched kernel upconverts with F16C where
+    // available (the software Half::to_float is branchy and would tax
+    // only the quantized decode path).
+    tensor::kernels::active().add_half_rows(
+        reinterpret_cast<const std::uint16_t*>(
+            tok_emb_h_.data() + static_cast<std::size_t>(id) * d),
+        reinterpret_cast<const std::uint16_t*>(pos_emb_h_.data() + pos * d),
+        d, out.data());
+  }
+}
+
 Matrix Transformer::embed(const std::vector<text::TokenId>& ids) const {
   require(!ids.empty(), "Transformer: empty sequence");
   require(ids.size() <= config_.max_seq,
@@ -714,10 +795,7 @@ Matrix Transformer::embed(const std::vector<text::TokenId>& ids) const {
     const auto id = ids[t];
     require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
             "Transformer: token id out of range");
-    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
-    const auto pe = pos_emb_.value.row(t);
-    auto xr = x.row(t);
-    for (std::size_t i = 0; i < config_.d_model; ++i) xr[i] = te[i] + pe[i];
+    add_embed_row(id, t, x.row(t));
   }
   return x;
 }
@@ -752,9 +830,7 @@ std::span<const float> Transformer::decode_step(DecodeState& state,
 
   DecodeScratch& scratch = state.scratch_;
   std::span<float> x(scratch.x.data(), config_.d_model);
-  const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
-  const auto pe = pos_emb_.value.row(pos);
-  for (std::size_t i = 0; i < config_.d_model; ++i) x[i] = te[i] + pe[i];
+  add_embed_row(id, pos, x);
 
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
     blocks_[l]->forward_step(x, pos, state.blocks_[l], scratch);
@@ -785,10 +861,7 @@ const Matrix& Transformer::decode_step_batch(
     const auto id = ids[b];
     require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
             "decode_step_batch: token id out of range");
-    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
-    const auto pe = pos_emb_.value.row(pos);
-    auto xr = x.row(b);
-    for (std::size_t i = 0; i < config_.d_model; ++i) xr[i] = te[i] + pe[i];
+    add_embed_row(id, pos, x.row(b));
   }
 
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
@@ -826,10 +899,7 @@ std::span<const float> Transformer::prefill(
     const auto id = ids[t];
     require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
             "prefill: token id out of range");
-    const auto te = tok_emb_.value.row(static_cast<std::size_t>(id));
-    const auto pe = pos_emb_.value.row(pos0 + t);
-    auto xr = x.row(t);
-    for (std::size_t i = 0; i < config_.d_model; ++i) xr[i] = te[i] + pe[i];
+    add_embed_row(id, pos0 + t, x.row(t));
   }
 
   // One scratch arena for the whole stack: every block reuses the same
@@ -861,6 +931,9 @@ LossResult Transformer::train_step(
     const std::vector<std::int32_t>& targets) {
   require(ids.size() == targets.size(),
           "train_step: ids/targets length mismatch");
+  require(quant_mode_ == tensor::QuantMode::Fp32,
+          "train_step: model is quantized (inference only) — training "
+          "requires fp32 weights");
   forward_hidden(ids);
   head_.forward(hidden_out_, logit_mat_);
 

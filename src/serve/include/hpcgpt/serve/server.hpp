@@ -202,6 +202,7 @@ class InferenceServer {
     obs::Counter& occupancy_sum;    ///< serve.rounds.occupancy_sum
     obs::Gauge& queue_depth;        ///< serve.queue.depth (max = peak)
     obs::Gauge& lanes;              ///< serve.batch.lanes (max = peak)
+    obs::Gauge& weight_bytes;       ///< serve.model.weight_bytes
     obs::Histogram& admission_seconds;   ///< submit → lane admission
     obs::Histogram& ttft_seconds;        ///< submit → first token
     obs::Histogram& inter_token_seconds; ///< gap between emitted tokens

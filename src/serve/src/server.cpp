@@ -60,6 +60,7 @@ InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
       occupancy_sum(r.counter("serve.rounds.occupancy_sum")),
       queue_depth(r.gauge("serve.queue.depth")),
       lanes(r.gauge("serve.batch.lanes")),
+      weight_bytes(r.gauge("serve.model.weight_bytes")),
       admission_seconds(r.histogram("serve.admission.seconds")),
       ttft_seconds(r.histogram("serve.ttft.seconds")),
       inter_token_seconds(r.histogram("serve.inter_token.seconds")),
@@ -79,6 +80,11 @@ InferenceServer::InferenceServer(core::HpcGpt& model, ServerOptions options)
       verifier_(options_.verification) {
   options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
   if (options_.max_new_tokens == 0) options_.max_new_tokens = 48;
+  // Resident weight footprint of the served model (fp32 vs --quant'ed
+  // int8/fp16) — a level, not a rate, so dashboards can plot the
+  // quantization saving next to the throughput counters.
+  metrics_.weight_bytes.set(
+      static_cast<std::int64_t>(model_.model().weight_memory_bytes()));
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hpcgpt::tensor::kernels {
+
+/// Instruction-set tiers of the quantized micro-kernels, best-first. The
+/// active tier is probed from cpuid at first use (see active()); every
+/// tier computes bitwise-identical int8 results (the int8 dot products
+/// accumulate in exact int32 arithmetic, which is associative, so vector
+/// width cannot change the answer — asserted tier-vs-tier in
+/// test_kernels.cpp).
+enum class IsaTier {
+  Scalar = 0,  ///< portable C++ fallback — always supported
+  Neon,        ///< aarch64 NEON (int16-widening multiply-accumulate)
+  Avx2,        ///< x86 AVX2 (vpmaddubsw sign-trick) + F16C/FMA for fp16
+  Avx512,      ///< x86 AVX-512 F/BW/VL/VNNI (vpdpbusd offset-binary)
+};
+
+const char* tier_name(IsaTier tier);
+
+/// Whether the running CPU can execute `tier`'s kernels.
+bool tier_supported(IsaTier tier);
+
+/// All tiers the running CPU supports, best (widest) first. Always ends
+/// with Scalar.
+std::vector<IsaTier> supported_tiers();
+
+/// Parses a HPCGPT_ISA-style tier name ("scalar", "avx2", "avx512",
+/// "neon"); nullopt for anything else.
+std::optional<IsaTier> parse_tier(std::string_view name);
+
+/// One tier's kernel set. All pointers are always non-null (a tier that
+/// lacks a fast variant of some kernel carries the scalar one).
+struct KernelTable {
+  IsaTier tier = IsaTier::Scalar;
+  const char* name = "scalar";
+
+  /// Quantized GEMV: y[j] = (float(dot_j) * xscale) * wscale[j] where
+  /// dot_j = Σ_i qx[i]·w_ij in exact int32. `w` is quad-interleaved:
+  /// input rows are grouped four at a time and each group stores all
+  /// `out` columns' 4-byte quads contiguously (byte index
+  /// (i/4·out + j)·4 + i%4), so one vector load covers 8 (AVX2) or 16
+  /// (AVX-512) columns and the activation quad broadcasts — column
+  /// accumulators stay in registers for the whole input loop. `in` is a
+  /// multiple of 16 (both operands zero-padded); `colsum[j]` is the
+  /// precomputed Σ_i w_ij (used by offset-binary tiers to undo the +128
+  /// activation bias; ignored by the others).
+  void (*gemv_i8)(const std::int8_t* qx, const std::int8_t* w,
+                  const std::int32_t* colsum, const float* wscale,
+                  float xscale, std::size_t in, std::size_t out, float* y);
+
+  /// Half-precision GEMV: y[j] = Σ_i x[i] * fp16_to_fp32(w[i*out + j]).
+  /// `w` is row-major in×out binary16 bits (same layout as the fp32
+  /// Matrix it came from); the SIMD tiers broadcast one activation and
+  /// fma into resident column accumulators. fp16→fp32 conversion is
+  /// exact everywhere; only the float accumulation order is
+  /// tier-internal, so fp16 results are accuracy-bounded
+  /// (test_quant.cpp) rather than bitwise-pinned.
+  void (*gemv_f16)(const float* x, const std::uint16_t* w, std::size_t in,
+                   std::size_t out, float* y);
+
+  // --- fp32 attention helpers -------------------------------------------
+  // The decode loop's other hot spot. These are float kernels: results
+  // are identical across calls within one tier (what the batched-decode
+  // == single-lane equivalence needs) but may differ between tiers by
+  // accumulation order / FMA rounding, like any fp32 re-association.
+
+  /// Attention scores against a feature-major K cache:
+  /// probs[s] = Σ_i (q[i] · scale) · k[i·stride + s] for s < len.
+  void (*attn_scores)(const float* q, float scale, const float* k,
+                      std::size_t hd, std::size_t stride, std::size_t len,
+                      float* probs);
+
+  /// Weighted value sum against a feature-major V cache:
+  /// out[i] = inv · Σ_s probs[s] · v[i·stride + s] for i < hd.
+  void (*attn_values)(const float* probs, float inv, const float* v,
+                      std::size_t hd, std::size_t stride, std::size_t len,
+                      float* out);
+
+  /// In-place softmax numerator over probs[0..len): probs[s] ←
+  /// fast_expf(probs[s] - max). Returns 1/Σ so callers can fold the
+  /// normalisation into the value pass (the existing decode contract).
+  float (*softmax_row)(float* probs, std::size_t len);
+
+  /// out[i] = fp16_to_fp32(a[i]) + fp16_to_fp32(b[i]) — the embedding
+  /// gather+add of quantized models (token row + position row).
+  void (*add_half_rows)(const std::uint16_t* a, const std::uint16_t* b,
+                        std::size_t n, float* out);
+
+  /// Decode-path RMSNorm row: out[i] = x[i] · r · gain[i] with
+  /// r = 1/sqrt(mean(x²) + eps).
+  void (*rmsnorm_row)(const float* x, const float* gain, std::size_t n,
+                      float eps, float* out);
+
+  /// SwiGLU elementwise combine, in place:
+  /// gate[j] ← (gate[j] / (1 + e^{-gate[j]})) · up[j].
+  void (*silu_mul)(float* gate, const float* up, std::size_t n);
+};
+
+/// The kernel table for `tier`; valid to call even for unsupported tiers
+/// (the table is just data), but executing its kernels then is illegal.
+const KernelTable& table_for(IsaTier tier);
+
+/// The active kernel table. First call probes cpuid for the best
+/// supported tier; the HPCGPT_ISA environment variable ("scalar",
+/// "avx2", "avx512", "neon") overrides the probe when it names a
+/// supported tier (an unsupported or unknown name warns on stderr and
+/// keeps the probed tier — so forcing "avx512" on a laptop degrades
+/// gracefully instead of crashing).
+const KernelTable& active();
+
+/// Forces the active tier (test hook behind the HPCGPT_ISA contract).
+/// Returns false — and leaves the active tier unchanged — when the
+/// running CPU does not support `tier`.
+bool set_active_tier(IsaTier tier);
+
+/// Quantizes one activation row to symmetric int8: out[i] =
+/// round_to_nearest_even(x[i] * 127 / max|x|), zero-padding out[n..padded).
+/// Returns the dequantization scale (max|x| / 127; 0 for an all-zero
+/// row). Deliberately one shared tier-independent code path (baseline
+/// SSE2 on x86-64, plain scalar elsewhere): it feeds every tier the same
+/// bytes, which is half of the bitwise-identity guarantee.
+float quantize_row_i8(const float* x, std::size_t n, std::size_t padded,
+                      std::int8_t* out);
+
+}  // namespace hpcgpt::tensor::kernels

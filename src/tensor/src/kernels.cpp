@@ -1,0 +1,1121 @@
+#include "hpcgpt/tensor/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "hpcgpt/support/fastmath.hpp"
+#include "hpcgpt/tensor/half.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define HPCGPT_X86 1
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define HPCGPT_NEON 1
+#endif
+
+namespace hpcgpt::tensor::kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference tier. The int8 dot accumulates in int32 — every other
+// tier must reproduce these exact integers, and the epilogue expression
+// below (cast, ×xscale, ×wscale, in that order) is the canonical one all
+// tiers share element-wise, so vector epilogues stay bitwise identical.
+// ---------------------------------------------------------------------------
+
+inline float scale_dot(std::int32_t dot, float xscale, float wscale) {
+  return (static_cast<float>(dot) * xscale) * wscale;
+}
+
+void gemv_i8_scalar(const std::int8_t* qx, const std::int8_t* w,
+                    const std::int32_t* /*colsum*/, const float* wscale,
+                    float xscale, std::size_t in, std::size_t out, float* y) {
+  const std::size_t blocks = in / 4;
+  for (std::size_t j = 0; j < out; ++j) {
+    std::int32_t acc = 0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::int8_t* wb = w + (b * out + j) * 4;
+      const std::int8_t* xb = qx + b * 4;
+      acc += static_cast<std::int32_t>(xb[0]) * wb[0] +
+             static_cast<std::int32_t>(xb[1]) * wb[1] +
+             static_cast<std::int32_t>(xb[2]) * wb[2] +
+             static_cast<std::int32_t>(xb[3]) * wb[3];
+    }
+    y[j] = scale_dot(acc, xscale, wscale[j]);
+  }
+}
+
+void gemv_f16_scalar(const float* x, const std::uint16_t* w, std::size_t in,
+                     std::size_t out, float* y) {
+  for (std::size_t j = 0; j < out; ++j) {
+    float acc = 0.0f;
+    const std::uint16_t* wj = w + j;
+    for (std::size_t i = 0; i < in; ++i) {
+      acc += x[i] * Half::from_bits(wj[i * out]).to_float();
+    }
+    y[j] = acc;
+  }
+}
+
+// --- scalar fp32 attention helpers ----------------------------------------
+// These are verbatim the loops the decode path ran before the dispatch
+// table existed, so the scalar tier reproduces pre-kernel decode numerics
+// exactly (and autovectorizes to baseline SSE2/NEON like the originals).
+
+void attn_scores_scalar(const float* q, float scale, const float* k,
+                        std::size_t hd, std::size_t stride, std::size_t len,
+                        float* probs) {
+  std::fill(probs, probs + len, 0.0f);
+  for (std::size_t i = 0; i < hd; ++i) {
+    const float qi = q[i] * scale;
+    const float* __restrict kt = k + i * stride;
+    for (std::size_t s = 0; s < len; ++s) probs[s] += qi * kt[s];
+  }
+}
+
+void attn_values_scalar(const float* probs, float inv, const float* v,
+                        std::size_t hd, std::size_t stride, std::size_t len,
+                        float* out) {
+  for (std::size_t i = 0; i < hd; ++i) {
+    const float* __restrict vt = v + i * stride;
+    float acc = 0.0f;
+    for (std::size_t s = 0; s < len; ++s) acc += probs[s] * vt[s];
+    out[i] = acc * inv;
+  }
+}
+
+float softmax_row_scalar(float* probs, std::size_t len) {
+  float max_score = probs[0];
+  for (std::size_t s = 1; s < len; ++s) {
+    max_score = std::max(max_score, probs[s]);
+  }
+  for (std::size_t s = 0; s < len; ++s) {
+    probs[s] = fast_expf(probs[s] - max_score);
+  }
+  float denom = 0.0f;
+  for (std::size_t s = 0; s < len; ++s) denom += probs[s];
+  return 1.0f / denom;
+}
+
+void add_half_rows_scalar(const std::uint16_t* a, const std::uint16_t* b,
+                          std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Half::from_bits(a[i]).to_float() + Half::from_bits(b[i]).to_float();
+  }
+}
+
+void rmsnorm_row_scalar(const float* x, const float* gain, std::size_t n,
+                        float eps, float* out) {
+  float ms = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) ms += x[i] * x[i];
+  const float r = 1.0f / std::sqrt(ms / static_cast<float>(n) + eps);
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i] * r * gain[i];
+}
+
+void silu_mul_scalar(float* gate, const float* up, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    gate[j] = gate[j] / (1.0f + fast_expf(-gate[j])) * up[j];
+  }
+}
+
+// Shared scalar tail for the x86 int8 kernels: identical integer math,
+// used for output columns past the widest vector chunk.
+inline std::int32_t dot_col_i8(const std::int8_t* qx, const std::int8_t* w,
+                               std::size_t j, std::size_t blocks,
+                               std::size_t out) {
+  std::int32_t acc = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::int8_t* wb = w + (b * out + j) * 4;
+    const std::int8_t* xb = qx + b * 4;
+    acc += static_cast<std::int32_t>(xb[0]) * wb[0] +
+           static_cast<std::int32_t>(xb[1]) * wb[1] +
+           static_cast<std::int32_t>(xb[2]) * wb[2] +
+           static_cast<std::int32_t>(xb[3]) * wb[3];
+  }
+  return acc;
+}
+
+#ifdef HPCGPT_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. The packed layout keeps 4-deep input quads contiguous per
+// output column, so one 32-byte load covers 8 columns and the activation
+// quad broadcasts into every lane. vpmaddubsw multiplies unsigned×signed
+// bytes; routing the activation's sign onto the weight (llama.cpp's
+// trick) keeps products exact, and pair sums are bounded by
+// 2·127·127 = 32258 < 32767, so the int16 intermediate never saturates.
+// Accumulators stay resident across the whole input loop — no horizontal
+// reductions anywhere.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i quad_block_avx2(__m256i acc,
+                                                               __m256i xq,
+                                                               __m256i wv) {
+  __m256i ax = _mm256_sign_epi8(xq, xq);
+  __m256i sw = _mm256_sign_epi8(wv, xq);
+  __m256i p16 = _mm256_maddubs_epi16(ax, sw);
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(p16, _mm256_set1_epi16(1)));
+}
+
+__attribute__((target("avx2"))) inline void store_scaled_avx2(
+    float* y, __m256i dot, __m256 xs, const float* wscale) {
+  __m256 f = _mm256_mul_ps(_mm256_cvtepi32_ps(dot), xs);
+  _mm256_storeu_ps(y, _mm256_mul_ps(f, _mm256_loadu_ps(wscale)));
+}
+
+__attribute__((target("avx2"))) void gemv_i8_avx2(
+    const std::int8_t* qx, const std::int8_t* w,
+    const std::int32_t* /*colsum*/, const float* wscale, float xscale,
+    std::size_t in, std::size_t out, float* y) {
+  const std::size_t blocks = in / 4;
+  const __m256 xs = _mm256_set1_ps(xscale);
+  std::size_t j = 0;
+  for (; j + 32 <= out; j += 32) {
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::int32_t xi;
+      std::memcpy(&xi, qx + b * 4, 4);
+      const __m256i xq = _mm256_set1_epi32(xi);
+      const std::int8_t* wb = w + (b * out + j) * 4;
+      acc0 = quad_block_avx2(
+          acc0, xq, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wb)));
+      acc1 = quad_block_avx2(
+          acc1, xq,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wb + 32)));
+      acc2 = quad_block_avx2(
+          acc2, xq,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wb + 64)));
+      acc3 = quad_block_avx2(
+          acc3, xq,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wb + 96)));
+    }
+    store_scaled_avx2(y + j, acc0, xs, wscale + j);
+    store_scaled_avx2(y + j + 8, acc1, xs, wscale + j + 8);
+    store_scaled_avx2(y + j + 16, acc2, xs, wscale + j + 16);
+    store_scaled_avx2(y + j + 24, acc3, xs, wscale + j + 24);
+  }
+  for (; j + 8 <= out; j += 8) {
+    __m256i acc = _mm256_setzero_si256();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::int32_t xi;
+      std::memcpy(&xi, qx + b * 4, 4);
+      acc = quad_block_avx2(acc, _mm256_set1_epi32(xi),
+                            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                                w + (b * out + j) * 4)));
+    }
+    store_scaled_avx2(y + j, acc, xs, wscale + j);
+  }
+  for (; j < out; ++j) {
+    y[j] = scale_dot(dot_col_i8(qx, w, j, blocks, out), xscale, wscale[j]);
+  }
+}
+
+// fp16 via F16C upconvert + FMA over row-major weights: broadcast one
+// activation, fma into resident column accumulators. Requires f16c+fma
+// in addition to avx2; probed separately so an AVX2-only CPU gets the
+// scalar fp16 kernel.
+__attribute__((target("avx2,fma,f16c"))) void gemv_f16_f16c(
+    const float* x, const std::uint16_t* w, std::size_t in, std::size_t out,
+    float* y) {
+  std::size_t j = 0;
+  for (; j + 32 <= out; j += 32) {
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    for (std::size_t i = 0; i < in; ++i) {
+      const __m256 xb = _mm256_set1_ps(x[i]);
+      const std::uint16_t* wr = w + i * out + j;
+      acc0 = _mm256_fmadd_ps(
+          xb,
+          _mm256_cvtph_ps(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(wr))),
+          acc0);
+      acc1 = _mm256_fmadd_ps(
+          xb,
+          _mm256_cvtph_ps(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(wr + 8))),
+          acc1);
+      acc2 = _mm256_fmadd_ps(
+          xb,
+          _mm256_cvtph_ps(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(wr + 16))),
+          acc2);
+      acc3 = _mm256_fmadd_ps(
+          xb,
+          _mm256_cvtph_ps(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(wr + 24))),
+          acc3);
+    }
+    _mm256_storeu_ps(y + j, acc0);
+    _mm256_storeu_ps(y + j + 8, acc1);
+    _mm256_storeu_ps(y + j + 16, acc2);
+    _mm256_storeu_ps(y + j + 24, acc3);
+  }
+  for (; j + 8 <= out; j += 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t i = 0; i < in; ++i) {
+      acc = _mm256_fmadd_ps(
+          _mm256_set1_ps(x[i]),
+          _mm256_cvtph_ps(_mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(w + i * out + j))),
+          acc);
+    }
+    _mm256_storeu_ps(y + j, acc);
+  }
+  for (; j < out; ++j) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < in; ++i) {
+      acc += x[i] * Half::from_bits(w[i * out + j]).to_float();
+    }
+    y[j] = acc;
+  }
+}
+
+// AVX2+FMA attention helpers. The K/V caches are feature-major (unit
+// stride over positions), so the position loop vectorizes directly; the
+// head_dim loop stays outer with one broadcast per feature.
+
+__attribute__((target("avx2,fma"))) inline float hsum_avx2(__m256 acc) {
+  __m128 lo = _mm_add_ps(_mm256_castps256_ps128(acc),
+                         _mm256_extractf128_ps(acc, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+  return _mm_cvtss_f32(lo);
+}
+
+__attribute__((target("avx2,fma"))) void attn_scores_avx2(
+    const float* q, float scale, const float* k, std::size_t hd,
+    std::size_t stride, std::size_t len, float* probs) {
+  // Pre-broadcast the scaled query once per call (see the AVX-512
+  // variant for the rationale).
+  constexpr std::size_t kMaxHd = 64;
+  __m256 qv[kMaxHd];
+  const std::size_t hb = hd < kMaxHd ? hd : kMaxHd;
+  for (std::size_t i = 0; i < hb; ++i) qv[i] = _mm256_set1_ps(q[i] * scale);
+  std::size_t s = 0;
+  for (; s + 8 <= len; s += 8) {
+    // Four independent accumulators hide the FMA latency chain.
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps();
+    __m256 a3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 4 <= hb; i += 4) {
+      const float* kt = k + i * stride + s;
+      a0 = _mm256_fmadd_ps(qv[i], _mm256_loadu_ps(kt), a0);
+      a1 = _mm256_fmadd_ps(qv[i + 1], _mm256_loadu_ps(kt + stride), a1);
+      a2 = _mm256_fmadd_ps(qv[i + 2], _mm256_loadu_ps(kt + 2 * stride), a2);
+      a3 = _mm256_fmadd_ps(qv[i + 3], _mm256_loadu_ps(kt + 3 * stride), a3);
+    }
+    for (; i < hd; ++i) {
+      a0 = _mm256_fmadd_ps(i < kMaxHd ? qv[i] : _mm256_set1_ps(q[i] * scale),
+                           _mm256_loadu_ps(k + i * stride + s), a0);
+    }
+    _mm256_storeu_ps(
+        probs + s,
+        _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
+  }
+  for (; s < len; ++s) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < hd; ++i) {
+      acc += (q[i] * scale) * k[i * stride + s];
+    }
+    probs[s] = acc;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void attn_values_avx2(
+    const float* probs, float inv, const float* v, std::size_t hd,
+    std::size_t stride, std::size_t len, float* out) {
+  // Two output features share each probs load; their independent chains
+  // hide part of the FMA latency a feature-at-a-time loop exposes.
+  std::size_t i = 0;
+  for (; i + 2 <= hd; i += 2) {
+    const float* vt = v + i * stride;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    std::size_t s = 0;
+    for (; s + 8 <= len; s += 8) {
+      const __m256 p = _mm256_loadu_ps(probs + s);
+      a0 = _mm256_fmadd_ps(p, _mm256_loadu_ps(vt + s), a0);
+      a1 = _mm256_fmadd_ps(p, _mm256_loadu_ps(vt + stride + s), a1);
+    }
+    float sum0 = hsum_avx2(a0);
+    float sum1 = hsum_avx2(a1);
+    for (; s < len; ++s) {
+      sum0 += probs[s] * vt[s];
+      sum1 += probs[s] * vt[stride + s];
+    }
+    out[i] = sum0 * inv;
+    out[i + 1] = sum1 * inv;
+  }
+  for (; i < hd; ++i) {
+    const float* vt = v + i * stride;
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t s = 0;
+    for (; s + 8 <= len; s += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(probs + s),
+                            _mm256_loadu_ps(vt + s), acc);
+    }
+    float sum = hsum_avx2(acc);
+    for (; s < len; ++s) sum += probs[s] * vt[s];
+    out[i] = sum * inv;
+  }
+}
+
+/// Vector fast_expf: the same clamp / truncate / degree-7 polynomial /
+/// exponent-bit-trick sequence as hpcgpt::fast_expf, FMA-contracted.
+__attribute__((target("avx2,fma"))) inline __m256 fast_expf_avx2(__m256 x) {
+  const __m256 z = _mm256_min_ps(
+      _mm256_max_ps(_mm256_mul_ps(x, _mm256_set1_ps(1.4426950408889634f)),
+                    _mm256_set1_ps(-126.0f)),
+      _mm256_set1_ps(126.0f));
+  const __m256i ei = _mm256_cvttps_epi32(z);
+  const __m256 f = _mm256_sub_ps(z, _mm256_cvtepi32_ps(ei));
+  __m256 p = _mm256_set1_ps(1.52527338e-5f);
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.54035304e-4f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.33335581e-3f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(9.61812911e-3f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(5.55041087e-2f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(2.40226507e-1f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(6.93147181e-1f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f));
+  const __m256i bits = _mm256_slli_epi32(
+      _mm256_add_epi32(ei, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
+}
+
+__attribute__((target("avx2,fma"))) float softmax_row_avx2(float* probs,
+                                                           std::size_t len) {
+  float max_score = probs[0];
+  std::size_t s = 0;
+  if (len >= 8) {
+    __m256 vmax = _mm256_loadu_ps(probs);
+    for (s = 8; s + 8 <= len; s += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(probs + s));
+    }
+    __m128 m = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                          _mm256_extractf128_ps(vmax, 1));
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    max_score = _mm_cvtss_f32(m);
+  }
+  for (; s < len; ++s) max_score = std::max(max_score, probs[s]);
+
+  const __m256 vm = _mm256_set1_ps(max_score);
+  __m256 vsum = _mm256_setzero_ps();
+  std::size_t t = 0;
+  for (; t + 8 <= len; t += 8) {
+    const __m256 e = fast_expf_avx2(_mm256_sub_ps(_mm256_loadu_ps(probs + t), vm));
+    _mm256_storeu_ps(probs + t, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  __m128 sl = _mm_add_ps(_mm256_castps256_ps128(vsum),
+                         _mm256_extractf128_ps(vsum, 1));
+  sl = _mm_add_ps(sl, _mm_movehl_ps(sl, sl));
+  sl = _mm_add_ss(sl, _mm_shuffle_ps(sl, sl, 1));
+  float denom = _mm_cvtss_f32(sl);
+  for (; t < len; ++t) {
+    const float e = fast_expf(probs[t] - max_score);
+    probs[t] = e;
+    denom += e;
+  }
+  return 1.0f / denom;
+}
+
+__attribute__((target("avx2,fma,f16c"))) void add_half_rows_f16c(
+    const std::uint16_t* a, const std::uint16_t* b, std::size_t n,
+    float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256 bv = _mm256_cvtph_ps(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    _mm256_storeu_ps(out + i, _mm256_add_ps(av, bv));
+  }
+  for (; i < n; ++i) {
+    out[i] = Half::from_bits(a[i]).to_float() + Half::from_bits(b[i]).to_float();
+  }
+}
+
+__attribute__((target("avx2,fma"))) void rmsnorm_row_avx2(const float* x,
+                                                          const float* gain,
+                                                          std::size_t n,
+                                                          float eps,
+                                                          float* out) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    acc = _mm256_fmadd_ps(v, v, acc);
+  }
+  __m128 lo = _mm_add_ps(_mm256_castps256_ps128(acc),
+                         _mm256_extractf128_ps(acc, 1));
+  lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  lo = _mm_add_ss(lo, _mm_movehdup_ps(lo));
+  float ms = _mm_cvtss_f32(lo);
+  for (; i < n; ++i) ms += x[i] * x[i];
+  const float r = 1.0f / std::sqrt(ms / static_cast<float>(n) + eps);
+  const __m256 vr = _mm256_set1_ps(r);
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, _mm256_mul_ps(_mm256_mul_ps(_mm256_loadu_ps(x + i), vr),
+                               _mm256_loadu_ps(gain + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] * r * gain[i];
+}
+
+__attribute__((target("avx2,fma"))) void silu_mul_avx2(float* gate,
+                                                       const float* up,
+                                                       std::size_t n) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 g = _mm256_loadu_ps(gate + j);
+    const __m256 e = fast_expf_avx2(_mm256_sub_ps(_mm256_setzero_ps(), g));
+    const __m256 s = _mm256_div_ps(g, _mm256_add_ps(one, e));
+    _mm256_storeu_ps(gate + j, _mm256_mul_ps(s, _mm256_loadu_ps(up + j)));
+  }
+  for (; j < n; ++j) {
+    gate[j] = gate[j] / (1.0f + fast_expf(-gate[j])) * up[j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 VNNI tier. vpdpbusd wants unsigned×signed bytes; biasing the
+// activation quad into offset-binary (qx XOR 0x80 == qx + 128 as u8)
+// makes it unsigned, and the bias contributes exactly 128·Σw per column,
+// which pack time precomputed as colsum[j] — the epilogue subtracts it
+// with one shift+sub per 16 columns. All intermediates are exact int32,
+// so this tier reproduces the scalar integers bit for bit.
+// ---------------------------------------------------------------------------
+
+#define HPCGPT_AVX512_TARGET "avx512f,avx512bw,avx512vl,avx512vnni"
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) inline void store_scaled_avx512(
+    float* y, __m512i biased, const std::int32_t* colsum, __m512 xs,
+    const float* wscale) {
+  __m512i corr = _mm512_slli_epi32(
+      _mm512_loadu_si512(reinterpret_cast<const void*>(colsum)), 7);
+  __m512 f =
+      _mm512_mul_ps(_mm512_cvtepi32_ps(_mm512_sub_epi32(biased, corr)), xs);
+  _mm512_storeu_ps(y, _mm512_mul_ps(f, _mm512_loadu_ps(wscale)));
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void gemv_i8_avx512(
+    const std::int8_t* qx, const std::int8_t* w, const std::int32_t* colsum,
+    const float* wscale, float xscale, std::size_t in, std::size_t out,
+    float* y) {
+  const std::size_t blocks = in / 4;
+  // Bias the activation once per call, not per column tile.
+  alignas(64) std::uint8_t bx_stack[1024];
+  std::uint8_t* bx = bx_stack;
+  std::uint8_t* heap = nullptr;
+  if (in > sizeof(bx_stack)) {
+    heap = static_cast<std::uint8_t*>(::operator new(in));
+    bx = heap;
+  }
+  // `in` is padded to a multiple of 16, so the whole bias pass vectorizes.
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  for (std::size_t i = 0; i < in; i += 16) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(bx + i),
+        _mm_xor_si128(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(qx + i)), bias));
+  }
+  const __m512 xs = _mm512_set1_ps(xscale);
+  std::size_t j = 0;
+  for (; j + 64 <= out; j += 64) {
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    __m512i acc2 = _mm512_setzero_si512();
+    __m512i acc3 = _mm512_setzero_si512();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::int32_t xi;
+      std::memcpy(&xi, bx + b * 4, 4);
+      const __m512i xq = _mm512_set1_epi32(xi);
+      const std::int8_t* wb = w + (b * out + j) * 4;
+      acc0 = _mm512_dpbusd_epi32(
+          acc0, xq, _mm512_loadu_si512(reinterpret_cast<const void*>(wb)));
+      acc1 = _mm512_dpbusd_epi32(
+          acc1, xq,
+          _mm512_loadu_si512(reinterpret_cast<const void*>(wb + 64)));
+      acc2 = _mm512_dpbusd_epi32(
+          acc2, xq,
+          _mm512_loadu_si512(reinterpret_cast<const void*>(wb + 128)));
+      acc3 = _mm512_dpbusd_epi32(
+          acc3, xq,
+          _mm512_loadu_si512(reinterpret_cast<const void*>(wb + 192)));
+    }
+    store_scaled_avx512(y + j, acc0, colsum + j, xs, wscale + j);
+    store_scaled_avx512(y + j + 16, acc1, colsum + j + 16, xs, wscale + j + 16);
+    store_scaled_avx512(y + j + 32, acc2, colsum + j + 32, xs, wscale + j + 32);
+    store_scaled_avx512(y + j + 48, acc3, colsum + j + 48, xs, wscale + j + 48);
+  }
+  for (; j + 16 <= out; j += 16) {
+    __m512i acc = _mm512_setzero_si512();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::int32_t xi;
+      std::memcpy(&xi, bx + b * 4, 4);
+      acc = _mm512_dpbusd_epi32(acc, _mm512_set1_epi32(xi),
+                                _mm512_loadu_si512(reinterpret_cast<const void*>(
+                                    w + (b * out + j) * 4)));
+    }
+    store_scaled_avx512(y + j, acc, colsum + j, xs, wscale + j);
+  }
+  for (; j < out; ++j) {
+    y[j] = scale_dot(dot_col_i8(qx, w, j, blocks, out), xscale, wscale[j]);
+  }
+  ::operator delete(heap);
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET ",f16c,fma"))) void
+gemv_f16_avx512(const float* x, const std::uint16_t* w, std::size_t in,
+                std::size_t out, float* y) {
+  std::size_t j = 0;
+  for (; j + 64 <= out; j += 64) {
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    __m512 acc2 = _mm512_setzero_ps();
+    __m512 acc3 = _mm512_setzero_ps();
+    for (std::size_t i = 0; i < in; ++i) {
+      const __m512 xb = _mm512_set1_ps(x[i]);
+      const std::uint16_t* wr = w + i * out + j;
+      acc0 = _mm512_fmadd_ps(
+          xb,
+          _mm512_cvtph_ps(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wr))),
+          acc0);
+      acc1 = _mm512_fmadd_ps(
+          xb,
+          _mm512_cvtph_ps(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wr + 16))),
+          acc1);
+      acc2 = _mm512_fmadd_ps(
+          xb,
+          _mm512_cvtph_ps(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wr + 32))),
+          acc2);
+      acc3 = _mm512_fmadd_ps(
+          xb,
+          _mm512_cvtph_ps(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wr + 48))),
+          acc3);
+    }
+    _mm512_storeu_ps(y + j, acc0);
+    _mm512_storeu_ps(y + j + 16, acc1);
+    _mm512_storeu_ps(y + j + 32, acc2);
+    _mm512_storeu_ps(y + j + 48, acc3);
+  }
+  for (; j + 16 <= out; j += 16) {
+    __m512 acc = _mm512_setzero_ps();
+    for (std::size_t i = 0; i < in; ++i) {
+      acc = _mm512_fmadd_ps(
+          _mm512_set1_ps(x[i]),
+          _mm512_cvtph_ps(_mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(w + i * out + j))),
+          acc);
+    }
+    _mm512_storeu_ps(y + j, acc);
+  }
+  for (; j < out; ++j) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < in; ++i) {
+      acc += x[i] * Half::from_bits(w[i * out + j]).to_float();
+    }
+    y[j] = acc;
+  }
+}
+
+// AVX-512 attention helpers: 16-wide with masked tails, so every length
+// takes the vector path.
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void attn_scores_avx512(
+    const float* q, float scale, const float* k, std::size_t hd,
+    std::size_t stride, std::size_t len, float* probs) {
+  // Pre-broadcast the scaled query once per call: rebuilding the
+  // broadcasts inside the position loop costs ~hd·len/16 set1s, which
+  // dominated this kernel at decode head sizes.
+  constexpr std::size_t kMaxHd = 64;
+  __m512 qv[kMaxHd];
+  const std::size_t hb = hd < kMaxHd ? hd : kMaxHd;
+  for (std::size_t i = 0; i < hb; ++i) qv[i] = _mm512_set1_ps(q[i] * scale);
+  for (std::size_t s = 0; s < len; s += 16) {
+    const std::size_t rem = len - s;
+    const __mmask16 m =
+        rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                  : static_cast<__mmask16>((1u << rem) - 1u);
+    // Four independent accumulators: a single chain serializes on the
+    // 4-cycle FMA latency and caps the loop at a quarter of throughput.
+    __m512 a0 = _mm512_setzero_ps();
+    __m512 a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps();
+    __m512 a3 = _mm512_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 4 <= hb; i += 4) {
+      const float* kt = k + i * stride + s;
+      a0 = _mm512_fmadd_ps(qv[i], _mm512_maskz_loadu_ps(m, kt), a0);
+      a1 = _mm512_fmadd_ps(qv[i + 1], _mm512_maskz_loadu_ps(m, kt + stride),
+                           a1);
+      a2 = _mm512_fmadd_ps(qv[i + 2],
+                           _mm512_maskz_loadu_ps(m, kt + 2 * stride), a2);
+      a3 = _mm512_fmadd_ps(qv[i + 3],
+                           _mm512_maskz_loadu_ps(m, kt + 3 * stride), a3);
+    }
+    for (; i < hd; ++i) {
+      a0 = _mm512_fmadd_ps(i < kMaxHd ? qv[i] : _mm512_set1_ps(q[i] * scale),
+                           _mm512_maskz_loadu_ps(m, k + i * stride + s), a0);
+    }
+    _mm512_mask_storeu_ps(
+        probs + s, m,
+        _mm512_add_ps(_mm512_add_ps(a0, a1), _mm512_add_ps(a2, a3)));
+  }
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void attn_values_avx512(
+    const float* probs, float inv, const float* v, std::size_t hd,
+    std::size_t stride, std::size_t len, float* out) {
+  // Four output features share each probs load, and their four chains
+  // hide the FMA latency that a feature-at-a-time loop would expose.
+  std::size_t i = 0;
+  for (; i + 4 <= hd; i += 4) {
+    const float* vt = v + i * stride;
+    __m512 a0 = _mm512_setzero_ps();
+    __m512 a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps();
+    __m512 a3 = _mm512_setzero_ps();
+    for (std::size_t s = 0; s < len; s += 16) {
+      const std::size_t rem = len - s;
+      const __mmask16 m =
+          rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                    : static_cast<__mmask16>((1u << rem) - 1u);
+      const __m512 p = _mm512_maskz_loadu_ps(m, probs + s);
+      a0 = _mm512_fmadd_ps(p, _mm512_maskz_loadu_ps(m, vt + s), a0);
+      a1 = _mm512_fmadd_ps(p, _mm512_maskz_loadu_ps(m, vt + stride + s), a1);
+      a2 = _mm512_fmadd_ps(p, _mm512_maskz_loadu_ps(m, vt + 2 * stride + s),
+                           a2);
+      a3 = _mm512_fmadd_ps(p, _mm512_maskz_loadu_ps(m, vt + 3 * stride + s),
+                           a3);
+    }
+    out[i] = _mm512_reduce_add_ps(a0) * inv;
+    out[i + 1] = _mm512_reduce_add_ps(a1) * inv;
+    out[i + 2] = _mm512_reduce_add_ps(a2) * inv;
+    out[i + 3] = _mm512_reduce_add_ps(a3) * inv;
+  }
+  for (; i < hd; ++i) {
+    const float* vt = v + i * stride;
+    __m512 acc = _mm512_setzero_ps();
+    for (std::size_t s = 0; s < len; s += 16) {
+      const std::size_t rem = len - s;
+      const __mmask16 m =
+          rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                    : static_cast<__mmask16>((1u << rem) - 1u);
+      acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, probs + s),
+                            _mm512_maskz_loadu_ps(m, vt + s), acc);
+    }
+    out[i] = _mm512_reduce_add_ps(acc) * inv;
+  }
+}
+
+/// 16-wide fast_expf (same sequence as hpcgpt::fast_expf, FMA-contracted).
+__attribute__((target(HPCGPT_AVX512_TARGET))) inline __m512
+fast_expf_avx512(__m512 x) {
+  const __m512 z = _mm512_min_ps(
+      _mm512_max_ps(_mm512_mul_ps(x, _mm512_set1_ps(1.4426950408889634f)),
+                    _mm512_set1_ps(-126.0f)),
+      _mm512_set1_ps(126.0f));
+  const __m512i ei = _mm512_cvttps_epi32(z);
+  const __m512 f = _mm512_sub_ps(z, _mm512_cvtepi32_ps(ei));
+  __m512 p = _mm512_set1_ps(1.52527338e-5f);
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(1.54035304e-4f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(1.33335581e-3f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(9.61812911e-3f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(5.55041087e-2f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(2.40226507e-1f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(6.93147181e-1f));
+  p = _mm512_fmadd_ps(p, f, _mm512_set1_ps(1.0f));
+  const __m512i bits =
+      _mm512_slli_epi32(_mm512_add_epi32(ei, _mm512_set1_epi32(127)), 23);
+  return _mm512_mul_ps(p, _mm512_castsi512_ps(bits));
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) float softmax_row_avx512(
+    float* probs, std::size_t len) {
+  const __m512 ninf = _mm512_set1_ps(-1e30f);
+  __m512 vmax = ninf;
+  for (std::size_t s = 0; s < len; s += 16) {
+    const std::size_t rem = len - s;
+    const __mmask16 m =
+        rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                  : static_cast<__mmask16>((1u << rem) - 1u);
+    vmax = _mm512_max_ps(vmax, _mm512_mask_loadu_ps(ninf, m, probs + s));
+  }
+  const float max_score = _mm512_reduce_max_ps(vmax);
+
+  const __m512 vm = _mm512_set1_ps(max_score);
+  __m512 vsum = _mm512_setzero_ps();
+  for (std::size_t s = 0; s < len; s += 16) {
+    const std::size_t rem = len - s;
+    const __mmask16 m =
+        rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                  : static_cast<__mmask16>((1u << rem) - 1u);
+    const __m512 e = _mm512_maskz_mov_ps(
+        m, fast_expf_avx512(
+               _mm512_sub_ps(_mm512_maskz_loadu_ps(m, probs + s), vm)));
+    _mm512_mask_storeu_ps(probs + s, m, e);
+    vsum = _mm512_add_ps(vsum, e);
+  }
+  return 1.0f / _mm512_reduce_add_ps(vsum);
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET ",f16c,fma"))) void
+add_half_rows_avx512(const std::uint16_t* a, const std::uint16_t* b,
+                     std::size_t n, float* out) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 av = _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    const __m512 bv = _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    _mm512_storeu_ps(out + i, _mm512_add_ps(av, bv));
+  }
+  for (; i < n; ++i) {
+    out[i] = Half::from_bits(a[i]).to_float() + Half::from_bits(b[i]).to_float();
+  }
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void rmsnorm_row_avx512(
+    const float* x, const float* gain, std::size_t n, float eps, float* out) {
+  __m512 acc = _mm512_setzero_ps();
+  for (std::size_t i = 0; i < n; i += 16) {
+    const __mmask16 m = n - i >= 16
+                            ? static_cast<__mmask16>(0xffff)
+                            : static_cast<__mmask16>((1u << (n - i)) - 1);
+    const __m512 v = _mm512_maskz_loadu_ps(m, x + i);
+    acc = _mm512_fmadd_ps(v, v, acc);
+  }
+  const float ms = _mm512_reduce_add_ps(acc);
+  const float r = 1.0f / std::sqrt(ms / static_cast<float>(n) + eps);
+  const __m512 vr = _mm512_set1_ps(r);
+  for (std::size_t i = 0; i < n; i += 16) {
+    const __mmask16 m = n - i >= 16
+                            ? static_cast<__mmask16>(0xffff)
+                            : static_cast<__mmask16>((1u << (n - i)) - 1);
+    const __m512 v = _mm512_maskz_loadu_ps(m, x + i);
+    const __m512 g = _mm512_maskz_loadu_ps(m, gain + i);
+    _mm512_mask_storeu_ps(out + i, m, _mm512_mul_ps(_mm512_mul_ps(v, vr), g));
+  }
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void silu_mul_avx512(
+    float* gate, const float* up, std::size_t n) {
+  const __m512 one = _mm512_set1_ps(1.0f);
+  for (std::size_t j = 0; j < n; j += 16) {
+    const __mmask16 m = n - j >= 16
+                            ? static_cast<__mmask16>(0xffff)
+                            : static_cast<__mmask16>((1u << (n - j)) - 1);
+    const __m512 g = _mm512_maskz_loadu_ps(m, gate + j);
+    const __m512 e =
+        fast_expf_avx512(_mm512_sub_ps(_mm512_setzero_ps(), g));
+    const __m512 s = _mm512_div_ps(g, _mm512_add_ps(one, e));
+    _mm512_mask_storeu_ps(gate + j, m,
+                          _mm512_mul_ps(s, _mm512_maskz_loadu_ps(m, up + j)));
+  }
+}
+
+#endif  // HPCGPT_X86
+
+#ifdef HPCGPT_NEON
+
+// NEON tier: one 16-byte load covers 4 output columns' quads; products
+// widen through int16 (vmull_s8) and fold pairwise into exact int32
+// column dots (vpaddlq + vpaddq) — same bitwise contract as x86.
+void gemv_i8_neon(const std::int8_t* qx, const std::int8_t* w,
+                  const std::int32_t* /*colsum*/, const float* wscale,
+                  float xscale, std::size_t in, std::size_t out, float* y) {
+  const std::size_t blocks = in / 4;
+  std::size_t j = 0;
+  for (; j + 4 <= out; j += 4) {
+    int32x4_t acc = vdupq_n_s32(0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::int32_t xi;
+      std::memcpy(&xi, qx + b * 4, 4);
+      int8x16_t xq = vreinterpretq_s8_s32(vdupq_n_s32(xi));
+      int8x16_t wv = vld1q_s8(w + (b * out + j) * 4);
+      int32x4_t lo = vpaddlq_s16(vmull_s8(vget_low_s8(xq), vget_low_s8(wv)));
+      int32x4_t hi = vpaddlq_s16(vmull_s8(vget_high_s8(xq), vget_high_s8(wv)));
+      acc = vaddq_s32(acc, vpaddq_s32(lo, hi));
+    }
+    float32x4_t f = vmulq_n_f32(vcvtq_f32_s32(acc), xscale);
+    vst1q_f32(y + j, vmulq_f32(f, vld1q_f32(wscale + j)));
+  }
+  for (; j < out; ++j) {
+    y[j] = scale_dot(dot_col_i8(qx, w, j, blocks, out), xscale, wscale[j]);
+  }
+}
+
+#endif  // HPCGPT_NEON
+
+// ---------------------------------------------------------------------------
+// Tables + dispatch state
+// ---------------------------------------------------------------------------
+
+const KernelTable kScalarTable = {
+    IsaTier::Scalar,      "scalar",
+    gemv_i8_scalar,       gemv_f16_scalar,
+    attn_scores_scalar,   attn_values_scalar,
+    softmax_row_scalar,   add_half_rows_scalar,
+    rmsnorm_row_scalar,   silu_mul_scalar};
+
+#ifdef HPCGPT_X86
+bool cpu_has_f16c_fma() {
+  return __builtin_cpu_supports("f16c") && __builtin_cpu_supports("fma");
+}
+
+const KernelTable& avx2_table() {
+  // The fp32 attention helpers want FMA on top of avx2; an AVX2-only CPU
+  // (no such silicon in practice, but the probe is honest) keeps the
+  // scalar versions.
+  const bool fma = __builtin_cpu_supports("fma");
+  static const KernelTable t = {
+      IsaTier::Avx2,
+      "avx2",
+      gemv_i8_avx2,
+      cpu_has_f16c_fma() ? gemv_f16_f16c : gemv_f16_scalar,
+      fma ? attn_scores_avx2 : attn_scores_scalar,
+      fma ? attn_values_avx2 : attn_values_scalar,
+      fma ? softmax_row_avx2 : softmax_row_scalar,
+      cpu_has_f16c_fma() ? add_half_rows_f16c : add_half_rows_scalar,
+      fma ? rmsnorm_row_avx2 : rmsnorm_row_scalar,
+      fma ? silu_mul_avx2 : silu_mul_scalar};
+  return t;
+}
+
+const KernelTable& avx512_table() {
+  static const KernelTable t = {
+      IsaTier::Avx512,
+      "avx512",
+      gemv_i8_avx512,
+      cpu_has_f16c_fma() ? gemv_f16_avx512 : gemv_f16_scalar,
+      attn_scores_avx512,
+      attn_values_avx512,
+      softmax_row_avx512,
+      cpu_has_f16c_fma() ? add_half_rows_avx512 : add_half_rows_scalar,
+      rmsnorm_row_avx512,
+      silu_mul_avx512};
+  return t;
+}
+#endif
+
+#ifdef HPCGPT_NEON
+// NEON reuses the scalar fp32 helpers: on aarch64 the compiler already
+// autovectorizes them (NEON is baseline), so a hand-written variant buys
+// nothing the int8 kernel doesn't.
+const KernelTable kNeonTable = {
+    IsaTier::Neon,        "neon",
+    gemv_i8_neon,         gemv_f16_scalar,
+    attn_scores_scalar,   attn_values_scalar,
+    softmax_row_scalar,   add_half_rows_scalar,
+    rmsnorm_row_scalar,   silu_mul_scalar};
+#endif
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* probe_best() {
+  for (IsaTier tier :
+       {IsaTier::Avx512, IsaTier::Avx2, IsaTier::Neon, IsaTier::Scalar}) {
+    if (tier_supported(tier)) {
+      return &table_for(tier);
+    }
+  }
+  return &kScalarTable;
+}
+
+const KernelTable* init_active() {
+  const KernelTable* chosen = probe_best();
+  if (const char* env = std::getenv("HPCGPT_ISA")) {
+    std::optional<IsaTier> wanted = parse_tier(env);
+    if (wanted && tier_supported(*wanted)) {
+      chosen = &table_for(*wanted);
+    } else {
+      std::fprintf(stderr,
+                   "hpcgpt: HPCGPT_ISA=%s is %s on this CPU; using %s\n", env,
+                   wanted ? "unsupported" : "not a known tier", chosen->name);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+const char* tier_name(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::Scalar:
+      return "scalar";
+    case IsaTier::Neon:
+      return "neon";
+    case IsaTier::Avx2:
+      return "avx2";
+    case IsaTier::Avx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool tier_supported(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::Scalar:
+      return true;
+    case IsaTier::Neon:
+#ifdef HPCGPT_NEON
+      return true;
+#else
+      return false;
+#endif
+    case IsaTier::Avx2:
+#ifdef HPCGPT_X86
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case IsaTier::Avx512:
+#ifdef HPCGPT_X86
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512vnni");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<IsaTier> supported_tiers() {
+  std::vector<IsaTier> tiers;
+  for (IsaTier tier :
+       {IsaTier::Avx512, IsaTier::Avx2, IsaTier::Neon, IsaTier::Scalar}) {
+    if (tier_supported(tier)) {
+      tiers.push_back(tier);
+    }
+  }
+  return tiers;
+}
+
+std::optional<IsaTier> parse_tier(std::string_view name) {
+  if (name == "scalar") return IsaTier::Scalar;
+  if (name == "neon") return IsaTier::Neon;
+  if (name == "avx2") return IsaTier::Avx2;
+  if (name == "avx512") return IsaTier::Avx512;
+  return std::nullopt;
+}
+
+const KernelTable& table_for(IsaTier tier) {
+  switch (tier) {
+#ifdef HPCGPT_X86
+    case IsaTier::Avx2:
+      return avx2_table();
+    case IsaTier::Avx512:
+      return avx512_table();
+#endif
+#ifdef HPCGPT_NEON
+    case IsaTier::Neon:
+      return kNeonTable;
+#endif
+    default:
+      return kScalarTable;
+  }
+}
+
+const KernelTable& active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    static const KernelTable* initial = init_active();
+    const KernelTable* expected = nullptr;
+    g_active.compare_exchange_strong(expected, initial,
+                                     std::memory_order_acq_rel);
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+bool set_active_tier(IsaTier tier) {
+  if (!tier_supported(tier)) {
+    return false;
+  }
+  g_active.store(&table_for(tier), std::memory_order_release);
+  return true;
+}
+
+float quantize_row_i8(const float* x, std::size_t n, std::size_t padded,
+                      std::int8_t* out) {
+  float amax = 0.0f;
+  std::size_t i = 0;
+#if defined(HPCGPT_X86)
+  // Baseline SSE2 (part of x86-64), so this stays one shared code path
+  // for every dispatch tier — the cross-tier bitwise-identity guarantee
+  // does not depend on per-tier quantizers agreeing.
+  const __m128 absmask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+  __m128 vmax = _mm_setzero_ps();
+  for (; i + 4 <= n; i += 4) {
+    vmax = _mm_max_ps(vmax, _mm_and_ps(_mm_loadu_ps(x + i), absmask));
+  }
+  vmax = _mm_max_ps(vmax, _mm_shuffle_ps(vmax, vmax, _MM_SHUFFLE(1, 0, 3, 2)));
+  vmax = _mm_max_ps(vmax, _mm_shuffle_ps(vmax, vmax, _MM_SHUFFLE(2, 3, 0, 1)));
+  amax = _mm_cvtss_f32(vmax);
+#endif
+  for (; i < n; ++i) {
+    amax = std::max(amax, std::fabs(x[i]));
+  }
+  if (amax == 0.0f) {
+    std::memset(out, 0, padded);
+    return 0.0f;
+  }
+  const float inv = 127.0f / amax;
+  i = 0;
+#if defined(HPCGPT_X86)
+  // cvtps2dq rounds with the MXCSR mode (nearest-even by default) —
+  // exactly what std::nearbyint does in the scalar tail below, so the
+  // two paths produce the same bytes. |x*inv| < 127.5 by construction,
+  // but clamp at the i16 stage anyway to pin the contract.
+  const __m128 vinv = _mm_set1_ps(inv);
+  const __m128i lo_c = _mm_set1_epi16(-127);
+  const __m128i hi_c = _mm_set1_epi16(127);
+  for (; i + 16 <= n; i += 16) {
+    const __m128i q0 = _mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(x + i), vinv));
+    const __m128i q1 =
+        _mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(x + i + 4), vinv));
+    const __m128i q2 =
+        _mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(x + i + 8), vinv));
+    const __m128i q3 =
+        _mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(x + i + 12), vinv));
+    __m128i w0 = _mm_packs_epi32(q0, q1);
+    __m128i w1 = _mm_packs_epi32(q2, q3);
+    w0 = _mm_min_epi16(hi_c, _mm_max_epi16(lo_c, w0));
+    w1 = _mm_min_epi16(hi_c, _mm_max_epi16(lo_c, w1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_packs_epi16(w0, w1));
+  }
+#endif
+  for (; i < n; ++i) {
+    float q = std::nearbyint(x[i] * inv);
+    q = std::min(127.0f, std::max(-127.0f, q));
+    out[i] = static_cast<std::int8_t>(q);
+  }
+  std::memset(out + n, 0, padded - n);
+  return amax / 127.0f;
+}
+
+}  // namespace hpcgpt::tensor::kernels

@@ -8,7 +8,18 @@
 // threshold (default 15%). Direction is inferred from the metric name:
 // throughput-like metrics (*_per_second, gflops) must not drop;
 // latency-like metrics (latency, ttft, p95/p99 seconds) must not rise.
-// Metrics matching neither family are printed as informational only.
+// Metrics matching neither family (e.g. the model_weight_kib_* footprint
+// series) are printed as informational only.
+//
+// One-sided metrics — present in only one of the two files — are
+// reported as "NEW" / "REMOVED" warnings rather than silently skipped,
+// so a renamed or dropped metric can't fall out of the gate unnoticed.
+// They never fail the diff by themselves.
+//
+// Multi-worker train metrics (*_workersN, N > 1) are gated only when the
+// running host has more than one core: on a 1-core host the engine's
+// workers time-slice one CPU, so those comparisons measure scheduler
+// noise, not a regression. Skipped comparisons print a note.
 //
 // --scale-candidate F is a test hook: it multiplies the candidate's
 // throughput metrics by F and divides its latency metrics by F before
@@ -18,10 +29,12 @@
 // Exit codes: 0 = no gated regression, 1 = regression detected,
 // 2 = usage or parse error.
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hpcgpt/json/json.hpp"
@@ -44,6 +57,20 @@ Direction classify(const std::string& name) {
     return Direction::LowerBetter;
   }
   return Direction::Informational;
+}
+
+/// Worker count encoded in a train metric name ("..._workersN");
+/// 0 when the name carries none.
+int worker_count(const std::string& name) {
+  const auto pos = name.find("workers");
+  if (pos == std::string::npos) return 0;
+  int n = 0;
+  for (std::size_t i = pos + 7;
+       i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]));
+       ++i) {
+    n = n * 10 + (name[i] - '0');
+  }
+  return n;
 }
 
 json::Object load_measured(const std::string& path) {
@@ -113,12 +140,18 @@ int main(int argc, char** argv) {
 
     std::printf("%-44s %14s %14s %8s  %s\n", "metric", "baseline",
                 "candidate", "delta%", "verdict");
+    const unsigned host_cores = std::thread::hardware_concurrency();
     std::size_t compared = 0;
+    std::size_t skipped_workers = 0;
     std::vector<std::string> regressions;
+    std::vector<std::string> removed;
     for (const auto& [name, base_value] : base) {
       const auto it = cand.find(name);
-      if (it == cand.end() || !base_value.is_number() ||
-          !it->second.is_number()) {
+      if (it == cand.end()) {
+        if (base_value.is_number()) removed.push_back(name);
+        continue;
+      }
+      if (!base_value.is_number() || !it->second.is_number()) {
         continue;
       }
       const Direction dir = classify(name);
@@ -129,7 +162,14 @@ int main(int argc, char** argv) {
       const double delta_pct = b != 0.0 ? (c - b) / b * 100.0 : 0.0;
 
       const char* verdict = "info";
-      const bool gated = dir != Direction::Informational && b != 0.0;
+      bool gated = dir != Direction::Informational && b != 0.0;
+      if (gated && host_cores <= 1 && worker_count(name) > 1) {
+        // Multi-worker train throughput on a 1-core host measures how
+        // the scheduler time-slices, not the engine — don't gate it.
+        verdict = "skipped (1-core host)";
+        gated = false;
+        ++skipped_workers;
+      }
       if (gated) {
         const bool regressed =
             dir == Direction::HigherBetter
@@ -143,6 +183,28 @@ int main(int argc, char** argv) {
       ++compared;
     }
     require(compared > 0, "no shared numeric metrics under \"measured\"");
+
+    std::vector<std::string> added;
+    for (const auto& [name, value] : cand) {
+      if (value.is_number() && base.find(name) == base.end()) {
+        added.push_back(name);
+      }
+    }
+    for (const std::string& name : added) {
+      std::printf("warning: NEW metric %s (candidate only — no baseline "
+                  "to gate against)\n",
+                  name.c_str());
+    }
+    for (const std::string& name : removed) {
+      std::printf("warning: REMOVED metric %s (baseline only — dropped "
+                  "from candidate)\n",
+                  name.c_str());
+    }
+    if (skipped_workers > 0) {
+      std::printf("note: %zu multi-worker train metric(s) not gated on "
+                  "this 1-core host\n",
+                  skipped_workers);
+    }
 
     if (!regressions.empty()) {
       std::printf("\n%zu metric(s) regressed beyond %.1f%%:\n",

@@ -11,17 +11,21 @@
 //       (0 = all cores), --micro-batch B averages B sequences per
 //       optimizer step, --pack concatenates short examples to the
 //       context window, --trace-out writes a Perfetto trace of the run
-//   hpcgpt ask --model model.bin "question..."
+//   hpcgpt ask --model model.bin [--quant int8|fp16|fp32] "question..."
 //       free-form Task-1 question answering
 //   hpcgpt detect [--model model.bin] file.c|file.f90
 //       race-check a source file with the four tools (and, when a model
 //       is given, the LLM-based method of Task 2)
-//   hpcgpt eval --model model.bin [--language c|fortran]
+//   hpcgpt eval --model model.bin [--language c|fortran] [--quant MODE]
 //       score the model on the DataRaceBench-style evaluation suite
 //   hpcgpt serve --model model.bin [--metrics] [--trace-out trace.json]
+//          [--quant int8|fp16|fp32]
 //       answer questions from stdin, one per line (Figure-1 deployment);
 //       --metrics prints the server's metrics JSON on shutdown,
-//       --trace-out writes a Perfetto/Chrome trace of every request
+//       --trace-out writes a Perfetto/Chrome trace of every request,
+//       --quant requantizes the loaded weights for inference (bundles
+//       always store fp32; int8/fp16 shrink the resident footprint and
+//       switch decode onto the SIMD-dispatched quantized kernels)
 //   hpcgpt obs dump [--model model.bin] [--question "..."] [--compact]
 //          [--format json|prom|perfetto|folded]
 //       dump the process metrics registry (and, when a model is given,
@@ -203,9 +207,33 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// --quant=int8|fp16|fp32 on the inference commands (ask/eval/serve):
+/// requantizes the freshly loaded fp32 bundle in place and reports the
+/// footprint change. fp32 (the default) keeps the weights as loaded.
+void apply_quant(core::HpcGpt& model, const Args& args) {
+  const std::string mode = opt(args, "quant", "fp32");
+  if (mode == "fp32") return;
+  const std::size_t before = model.model().weight_memory_bytes();
+  if (mode == "int8") {
+    model.set_quant_mode(tensor::QuantMode::Int8);
+  } else if (mode == "fp16") {
+    model.set_quant_mode(tensor::QuantMode::Fp16);
+  } else {
+    throw InvalidArgument("unknown --quant mode: " + mode +
+                          " (expected int8, fp16 or fp32)");
+  }
+  const std::size_t after = model.model().weight_memory_bytes();
+  std::printf("quantized weights to %s: %.0f KiB -> %.0f KiB (%.2fx "
+              "smaller)\n",
+              mode.c_str(), static_cast<double>(before) / 1024.0,
+              static_cast<double>(after) / 1024.0,
+              static_cast<double>(before) / static_cast<double>(after));
+}
+
 int cmd_ask(const Args& args) {
   core::HpcGpt model =
       core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  apply_quant(model, args);
   require(!args.positional.empty(), "usage: hpcgpt ask --model M \"question\"");
   for (const std::string& q : args.positional) {
     std::printf("Q: %s\nA: %s\n", q.c_str(), model.ask(q).c_str());
@@ -249,6 +277,7 @@ int cmd_detect(const Args& args) {
 int cmd_eval(const Args& args) {
   core::HpcGpt model =
       core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  apply_quant(model, args);
   const minilang::Flavor flavor = opt(args, "language", "c") == "fortran"
                                       ? minilang::Flavor::Fortran
                                       : minilang::Flavor::C;
@@ -288,6 +317,7 @@ void write_trace_capture(const std::string& path) {
 int cmd_serve(const Args& args) {
   core::HpcGpt model =
       core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
+  apply_quant(model, args);
   const std::string trace_out = opt(args, "trace-out", "");
   if (!trace_out.empty()) begin_trace_capture();
   serve::InferenceServer server(model, 2);
