@@ -1,8 +1,10 @@
 // Machine-readable perf trajectory for the inference engine.
 //
-// Runs the four headline measurements of the batched-engine work — the
-// blocked GEMM kernel, single-stream decode, GEMM prefill, and 8-stream
-// continuous-batching serving — and writes them as BENCH_perf.json so
+// Runs the headline measurements of the batched-engine work — the
+// blocked GEMM kernel, single-stream decode, GEMM prefill, 8- and
+// 64-stream continuous-batching serving over the paged KV cache, the
+// prefix-cache cold/hit TTFT pair, and a speculative-decoding run — and
+// writes them as BENCH_perf.json so
 // every future perf PR has an apples-to-apples anchor on the same
 // machine. Each metric is best-of-N wall time (the standard way to
 // de-noise a shared CFS box: the minimum is the least-perturbed run).
@@ -130,46 +132,99 @@ struct ServerRun {
   double tokens_per_second = 0.0;
   double mean_occupancy = 0.0;
   double mean_latency_seconds = 0.0;
+  double prefix_hit_rate = 0.0;
+  double spec_accept_rate = 0.0;
   /// metrics_json() snapshot of the best rep — the obs view of the same
   /// run, embedded into BENCH_perf.json for cross-PR comparison.
   std::string metrics_json;
 };
 
-ServerRun server_throughput(core::HpcGpt& model, std::size_t streams) {
-  const std::string question =
-      "Given the code snippet: \"for (i = 0; i < n; i++) a[i] = b[i] + "
-      "c[i];\", help me detect if adding pragma will cause a data race "
-      "problem?";
+const char* const kServerQuestion =
+    "Given the code snippet: \"for (i = 0; i < n; i++) a[i] = b[i] + "
+    "c[i];\", help me detect if adding pragma will cause a data race "
+    "problem?";
+
+/// One server scenario: `streams` identical requests fired as a burst at
+/// a fresh server built from `config` (max_batch forced to `streams`).
+/// Every stream-count and feature variant — 1/8/64 streams, int8,
+/// speculation — flows through this single code path so the numbers
+/// differ only in the knob under test. With `warm_prefix` one untimed
+/// request runs first, so the timed burst maps the shared prompt's pages
+/// out of the prefix cache instead of re-prefilling them; its tokens are
+/// subtracted from the throughput numerator.
+ServerRun server_throughput(core::HpcGpt& model, std::size_t streams,
+                            serve::ServeConfig config,
+                            bool warm_prefix = false) {
+  config.max_batch = streams;
+  config.max_new_tokens = 48;
+  config.admission_window_seconds = 0.002;
   ServerRun best;
   for (int rep = 0; rep < 5; ++rep) {
     serve::ServerStats st;
     std::string metrics;
-    Timer t;
+    double wall = 0.0;
+    std::size_t warm_tokens = 0;
     {
-      serve::InferenceServer server(
-          model, serve::ServerOptions{.max_batch = streams,
-                                      .max_new_tokens = 48,
-                                      .admission_window_seconds = 0.002});
+      serve::InferenceServer server(model, config);
+      if (warm_prefix) {
+        core::GenerationRequest warm;
+        warm.prompt = kServerQuestion;
+        warm_tokens = server.submit(std::move(warm)).get().generated_tokens;
+      }
+      Timer t;
       std::vector<std::future<core::GenerationResult>> futures;
       futures.reserve(streams);
       for (std::size_t i = 0; i < streams; ++i) {
         core::GenerationRequest request;
-        request.prompt = question;
+        request.prompt = kServerQuestion;
         futures.push_back(server.submit(std::move(request)));
       }
       for (auto& f : futures) (void)f.get();
+      wall = t.seconds();
       server.shutdown();  // joins the scheduler: stats are final
       st = server.stats();
       metrics = server.metrics_json();
     }
-    const double wall = t.seconds();
-    const double tps = static_cast<double>(st.generated_tokens) / wall;
+    const double tps =
+        static_cast<double>(st.generated_tokens - warm_tokens) / wall;
     if (tps > best.tokens_per_second) {
       best.tokens_per_second = tps;
       best.mean_occupancy = st.mean_batch_occupancy();
       best.mean_latency_seconds = st.mean_latency_seconds();
+      best.prefix_hit_rate = st.prefix_cache_hit_rate();
+      best.spec_accept_rate = st.speculative_accept_rate();
       best.metrics_json = std::move(metrics);
     }
+  }
+  return best;
+}
+
+/// TTFT with and without a prefix-cache hit, measured as submit→result
+/// wall time for a 1-token request. Each rep builds a fresh server: the
+/// first request prefills from scratch (cold), the second re-sends the
+/// same prompt and adopts the published pages (hit).
+struct PrefixTtft {
+  double cold_seconds = 1e30;
+  double hit_seconds = 1e30;
+};
+
+PrefixTtft prefix_ttft(core::HpcGpt& model) {
+  PrefixTtft best;
+  for (int rep = 0; rep < 8; ++rep) {
+    serve::ServeConfig config;
+    config.max_batch = 1;
+    config.max_new_tokens = 1;
+    serve::InferenceServer server(model, config);
+    const auto once = [&] {
+      core::GenerationRequest request;
+      request.prompt = kServerQuestion;
+      request.max_new_tokens = 1;
+      Timer t;
+      (void)server.submit(std::move(request)).get();
+      return t.seconds();
+    };
+    best.cold_seconds = std::min(best.cold_seconds, once());
+    best.hit_seconds = std::min(best.hit_seconds, once());
   }
   return best;
 }
@@ -265,11 +320,26 @@ int main(int argc, char** argv) {
   std::printf("bench_perf: prefill ...\n");
   const double prefill_tps = prefill_tokens_per_second(model);
   std::printf("bench_perf: server 1-stream ...\n");
-  const ServerRun single = server_throughput(model, 1);
+  const ServerRun single = server_throughput(model, 1, {});
   std::printf("bench_perf: server 8-stream ...\n");
-  const ServerRun batched = server_throughput(model, 8);
+  const ServerRun batched = server_throughput(model, 8, {});
   std::printf("bench_perf: server 8-stream int8 ...\n");
-  const ServerRun batched_i8 = server_throughput(model_i8, 8);
+  const ServerRun batched_i8 = server_throughput(model_i8, 8, {});
+  std::printf("bench_perf: server 64-stream (warm prefix) ...\n");
+  const ServerRun wide =
+      server_throughput(model, 64, {}, /*warm_prefix=*/true);
+  std::printf("bench_perf: prefix cold/hit TTFT ...\n");
+  const PrefixTtft ttft = prefix_ttft(model);
+  std::printf("bench_perf: server 8-stream speculative ...\n");
+  serve::ServeConfig spec_config;
+  spec_config.speculation.enabled = true;
+  spec_config.speculation.draft_tokens = 4;
+  // Draft = the target's own preset (untrained, same init seed), so the
+  // draft proposes exactly what the target would pick: accept rate 1.0
+  // and the run exercises the full verify/rollback machinery.
+  spec_config.speculation.draft = core::spec_for(core::BaseModel::Llama);
+  spec_config.speculation.draft.pretrain_steps = 0;
+  const ServerRun spec = server_throughput(model, 8, spec_config);
 
   const nn::TransformerConfig train_cfg =
       core::spec_for(core::BaseModel::Llama).config;
@@ -314,6 +384,26 @@ int main(int argc, char** argv) {
           .at("serve.ttft.seconds")
           .at("p95")
           .as_number();
+  // Wide (64-stream) continuous batching over the paged KV cache, with
+  // the shared prompt warm in the prefix cache. Gated like the 8-stream
+  // family; prefix_cache_hit_rate and speculative.accept_rate are gated
+  // higher-is-better by benchdiff.
+  measured["server_64stream_tokens_per_second"] = wide.tokens_per_second;
+  measured["server_64stream_mean_batch_occupancy"] = wide.mean_occupancy;
+  measured["server_64stream_mean_latency_seconds"] =
+      wide.mean_latency_seconds;
+  measured["server_64stream_ttft_p95_seconds"] =
+      json::parse(wide.metrics_json)
+          .at("server")
+          .at("histograms")
+          .at("serve.ttft.seconds")
+          .at("p95")
+          .as_number();
+  measured["prefix_cache_hit_rate"] = wide.prefix_hit_rate;
+  measured["prefix_cold_ttft_seconds"] = ttft.cold_seconds;
+  measured["prefix_hit_ttft_seconds"] = ttft.hit_seconds;
+  measured["server_8stream_spec_tokens_per_second"] = spec.tokens_per_second;
+  measured["speculative.accept_rate"] = spec.spec_accept_rate;
   measured["train_tokens_per_second_sequential"] = train_seq_tps;
   measured["train_tokens_per_second_workers1"] = train_w1_tps;
   measured["train_tokens_per_second_workers4"] = train_w4_tps;
@@ -354,14 +444,21 @@ int main(int argc, char** argv) {
       analysis_bench.cold_per_second > 0.0
           ? analysis_bench.warm_per_second / analysis_bench.cold_per_second
           : 0.0;
+  // Prefix-cache acceptance criterion: a full-prefix hit must answer its
+  // first token faster than a cold prefill of the same prompt.
+  speedup["prefix_hit_vs_cold_ttft"] =
+      ttft.hit_seconds > 0.0 ? ttft.cold_seconds / ttft.hit_seconds : 0.0;
 
   json::Object root;
   root["bench"] = "inference_engine_perf";
   root["method"] = "best-of-N wall time per metric; model llama_sim "
                    "(untrained), prompt 64 tokens, 48 new tokens per "
-                   "request for server metrics; training over 16x64-token "
-                   "sequences, engine micro_batch 4 (sequential baseline is "
-                   "the classic per-sequence loop)";
+                   "request for server metrics; 64-stream run has the "
+                   "shared prompt pre-published to the prefix cache; "
+                   "speculative run drafts 4 tokens with a same-preset "
+                   "draft model; training over 16x64-token sequences, "
+                   "engine micro_batch 4 (sequential baseline is the "
+                   "classic per-sequence loop)";
   // Data-parallel speedup is bounded by the core count of the bench host;
   // record it so cross-machine comparisons read the w4 number correctly.
   root["hardware_concurrency"] =

@@ -197,10 +197,11 @@ void BM_ServerThroughput(benchmark::State& state) {
   const auto streams = static_cast<std::size_t>(state.range(0));
   std::int64_t generated = 0;
   for (auto _ : state) {
-    serve::InferenceServer server(
-        model, serve::ServerOptions{.max_batch = streams,
-                                    .max_new_tokens = 48,
-                                    .admission_window_seconds = 0.002});
+    serve::ServeConfig config;
+    config.max_batch = streams;
+    config.max_new_tokens = 48;
+    config.admission_window_seconds = 0.002;
+    serve::InferenceServer server(model, config);
     std::vector<std::future<core::GenerationResult>> futures;
     futures.reserve(streams);
     for (std::size_t i = 0; i < streams; ++i) {

@@ -88,7 +88,9 @@ int main() {
       "Name a representative baseline model for the CodeSearchNet dataset.",
   };
   for (const std::string& q : questions) {
-    pending.push_back(server.submit(core::GenerationRequest{.prompt = q}));
+    core::GenerationRequest request;
+    request.prompt = q;
+    pending.push_back(server.submit(std::move(request)));
   }
   for (std::size_t i = 0; i < questions.size(); ++i) {
     const core::GenerationResult result = pending[i].get();

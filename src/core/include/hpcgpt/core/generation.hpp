@@ -8,8 +8,9 @@
 namespace hpcgpt::core {
 
 /// Why a generation stopped. `Rejected` means the request never ran
-/// (e.g. submitted to a server after shutdown) — the other three are
-/// normal terminations.
+/// (submitted to a server after shutdown, or shed because it can never
+/// fit the server's KV page budget) — the other three are normal
+/// terminations.
 enum class FinishReason { Eos, Budget, ContextLimit, Rejected };
 
 constexpr std::string_view finish_reason_name(FinishReason reason) {
@@ -22,6 +23,25 @@ constexpr std::string_view finish_reason_name(FinishReason reason) {
   return "?";
 }
 
+/// Per-request prefix-cache behaviour (serve-side paged KV cache; both
+/// flags are no-ops for surfaces without a prefix cache).
+struct CacheOptions {
+  /// Map K/V pages of a previously-served matching prefix into this
+  /// request instead of re-prefilling it (read side of the trie).
+  bool reuse_prefix = true;
+  /// Publish this request's prompt pages into the prefix cache for later
+  /// requests (write side). Off for prompts that must not linger.
+  bool share_prefix = true;
+};
+
+/// Per-request speculative-decoding control.
+struct SpeculativeOptions {
+  /// Draft-token count per verify round: -1 uses the server default
+  /// (ServeConfig::speculation), 0 disables speculation for this request,
+  /// k > 0 forces k drafted tokens per round.
+  int draft_tokens = -1;
+};
+
 /// One generation request — the single request surface shared by
 /// HpcGpt::generate / HpcGpt::classify_race, the evaluation harness and
 /// serve::InferenceServer::submit, replacing the previous three ad-hoc
@@ -30,7 +50,7 @@ struct GenerationRequest {
   /// Free-form question (Task 1) or code snippet (Task 2 classification).
   std::string prompt;
   /// Generation budget. 0 means "use the callee's default" (48 for
-  /// HpcGpt::generate, ServerOptions::max_new_tokens for the server).
+  /// HpcGpt::generate, ServeConfig::max_new_tokens for the server).
   std::size_t max_new_tokens = 0;
   /// Optional context budget in prompt tokens (the paper's 8k-token
   /// analogue). 0 disables the check; when set and exceeded, the request
@@ -40,6 +60,10 @@ struct GenerationRequest {
   /// Caller-chosen correlation id; the server assigns a fresh nonzero id
   /// when left at 0 and echoes it in the result.
   std::uint64_t id = 0;
+  /// Prefix-cache participation (paged serving only).
+  CacheOptions cache;
+  /// Speculative-decoding override (paged serving only).
+  SpeculativeOptions speculative;
 };
 
 /// The typed outcome every generation surface returns: text plus the

@@ -5,28 +5,12 @@
 #include <vector>
 
 #include "hpcgpt/nn/config.hpp"
+#include "hpcgpt/nn/kv_cache.hpp"
 #include "hpcgpt/nn/linear.hpp"
 #include "hpcgpt/nn/parameter.hpp"
 #include "hpcgpt/text/tokenizer.hpp"
 
 namespace hpcgpt::nn {
-
-/// Per-block key/value cache for incremental (autoregressive) decoding:
-/// columns 0..length-1 hold the attention keys/values of already-
-/// processed positions, so each new token costs O(T·d) instead of
-/// re-running the full O(T²·d) forward.
-///
-/// Layout is feature-major (d_model × max_seq), i.e. transposed relative
-/// to the activation matrices: row i is the history of feature i across
-/// positions. That turns both attention passes of a decode step into
-/// unit-stride loops over positions — an axpy per query feature for the
-/// scores, a dot per output feature for the values — which vectorize
-/// 8-wide, where the position-major layout forced strided 12-element
-/// head-segment dots.
-struct KvCache {
-  tensor::Matrix k;  // d_model × max_seq
-  tensor::Matrix v;  // d_model × max_seq
-};
 
 /// Reusable per-session work buffers for the incremental decode path.
 /// Sized once from the config; forward_step/decode_step then run with
@@ -91,20 +75,79 @@ struct PrefillScratch {
   void ensure(const TransformerConfig& config, std::size_t seq);
 };
 
-/// Decoding session state: one KvCache per block, the position count and
-/// the allocation-free scratch arena shared by all blocks of the session.
+/// Decoding session state over the block-paged KV cache: per-layer page
+/// tables (the KvBlockTable indirection — position s of layer l lives in
+/// slot s % kPageSize of the table's page s / kPageSize), a shared
+/// KvPagePool the pages come from, and the allocation-free scratch arena
+/// shared by all blocks of the session.
+///
+/// Pages are acquired lazily as positions are appended (prepare_append),
+/// released on truncate()/destruction, and may be *shared* with other
+/// sessions through adopt_prefix() — shared pages (refcount > 1) are
+/// immutable; the first append into a shared tail page forks a private
+/// copy (copy-on-write). Sessions are move-only.
 class DecodeState {
  public:
-  explicit DecodeState(const TransformerConfig& config);
+  DecodeState(const TransformerConfig& config,
+              std::shared_ptr<KvPagePool> pool);
+  ~DecodeState();
+
+  DecodeState(const DecodeState&) = delete;
+  DecodeState& operator=(const DecodeState&) = delete;
+  DecodeState(DecodeState&& other) noexcept;
+  DecodeState& operator=(DecodeState&& other) noexcept;
 
   std::size_t length() const { return length_; }
+  KvPagePool& pool() { return *pool_; }
+
+  /// Page-id table of one layer (one id per allocated page, in position
+  /// order) — what the prefix cache shares between sessions.
+  std::span<const std::uint32_t> layer_pages(std::size_t layer) const {
+    return tables_[layer];
+  }
+  std::size_t pages_held() const;
+
+  /// Rolls the session back to `len` positions (speculative decoding
+  /// rejects drafted tokens; the prefix cache trims to a prompt
+  /// boundary). Pages wholly beyond the new length are released; the
+  /// partial tail page keeps its stale slots, which are never read
+  /// (attention horizons stop at length()).
+  void truncate(std::size_t len);
+
+  /// Adopts an already-computed prefix: retains pages[l][c] as chunk c of
+  /// layer l and sets length() to `tokens`. Only valid on an empty
+  /// session. The final page may be partially filled (tokens % kPageSize
+  /// ≠ 0); the first append then copy-on-writes it.
+  void adopt_prefix(const std::vector<std::vector<std::uint32_t>>& pages,
+                    std::size_t tokens);
+
+  /// Hands the session `n` pages of reservation credit (admission
+  /// control): subsequent page allocations draw on the credit via
+  /// KvPagePool::allocate_reserved; unused credit is returned on
+  /// destruction.
+  void set_reserved_pages(std::size_t n);
+  std::size_t reserved_pages() const { return reserved_; }
+
+  /// Ensures positions [length(), length() + count) are writable in
+  /// every layer: forks shared tail pages (COW) and allocates missing
+  /// ones. Called by the decode/prefill paths; public so schedulers can
+  /// front-load allocation failures before touching the model.
+  void prepare_append(std::size_t count);
 
  private:
   friend class Transformer;
   friend class TransformerBlock;
-  std::vector<KvCache> blocks_;
+
+  std::uint32_t acquire_page();
+  void release_all();
+
+  std::shared_ptr<KvPagePool> pool_;
+  std::size_t n_layers_ = 0;
+  std::vector<std::vector<std::uint32_t>> tables_;  // [layer][page index]
+  std::vector<std::vector<float*>> page_ptrs_;      // cached data(table[i])
   DecodeScratch scratch_;
   std::size_t length_ = 0;
+  std::size_t reserved_ = 0;
 };
 
 /// One decoder block: pre-norm causal multi-head attention + SwiGLU MLP,
@@ -133,18 +176,20 @@ class TransformerBlock {
 
   /// Incremental forward for one new position: `x` (d_model) is the
   /// residual-stream row at position `pos`; the block's keys/values are
-  /// appended to `cache`. Work buffers come from `scratch` — no heap
-  /// allocation. Does not touch the training caches.
-  void forward_step(std::span<float> x, std::size_t pos, KvCache& cache,
-                    DecodeScratch& scratch) const;
+  /// appended into `pages` — this layer's page-pointer table, with the
+  /// page for position pos already allocated/private (see
+  /// DecodeState::prepare_append). Work buffers come from `scratch` — no
+  /// heap allocation. Does not touch the training caches.
+  void forward_step(std::span<float> x, std::size_t pos,
+                    float* const* pages, DecodeScratch& scratch) const;
 
   /// Batched prompt ingestion: `x` holds the residual-stream rows of
   /// positions [pos0, pos0 + x.rows()); transforms them in place via the
-  /// blocked GEMMs and writes every K/V row of this block into `cache` in
-  /// one pass. Const and cache-free like forward_step, so concurrent
+  /// blocked GEMMs and writes every K/V row of this block into `pages`
+  /// in one pass. Const and cache-free like forward_step, so concurrent
   /// sessions can prefill the same block (each with its own scratch).
-  void forward_prefill(tensor::Matrix& x, std::size_t pos0, KvCache& cache,
-                       PrefillScratch& scratch) const;
+  void forward_prefill(tensor::Matrix& x, std::size_t pos0,
+                       float* const* pages, PrefillScratch& scratch) const;
 
   /// One decode step for `x.rows()` independent sessions at once: row b of
   /// `x` is the residual-stream row of lane b, whose cache/position come
@@ -237,8 +282,17 @@ class Transformer {
   /// does not populate training caches.
   tensor::Matrix logits(const std::vector<text::TokenId>& ids);
 
-  /// Creates an empty incremental-decoding session.
+  /// Creates an empty incremental-decoding session on the model's own
+  /// growable page pool (standalone sampling/tests: allocation never
+  /// fails, pages are recycled across sessions).
   DecodeState new_decode_state() const;
+
+  /// Creates a session on an external pool — the serving path, where one
+  /// budget-capped pool is shared by all lanes and the prefix cache.
+  DecodeState new_decode_state(std::shared_ptr<KvPagePool> pool) const;
+
+  /// The model's default (growable) page pool.
+  const std::shared_ptr<KvPagePool>& page_pool() const { return pool_; }
 
   /// Feeds one token through the KV-cached path and returns the logits of
   /// the new position (vocab-sized). Equivalent to logits(prefix).row(last)
@@ -256,6 +310,15 @@ class Transformer {
   /// intensity. Thread-safe across states: the model is only read.
   std::span<const float> prefill(DecodeState& state,
                                  std::span<const text::TokenId> ids) const;
+
+  /// Prefill variant returning the logits of *every* position of `ids`
+  /// (ids.size() × vocab, written into `logits_out`) — the speculative-
+  /// decoding verify step: the target model scores the candidate token
+  /// plus all drafted tokens in one batched forward, and row r decides
+  /// whether draft r+1 is accepted. Cache side effects are identical to
+  /// prefill().
+  void prefill_logits(DecodeState& state, std::span<const text::TokenId> ids,
+                      tensor::Matrix& logits_out) const;
 
   /// One decode step for a batch of independent sessions (the continuous-
   /// batching inner loop): feeds ids[b] through states[b] for all b in one
@@ -283,6 +346,10 @@ class Transformer {
  private:
   tensor::Matrix embed(const std::vector<text::TokenId>& ids) const;
   tensor::Matrix forward_hidden(const std::vector<text::TokenId>& ids);
+  /// Common prefill body: runs the block stack over `ids`, populating the
+  /// paged caches, and leaves the pre-final-norm hidden rows in `x`.
+  void prefill_hidden(DecodeState& state, std::span<const text::TokenId> ids,
+                      tensor::Matrix& x) const;
   /// out = tok_emb[id] + pos_emb[pos], reading fp32 or fp16 storage
   /// depending on quant_mode_.
   void add_embed_row(text::TokenId id, std::size_t pos,
@@ -291,6 +358,9 @@ class Transformer {
   TransformerConfig config_;
   Rng init_rng_;
   tensor::QuantMode quant_mode_ = tensor::QuantMode::Fp32;
+  /// Default growable page pool for new_decode_state(); shared_ptr so
+  /// sessions can outlive neither it nor an external serving pool.
+  std::shared_ptr<KvPagePool> pool_;
 
   Parameter tok_emb_;   // vocab × d
   Parameter pos_emb_;   // max_seq × d

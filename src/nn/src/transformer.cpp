@@ -1,6 +1,8 @@
 #include "hpcgpt/nn/transformer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/obs/trace.hpp"
@@ -388,8 +390,9 @@ inline float softmax_inplace(float* __restrict probs, std::size_t len) {
 }  // namespace
 
 void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
-                                    KvCache& cache,
+                                    float* const* pages,
                                     DecodeScratch& scratch) const {
+  constexpr std::size_t kPage = KvPagePool::kPageSize;
   const std::size_t d = config_.d_model;
   const std::size_t hd = config_.head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
@@ -414,31 +417,31 @@ void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
     wk_.apply(normed, k_row);
     wv_.apply(normed, v_row);
   }
-  // Scatter the new K/V row into column `pos` of the feature-major cache.
-  const std::size_t stride = cache.k.cols();
-  float* kc = cache.k.data() + pos;
-  float* vc = cache.v.data() + pos;
+  // Scatter the new K/V row into its slot of the page covering `pos`
+  // (feature-major within the page, stride kPage; V slab at d·kPage).
+  float* page = pages[pos / kPage];
+  float* kc = page + pos % kPage;
+  float* vc = kc + d * kPage;
   for (std::size_t i = 0; i < d; ++i) {
-    kc[i * stride] = k_row[i];
-    vc[i * stride] = v_row[i];
+    kc[i * kPage] = k_row[i];
+    vc[i * kPage] = v_row[i];
   }
 
-  // Both attention passes run unit-stride over positions (see KvCache):
-  // scores, softmax and the value reduction go through the ISA-dispatched
-  // fp32 kernels (tensor::kernels) — the decode loop's hottest non-GEMV
-  // work, SIMD-tiered alongside the quantized GEMVs.
+  // Both attention passes run unit-stride over positions within each
+  // page: scores, softmax and the value reduction go through the
+  // ISA-dispatched fp32 kernels (tensor::kernels) — the decode loop's
+  // hottest non-GEMV work, SIMD-tiered alongside the quantized GEMVs.
   const tensor::kernels::KernelTable& kt = tensor::kernels::active();
   std::span<float> attn(scratch.attn.data(), d);
   const std::size_t len = pos + 1;
   float* __restrict probs = scratch.probs.data();
-  const std::size_t kv_stride = cache.k.cols();
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
-    kt.attn_scores(q.data() + off, scale, cache.k.data() + off * kv_stride,
-                   hd, kv_stride, len, probs);
+    kt.attn_scores_paged(q.data() + off, scale, pages, off * kPage, hd, len,
+                         probs);
     const float inv = kt.softmax_row(probs, len);
-    kt.attn_values(probs, inv, cache.v.data() + off * kv_stride, hd,
-                   kv_stride, len, attn.data() + off);
+    kt.attn_values_paged(probs, inv, pages, d * kPage + off * kPage, hd, len,
+                         attn.data() + off);
   }
   std::span<float> proj(scratch.proj.data(), d);
   wo_.apply(attn, proj);
@@ -464,8 +467,9 @@ void TransformerBlock::forward_step(std::span<float> x, std::size_t pos,
 }
 
 void TransformerBlock::forward_prefill(Matrix& x, std::size_t pos0,
-                                       KvCache& cache,
+                                       float* const* pages,
                                        PrefillScratch& scratch) const {
+  constexpr std::size_t kPage = KvPagePool::kPageSize;
   const std::size_t seq = x.rows();
   const std::size_t d = config_.d_model;
   const std::size_t hd = config_.head_dim();
@@ -484,15 +488,23 @@ void TransformerBlock::forward_prefill(Matrix& x, std::size_t pos0,
   Matrix& v_new = scratch.v_new;
   wk_.apply_rows(normed, k_new);
   wv_.apply_rows(normed, v_new);
-  // Transpose-scatter into the feature-major cache: feature i's history
-  // is a contiguous run of columns [pos0, pos0 + seq) in row i.
-  for (std::size_t i = 0; i < d; ++i) {
-    float* __restrict kt = cache.k.row(i).data() + pos0;
-    float* __restrict vt = cache.v.row(i).data() + pos0;
-    for (std::size_t t = 0; t < seq; ++t) {
-      kt[t] = k_new.at(t, i);
-      vt[t] = v_new.at(t, i);
+  // Transpose-scatter into the paged cache, page-run at a time: within a
+  // page, feature i's slots for positions [lo, hi) are the contiguous run
+  // page[i·kPage + lo%kPage ...], so the inner loops stay unit-stride.
+  for (std::size_t t0 = 0; t0 < seq;) {
+    const std::size_t pos = pos0 + t0;
+    float* page = pages[pos / kPage];
+    const std::size_t slot = pos % kPage;
+    const std::size_t run = std::min(seq - t0, kPage - slot);
+    for (std::size_t i = 0; i < d; ++i) {
+      float* __restrict kt = page + i * kPage + slot;
+      float* __restrict vt = kt + d * kPage;
+      for (std::size_t r = 0; r < run; ++r) {
+        kt[r] = k_new.at(t0 + r, i);
+        vt[r] = v_new.at(t0 + r, i);
+      }
     }
+    t0 += run;
   }
 
   // Per-head causal attention over the feature-major cache: scores as
@@ -504,18 +516,16 @@ void TransformerBlock::forward_prefill(Matrix& x, std::size_t pos0,
   Matrix& attn_concat = scratch.attn_concat;
   std::vector<float>& probs = scratch.probs;
   const tensor::kernels::KernelTable& kt = tensor::kernels::active();
-  const std::size_t kv_stride = cache.k.cols();
   for (std::size_t h = 0; h < config_.n_heads; ++h) {
     const std::size_t off = h * hd;
     for (std::size_t t = 0; t < seq; ++t) {
       const std::size_t len = pos0 + t + 1;  // causal horizon of this row
       float* __restrict pr = probs.data();
-      kt.attn_scores(q.row(t).data() + off, scale,
-                     cache.k.data() + off * kv_stride, hd, kv_stride, len,
-                     pr);
+      kt.attn_scores_paged(q.row(t).data() + off, scale, pages, off * kPage,
+                           hd, len, pr);
       const float inv = kt.softmax_row(pr, len);
-      kt.attn_values(pr, inv, cache.v.data() + off * kv_stride, hd,
-                     kv_stride, len, attn_concat.row(t).data() + off);
+      kt.attn_values_paged(pr, inv, pages, d * kPage + off * kPage, hd, len,
+                           attn_concat.row(t).data() + off);
     }
   }
   Matrix& attn_out = scratch.attn_out;
@@ -558,19 +568,21 @@ void TransformerBlock::forward_step_batch(Matrix& x,
   wv_.apply_rows(scratch.normed, scratch.v_new);
 
   // Attention is inherently per-lane: every lane attends over its own
-  // cache at its own position. Same unit-stride loops as forward_step.
+  // page table at its own position. Same unit-stride loops as
+  // forward_step.
+  constexpr std::size_t kPage = KvPagePool::kPageSize;
   for (std::size_t b = 0; b < batch; ++b) {
-    KvCache& cache = states[b]->blocks_[layer];
+    float* const* pages = states[b]->page_ptrs_[layer].data();
     const std::size_t pos = states[b]->length_;
-    const std::size_t stride = cache.k.cols();
     const std::size_t d = config_.d_model;
-    float* kc = cache.k.data() + pos;
-    float* vc = cache.v.data() + pos;
+    float* page = pages[pos / kPage];
+    float* kc = page + pos % kPage;
+    float* vc = kc + d * kPage;
     const auto k_new = scratch.k_new.row(b);
     const auto v_new = scratch.v_new.row(b);
     for (std::size_t i = 0; i < d; ++i) {
-      kc[i * stride] = k_new[i];
-      vc[i * stride] = v_new[i];
+      kc[i * kPage] = k_new[i];
+      vc[i * kPage] = v_new[i];
     }
 
     const auto q = scratch.q.row(b);
@@ -580,14 +592,13 @@ void TransformerBlock::forward_step_batch(Matrix& x,
     // Same dispatched kernels as the single-lane step, so batched decode
     // stays bit-identical to lane-at-a-time decode.
     const tensor::kernels::KernelTable& kt = tensor::kernels::active();
-    const std::size_t kv_stride = cache.k.cols();
     for (std::size_t h = 0; h < config_.n_heads; ++h) {
       const std::size_t off = h * hd;
-      kt.attn_scores(q.data() + off, scale, cache.k.data() + off * kv_stride,
-                     hd, kv_stride, len, probs);
+      kt.attn_scores_paged(q.data() + off, scale, pages, off * kPage, hd,
+                           len, probs);
       const float inv = kt.softmax_row(probs, len);
-      kt.attn_values(probs, inv, cache.v.data() + off * kv_stride, hd,
-                     kv_stride, len, attn.data() + off);
+      kt.attn_values_paged(probs, inv, pages, d * kPage + off * kPage, hd,
+                           len, attn.data() + off);
     }
   }
   wo_.apply_rows(scratch.attn, scratch.proj);
@@ -645,14 +656,157 @@ void PrefillScratch::ensure(const TransformerConfig& config,
   if (probs.size() < config.max_seq) probs.assign(config.max_seq, 0.0f);
 }
 
-DecodeState::DecodeState(const TransformerConfig& config) {
-  blocks_.reserve(config.n_layers);
-  for (std::size_t l = 0; l < config.n_layers; ++l) {
-    blocks_.push_back(
-        KvCache{tensor::Matrix(config.d_model, config.max_seq),
-                tensor::Matrix(config.d_model, config.max_seq)});
+// ===================================================== DecodeState
+
+DecodeState::DecodeState(const TransformerConfig& config,
+                         std::shared_ptr<KvPagePool> pool)
+    : pool_(std::move(pool)), n_layers_(config.n_layers) {
+  require(pool_ != nullptr, "DecodeState: null page pool");
+  require(pool_->d_model() == config.d_model,
+          "DecodeState: pool/model d_model mismatch");
+  tables_.resize(n_layers_);
+  page_ptrs_.resize(n_layers_);
+  // Reserve the worst-case table size up front so steady-state appends
+  // never reallocate the indirection vectors.
+  const std::size_t max_pages =
+      (config.max_seq + KvPagePool::kPageSize - 1) / KvPagePool::kPageSize;
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    tables_[l].reserve(max_pages);
+    page_ptrs_[l].reserve(max_pages);
   }
   scratch_.resize(config);
+}
+
+DecodeState::~DecodeState() { release_all(); }
+
+DecodeState::DecodeState(DecodeState&& other) noexcept
+    : pool_(std::move(other.pool_)),
+      n_layers_(other.n_layers_),
+      tables_(std::move(other.tables_)),
+      page_ptrs_(std::move(other.page_ptrs_)),
+      scratch_(std::move(other.scratch_)),
+      length_(std::exchange(other.length_, 0)),
+      reserved_(std::exchange(other.reserved_, 0)) {
+  other.tables_.clear();
+  other.page_ptrs_.clear();
+}
+
+DecodeState& DecodeState::operator=(DecodeState&& other) noexcept {
+  if (this != &other) {
+    release_all();
+    pool_ = std::move(other.pool_);
+    n_layers_ = other.n_layers_;
+    tables_ = std::move(other.tables_);
+    page_ptrs_ = std::move(other.page_ptrs_);
+    scratch_ = std::move(other.scratch_);
+    length_ = std::exchange(other.length_, 0);
+    reserved_ = std::exchange(other.reserved_, 0);
+    other.tables_.clear();
+    other.page_ptrs_.clear();
+  }
+  return *this;
+}
+
+void DecodeState::release_all() {
+  if (!pool_) return;
+  for (auto& table : tables_) {
+    for (const std::uint32_t page : table) pool_->release(page);
+    table.clear();
+  }
+  for (auto& ptrs : page_ptrs_) ptrs.clear();
+  if (reserved_ > 0) pool_->cancel_reservation(reserved_);
+  length_ = 0;
+  reserved_ = 0;
+}
+
+std::size_t DecodeState::pages_held() const {
+  std::size_t n = 0;
+  for (const auto& table : tables_) n += table.size();
+  return n;
+}
+
+std::uint32_t DecodeState::acquire_page() {
+  if (reserved_ > 0) {
+    --reserved_;
+    return pool_->allocate_reserved();
+  }
+  return pool_->allocate();
+}
+
+void DecodeState::set_reserved_pages(std::size_t n) {
+  require(reserved_ == 0, "DecodeState: reservation already set");
+  reserved_ = n;
+}
+
+void DecodeState::truncate(std::size_t len) {
+  require(len <= length_, "DecodeState::truncate: cannot extend");
+  constexpr std::size_t kPage = KvPagePool::kPageSize;
+  const std::size_t keep = (len + kPage - 1) / kPage;
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    while (tables_[l].size() > keep) {
+      const std::uint32_t page = tables_[l].back();
+      // A private page freed by the rollback returns its budget to this
+      // session's reservation credit, so speculative verify/rollback
+      // cycles re-use the same credit instead of exhausting it.
+      const bool refundable = pool_->ref_count(page) == 1;
+      pool_->release(page);
+      if (refundable && pool_->try_reserve(1)) ++reserved_;
+      tables_[l].pop_back();
+      page_ptrs_[l].pop_back();
+    }
+  }
+  length_ = len;
+}
+
+void DecodeState::adopt_prefix(
+    const std::vector<std::vector<std::uint32_t>>& pages,
+    std::size_t tokens) {
+  require(length_ == 0 && pages_held() == 0,
+          "DecodeState::adopt_prefix: session not empty");
+  require(pages.size() == n_layers_,
+          "DecodeState::adopt_prefix: layer count mismatch");
+  constexpr std::size_t kPage = KvPagePool::kPageSize;
+  const std::size_t need = (tokens + kPage - 1) / kPage;
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    require(pages[l].size() >= need,
+            "DecodeState::adopt_prefix: too few pages for token count");
+    for (std::size_t c = 0; c < need; ++c) {
+      const std::uint32_t page = pages[l][c];
+      pool_->retain(page);
+      tables_[l].push_back(page);
+      page_ptrs_[l].push_back(pool_->data(page));
+    }
+  }
+  length_ = tokens;
+}
+
+void DecodeState::prepare_append(std::size_t count) {
+  require(count > 0, "DecodeState::prepare_append: zero count");
+  constexpr std::size_t kPage = KvPagePool::kPageSize;
+  const std::size_t first_page = length_ / kPage;
+  const std::size_t last_page = (length_ + count - 1) / kPage;
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    auto& table = tables_[l];
+    auto& ptrs = page_ptrs_[l];
+    // Copy-on-write: appending into a partially-filled tail page that is
+    // shared (adopted prefix ending mid-page) must not mutate the shared
+    // copy. Shared pages are immutable while shared, so the unlocked
+    // copy is safe; a concurrent refcount drop only makes the fork
+    // conservative, never wrong.
+    if (table.size() > first_page && pool_->ref_count(table[first_page]) > 1) {
+      const std::uint32_t fresh = acquire_page();
+      std::copy_n(pool_->data(table[first_page]), pool_->page_floats(),
+                  pool_->data(fresh));
+      pool_->release(table[first_page]);
+      table[first_page] = fresh;
+      ptrs[first_page] = pool_->data(fresh);
+    }
+    while (table.size() <= last_page) {
+      const std::uint32_t fresh = acquire_page();
+      table.push_back(fresh);
+      ptrs.push_back(pool_->data(fresh));
+    }
+  }
 }
 
 // ===================================================== Transformer
@@ -668,6 +822,7 @@ Transformer::Transformer(const TransformerConfig& config, std::uint64_t seed)
           "Transformer: d_model must be divisible by n_heads");
   require(config.vocab_size > 0 && config.max_seq > 0,
           "Transformer: empty vocab or context");
+  pool_ = std::make_shared<KvPagePool>(config.d_model, /*max_pages=*/0);
   const float emb_std = 0.02f;
   tok_emb_.value.randomize(init_rng_, emb_std);
   pos_emb_.value.randomize(init_rng_, emb_std);
@@ -817,7 +972,12 @@ Matrix Transformer::logits(const std::vector<text::TokenId>& ids) {
 }
 
 DecodeState Transformer::new_decode_state() const {
-  return DecodeState(config_);
+  return DecodeState(config_, pool_);
+}
+
+DecodeState Transformer::new_decode_state(
+    std::shared_ptr<KvPagePool> pool) const {
+  return DecodeState(config_, std::move(pool));
 }
 
 std::span<const float> Transformer::decode_step(DecodeState& state,
@@ -828,12 +988,13 @@ std::span<const float> Transformer::decode_step(DecodeState& state,
   require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
           "decode_step: token id out of range");
 
+  state.prepare_append(1);
   DecodeScratch& scratch = state.scratch_;
   std::span<float> x(scratch.x.data(), config_.d_model);
   add_embed_row(id, pos, x);
 
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
-    blocks_[l]->forward_step(x, pos, state.blocks_[l], scratch);
+    blocks_[l]->forward_step(x, pos, state.page_ptrs_[l].data(), scratch);
   }
 
   std::span<float> normed(scratch.normed.data(), config_.d_model);
@@ -861,6 +1022,7 @@ const Matrix& Transformer::decode_step_batch(
     const auto id = ids[b];
     require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
             "decode_step_batch: token id out of range");
+    states[b]->prepare_append(1);
     add_embed_row(id, pos, x.row(b));
   }
 
@@ -884,8 +1046,14 @@ const Matrix& Transformer::decode_step_batch(
   return scratch.logits;
 }
 
-std::span<const float> Transformer::prefill(
-    DecodeState& state, std::span<const text::TokenId> ids) const {
+/// Shared prefill body: embeds `ids` at the session's current length,
+/// runs the block stack (populating the paged caches), and leaves the
+/// final pre-norm hidden rows in `x`. Advances state.length_ and records
+/// the prefill metrics; the callers differ only in which rows they push
+/// through the head.
+void Transformer::prefill_hidden(DecodeState& state,
+                                 std::span<const text::TokenId> ids,
+                                 Matrix& x) const {
   require(!ids.empty(), "prefill: empty prompt");
   HPCGPT_TRACE("nn.prefill");
   InferenceMetrics& metrics = inference_metrics();
@@ -894,7 +1062,8 @@ std::span<const float> Transformer::prefill(
   require(pos0 + ids.size() <= config_.max_seq,
           "prefill: context exhausted");
 
-  Matrix x(ids.size(), config_.d_model);
+  state.prepare_append(ids.size());
+  ensure_shape(x, ids.size(), config_.d_model);
   for (std::size_t t = 0; t < ids.size(); ++t) {
     const auto id = ids[t];
     require(id >= 0 && static_cast<std::size_t>(id) < config_.vocab_size,
@@ -908,9 +1077,20 @@ std::span<const float> Transformer::prefill(
   PrefillScratch prefill_scratch;
   prefill_scratch.ensure(config_, ids.size());
   for (std::size_t l = 0; l < blocks_.size(); ++l) {
-    blocks_[l]->forward_prefill(x, pos0, state.blocks_[l], prefill_scratch);
+    blocks_[l]->forward_prefill(x, pos0, state.page_ptrs_[l].data(),
+                                prefill_scratch);
   }
+  state.length_ = pos0 + ids.size();
+  metrics.prefill_calls.add(1);
+  metrics.prefill_tokens.add(ids.size());
+  metrics.prefill_seconds.observe(prefill_timer.seconds());
+  metrics.kv_occupancy.observe(static_cast<double>(state.length_));
+}
 
+std::span<const float> Transformer::prefill(
+    DecodeState& state, std::span<const text::TokenId> ids) const {
+  Matrix x;
+  prefill_hidden(state, ids, x);
   // Only the last position's logits are needed downstream (the sampler
   // feeds the next token through decode_step), so the head GEMV runs on
   // one row instead of the whole prompt.
@@ -918,12 +1098,21 @@ std::span<const float> Transformer::prefill(
   std::span<float> normed(scratch.normed.data(), config_.d_model);
   rmsnorm_row(final_gain_, x.row(ids.size() - 1), normed);
   head_.apply(normed, scratch.logits);
-  state.length_ = pos0 + ids.size();
-  metrics.prefill_calls.add(1);
-  metrics.prefill_tokens.add(ids.size());
-  metrics.prefill_seconds.observe(prefill_timer.seconds());
-  metrics.kv_occupancy.observe(static_cast<double>(state.length_));
   return scratch.logits;
+}
+
+void Transformer::prefill_logits(DecodeState& state,
+                                 std::span<const text::TokenId> ids,
+                                 Matrix& logits_out) const {
+  Matrix x;
+  prefill_hidden(state, ids, x);
+  // Speculative verify needs every position's distribution: norm each row
+  // and push the whole batch through the head as one GEMM.
+  Matrix normed(ids.size(), config_.d_model);
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    rmsnorm_row(final_gain_, x.row(t), normed.row(t));
+  }
+  head_.apply_rows(normed, logits_out);
 }
 
 LossResult Transformer::train_step(

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hpcgpt/nn/kv_cache.hpp"
+#include "hpcgpt/nn/transformer.hpp"
+#include "hpcgpt/text/tokenizer.hpp"
+
+namespace hpcgpt::serve {
+
+/// Radix-trie prompt/prefix cache over the paged KV pool (structural
+/// cousin of the RediSearch trie: path-compressed nodes keyed by their
+/// first token, here with fixed chunk granularity).
+///
+/// Keying: one node per KV page — a node holds up to
+/// KvPagePool::kPageSize tokens (one page's worth of positions) plus one
+/// retained page id per layer containing exactly those positions' K/V.
+/// Children are keyed by the first token of the next chunk, so lookup is
+/// O(prompt length). A node's chunk may be *partial* (a prompt ended
+/// mid-page); partial nodes are always leaves and may later be extended
+/// in place when a longer prompt shares their tokens.
+///
+/// Sharing contract: lookup() returns page ids for the longest cached
+/// prefix of a prompt; the caller adopts them into a fresh
+/// nn::DecodeState (adopt_prefix retains them). A shared page is
+/// immutable while shared — a stream appending into a partially-filled
+/// adopted tail page forks it first (COW in DecodeState), so the cached
+/// copy always keeps its prompt-only contents. insert() retains the
+/// prompt pages of a freshly prefilled stream; the stream's own later
+/// decode appends into its final partial page likewise fork.
+///
+/// Eviction: LRU over *leaf* nodes (interior nodes are reachable prefixes
+/// of live leaves), under either the node budget or external pool
+/// pressure (the scheduler calls evict_lru() until a reservation fits).
+/// Releasing a node's pages only frees them once no stream shares them.
+///
+/// Not thread-safe by design: owned and driven by the scheduler thread.
+class PrefixCache {
+ public:
+  /// The longest cached prefix of a prompt: `tokens` matched positions
+  /// and, per layer, the ceil(tokens / kPageSize) pages covering them
+  /// (final page possibly partial). pages stay valid until the next
+  /// insert/evict — adopt them immediately.
+  struct Match {
+    std::size_t tokens = 0;
+    std::vector<std::vector<std::uint32_t>> pages;  // [layer][chunk]
+  };
+
+  PrefixCache(std::shared_ptr<nn::KvPagePool> pool, std::size_t n_layers,
+              std::size_t max_nodes);
+  ~PrefixCache();
+
+  PrefixCache(const PrefixCache&) = delete;
+  PrefixCache& operator=(const PrefixCache&) = delete;
+
+  /// Longest cached prefix of `prompt`, capped at `max_tokens` (callers
+  /// pass prompt.size() - 1 so a prefill always ingests at least one
+  /// token and produces the first-token logits).
+  Match lookup(std::span<const text::TokenId> prompt, std::size_t max_tokens);
+
+  /// Publishes the prompt pages of a prefilled session (state.length() >=
+  /// prompt.size()): descends existing chunks, extends a matching partial
+  /// leaf, and creates nodes (retaining the stream's pages) for the new
+  /// tail. Stops quietly at a token mismatch mid-chunk (no node
+  /// splitting) or when the node budget cannot be freed.
+  void insert(std::span<const text::TokenId> prompt,
+              const nn::DecodeState& state);
+
+  /// Evicts the least-recently-used leaf, releasing its pages. False when
+  /// the trie is empty.
+  bool evict_lru() { return evict_lru_except(nullptr); }
+
+  /// Drops every node (shutdown / tests).
+  void clear();
+
+  std::size_t node_count() const { return nodes_; }
+  /// Page references currently held by the trie (n_layers per node).
+  std::size_t pages_held() const { return pages_held_; }
+
+ private:
+  struct Node {
+    std::vector<text::TokenId> tokens;   // this chunk, ≤ kPageSize tokens
+    std::vector<std::uint32_t> pages;    // one page per layer
+    std::map<text::TokenId, std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+    std::uint64_t last_used = 0;
+  };
+
+  void touch(Node& node) { node.last_used = ++clock_; }
+  void release_pages(Node& node);
+  void destroy_subtree(Node& node);
+  bool evict_lru_except(const Node* keep);
+
+  std::shared_ptr<nn::KvPagePool> pool_;
+  const std::size_t n_layers_;
+  const std::size_t max_nodes_;
+  Node root_;  // sentinel: no tokens, no pages
+  std::size_t nodes_ = 0;
+  std::size_t pages_held_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hpcgpt::serve

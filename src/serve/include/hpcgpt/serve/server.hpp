@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -13,14 +14,49 @@
 #include "hpcgpt/analysis/service.hpp"
 #include "hpcgpt/core/generation.hpp"
 #include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/nn/kv_cache.hpp"
 #include "hpcgpt/nn/transformer.hpp"
 #include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/obs/trace.hpp"
+#include "hpcgpt/serve/prefix_cache.hpp"
 
 namespace hpcgpt::serve {
 
-/// Serving knobs (see README, "Server throughput knobs").
-struct ServerOptions {
+/// Paged-KV sizing and prefix-cache knobs (one section of ServeConfig).
+struct KvCacheConfig {
+  /// Total page budget of the serving pool. 0 derives a budget that fits
+  /// max_batch worst-case streams plus (when the prefix cache is on) one
+  /// stream's worth of cached prefixes. Admission reserves pages per
+  /// request; requests that can never fit the budget are shed with
+  /// FinishReason::Rejected instead of aborting mid-decode.
+  std::size_t page_budget = 0;
+  /// Radix-trie prompt cache: prompts sharing a served prefix map its
+  /// pages instead of re-prefilling (serve.prefix.* metrics).
+  bool prefix_cache = true;
+  /// Node budget of the trie (one node per KV page chunk); LRU leaves are
+  /// evicted beyond it or under pool pressure.
+  std::size_t prefix_cache_max_nodes = 1024;
+};
+
+/// Speculative-decoding knobs (one section of ServeConfig).
+struct SpeculationConfig {
+  /// Master switch: when true the server builds a draft model from
+  /// `draft` and verifies its proposals with the target model.
+  bool enabled = false;
+  /// Tokens drafted per verify round (requests can override per-request
+  /// via core::SpeculativeOptions).
+  std::size_t draft_tokens = 4;
+  /// Draft model spec. Must share the target's vocabulary (it reuses the
+  /// target's tokenizer); typically core::spec_for(BaseModel::Llama).
+  core::ModelOptions draft;
+};
+
+/// The one typed configuration surface of the inference server — serving
+/// knobs, inference weight mode, paged-KV sizing, speculation and the
+/// co-hosted verification service, consolidated from what used to be
+/// ServerOptions plus ad-hoc CLI-side quantization. CLI `serve` flags map
+/// 1:1 onto these fields (see README, "Server throughput knobs").
+struct ServeConfig {
   /// Maximum number of requests decoded concurrently (continuous-batching
   /// lanes). One long generation occupies one lane; the others keep
   /// draining the queue.
@@ -37,18 +73,32 @@ struct ServerOptions {
   /// throughput under bursts. Requests arriving mid-flight are still
   /// admitted every round regardless of this setting.
   double admission_window_seconds = 0.0;
+  /// Inference weight storage applied to the served model at server
+  /// construction (the load-then-quantize flow; Fp32 leaves the model as
+  /// loaded). One-way, like HpcGpt::set_quant_mode.
+  tensor::QuantMode quant = tensor::QuantMode::Fp32;
+  /// Paged KV cache + prefix sharing.
+  KvCacheConfig kv;
+  /// Speculative decoding.
+  SpeculationConfig speculation;
   /// Knobs of the co-hosted analysis service (cache capacity, verifier
   /// options, grounding) behind the typed verification request kind.
   analysis::ServiceOptions verification;
+
+  /// Throws InvalidArgument on inconsistent settings (zero lanes,
+  /// speculation without draft tokens, a page budget too small for one
+  /// stream — checked against the model at server construction).
+  void validate() const;
 };
 
 /// Server statistics — a consistent snapshot view over the server's
 /// metrics registry (the registry holds the live values; stats() samples
 /// them under the server mutex so counters in one snapshot agree with
-/// each other). Rejected requests are not counted as served.
+/// each other). Rejected/shed requests are not counted as served.
 struct ServerStats {
   std::size_t requests_served = 0;
   std::size_t requests_rejected = 0;   ///< submitted after shutdown
+  std::size_t requests_shed = 0;       ///< can never fit the page budget
   std::size_t requests_verified = 0;   ///< verification requests completed
   std::size_t verifications_rejected = 0;  ///< verify submits after shutdown
   std::size_t max_queue_depth = 0;
@@ -57,6 +107,12 @@ struct ServerStats {
   std::size_t batch_rounds = 0;        ///< scheduler rounds with work
   std::size_t batch_occupancy_sum = 0; ///< Σ active streams per round
   std::size_t peak_batch = 0;          ///< max simultaneously active streams
+  std::size_t prefix_hits = 0;         ///< admissions that reused a prefix
+  std::size_t prefix_misses = 0;       ///< admissions that prefilled cold
+  std::size_t prefix_tokens_reused = 0;  ///< prompt tokens not re-prefilled
+  std::size_t speculative_drafted = 0;   ///< draft tokens proposed
+  std::size_t speculative_accepted = 0;  ///< draft tokens verified + kept
+  std::size_t kv_pages_in_use = 0;     ///< pool pages live at snapshot
   double busy_seconds = 0.0;           ///< wall time in prefill/decode work
   double latency_seconds_sum = 0.0;    ///< Σ submit→completion per request
 
@@ -79,6 +135,21 @@ struct ServerStats {
                ? latency_seconds_sum / static_cast<double>(requests_served)
                : 0.0;
   }
+  /// Fraction of admissions that mapped cached prefix pages.
+  double prefix_cache_hit_rate() const {
+    const std::size_t lookups = prefix_hits + prefix_misses;
+    return lookups > 0
+               ? static_cast<double>(prefix_hits) /
+                     static_cast<double>(lookups)
+               : 0.0;
+  }
+  /// Fraction of drafted tokens the target model accepted.
+  double speculative_accept_rate() const {
+    return speculative_drafted > 0
+               ? static_cast<double>(speculative_accepted) /
+                     static_cast<double>(speculative_drafted)
+               : 0.0;
+  }
 };
 
 /// The deployment stage of Figure 1: a continuous-batching in-process
@@ -87,27 +158,31 @@ struct ServerStats {
 /// Instead of serializing whole requests behind a model mutex, a single
 /// scheduler thread runs the batched inference engine: queued requests
 /// are admitted into up to `max_batch` decode lanes, each with its own
-/// KV-cache session (nn::DecodeState). New prompts are ingested through
-/// the GEMM prefill path; then every round advances all live lanes by
-/// one token through a single decode_step_batch call, so the weight
-/// matrices are streamed once per round instead of once per lane —
-/// cross-request batching, the throughput win of continuous batching.
-/// Finished streams retire and queued ones are admitted mid-flight, so
-/// one long generation no longer blocks the queue. Weights are only
-/// read during prefill/decode, which is what makes the per-lane
-/// sessions safe without a model lock.
+/// paged KV session (nn::DecodeState) over one budget-capped
+/// nn::KvPagePool. Admission tokenizes the prompt, reserves worst-case
+/// pages (evicting cached prefixes under pressure, shedding requests
+/// that can never fit), and maps any cached prefix of the prompt from
+/// the radix-trie PrefixCache so only the unseen suffix is prefilled.
+/// Fresh prompts are ingested through the GEMM prefill path and their
+/// prompt pages published back into the trie; then every round advances
+/// all live lanes by one token through a single decode_step_batch call,
+/// so the weight matrices are streamed once per round instead of once
+/// per lane. With speculation enabled, a small draft model proposes k
+/// tokens per round and the target verifies them in one batched prefill,
+/// emitting every accepted token at once (serve.spec.* metrics).
 ///
 /// submit() takes a core::GenerationRequest and returns a future
 /// core::GenerationResult carrying text, token counts, finish reason and
 /// latency; shutdown() drains the queue, and submissions after shutdown
 /// resolve (not throw) with FinishReason::Rejected. Every server owns a
 /// private obs::MetricsRegistry — queue depth, admission latency, TTFT,
-/// inter-token latency, per-round occupancy — exported via
-/// metrics_json(); ServerStats is a thin snapshot view over it.
+/// inter-token latency, per-round occupancy, prefix-cache hits, pages in
+/// use — exported via metrics_json(); ServerStats is a thin snapshot
+/// view over it.
 class InferenceServer {
  public:
   InferenceServer(core::HpcGpt& model, std::size_t max_batch = 2);
-  InferenceServer(core::HpcGpt& model, ServerOptions options);
+  InferenceServer(core::HpcGpt& model, ServeConfig config);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -115,8 +190,9 @@ class InferenceServer {
 
   /// Enqueues a generation request. request.max_new_tokens == 0 uses the
   /// server default; request.id == 0 is replaced with a fresh server-
-  /// assigned id (echoed in the result). After shutdown() the future
-  /// resolves immediately with FinishReason::Rejected — check
+  /// assigned id (echoed in the result). After shutdown() — or when the
+  /// request can never fit the KV page budget — the future resolves
+  /// with FinishReason::Rejected rather than throwing: check
   /// GenerationResult::ok().
   std::future<core::GenerationResult> submit(core::GenerationRequest request);
 
@@ -135,16 +211,15 @@ class InferenceServer {
   /// analysis.cache.{hits,misses,evictions} counters).
   const analysis::VerificationService& verifier() const { return verifier_; }
 
-  /// Deprecated string-only surface, kept for existing callers: forwards
-  /// to the typed submit() and yields only the answer text. A rejected
-  /// request (submit after shutdown) surfaces as an Error exception from
-  /// future::get(), matching the old contract.
-  [[deprecated("use submit(core::GenerationRequest)")]]
-  std::future<std::string> submit(std::string question);
-
   /// Stops accepting requests, finishes the queued ones, joins the
   /// scheduler.
   void shutdown();
+
+  /// The resolved configuration (derived page budget filled in).
+  const ServeConfig& config() const { return config_; }
+
+  /// The serving page pool (budget, occupancy — for tests/benches).
+  const nn::KvPagePool& page_pool() const { return *pool_; }
 
   /// Consistent snapshot of the serving counters (view over metrics()).
   ServerStats stats() const;
@@ -163,10 +238,10 @@ class InferenceServer {
     std::promise<core::GenerationResult> promise;
     std::chrono::steady_clock::time_point submitted;
     /// Request-scoped trace (global TraceSink enabled at submit): every
-    /// span this request touches — queue wait, prefill, each decode
-    /// round — shares trace.trace_id and parents on trace.span_id (the
-    /// "serve.request" root recorded at completion). Inactive when
-    /// tracing was off at submit.
+    /// span this request touches — queue wait, prefix lookup, prefill,
+    /// each decode round — shares trace.trace_id and parents on
+    /// trace.span_id (the "serve.request" root recorded at completion).
+    /// Inactive when tracing was off at submit.
     obs::TraceContext trace;
     double submitted_seconds = 0.0;  ///< sink-epoch submit timestamp
   };
@@ -178,12 +253,17 @@ class InferenceServer {
     std::vector<text::TokenId> prompt;
     std::vector<text::TokenId> out;
     std::size_t budget = 0;      ///< resolved per-request token budget
+    std::size_t spec_tokens = 0; ///< resolved draft tokens per round
+    std::size_t prefix_tokens = 0;  ///< prompt positions adopted from cache
     text::TokenId next = -1;     ///< candidate token (greedy argmax)
     core::FinishReason finish = core::FinishReason::Eos;
     std::chrono::steady_clock::time_point last_token;
     bool prefilled = false;
+    bool published = false;      ///< prompt pages inserted into the trie
     bool done = false;
     std::exception_ptr error;
+    /// Draft-model session (speculation only, created lazily).
+    std::unique_ptr<nn::DecodeState> draft;
 
     explicit Stream(Request req, nn::DecodeState s)
         : request(std::move(req)), state(std::move(s)) {}
@@ -194,15 +274,22 @@ class InferenceServer {
   struct Metrics {
     obs::Counter& completed;        ///< serve.requests.completed
     obs::Counter& rejected;         ///< serve.requests.rejected
+    obs::Counter& shed;             ///< serve.requests.shed
     obs::Counter& verified;         ///< serve.verify.completed
     obs::Counter& verify_rejected;  ///< serve.verify.rejected
     obs::Counter& prompt_tokens;    ///< serve.tokens.prompt
     obs::Counter& generated_tokens; ///< serve.tokens.generated
     obs::Counter& rounds;           ///< serve.rounds.count
     obs::Counter& occupancy_sum;    ///< serve.rounds.occupancy_sum
+    obs::Counter& prefix_hits;      ///< serve.prefix.hits
+    obs::Counter& prefix_misses;    ///< serve.prefix.misses
+    obs::Counter& prefix_reused;    ///< serve.prefix.tokens_reused
+    obs::Counter& spec_drafted;     ///< serve.spec.drafted
+    obs::Counter& spec_accepted;    ///< serve.spec.accepted
     obs::Gauge& queue_depth;        ///< serve.queue.depth (max = peak)
     obs::Gauge& lanes;              ///< serve.batch.lanes (max = peak)
     obs::Gauge& weight_bytes;       ///< serve.model.weight_bytes
+    obs::Gauge& kv_pages;           ///< serve.kv.pages_in_use (max = peak)
     obs::Histogram& admission_seconds;   ///< submit → lane admission
     obs::Histogram& ttft_seconds;        ///< submit → first token
     obs::Histogram& inter_token_seconds; ///< gap between emitted tokens
@@ -214,23 +301,49 @@ class InferenceServer {
   };
 
   void scheduler_loop();
-  /// Tokenizes the prompt and runs the GEMM prefill for a freshly
-  /// admitted stream, producing its first candidate token. Enforces the
-  /// request's token_limit (finish = ContextLimit, no text) before
-  /// touching the model.
+  /// Admission (scheduler thread, under mutex_): tokenizes the prompt,
+  /// enforces token_limit, reserves worst-case pages (evicting cached
+  /// prefixes under pressure) and maps any cached prefix. Returns the
+  /// admitted stream, or nullptr when the request was resolved inline
+  /// (context-limit / shed) — except that when the pages are merely busy
+  /// and `can_wait` is true, `requeue` is set and `entry` is left intact
+  /// so the scheduler can park it at the queue front.
+  std::unique_ptr<Stream> admit(Request& entry, bool can_wait,
+                                bool& requeue);
+  /// Worst-case page reservation for a prompt of `prompt_tokens` with
+  /// `spec_tokens` drafted per speculative round.
+  std::size_t pages_needed(std::size_t prompt_tokens, std::size_t budget,
+                           std::size_t spec_tokens) const;
+  /// Runs the GEMM prefill for a freshly admitted stream over the
+  /// non-cached suffix of its prompt, producing its first candidate
+  /// token.
   void prefill_stream(Stream& stream);
   /// Commits the pending candidate token of a prefilled stream and marks
   /// it done when it hits EOS, the token budget or the context limit
   /// (recording which, as the stream's finish reason). Returns true when
   /// the stream still needs a decode step this round.
   bool emit_pending_token(Stream& stream);
+  /// One draft-propose / target-verify round for a speculation-enabled
+  /// stream: the draft model proposes up to stream.spec_tokens tokens,
+  /// the target scores candidate + drafts in a single batched prefill,
+  /// and every accepted token is emitted at once.
+  void speculative_round(Stream& stream);
   void finish_stream(Stream& stream);
+  /// Resolves a request inline (rejected / shed / context-limit) without
+  /// occupying a lane.
+  void resolve_without_running(Request entry, core::FinishReason finish);
 
   core::HpcGpt& model_;
-  ServerOptions options_;
+  ServeConfig config_;
   obs::MetricsRegistry registry_;
   Metrics metrics_;
   analysis::VerificationService verifier_;
+  /// The budget-capped serving pool every lane and the prefix cache draw
+  /// from (shared_ptr: sessions keep it alive through teardown).
+  std::shared_ptr<nn::KvPagePool> pool_;
+  std::unique_ptr<PrefixCache> prefix_;  ///< scheduler-thread only
+  /// Draft model for speculative decoding (speculation.enabled only).
+  std::unique_ptr<core::HpcGpt> draft_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Request> queue_;
@@ -249,6 +362,11 @@ class InferenceServer {
   std::vector<Stream*> round_lanes_;
   std::vector<nn::DecodeState*> round_states_;
   std::vector<text::TokenId> round_tokens_;
+  // Speculation scratch (scheduler thread): verify-round logits, draft
+  // proposals and the token buffer used to sync the draft session.
+  tensor::Matrix spec_logits_;
+  std::vector<text::TokenId> spec_draft_;
+  std::vector<text::TokenId> spec_sync_;
 };
 
 }  // namespace hpcgpt::serve

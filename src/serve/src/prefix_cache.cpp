@@ -1,0 +1,168 @@
+#include "hpcgpt/serve/prefix_cache.hpp"
+
+#include <algorithm>
+
+#include "hpcgpt/support/error.hpp"
+
+namespace hpcgpt::serve {
+
+namespace {
+constexpr std::size_t kPage = nn::KvPagePool::kPageSize;
+}
+
+PrefixCache::PrefixCache(std::shared_ptr<nn::KvPagePool> pool,
+                         std::size_t n_layers, std::size_t max_nodes)
+    : pool_(std::move(pool)), n_layers_(n_layers), max_nodes_(max_nodes) {
+  require(pool_ != nullptr, "PrefixCache: null page pool");
+  require(n_layers_ > 0, "PrefixCache: zero layers");
+}
+
+PrefixCache::~PrefixCache() { clear(); }
+
+void PrefixCache::release_pages(Node& node) {
+  for (const std::uint32_t page : node.pages) pool_->release(page);
+  pages_held_ -= node.pages.size();
+  node.pages.clear();
+}
+
+void PrefixCache::destroy_subtree(Node& node) {
+  for (auto& [key, child] : node.children) {
+    destroy_subtree(*child);
+    release_pages(*child);
+    --nodes_;
+  }
+  node.children.clear();
+}
+
+void PrefixCache::clear() { destroy_subtree(root_); }
+
+PrefixCache::Match PrefixCache::lookup(std::span<const text::TokenId> prompt,
+                                       std::size_t max_tokens) {
+  Match match;
+  match.pages.resize(n_layers_);
+  Node* cur = &root_;
+  std::size_t consumed = 0;
+  const std::size_t limit = std::min(prompt.size(), max_tokens);
+  while (consumed < limit) {
+    const auto it = cur->children.find(prompt[consumed]);
+    if (it == cur->children.end()) break;
+    Node* child = it->second.get();
+    const std::size_t n = std::min(child->tokens.size(), limit - consumed);
+    std::size_t matched = 0;
+    while (matched < n && child->tokens[matched] == prompt[consumed + matched]) {
+      ++matched;
+    }
+    if (matched == 0) break;
+    // Adopt this node's page (per layer) for the matched positions — a
+    // partial match shares the page up to the match point; the adopting
+    // stream copy-on-writes it before appending past that point.
+    for (std::size_t l = 0; l < n_layers_; ++l) {
+      match.pages[l].push_back(child->pages[l]);
+    }
+    consumed += matched;
+    touch(*child);
+    // Descend only through fully-matched full chunks: a partial node is a
+    // leaf, and a mid-chunk stop means deeper chunks don't apply.
+    if (matched < child->tokens.size() || child->tokens.size() < kPage) break;
+    cur = child;
+  }
+  match.tokens = consumed;
+  return match;
+}
+
+void PrefixCache::insert(std::span<const text::TokenId> prompt,
+                         const nn::DecodeState& state) {
+  require(state.length() >= prompt.size(),
+          "PrefixCache::insert: session shorter than prompt");
+  Node* cur = &root_;
+  std::size_t consumed = 0;
+  while (consumed < prompt.size()) {
+    const std::size_t chunk_len = std::min(kPage, prompt.size() - consumed);
+    const std::size_t chunk_idx = consumed / kPage;
+    const text::TokenId* chunk = prompt.data() + consumed;
+    const auto it = cur->children.find(chunk[0]);
+    if (it != cur->children.end()) {
+      Node* child = it->second.get();
+      const std::size_t n = std::min(child->tokens.size(), chunk_len);
+      std::size_t matched = 0;
+      while (matched < n && child->tokens[matched] == chunk[matched]) {
+        ++matched;
+      }
+      if (matched < n) return;  // diverges mid-chunk: no splitting, stop
+      touch(*child);
+      if (matched == child->tokens.size() && matched == chunk_len) {
+        // Identical chunk already cached.
+        if (chunk_len < kPage) return;  // final partial chunk
+        cur = child;
+        consumed += chunk_len;
+        continue;
+      }
+      if (matched == child->tokens.size()) {
+        // Existing partial leaf prefixes our longer chunk: extend it in
+        // place with the longer tokens and this stream's (fuller) pages.
+        release_pages(*child);
+        child->tokens.assign(chunk, chunk + chunk_len);
+        child->pages.reserve(n_layers_);
+        for (std::size_t l = 0; l < n_layers_; ++l) {
+          const std::uint32_t page = state.layer_pages(l)[chunk_idx];
+          pool_->retain(page);
+          child->pages.push_back(page);
+        }
+        pages_held_ += n_layers_;
+        if (chunk_len < kPage) return;
+        cur = child;
+        consumed += chunk_len;
+        continue;
+      }
+      // Our final partial chunk prefixes an existing longer one — the
+      // cached node already covers it.
+      return;
+    }
+    // New tail: create a node for this chunk, evicting an old leaf when
+    // the budget is full (never the node we are extending from).
+    if (max_nodes_ > 0 && nodes_ >= max_nodes_) {
+      if (!evict_lru_except(cur)) return;
+    }
+    auto node = std::make_unique<Node>();
+    node->tokens.assign(chunk, chunk + chunk_len);
+    node->parent = cur;
+    node->pages.reserve(n_layers_);
+    for (std::size_t l = 0; l < n_layers_; ++l) {
+      const std::uint32_t page = state.layer_pages(l)[chunk_idx];
+      pool_->retain(page);
+      node->pages.push_back(page);
+    }
+    pages_held_ += n_layers_;
+    touch(*node);
+    Node* created = node.get();
+    cur->children.emplace(chunk[0], std::move(node));
+    ++nodes_;
+    if (chunk_len < kPage) return;
+    cur = created;
+    consumed += chunk_len;
+  }
+}
+
+bool PrefixCache::evict_lru_except(const Node* keep) {
+  // Find the least-recently-used leaf (depth-first walk; the trie is
+  // bounded by max_nodes, so the scan is cheap relative to a prefill).
+  Node* victim = nullptr;
+  std::vector<Node*> stack{&root_};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (auto& [key, child] : node->children) stack.push_back(child.get());
+    if (node == &root_ || node == keep || !node->children.empty()) continue;
+    if (victim == nullptr || node->last_used < victim->last_used) {
+      victim = node;
+    }
+  }
+  if (victim == nullptr) return false;
+  release_pages(*victim);
+  Node* parent = victim->parent;
+  parent->children.erase(victim->tokens.front());
+  --nodes_;
+  return true;
+}
+
+}  // namespace hpcgpt::serve

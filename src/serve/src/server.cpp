@@ -49,18 +49,40 @@ void record_request_span(const char* name, double start_seconds,
 
 }  // namespace
 
+void ServeConfig::validate() const {
+  require(max_batch >= 1, "ServeConfig: max_batch must be >= 1");
+  require(max_new_tokens >= 1, "ServeConfig: max_new_tokens must be >= 1");
+  require(admission_window_seconds >= 0.0,
+          "ServeConfig: admission_window_seconds must be >= 0");
+  if (speculation.enabled) {
+    require(speculation.draft_tokens >= 1,
+            "ServeConfig: speculation enabled with zero draft_tokens");
+  }
+  if (kv.prefix_cache) {
+    require(kv.prefix_cache_max_nodes >= 1,
+            "ServeConfig: prefix cache enabled with zero node budget");
+  }
+}
+
 InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
     : completed(r.counter("serve.requests.completed")),
       rejected(r.counter("serve.requests.rejected")),
+      shed(r.counter("serve.requests.shed")),
       verified(r.counter("serve.verify.completed")),
       verify_rejected(r.counter("serve.verify.rejected")),
       prompt_tokens(r.counter("serve.tokens.prompt")),
       generated_tokens(r.counter("serve.tokens.generated")),
       rounds(r.counter("serve.rounds.count")),
       occupancy_sum(r.counter("serve.rounds.occupancy_sum")),
+      prefix_hits(r.counter("serve.prefix.hits")),
+      prefix_misses(r.counter("serve.prefix.misses")),
+      prefix_reused(r.counter("serve.prefix.tokens_reused")),
+      spec_drafted(r.counter("serve.spec.drafted")),
+      spec_accepted(r.counter("serve.spec.accepted")),
       queue_depth(r.gauge("serve.queue.depth")),
       lanes(r.gauge("serve.batch.lanes")),
       weight_bytes(r.gauge("serve.model.weight_bytes")),
+      kv_pages(r.gauge("serve.kv.pages_in_use")),
       admission_seconds(r.histogram("serve.admission.seconds")),
       ttft_seconds(r.histogram("serve.ttft.seconds")),
       inter_token_seconds(r.histogram("serve.inter_token.seconds")),
@@ -69,17 +91,58 @@ InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
       request_latency_seconds(r.histogram("serve.request.latency_seconds")) {}
 
 InferenceServer::InferenceServer(core::HpcGpt& model, std::size_t max_batch)
-    : InferenceServer(
-          model, ServerOptions{.max_batch = std::max<std::size_t>(1, max_batch),
-                               .max_new_tokens = 48}) {}
+    : InferenceServer(model, [max_batch] {
+        ServeConfig config;
+        config.max_batch = std::max<std::size_t>(1, max_batch);
+        return config;
+      }()) {}
 
-InferenceServer::InferenceServer(core::HpcGpt& model, ServerOptions options)
+InferenceServer::InferenceServer(core::HpcGpt& model, ServeConfig config)
     : model_(model),
-      options_(options),
+      config_(std::move(config)),
       metrics_(registry_),
-      verifier_(options_.verification) {
-  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
-  if (options_.max_new_tokens == 0) options_.max_new_tokens = 48;
+      verifier_(config_.verification) {
+  if (config_.max_new_tokens == 0) config_.max_new_tokens = 48;
+  config_.validate();
+
+  // Load-then-quantize: the config owns the inference weight mode.
+  if (config_.quant != tensor::QuantMode::Fp32 &&
+      model_.quant_mode() != config_.quant) {
+    require(model_.quant_mode() == tensor::QuantMode::Fp32,
+            "ServeConfig: quant mode conflicts with an already-quantized "
+            "model");
+    model_.set_quant_mode(config_.quant);
+  }
+  config_.quant = model_.quant_mode();
+
+  const nn::TransformerConfig& arch = model_.model().config();
+  constexpr std::size_t kPage = nn::KvPagePool::kPageSize;
+  // Worst-case pages of one stream, per layer: a full context plus one
+  // page of copy-on-write headroom.
+  const std::size_t stream_pages = (arch.max_seq + kPage - 1) / kPage + 1;
+  if (config_.kv.page_budget == 0) {
+    // Derived budget: max_batch worst-case streams, plus one stream's
+    // worth of headroom for cached prefixes when the trie is on.
+    const std::size_t streams =
+        config_.max_batch + (config_.kv.prefix_cache ? 1 : 0);
+    config_.kv.page_budget = streams * arch.n_layers * stream_pages;
+  }
+  require(config_.kv.page_budget >= arch.n_layers * 2,
+          "ServeConfig: kv.page_budget too small for a single stream "
+          "(need at least two pages per layer)");
+  pool_ = std::make_shared<nn::KvPagePool>(arch.d_model,
+                                           config_.kv.page_budget);
+  if (config_.kv.prefix_cache) {
+    prefix_ = std::make_unique<PrefixCache>(pool_, arch.n_layers,
+                                            config_.kv.prefix_cache_max_nodes);
+  }
+  if (config_.speculation.enabled) {
+    require(config_.speculation.draft.config.vocab_size == arch.vocab_size,
+            "ServeConfig: draft model vocabulary must match the target");
+    draft_ = std::make_unique<core::HpcGpt>(config_.speculation.draft,
+                                            model_.tokenizer());
+  }
+
   // Resident weight footprint of the served model (fp32 vs --quant'ed
   // int8/fp16) — a level, not a rate, so dashboards can plot the
   // quantization saving next to the throughput counters.
@@ -93,7 +156,7 @@ InferenceServer::~InferenceServer() { shutdown(); }
 std::future<core::GenerationResult> InferenceServer::submit(
     core::GenerationRequest request) {
   if (request.max_new_tokens == 0) {
-    request.max_new_tokens = options_.max_new_tokens;
+    request.max_new_tokens = config_.max_new_tokens;
   }
   Request entry;
   entry.request = std::move(request);
@@ -128,23 +191,6 @@ std::future<core::GenerationResult> InferenceServer::submit(
   }
   available_.notify_one();
   return future;
-}
-
-std::future<std::string> InferenceServer::submit(std::string question) {
-  core::GenerationRequest request;
-  request.prompt = std::move(question);
-  std::future<core::GenerationResult> typed = submit(std::move(request));
-  // Deferred adapter: get() on the returned future waits on the typed
-  // future inline (no extra thread) and restores the legacy contract of
-  // throwing on submit-after-shutdown.
-  return std::async(std::launch::deferred,
-                    [f = std::move(typed)]() mutable -> std::string {
-                      core::GenerationResult result = f.get();
-                      if (!result.ok()) {
-                        throw Error("InferenceServer: submit after shutdown");
-                      }
-                      return std::move(result.text);
-                    });
 }
 
 std::future<analysis::VerifyResponse> InferenceServer::submit(
@@ -211,6 +257,7 @@ ServerStats InferenceServer::stats() const {
   ServerStats s;
   s.requests_served = metrics_.completed.value();
   s.requests_rejected = metrics_.rejected.value();
+  s.requests_shed = metrics_.shed.value();
   s.requests_verified = metrics_.verified.value();
   s.verifications_rejected = metrics_.verify_rejected.value();
   s.max_queue_depth =
@@ -220,6 +267,12 @@ ServerStats InferenceServer::stats() const {
   s.batch_rounds = metrics_.rounds.value();
   s.batch_occupancy_sum = metrics_.occupancy_sum.value();
   s.peak_batch = static_cast<std::size_t>(metrics_.lanes.max_value());
+  s.prefix_hits = metrics_.prefix_hits.value();
+  s.prefix_misses = metrics_.prefix_misses.value();
+  s.prefix_tokens_reused = metrics_.prefix_reused.value();
+  s.speculative_drafted = metrics_.spec_drafted.value();
+  s.speculative_accepted = metrics_.spec_accepted.value();
+  s.kv_pages_in_use = pool_->pages_in_use();
   s.busy_seconds = metrics_.round_seconds.sum();
   s.latency_seconds_sum = metrics_.request_latency_seconds.sum();
   return s;
@@ -233,6 +286,114 @@ std::string InferenceServer::metrics_json() const {
   return json::Value(std::move(root)).dump();
 }
 
+std::size_t InferenceServer::pages_needed(std::size_t prompt_tokens,
+                                          std::size_t budget,
+                                          std::size_t spec_tokens) const {
+  const nn::TransformerConfig& arch = model_.model().config();
+  constexpr std::size_t kPage = nn::KvPagePool::kPageSize;
+  // Longest sequence this stream can ever hold: prompt + generation
+  // budget + one speculative verify window (candidate + drafts), clamped
+  // by the context. One extra page per layer of copy-on-write headroom.
+  std::size_t worst = prompt_tokens + budget;
+  if (spec_tokens > 0) worst += spec_tokens + 1;
+  worst = std::min(worst, arch.max_seq);
+  const std::size_t per_layer = (worst + kPage - 1) / kPage + 1;
+  return arch.n_layers * per_layer;
+}
+
+void InferenceServer::resolve_without_running(Request entry,
+                                              core::FinishReason finish) {
+  const double latency = seconds_since(entry.submitted);
+  if (entry.trace.active()) {
+    record_request_span(
+        "serve.request", entry.submitted_seconds,
+        obs::TraceSink::global().now_seconds() - entry.submitted_seconds,
+        entry.trace, /*as_root=*/true);
+  }
+  if (finish == core::FinishReason::Rejected) {
+    metrics_.shed.add(1);
+  } else {
+    // Context-limit outcomes are served (typed result, no text), matching
+    // the old prefill-side check.
+    metrics_.completed.add(1);
+    metrics_.request_latency_seconds.observe(latency);
+  }
+  core::GenerationResult result;
+  result.id = entry.request.id;
+  result.finish = finish;
+  result.latency_seconds = latency;
+  entry.promise.set_value(std::move(result));
+}
+
+std::unique_ptr<InferenceServer::Stream> InferenceServer::admit(
+    Request& entry, bool can_wait, bool& requeue) {
+  requeue = false;
+  const core::GenerationRequest& req = entry.request;
+  if (req.token_limit > 0 &&
+      model_.question_prompt_tokens(req.prompt) > req.token_limit) {
+    // Typed form of the old TooLong outcome: nothing is ingested, the
+    // result carries ContextLimit and no text.
+    resolve_without_running(std::move(entry), core::FinishReason::ContextLimit);
+    return nullptr;
+  }
+  const std::size_t budget = req.max_new_tokens;
+  std::size_t spec_tokens = 0;
+  if (draft_) {
+    spec_tokens = req.speculative.draft_tokens < 0
+                      ? config_.speculation.draft_tokens
+                      : static_cast<std::size_t>(req.speculative.draft_tokens);
+  }
+  std::vector<text::TokenId> prompt = model_.prompt_ids(req.prompt, budget);
+  const std::size_t need = pages_needed(prompt.size(), budget, spec_tokens);
+  if (need > pool_->capacity()) {
+    // Can never fit the page budget: shed with the typed rejection
+    // instead of admitting a stream doomed to exhaust the pool.
+    resolve_without_running(std::move(entry), core::FinishReason::Rejected);
+    return nullptr;
+  }
+  bool reserved = pool_->try_reserve(need);
+  // Under pressure the prefix cache gives its pages back, oldest first.
+  while (!reserved && prefix_ && prefix_->evict_lru()) {
+    reserved = pool_->try_reserve(need);
+  }
+  if (!reserved) {
+    if (can_wait) {
+      // Pages are held by in-flight streams; retiring lanes will free
+      // them, so park the request at the queue front.
+      requeue = true;
+      return nullptr;
+    }
+    // No lane is active, so nothing will retire: the pages are gone for
+    // good (leaked references) — shed rather than spin.
+    resolve_without_running(std::move(entry), core::FinishReason::Rejected);
+    return nullptr;
+  }
+
+  auto stream = std::make_unique<Stream>(
+      std::move(entry), model_.model().new_decode_state(pool_));
+  stream->state.set_reserved_pages(need);
+  stream->budget = budget;
+  stream->spec_tokens = spec_tokens;
+  stream->prompt = std::move(prompt);
+  if (prefix_ && stream->request.request.cache.reuse_prefix) {
+    HPCGPT_TRACE_ADOPT(stream->request.trace);
+    HPCGPT_TRACE("serve.prefix_lookup");
+    // Cap at size-1 so a fully-cached prompt still prefills its final
+    // token (prefill produces the first-token logits).
+    PrefixCache::Match match =
+        prefix_->lookup(stream->prompt, stream->prompt.size() - 1);
+    if (match.tokens > 0) {
+      stream->state.adopt_prefix(match.pages, match.tokens);
+      stream->prefix_tokens = match.tokens;
+      metrics_.prefix_hits.add(1);
+      metrics_.prefix_reused.add(match.tokens);
+    } else {
+      metrics_.prefix_misses.add(1);
+    }
+  }
+  return stream;
+}
+
 void InferenceServer::prefill_stream(Stream& stream) {
   // Prefill may run on a pool worker: adopt the request's trace context
   // so the span below (and the GEMM spans under it) parent on the
@@ -240,19 +401,12 @@ void InferenceServer::prefill_stream(Stream& stream) {
   HPCGPT_TRACE_ADOPT(stream.request.trace);
   HPCGPT_TRACE("serve.prefill");
   try {
-    const core::GenerationRequest& req = stream.request.request;
-    if (req.token_limit > 0 &&
-        model_.question_prompt_tokens(req.prompt) > req.token_limit) {
-      // Typed form of the old TooLong outcome: nothing is ingested, the
-      // result carries ContextLimit and no text.
-      stream.finish = core::FinishReason::ContextLimit;
-      stream.done = true;
-      return;
-    }
-    // Prompt ingestion: one batched GEMM pass writes the whole prompt's
-    // K/V rows and yields the first candidate token.
-    stream.prompt = model_.prompt_ids(req.prompt, stream.budget);
-    stream.next = argmax(model_.model().prefill(stream.state, stream.prompt));
+    // Prompt ingestion: one batched GEMM pass writes the K/V rows of the
+    // non-cached suffix (state.length() positions were adopted from the
+    // prefix cache) and yields the first candidate token.
+    const std::span<const text::TokenId> ids(stream.prompt);
+    stream.next = argmax(
+        model_.model().prefill(stream.state, ids.subspan(stream.state.length())));
     stream.prefilled = true;
   } catch (...) {
     stream.error = std::current_exception();
@@ -299,6 +453,92 @@ bool InferenceServer::emit_pending_token(Stream& stream) {
   return true;
 }
 
+void InferenceServer::speculative_round(Stream& stream) {
+  HPCGPT_TRACE_ADOPT(stream.request.trace);
+  HPCGPT_TRACE("serve.spec.round");
+  try {
+    const nn::TransformerConfig& arch = model_.model().config();
+    const nn::TransformerConfig& darch = draft_->model().config();
+    const std::size_t prompt_len = stream.prompt.size();
+    const std::size_t out_pre = stream.out.size();
+    // Invariant at this point: the target has ingested prompt + out[:-1]
+    // and out.back() is the next token to feed.
+    const std::size_t target_len = stream.state.length();
+    // Tokens the draft session must contain before proposing.
+    const std::size_t draft_base = prompt_len + out_pre - 1;
+
+    std::size_t k = stream.spec_tokens;
+    // Clamp: the verify prefill ingests candidate + k drafts into the
+    // target, the proposer ingests candidate + k-1 drafts into the draft,
+    // and at most budget - out_pre more tokens can be emitted.
+    k = std::min(k, arch.max_seq - std::min(arch.max_seq, target_len + 1));
+    k = std::min(k, stream.budget - out_pre);
+    if (darch.max_seq < draft_base + k) {
+      k = darch.max_seq > draft_base ? darch.max_seq - draft_base : 0;
+    }
+    if (k == 0) {
+      // No room to speculate this round: plain single-token decode.
+      stream.next =
+          argmax(model_.model().decode_step(stream.state, stream.out.back()));
+      return;
+    }
+
+    // Sync the draft session to prompt + out[:-1]. Rollback keeps the
+    // prefix consistent across rounds (rejected drafts are truncated
+    // away; accepted ones match what the draft already ingested).
+    nn::DecodeState& draft_state = *stream.draft;
+    if (draft_state.length() > draft_base) draft_state.truncate(draft_base);
+    if (draft_state.length() < draft_base) {
+      spec_sync_.clear();
+      for (std::size_t i = draft_state.length(); i < draft_base; ++i) {
+        spec_sync_.push_back(i < prompt_len ? stream.prompt[i]
+                                            : stream.out[i - prompt_len]);
+      }
+      draft_->model().prefill(draft_state, spec_sync_);
+    }
+
+    // Draft proposes d1..dk autoregressively (GEMV steps on the small
+    // model — the cheap half of the protocol).
+    spec_draft_.clear();
+    text::TokenId cand = stream.out.back();
+    for (std::size_t j = 0; j < k; ++j) {
+      cand = argmax(draft_->model().decode_step(draft_state, cand));
+      spec_draft_.push_back(cand);
+    }
+
+    // Target verifies candidate + drafts in ONE batched prefill: row i
+    // holds the target's logits after ingesting spec tokens 0..i, so
+    // greedy(row i) is what the target would have decoded there.
+    spec_sync_.clear();
+    spec_sync_.push_back(stream.out.back());
+    spec_sync_.insert(spec_sync_.end(), spec_draft_.begin(), spec_draft_.end());
+    model_.model().prefill_logits(stream.state, spec_sync_, spec_logits_);
+    std::size_t accepted = 0;
+    while (accepted < k &&
+           spec_draft_[accepted] == argmax(spec_logits_.row(accepted))) {
+      ++accepted;
+    }
+    const text::TokenId next_cand = argmax(spec_logits_.row(accepted));
+    {
+      std::lock_guard lock(mutex_);
+      metrics_.spec_drafted.add(k);
+      metrics_.spec_accepted.add(accepted);
+    }
+
+    // Roll the target back to exactly the accepted sequence, then emit
+    // the accepted tokens (EOS/budget/context checks per token).
+    stream.state.truncate(prompt_len + out_pre + accepted);
+    for (std::size_t i = 0; i < accepted; ++i) {
+      stream.next = spec_draft_[i];
+      if (!emit_pending_token(stream)) return;
+    }
+    stream.next = next_cand;
+  } catch (...) {
+    stream.error = std::current_exception();
+    stream.done = true;
+  }
+}
+
 void InferenceServer::finish_stream(Stream& stream) {
   const double latency = seconds_since(stream.request.submitted);
   if (stream.request.trace.active()) {
@@ -342,36 +582,48 @@ void InferenceServer::scheduler_loop() {
                         [this] { return stopping_ || !queue_.empty(); });
         // Admission window: give a burst of arrivals a short chance to
         // fill the batch so the first rounds run at full occupancy.
-        if (options_.admission_window_seconds > 0.0 && !stopping_) {
+        if (config_.admission_window_seconds > 0.0 && !stopping_) {
           const auto deadline =
               std::chrono::steady_clock::now() +
               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                   std::chrono::duration<double>(
-                      options_.admission_window_seconds));
+                      config_.admission_window_seconds));
           available_.wait_until(lock, deadline, [this] {
-            return stopping_ || queue_.size() >= options_.max_batch;
+            return stopping_ || queue_.size() >= config_.max_batch;
           });
         }
       }
       // Continuous batching: top the batch up from the queue every round,
-      // not just when it empties.
+      // not just when it empties. Admission tokenizes, reserves pages and
+      // maps cached prefixes; a request whose pages are busy parks at the
+      // queue front until a lane retires.
       const auto now = std::chrono::steady_clock::now();
-      while (!queue_.empty() && active.size() < options_.max_batch) {
+      while (!queue_.empty() && active.size() < config_.max_batch) {
         Request entry = std::move(queue_.front());
         queue_.pop_front();
+        bool requeue = false;
+        std::unique_ptr<Stream> stream =
+            admit(entry, /*can_wait=*/!active.empty(), requeue);
+        if (requeue) {
+          queue_.push_front(std::move(entry));
+          break;
+        }
+        if (!stream) continue;  // resolved inline (shed / context-limit)
         metrics_.admission_seconds.observe(
-            std::chrono::duration<double>(now - entry.submitted).count());
-        if (entry.trace.active()) {
+            std::chrono::duration<double>(now - stream->request.submitted)
+                .count());
+        if (stream->request.trace.active()) {
           // Queue-wait span: submit → lane admission, child of the
           // request root.
-          record_request_span(
-              "serve.queue", entry.submitted_seconds,
-              obs::TraceSink::global().now_seconds() - entry.submitted_seconds,
-              entry.trace);
+          record_request_span("serve.queue", stream->request.submitted_seconds,
+                              obs::TraceSink::global().now_seconds() -
+                                  stream->request.submitted_seconds,
+                              stream->request.trace);
         }
-        auto stream = std::make_unique<Stream>(std::move(entry),
-                                               model_.model().new_decode_state());
-        stream->budget = stream->request.request.max_new_tokens;
+        if (draft_ && stream->spec_tokens > 0) {
+          stream->draft = std::make_unique<nn::DecodeState>(
+              draft_->model().new_decode_state());
+        }
         active.push_back(std::move(stream));
       }
       metrics_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
@@ -398,11 +650,33 @@ void InferenceServer::scheduler_loop() {
         },
         1);
 
+    // Publish freshly prefilled prompts into the prefix cache (scheduler
+    // thread only — the trie is not thread-safe). At this point the
+    // stream has ingested exactly its prompt, so the retained pages hold
+    // prompt-only K/V; the stream's own decode appends fork the shared
+    // tail page (COW) rather than mutate it.
+    if (prefix_) {
+      for (auto& stream : active) {
+        if (stream->prefilled && !stream->published) {
+          stream->published = true;
+          if (stream->request.request.cache.share_prefix && !stream->error) {
+            prefix_->insert(stream->prompt, stream->state);
+          }
+        }
+      }
+    }
+
     round_lanes_.clear();
     round_states_.clear();
     round_tokens_.clear();
     for (auto& stream : active) {
       if (stream->done || !emit_pending_token(*stream)) continue;
+      if (draft_ && stream->spec_tokens > 0) {
+        // Speculative lanes run the draft/verify protocol sequentially on
+        // the scheduler thread; each round can emit several tokens.
+        speculative_round(*stream);
+        continue;
+      }
       round_lanes_.push_back(stream.get());
       round_states_.push_back(&stream->state);
       round_tokens_.push_back(stream->next);
@@ -462,6 +736,7 @@ void InferenceServer::scheduler_loop() {
     metrics_.round_occupancy.observe(
         static_cast<double>(active.size() + retired));
     metrics_.round_seconds.observe(round_seconds);
+    metrics_.kv_pages.set(static_cast<std::int64_t>(pool_->pages_in_use()));
   }
 }
 

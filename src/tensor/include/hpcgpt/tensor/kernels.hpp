@@ -34,6 +34,15 @@ std::vector<IsaTier> supported_tiers();
 /// "neon"); nullopt for anything else.
 std::optional<IsaTier> parse_tier(std::string_view name);
 
+/// Positions per KV page in the block-paged cache (nn::KvPagePool). The
+/// value is load-bearing for the paged attention kernels below: page
+/// boundaries land on multiples of 16, which coincide with both the
+/// 8-wide AVX2 and the 16-wide AVX-512 position-chunk boundaries of the
+/// dense kernels, so the paged variants can replay the dense kernels'
+/// accumulation order exactly and stay bitwise-identical to a dense
+/// cache within a tier.
+inline constexpr std::size_t kKvPageSize = 16;
+
 /// One tier's kernel set. All pointers are always non-null (a tier that
 /// lacks a fast variant of some kernel carries the scalar one).
 struct KernelTable {
@@ -81,6 +90,25 @@ struct KernelTable {
   void (*attn_values)(const float* probs, float inv, const float* v,
                       std::size_t hd, std::size_t stride, std::size_t len,
                       float* out);
+
+  // --- paged fp32 attention helpers -------------------------------------
+  // Same math against a block-paged cache: position s lives in slot
+  // s % kKvPageSize of pages[s / kKvPageSize], and within a page feature
+  // i's slots start at offset page_off + i·kKvPageSize (feature-major
+  // with stride kKvPageSize). Each tier's paged kernel reproduces its
+  // dense kernel's accumulation order, so for the same inputs the paged
+  // and dense results are bitwise-identical within a tier (asserted in
+  // test_kernels.cpp).
+
+  /// probs[s] = Σ_i (q[i] · scale) · K[s] over a paged K cache.
+  void (*attn_scores_paged)(const float* q, float scale,
+                            const float* const* pages, std::size_t page_off,
+                            std::size_t hd, std::size_t len, float* probs);
+
+  /// out[i] = inv · Σ_s probs[s] · V[s] over a paged V cache.
+  void (*attn_values_paged)(const float* probs, float inv,
+                            const float* const* pages, std::size_t page_off,
+                            std::size_t hd, std::size_t len, float* out);
 
   /// In-place softmax numerator over probs[0..len): probs[s] ←
   /// fast_expf(probs[s] - max). Returns 1/Σ so callers can fold the

@@ -90,6 +90,40 @@ void attn_values_scalar(const float* probs, float inv, const float* v,
   }
 }
 
+// --- scalar paged attention ------------------------------------------------
+// The scores pass is per-page independent (probs[s] only reads position s),
+// so it simply replays the dense kernel page by page. The values pass
+// carries one accumulator per feature across pages in the same
+// feature-outer / position-inner order as the dense kernel, so both are
+// bitwise-identical to their dense counterparts.
+
+void attn_scores_paged_scalar(const float* q, float scale,
+                              const float* const* pages, std::size_t page_off,
+                              std::size_t hd, std::size_t len, float* probs) {
+  for (std::size_t p = 0; p * kKvPageSize < len; ++p) {
+    const std::size_t base = p * kKvPageSize;
+    const std::size_t n = std::min(kKvPageSize, len - base);
+    attn_scores_scalar(q, scale, pages[p] + page_off, hd, kKvPageSize, n,
+                       probs + base);
+  }
+}
+
+void attn_values_paged_scalar(const float* probs, float inv,
+                              const float* const* pages, std::size_t page_off,
+                              std::size_t hd, std::size_t len, float* out) {
+  const std::size_t n_pages = (len + kKvPageSize - 1) / kKvPageSize;
+  for (std::size_t i = 0; i < hd; ++i) {
+    float acc = 0.0f;
+    for (std::size_t p = 0; p < n_pages; ++p) {
+      const std::size_t base = p * kKvPageSize;
+      const float* __restrict vt = pages[p] + page_off + i * kKvPageSize;
+      const std::size_t n = std::min(kKvPageSize, len - base);
+      for (std::size_t s = 0; s < n; ++s) acc += probs[base + s] * vt[s];
+    }
+    out[i] = acc * inv;
+  }
+}
+
 float softmax_row_scalar(float* probs, std::size_t len) {
   float max_score = probs[0];
   for (std::size_t s = 1; s < len; ++s) {
@@ -369,6 +403,85 @@ __attribute__((target("avx2,fma"))) void attn_values_avx2(
     }
     float sum = hsum_avx2(acc);
     for (; s < len; ++s) sum += probs[s] * vt[s];
+    out[i] = sum * inv;
+  }
+}
+
+// Paged AVX2 attention. Pages are kKvPageSize (16) positions, so the
+// dense kernels' 8-wide chunk grid (s = 0, 8, 16, …) lines up with page
+// starts: every full page is exactly two 8-chunks and only the final
+// partial page has a scalar tail. The scores pass delegates to the dense
+// kernel per page; the values pass carries the dense kernel's vector
+// accumulators across pages and does the hsum + scalar tail once at the
+// end — the same accumulation order, hence bitwise-identical results.
+
+__attribute__((target("avx2,fma"))) void attn_scores_paged_avx2(
+    const float* q, float scale, const float* const* pages,
+    std::size_t page_off, std::size_t hd, std::size_t len, float* probs) {
+  for (std::size_t p = 0; p * kKvPageSize < len; ++p) {
+    const std::size_t base = p * kKvPageSize;
+    const std::size_t n = std::min(kKvPageSize, len - base);
+    attn_scores_avx2(q, scale, pages[p] + page_off, hd, kKvPageSize, n,
+                     probs + base);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void attn_values_paged_avx2(
+    const float* probs, float inv, const float* const* pages,
+    std::size_t page_off, std::size_t hd, std::size_t len, float* out) {
+  const std::size_t full = len / kKvPageSize;  // fully-populated pages
+  const std::size_t rem = len - full * kKvPageSize;
+  std::size_t i = 0;
+  for (; i + 2 <= hd; i += 2) {
+    const std::size_t off = page_off + i * kKvPageSize;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < full; ++p) {
+      const float* vt = pages[p] + off;
+      const float* pr = probs + p * kKvPageSize;
+      const __m256 p0 = _mm256_loadu_ps(pr);
+      a0 = _mm256_fmadd_ps(p0, _mm256_loadu_ps(vt), a0);
+      a1 = _mm256_fmadd_ps(p0, _mm256_loadu_ps(vt + kKvPageSize), a1);
+      const __m256 p1 = _mm256_loadu_ps(pr + 8);
+      a0 = _mm256_fmadd_ps(p1, _mm256_loadu_ps(vt + 8), a0);
+      a1 = _mm256_fmadd_ps(p1, _mm256_loadu_ps(vt + kKvPageSize + 8), a1);
+    }
+    const float* vt = rem ? pages[full] + off : nullptr;
+    const float* pr = probs + full * kKvPageSize;
+    std::size_t s = 0;
+    for (; s + 8 <= rem; s += 8) {
+      const __m256 pv = _mm256_loadu_ps(pr + s);
+      a0 = _mm256_fmadd_ps(pv, _mm256_loadu_ps(vt + s), a0);
+      a1 = _mm256_fmadd_ps(pv, _mm256_loadu_ps(vt + kKvPageSize + s), a1);
+    }
+    float sum0 = hsum_avx2(a0);
+    float sum1 = hsum_avx2(a1);
+    for (; s < rem; ++s) {
+      sum0 += pr[s] * vt[s];
+      sum1 += pr[s] * vt[kKvPageSize + s];
+    }
+    out[i] = sum0 * inv;
+    out[i + 1] = sum1 * inv;
+  }
+  for (; i < hd; ++i) {
+    const std::size_t off = page_off + i * kKvPageSize;
+    __m256 acc = _mm256_setzero_ps();
+    for (std::size_t p = 0; p < full; ++p) {
+      const float* vt = pages[p] + off;
+      const float* pr = probs + p * kKvPageSize;
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(pr), _mm256_loadu_ps(vt), acc);
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(pr + 8), _mm256_loadu_ps(vt + 8),
+                            acc);
+    }
+    const float* vt = rem ? pages[full] + off : nullptr;
+    const float* pr = probs + full * kKvPageSize;
+    std::size_t s = 0;
+    for (; s + 8 <= rem; s += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(pr + s), _mm256_loadu_ps(vt + s),
+                            acc);
+    }
+    float sum = hsum_avx2(acc);
+    for (; s < rem; ++s) sum += pr[s] * vt[s];
     out[i] = sum * inv;
   }
 }
@@ -729,6 +842,69 @@ __attribute__((target(HPCGPT_AVX512_TARGET))) void attn_values_avx512(
   }
 }
 
+// Paged AVX-512 attention: one page is exactly one masked 16-chunk of
+// the dense kernels (full pages get mask 0xFFFF, the final partial page
+// the same tail mask the dense kernel would use at that offset), so both
+// passes replay the dense accumulation order verbatim.
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void attn_scores_paged_avx512(
+    const float* q, float scale, const float* const* pages,
+    std::size_t page_off, std::size_t hd, std::size_t len, float* probs) {
+  for (std::size_t p = 0; p * kKvPageSize < len; ++p) {
+    const std::size_t base = p * kKvPageSize;
+    const std::size_t n = std::min(kKvPageSize, len - base);
+    attn_scores_avx512(q, scale, pages[p] + page_off, hd, kKvPageSize, n,
+                       probs + base);
+  }
+}
+
+__attribute__((target(HPCGPT_AVX512_TARGET))) void attn_values_paged_avx512(
+    const float* probs, float inv, const float* const* pages,
+    std::size_t page_off, std::size_t hd, std::size_t len, float* out) {
+  const std::size_t n_pages = (len + kKvPageSize - 1) / kKvPageSize;
+  std::size_t i = 0;
+  for (; i + 4 <= hd; i += 4) {
+    const std::size_t off = page_off + i * kKvPageSize;
+    __m512 a0 = _mm512_setzero_ps();
+    __m512 a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps();
+    __m512 a3 = _mm512_setzero_ps();
+    for (std::size_t p = 0; p < n_pages; ++p) {
+      const std::size_t rem = len - p * kKvPageSize;
+      const __mmask16 m =
+          rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                    : static_cast<__mmask16>((1u << rem) - 1u);
+      const float* vt = pages[p] + off;
+      const __m512 pv =
+          _mm512_maskz_loadu_ps(m, probs + p * kKvPageSize);
+      a0 = _mm512_fmadd_ps(pv, _mm512_maskz_loadu_ps(m, vt), a0);
+      a1 = _mm512_fmadd_ps(pv, _mm512_maskz_loadu_ps(m, vt + kKvPageSize),
+                           a1);
+      a2 = _mm512_fmadd_ps(pv, _mm512_maskz_loadu_ps(m, vt + 2 * kKvPageSize),
+                           a2);
+      a3 = _mm512_fmadd_ps(pv, _mm512_maskz_loadu_ps(m, vt + 3 * kKvPageSize),
+                           a3);
+    }
+    out[i] = _mm512_reduce_add_ps(a0) * inv;
+    out[i + 1] = _mm512_reduce_add_ps(a1) * inv;
+    out[i + 2] = _mm512_reduce_add_ps(a2) * inv;
+    out[i + 3] = _mm512_reduce_add_ps(a3) * inv;
+  }
+  for (; i < hd; ++i) {
+    const std::size_t off = page_off + i * kKvPageSize;
+    __m512 acc = _mm512_setzero_ps();
+    for (std::size_t p = 0; p < n_pages; ++p) {
+      const std::size_t rem = len - p * kKvPageSize;
+      const __mmask16 m =
+          rem >= 16 ? static_cast<__mmask16>(0xFFFF)
+                    : static_cast<__mmask16>((1u << rem) - 1u);
+      acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, probs + p * kKvPageSize),
+                            _mm512_maskz_loadu_ps(m, pages[p] + off), acc);
+    }
+    out[i] = _mm512_reduce_add_ps(acc) * inv;
+  }
+}
+
 /// 16-wide fast_expf (same sequence as hpcgpt::fast_expf, FMA-contracted).
 __attribute__((target(HPCGPT_AVX512_TARGET))) inline __m512
 fast_expf_avx512(__m512 x) {
@@ -873,11 +1049,12 @@ void gemv_i8_neon(const std::int8_t* qx, const std::int8_t* w,
 // ---------------------------------------------------------------------------
 
 const KernelTable kScalarTable = {
-    IsaTier::Scalar,      "scalar",
-    gemv_i8_scalar,       gemv_f16_scalar,
-    attn_scores_scalar,   attn_values_scalar,
-    softmax_row_scalar,   add_half_rows_scalar,
-    rmsnorm_row_scalar,   silu_mul_scalar};
+    IsaTier::Scalar,          "scalar",
+    gemv_i8_scalar,           gemv_f16_scalar,
+    attn_scores_scalar,       attn_values_scalar,
+    attn_scores_paged_scalar, attn_values_paged_scalar,
+    softmax_row_scalar,       add_half_rows_scalar,
+    rmsnorm_row_scalar,       silu_mul_scalar};
 
 #ifdef HPCGPT_X86
 bool cpu_has_f16c_fma() {
@@ -896,6 +1073,8 @@ const KernelTable& avx2_table() {
       cpu_has_f16c_fma() ? gemv_f16_f16c : gemv_f16_scalar,
       fma ? attn_scores_avx2 : attn_scores_scalar,
       fma ? attn_values_avx2 : attn_values_scalar,
+      fma ? attn_scores_paged_avx2 : attn_scores_paged_scalar,
+      fma ? attn_values_paged_avx2 : attn_values_paged_scalar,
       fma ? softmax_row_avx2 : softmax_row_scalar,
       cpu_has_f16c_fma() ? add_half_rows_f16c : add_half_rows_scalar,
       fma ? rmsnorm_row_avx2 : rmsnorm_row_scalar,
@@ -911,6 +1090,8 @@ const KernelTable& avx512_table() {
       cpu_has_f16c_fma() ? gemv_f16_avx512 : gemv_f16_scalar,
       attn_scores_avx512,
       attn_values_avx512,
+      attn_scores_paged_avx512,
+      attn_values_paged_avx512,
       softmax_row_avx512,
       cpu_has_f16c_fma() ? add_half_rows_avx512 : add_half_rows_scalar,
       rmsnorm_row_avx512,
@@ -924,11 +1105,12 @@ const KernelTable& avx512_table() {
 // autovectorizes them (NEON is baseline), so a hand-written variant buys
 // nothing the int8 kernel doesn't.
 const KernelTable kNeonTable = {
-    IsaTier::Neon,        "neon",
-    gemv_i8_neon,         gemv_f16_scalar,
-    attn_scores_scalar,   attn_values_scalar,
-    softmax_row_scalar,   add_half_rows_scalar,
-    rmsnorm_row_scalar,   silu_mul_scalar};
+    IsaTier::Neon,            "neon",
+    gemv_i8_neon,             gemv_f16_scalar,
+    attn_scores_scalar,       attn_values_scalar,
+    attn_scores_paged_scalar, attn_values_paged_scalar,
+    softmax_row_scalar,       add_half_rows_scalar,
+    rmsnorm_row_scalar,       silu_mul_scalar};
 #endif
 
 std::atomic<const KernelTable*> g_active{nullptr};

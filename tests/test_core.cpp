@@ -235,24 +235,29 @@ TEST(Generation, ClassifyRaceTypedAgreesWithLegacyWrapper) {
 
 TEST(Serve, ServerAnswersConcurrentRequests) {
   HpcGpt model(tiny_spec(0), tokenizer());
-  serve::InferenceServer server(model, /*workers=*/3);
-  std::vector<std::future<std::string>> futures;
+  serve::InferenceServer server(model, /*max_batch=*/3);
+  std::vector<std::future<GenerationResult>> futures;
   for (int i = 0; i < 8; ++i) {
-    futures.push_back(server.submit("What is a data race?"));
+    GenerationRequest request;
+    request.prompt = "What is a data race?";
+    futures.push_back(server.submit(std::move(request)));
   }
   for (auto& f : futures) {
-    EXPECT_NO_THROW({ (void)f.get(); });
+    EXPECT_TRUE(f.get().ok());
   }
   server.shutdown();
   EXPECT_EQ(server.stats().requests_served, 8u);
 }
 
-TEST(Serve, SubmitAfterShutdownFails) {
+TEST(Serve, SubmitAfterShutdownIsTypedRejected) {
   HpcGpt model(tiny_spec(0), tokenizer());
   serve::InferenceServer server(model, 1);
   server.shutdown();
-  auto f = server.submit("late question");
-  EXPECT_THROW(f.get(), Error);
+  GenerationRequest request;
+  request.prompt = "late question";
+  const GenerationResult result = server.submit(std::move(request)).get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.finish, FinishReason::Rejected);
 }
 
 }  // namespace

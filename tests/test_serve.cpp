@@ -19,10 +19,6 @@
 #include "hpcgpt/json/json.hpp"
 #include "hpcgpt/serve/server.hpp"
 
-// The deprecated string submit() overload is still part of the serving
-// contract; LegacyStringSubmitForwardsToTypedPath pins it down.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace {
 
 using namespace hpcgpt;
@@ -55,7 +51,7 @@ TEST(Serve, StatsSnapshotIsConsistentUnderConcurrentSubmits) {
   // catch torn or out-of-thin-air values.
   serve::InferenceServer server(
       shared_model(),
-      serve::ServerOptions{.max_batch = 4, .max_new_tokens = 6});
+      serve::ServeConfig{.max_batch = 4, .max_new_tokens = 6});
 
   std::atomic<bool> stop{false};
   std::atomic<int> violations{0};
@@ -109,7 +105,7 @@ TEST(Serve, ContinuousBatchingKeepsQueueDraining) {
   // (peak_batch == 2) and everything still completes.
   serve::InferenceServer server(
       shared_model(),
-      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 24});
+      serve::ServeConfig{.max_batch = 2, .max_new_tokens = 24});
   std::vector<std::future<core::GenerationResult>> futures;
   for (int i = 0; i < 6; ++i) futures.push_back(submit_question(server));
   for (auto& f : futures) (void)f.get();
@@ -129,7 +125,7 @@ TEST(Serve, AdmissionWindowFillsTheFirstBatch) {
   // is idle is decoded at full occupancy from round one.
   serve::InferenceServer server(
       shared_model(),
-      serve::ServerOptions{.max_batch = 4,
+      serve::ServeConfig{.max_batch = 4,
                            .max_new_tokens = 8,
                            .admission_window_seconds = 0.25});
   std::vector<std::future<core::GenerationResult>> futures;
@@ -150,7 +146,7 @@ TEST(Serve, StatsAfterShutdownAreFinal) {
   {
     serve::InferenceServer server(
         shared_model(),
-        serve::ServerOptions{.max_batch = 3, .max_new_tokens = 4});
+        serve::ServeConfig{.max_batch = 3, .max_new_tokens = 4});
     auto f1 = submit_question(server);
     auto f2 = submit_question(server);
     (void)f1.get();
@@ -170,7 +166,7 @@ TEST(Serve, TypedResultsAccountingMatchesServerStats) {
   // within the aggregate sum.
   serve::InferenceServer server(
       shared_model(),
-      serve::ServerOptions{.max_batch = 3, .max_new_tokens = 10});
+      serve::ServeConfig{.max_batch = 3, .max_new_tokens = 10});
   constexpr std::size_t kRequests = 9;
   std::vector<std::future<core::GenerationResult>> futures;
   for (std::size_t i = 0; i < kRequests; ++i) {
@@ -209,7 +205,7 @@ TEST(Serve, TypedResultsAccountingMatchesServerStats) {
 TEST(Serve, PerRequestBudgetOverridesServerDefault) {
   serve::InferenceServer server(
       shared_model(),
-      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 24});
+      serve::ServeConfig{.max_batch = 2, .max_new_tokens = 24});
   auto tight = submit_question(server, /*max_new_tokens=*/3);
   auto wide = submit_question(server);  // server default: 24
   const core::GenerationResult tight_result = tight.get();
@@ -243,27 +239,10 @@ TEST(Serve, SubmitAfterShutdownResolvesRejected) {
   EXPECT_EQ(st.requests_served, 0u);
 }
 
-TEST(Serve, LegacyStringSubmitForwardsToTypedPath) {
-  serve::InferenceServer server(
-      shared_model(),
-      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 6});
-  // Greedy decoding is deterministic: the deprecated overload must yield
-  // exactly the typed path's text.
-  const std::string via_string = server.submit(kQuestion).get();
-  const core::GenerationResult typed = submit_question(server).get();
-  EXPECT_EQ(via_string, typed.text);
-  server.shutdown();
-  // And after shutdown the legacy overload keeps its throwing contract
-  // (the typed path resolves with Rejected instead).
-  auto late = server.submit(kQuestion);
-  EXPECT_THROW((void)late.get(), Error);
-  EXPECT_EQ(server.stats().requests_rejected, 1u);
-}
-
 TEST(Serve, MetricsJsonExposesServerAndProcessRegistries) {
   serve::InferenceServer server(
       shared_model(),
-      serve::ServerOptions{.max_batch = 2, .max_new_tokens = 5});
+      serve::ServeConfig{.max_batch = 2, .max_new_tokens = 5});
   constexpr std::size_t kRequests = 4;
   std::vector<std::future<core::GenerationResult>> futures;
   for (std::size_t i = 0; i < kRequests; ++i) {

@@ -165,7 +165,7 @@ TEST(TraceServe, RequestSpansShareTraceIdAndNestInPerfettoExport) {
   {
     serve::InferenceServer server(
         shared_model(),
-        serve::ServerOptions{.max_batch = 2, .max_new_tokens = 6});
+        serve::ServeConfig{.max_batch = 2, .max_new_tokens = 6});
     core::GenerationRequest a;
     a.prompt = "Does this loop have a data race?";
     core::GenerationRequest b;

@@ -1,20 +1,24 @@
 // hpcgpt_benchdiff — the perf-regression gate over BENCH_perf.json files.
 //
 //   hpcgpt_benchdiff baseline.json candidate.json
-//       [--threshold PCT] [--scale-candidate F]
+//       [--threshold PCT] [--scale-candidate F] [--scale-metric NAME=F]
 //
 // Compares every numeric metric the two files' "measured" sections share
 // and fails (exit 1) when any gated metric regressed by more than the
 // threshold (default 15%). Direction is inferred from the metric name:
-// throughput-like metrics (*_per_second, gflops) must not drop;
-// latency-like metrics (latency, ttft, p95/p99 seconds) must not rise.
-// Metrics matching neither family (e.g. the model_weight_kib_* footprint
-// series) are printed as informational only.
+// throughput-like metrics (*_per_second, gflops) and cache/speculation
+// ratios (*hit_rate*, *accept_rate*) must not drop; latency-like metrics
+// (latency, ttft, p95/p99 seconds) must not rise. Metrics matching no
+// family (e.g. the model_weight_kib_* footprint series) are printed as
+// informational only.
 //
 // One-sided metrics — present in only one of the two files — are
 // reported as "NEW" / "REMOVED" warnings rather than silently skipped,
 // so a renamed or dropped metric can't fall out of the gate unnoticed.
-// They never fail the diff by themselves.
+// Warnings never fail the diff by themselves, with one exception: the
+// server_64stream_* family is required once present in the baseline —
+// removing it exits 1, because that family is the paged-KV acceptance
+// surface.
 //
 // Multi-worker train metrics (*_workersN, N > 1) are gated only when the
 // running host has more than one core: on a 1-core host the engine's
@@ -24,7 +28,10 @@
 // --scale-candidate F is a test hook: it multiplies the candidate's
 // throughput metrics by F and divides its latency metrics by F before
 // comparing, so CI can verify the gate trips on a synthetic regression
-// (e.g. F=0.8 simulates a uniform 20% slowdown).
+// (e.g. F=0.8 simulates a uniform 20% slowdown). --scale-metric NAME=F
+// is the single-metric version (repeatable) — direction-aware like
+// --scale-candidate but touching only NAME, so CI can aim a synthetic
+// regression at one gated metric (e.g. prefix_cache_hit_rate=0.5).
 //
 // Exit codes: 0 = no gated regression, 1 = regression detected,
 // 2 = usage or parse error.
@@ -50,6 +57,12 @@ Direction classify(const std::string& name) {
   const auto contains = [&](const char* needle) {
     return name.find(needle) != std::string::npos;
   };
+  // Ratio metrics first: "hit_rate"/"accept_rate" outrank the generic
+  // name families so e.g. a hypothetical *_hit_rate_seconds never gets
+  // misread as a latency.
+  if (contains("hit_rate") || contains("accept_rate")) {
+    return Direction::HigherBetter;
+  }
   if (contains("per_second") || contains("gflops")) {
     return Direction::HigherBetter;
   }
@@ -57,6 +70,13 @@ Direction classify(const std::string& name) {
     return Direction::LowerBetter;
   }
   return Direction::Informational;
+}
+
+/// Metrics whose removal fails the diff outright instead of printing a
+/// REMOVED warning. The wide-stream serving family is the paged-KV
+/// acceptance surface — dropping it would silently un-gate the headline.
+bool removal_is_failure(const std::string& name) {
+  return name.rfind("server_64stream_", 0) == 0;
 }
 
 /// Worker count encoded in a train metric name ("..._workersN");
@@ -91,12 +111,16 @@ struct Options {
   std::string candidate;
   double threshold_pct = 15.0;
   double scale_candidate = 1.0;
+  /// Per-metric candidate scaling (--scale-metric NAME=F), applied
+  /// direction-aware like --scale-candidate but to one metric only.
+  std::vector<std::pair<std::string, double>> scale_metrics;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: hpcgpt_benchdiff baseline.json candidate.json "
-               "[--threshold PCT] [--scale-candidate F]\n");
+               "[--threshold PCT] [--scale-candidate F] "
+               "[--scale-metric NAME=F]\n");
   return 2;
 }
 
@@ -118,6 +142,14 @@ int main(int argc, char** argv) {
         opts.threshold_pct = std::stod(value_of("--threshold"));
       } else if (a.rfind("--scale-candidate", 0) == 0) {
         opts.scale_candidate = std::stod(value_of("--scale-candidate"));
+      } else if (a.rfind("--scale-metric", 0) == 0) {
+        const std::string spec = value_of("--scale-metric");
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw InvalidArgument("--scale-metric expects NAME=F, got " + spec);
+        }
+        opts.scale_metrics.emplace_back(spec.substr(0, eq),
+                                        std::stod(spec.substr(eq + 1)));
       } else if (a.rfind("--", 0) == 0) {
         std::fprintf(stderr, "hpcgpt_benchdiff: unknown option %s\n",
                      a.c_str());
@@ -159,6 +191,11 @@ int main(int argc, char** argv) {
       double c = it->second.as_number();
       if (dir == Direction::HigherBetter) c *= opts.scale_candidate;
       if (dir == Direction::LowerBetter) c /= opts.scale_candidate;
+      for (const auto& [metric, factor] : opts.scale_metrics) {
+        if (metric != name) continue;
+        if (dir == Direction::HigherBetter) c *= factor;
+        if (dir == Direction::LowerBetter) c /= factor;
+      }
       const double delta_pct = b != 0.0 ? (c - b) / b * 100.0 : 0.0;
 
       const char* verdict = "info";
@@ -195,10 +232,18 @@ int main(int argc, char** argv) {
                   "to gate against)\n",
                   name.c_str());
     }
+    std::vector<std::string> removed_required;
     for (const std::string& name : removed) {
-      std::printf("warning: REMOVED metric %s (baseline only — dropped "
-                  "from candidate)\n",
-                  name.c_str());
+      if (removal_is_failure(name)) {
+        std::printf("error: REQUIRED metric %s removed (baseline only — "
+                    "dropped from candidate)\n",
+                    name.c_str());
+        removed_required.push_back(name);
+      } else {
+        std::printf("warning: REMOVED metric %s (baseline only — dropped "
+                    "from candidate)\n",
+                    name.c_str());
+      }
     }
     if (skipped_workers > 0) {
       std::printf("note: %zu multi-worker train metric(s) not gated on "
@@ -206,11 +251,20 @@ int main(int argc, char** argv) {
                   skipped_workers);
     }
 
-    if (!regressions.empty()) {
-      std::printf("\n%zu metric(s) regressed beyond %.1f%%:\n",
-                  regressions.size(), opts.threshold_pct);
-      for (const std::string& name : regressions) {
-        std::printf("  %s\n", name.c_str());
+    if (!regressions.empty() || !removed_required.empty()) {
+      if (!regressions.empty()) {
+        std::printf("\n%zu metric(s) regressed beyond %.1f%%:\n",
+                    regressions.size(), opts.threshold_pct);
+        for (const std::string& name : regressions) {
+          std::printf("  %s\n", name.c_str());
+        }
+      }
+      if (!removed_required.empty()) {
+        std::printf("\n%zu required metric(s) removed:\n",
+                    removed_required.size());
+        for (const std::string& name : removed_required) {
+          std::printf("  %s\n", name.c_str());
+        }
       }
       return 1;
     }

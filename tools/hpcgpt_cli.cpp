@@ -19,13 +19,22 @@
 //   hpcgpt eval --model model.bin [--language c|fortran] [--quant MODE]
 //       score the model on the DataRaceBench-style evaluation suite
 //   hpcgpt serve --model model.bin [--metrics] [--trace-out trace.json]
-//          [--quant int8|fp16|fp32]
-//       answer questions from stdin, one per line (Figure-1 deployment);
+//          [--quant int8|fp16|fp32] [--batch N] [--max-new-tokens T]
+//          [--window SECONDS] [--kv-pages N] [--prefix-cache on|off]
+//          [--speculate] [--draft llama|llama2|gpt35|gpt4]
+//          [--draft-tokens K]
+//       answer questions from stdin, one per line (Figure-1 deployment).
+//       Every flag maps 1:1 onto a serve::ServeConfig field:
 //       --metrics prints the server's metrics JSON on shutdown,
 //       --trace-out writes a Perfetto/Chrome trace of every request,
 //       --quant requantizes the loaded weights for inference (bundles
 //       always store fp32; int8/fp16 shrink the resident footprint and
-//       switch decode onto the SIMD-dispatched quantized kernels)
+//       switch decode onto the SIMD-dispatched quantized kernels),
+//       --batch sets the continuous-batching lanes, --window the
+//       admission window, --kv-pages the paged-KV budget (0 = derived),
+//       --prefix-cache toggles the radix-trie prompt cache, --speculate
+//       enables speculative decoding with a --draft preset model
+//       proposing --draft-tokens per verify round
 //   hpcgpt obs dump [--model model.bin] [--question "..."] [--compact]
 //          [--format json|prom|perfetto|folded]
 //       dump the process metrics registry (and, when a model is given,
@@ -84,7 +93,7 @@ struct Args {
 // and verify nothing).
 bool is_boolean_flag(const std::string& name) {
   return name == "pack" || name == "metrics" || name == "compact" ||
-         name == "compat" || name == "explain";
+         name == "compat" || name == "explain" || name == "speculate";
 }
 
 Args parse_args(int argc, char** argv, int from) {
@@ -314,13 +323,38 @@ void write_trace_capture(const std::string& path) {
               path.c_str());
 }
 
+/// --quant=int8|fp16|fp32 → tensor::QuantMode (serve: the mode lives in
+/// ServeConfig and the server applies it at construction).
+tensor::QuantMode quant_by_name(const std::string& mode) {
+  if (mode == "fp32") return tensor::QuantMode::Fp32;
+  if (mode == "int8") return tensor::QuantMode::Int8;
+  if (mode == "fp16") return tensor::QuantMode::Fp16;
+  throw InvalidArgument("unknown --quant mode: " + mode +
+                        " (expected int8, fp16 or fp32)");
+}
+
 int cmd_serve(const Args& args) {
   core::HpcGpt model =
       core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
-  apply_quant(model, args);
   const std::string trace_out = opt(args, "trace-out", "");
   if (!trace_out.empty()) begin_trace_capture();
-  serve::InferenceServer server(model, 2);
+  // Every serving knob maps 1:1 onto one ServeConfig field; the server
+  // validates the combination and applies --quant to the loaded model.
+  serve::ServeConfig config;
+  config.max_batch = std::stoul(opt(args, "batch", "2"));
+  config.max_new_tokens = std::stoul(opt(args, "max-new-tokens", "48"));
+  config.admission_window_seconds = std::stod(opt(args, "window", "0"));
+  config.quant = quant_by_name(opt(args, "quant", "fp32"));
+  config.kv.page_budget = std::stoul(opt(args, "kv-pages", "0"));
+  config.kv.prefix_cache = opt(args, "prefix-cache", "on") != "off";
+  config.speculation.enabled = args.options.count("speculate") > 0;
+  config.speculation.draft_tokens =
+      std::stoul(opt(args, "draft-tokens", "4"));
+  if (config.speculation.enabled) {
+    config.speculation.draft =
+        core::spec_for(base_by_name(opt(args, "draft", "llama")));
+  }
+  serve::InferenceServer server(model, std::move(config));
   std::printf("hpcgpt serving '%s' — one question per line, EOF to stop\n",
               model.name().c_str());
   std::string line;
