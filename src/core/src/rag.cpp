@@ -2,30 +2,52 @@
 
 namespace hpcgpt::core {
 
-RagAnswer rag_ask(HpcGpt& model, const retrieval::VectorStore& store,
-                  const std::string& question, const RagOptions& options) {
-  RagAnswer answer;
-  answer.context = store.top_k(question, options.top_k);
-  while (!answer.context.empty() &&
-         answer.context.back().score < options.min_score) {
-    answer.context.pop_back();
-  }
-  if (answer.context.empty()) {
-    answer.text = model.ask(question, options.max_new_tokens);
-    return answer;
-  }
-  // The paper's chunk-matching prompt shape: context first, then the
-  // question — mirroring the Listing 2 "knowledge then question" order
-  // the model was trained with.
+void trim_context(std::vector<retrieval::Hit>& hits, double min_score) {
+  while (!hits.empty() && hits.back().score < min_score) hits.pop_back();
+}
+
+std::string rag_prompt(const std::vector<retrieval::Hit>& context,
+                       const std::string& question) {
   std::string prompt = "The HPC knowledge is: ";
-  for (const retrieval::Hit& hit : answer.context) {
+  for (const retrieval::Hit& hit : context) {
     prompt += hit.text;
     prompt += ' ';
   }
   prompt += "Based on the knowledge above, answer: " + question;
-  answer.text = model.ask(prompt, options.max_new_tokens);
+  return prompt;
+}
+
+namespace {
+
+RagAnswer rag_answer_from_context(HpcGpt& model,
+                                  std::vector<retrieval::Hit> context,
+                                  const std::string& question,
+                                  const RagOptions& options) {
+  RagAnswer answer;
+  answer.context = std::move(context);
+  trim_context(answer.context, options.min_score);
+  if (answer.context.empty()) {
+    answer.text = model.ask(question, options.max_new_tokens);
+    return answer;
+  }
+  answer.text =
+      model.ask(rag_prompt(answer.context, question), options.max_new_tokens);
   answer.used_context = true;
   return answer;
+}
+
+}  // namespace
+
+RagAnswer rag_ask(HpcGpt& model, const retrieval::SearchEngine& engine,
+                  const std::string& question, const RagOptions& options) {
+  return rag_answer_from_context(model, engine.top_k(question, options.top_k),
+                                 question, options);
+}
+
+RagAnswer rag_ask(HpcGpt& model, const retrieval::VectorStore& store,
+                  const std::string& question, const RagOptions& options) {
+  return rag_answer_from_context(model, store.top_k(question, options.top_k),
+                                 question, options);
 }
 
 }  // namespace hpcgpt::core

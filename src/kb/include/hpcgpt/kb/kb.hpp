@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,5 +60,14 @@ std::string flatten(const MlperfEntry& entry, std::size_t variant = 0);
 /// used as additional teacher input and as the generic pre-training corpus
 /// component.
 const std::vector<std::string>& unstructured_corpus();
+
+/// `n` synthetic MLPerf-style knowledge records (deterministic in `seed`):
+/// unique system names crossed with pools of submitters, processors,
+/// accelerators, software stacks and benchmarks, flattened through the
+/// Figure 2 templates. Scales the retrieval corpus to 10^5..10^6 records
+/// for the search-engine benchmarks with a realistic mid-size vocabulary
+/// (shared template words + per-record unique identifiers).
+std::vector<std::string> synthetic_retrieval_corpus(std::size_t n,
+                                                    std::uint64_t seed = 2023);
 
 }  // namespace hpcgpt::kb

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hpcgpt/support/error.hpp"
+#include "hpcgpt/support/rng.hpp"
 
 namespace hpcgpt::kb {
 
@@ -232,6 +233,50 @@ const std::vector<std::string>& unstructured_corpus() {
       "or parallel for.",
   };
   return docs;
+}
+
+std::vector<std::string> synthetic_retrieval_corpus(std::size_t n,
+                                                    std::uint64_t seed) {
+  static const char* const kSubmitters[] = {
+      "NVIDIA", "Intel", "Dell", "Supermicro", "Lenovo", "Fujitsu",
+      "GIGABYTE", "Quanta", "ASUS", "HPE"};
+  static const char* const kProcessors[] = {
+      "AMD EPYC 9654",      "Intel Xeon 8480+",  "AMD EPYC 7763",
+      "NVIDIA Grace",       "Intel Xeon 8462Y+", "AMD EPYC 9374F",
+      "Intel Xeon 6430"};
+  static const char* const kAccelerators[] = {
+      "NVIDIA H100-SXM5-80GB", "NVIDIA A100-SXM4-80GB", "NVIDIA GB200",
+      "NVIDIA L40S",           "Intel Gaudi2",          "AMD MI300X",
+      "NVIDIA H200",           "TPU-v5p"};
+  static const char* const kSoftware[] = {
+      "PyTorch Release 24.10", "NGC MXNet 23.04",  "JAX 0.4.30",
+      "PyTorch Release 23.09", "TensorFlow 2.16",  "NeMo 24.07",
+      "PaddlePaddle 2.6"};
+  static const char* const kBenchmarks[] = {
+      "ResNet-50",  "BERT-large", "GPT-3 175B", "DLRM-dcnv2",
+      "RetinaNet",  "Mask R-CNN", "3D U-Net",   "RNN-T",
+      "Stable Diffusion"};
+  static const char* const kFabrics[] = {"n8",   "n16",  "n32", "n64",
+                                         "n128", "n256", "n512"};
+
+  Rng rng(seed);
+  std::vector<std::string> corpus;
+  corpus.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MlperfEntry e;
+    e.submitter = kSubmitters[rng.next_below(std::size(kSubmitters))];
+    e.processor = kProcessors[rng.next_below(std::size(kProcessors))];
+    e.accelerator = kAccelerators[rng.next_below(std::size(kAccelerators))];
+    e.software = kSoftware[rng.next_below(std::size(kSoftware))];
+    e.benchmark = kBenchmarks[rng.next_below(std::size(kBenchmarks))];
+    // Unique system identifier: keeps the vocabulary growing with the
+    // corpus (realistic long tail) while the template words stay shared
+    // (realistic high-df head terms).
+    e.system = "sys" + std::to_string(i) + "_" +
+               kFabrics[rng.next_below(std::size(kFabrics))];
+    corpus.push_back(flatten(e, i % 3));
+  }
+  return corpus;
 }
 
 }  // namespace hpcgpt::kb

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hpcgpt/retrieval/hll.hpp"
+#include "hpcgpt/retrieval/index.hpp"
+#include "hpcgpt/retrieval/ivf.hpp"
+#include "hpcgpt/retrieval/vector_store.hpp"
+
+namespace hpcgpt::retrieval {
+
+/// Every retrieval knob in one validated bag (mirrors serve::ServeConfig;
+/// the CLI flags map 1:1 onto these fields).
+struct RetrievalConfig {
+  /// Which query path top_k() takes.
+  ///  - Scan: brute-force over every stored document (the paper-scale
+  ///    baseline; exact).
+  ///  - Indexed: WAND top-k over the compressed inverted index — returns
+  ///    the *same ranking* as Scan while touching a fraction of the index.
+  ///  - Hybrid: lexical + vector ANN candidate generation, fused.
+  enum class Engine { Scan, Indexed, Hybrid };
+  /// Document-side impact weighting stored in the index.
+  enum class Weighting { Tfidf, Bm25 };
+  /// Hybrid candidate fusion.
+  ///  - Rerank: union of WAND and IVF candidates, exactly re-scored
+  ///    against the stored sparse vectors (ranking provably equals Scan).
+  ///  - Rrf: reciprocal-rank fusion of the two candidate lists (ranking
+  ///    intentionally blends lexical and vector orders; not scan-equal).
+  enum class Fusion { Rerank, Rrf };
+
+  Engine engine = Engine::Indexed;
+  Weighting weighting = Weighting::Tfidf;
+  Fusion fusion = Fusion::Rerank;
+  std::size_t hybrid_expand = 4;  ///< candidate multiplier per source
+  std::size_t rrf_k = 60;         ///< RRF rank-offset constant
+  double bm25_k1 = 1.2;
+  double bm25_b = 0.75;
+  IndexOptions index;
+  IvfOptions ivf;
+
+  /// Throws InvalidArgument (std::invalid_argument) on nonsense.
+  void validate() const;
+};
+
+std::string_view engine_name(RetrievalConfig::Engine engine);
+RetrievalConfig::Engine engine_by_name(std::string_view name);
+std::string_view fusion_name(RetrievalConfig::Fusion fusion);
+RetrievalConfig::Fusion fusion_by_name(std::string_view name);
+std::string_view weighting_name(RetrievalConfig::Weighting weighting);
+RetrievalConfig::Weighting weighting_by_name(std::string_view name);
+
+struct IndexStats {
+  std::size_t documents = 0;
+  std::size_t postings = 0;
+  std::size_t sealed_segments = 0;
+  std::size_t tail_documents = 0;
+  std::size_t compressed_bytes = 0;
+  std::size_t distinct_terms = 0;        ///< exact
+  double distinct_terms_estimate = 0.0;  ///< HyperLogLog sketch
+};
+
+/// The indexed hybrid retrieval engine: a compressed inverted index with
+/// WAND top-k, an IVF-flat vector index over dense projections, and the
+/// brute-force scan kept as the reference path. add() keeps documents
+/// immediately searchable (in-memory tail segment). top_k() is const and
+/// safe to call concurrently; add() needs external serialization against
+/// queries.
+class SearchEngine {
+ public:
+  explicit SearchEngine(TfidfEmbedder embedder, RetrievalConfig config = {});
+
+  void add(std::string chunk);
+  void add_all(const std::vector<std::string>& chunks);
+  std::size_t size() const { return texts_.size(); }
+
+  /// The k best chunks for `query`, best first (score desc, index asc),
+  /// routed through config().engine.
+  std::vector<Hit> top_k(const std::string& query, std::size_t k) const;
+  /// Same, forcing a specific engine — the equivalence property tests and
+  /// the scan-vs-indexed bench compare paths over one shared index.
+  std::vector<Hit> top_k_with(const std::string& query, std::size_t k,
+                              RetrievalConfig::Engine engine) const;
+
+  const RetrievalConfig& config() const { return config_; }
+  const TfidfEmbedder& embedder() const { return embedder_; }
+  IndexStats stats() const;
+
+ private:
+  /// Quantized document-side term weights (sorted by term id, zero
+  /// impacts dropped) — the single source both scan and WAND score from.
+  using DocVec = std::vector<std::pair<TermId, std::uint8_t>>;
+
+  DocVec doc_weights(const std::string& text) const;
+  std::vector<std::pair<TermId, double>> query_weights(
+      const std::string& query) const;
+  double doc_score(const DocVec& doc,
+                   const std::vector<std::pair<TermId, double>>& query) const;
+  std::vector<Hit> scan_top_k(
+      const std::vector<std::pair<TermId, double>>& query,
+      std::size_t k) const;
+  std::vector<Hit> indexed_top_k(
+      const std::vector<std::pair<TermId, double>>& query,
+      std::size_t k) const;
+  std::vector<Hit> hybrid_top_k(
+      const std::vector<std::pair<TermId, double>>& query, std::size_t k,
+      const std::string& raw_query) const;
+  /// Pads `hits` to k with never-matched docs in index order at score 0
+  /// (exactly what the scan's ranking does below the matched docs).
+  void fill_unmatched(std::vector<Hit>& hits, std::size_t k) const;
+  std::vector<Hit> finalize(std::vector<ScoredDoc> scored, std::size_t k) const;
+
+  TfidfEmbedder embedder_;
+  RetrievalConfig config_;
+  double impact_scale_ = 1.0 / 255.0;
+  InvertedIndex index_;
+  IvfFlatIndex ivf_;
+  HyperLogLog terms_hll_;
+  std::vector<bool> term_seen_;
+  std::size_t distinct_terms_ = 0;
+  std::vector<std::string> texts_;
+  std::vector<DocVec> vectors_;
+};
+
+}  // namespace hpcgpt::retrieval

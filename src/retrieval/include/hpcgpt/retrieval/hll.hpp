@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpcgpt::retrieval {
+
+/// HyperLogLog distinct-count sketch (the RediSearch-style cardinality
+/// reducer from SNIPPETS.md): 2^precision single-byte registers holding the
+/// max leading-zero rank seen per bucket, with linear-counting correction
+/// in the small-cardinality regime. Standard error ~= 1.04 / sqrt(2^p).
+class HyperLogLog {
+ public:
+  explicit HyperLogLog(unsigned precision = 12);
+
+  /// Folds a raw value in via an avalanche mix, then updates its bucket.
+  void add(std::uint64_t value);
+  /// Updates from a pre-mixed 64-bit hash (bypasses the avalanche step).
+  void add_hash(std::uint64_t hash);
+
+  double estimate() const;
+
+  /// Union: register-wise max. Both sketches must share a precision.
+  void merge(const HyperLogLog& other);
+  void reset();
+
+  unsigned precision() const { return precision_; }
+  std::size_t register_count() const { return registers_.size(); }
+
+ private:
+  unsigned precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace hpcgpt::retrieval

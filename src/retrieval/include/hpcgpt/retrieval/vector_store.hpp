@@ -1,10 +1,26 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hpcgpt::retrieval {
+
+/// Term identifier in a fitted TfidfEmbedder vocabulary.
+using TermId = std::uint32_t;
+
+/// Document identifier: position in a store/engine's document list. Docs
+/// are appended with strictly increasing ids, which keeps every postings
+/// list naturally sorted and lets sealed index segments cover disjoint
+/// id ranges.
+using DocId = std::uint32_t;
+
+/// Sparse embedding: (term id, weight) pairs sorted by ascending term id.
+/// Flat and contiguous — one allocation per vector instead of the old
+/// `std::map`'s node per term, which dominated the query hot path.
+using SparseVector = std::vector<std::pair<TermId, float>>;
 
 /// TF-IDF document embedder over normalized words.
 ///
@@ -17,22 +33,34 @@ class TfidfEmbedder {
   /// Learns the vocabulary and document frequencies from `corpus`.
   void fit(const std::vector<std::string>& corpus);
 
-  /// Sparse TF-IDF vector (term id → weight), L2-normalized.
-  std::map<std::size_t, double> embed(const std::string& text) const;
+  /// Sparse TF-IDF vector, L2-normalized, sorted by term id.
+  SparseVector embed(const std::string& text) const;
+
+  /// Raw term-frequency counts (no idf, no normalization), sorted by term
+  /// id — the BM25 weighting input.
+  SparseVector term_counts(const std::string& text) const;
 
   std::size_t vocabulary_size() const { return vocab_.size(); }
   bool fitted() const { return documents_ > 0; }
+  std::size_t documents() const { return documents_; }
+  /// Number of fitted documents containing `term`.
+  std::size_t doc_frequency(TermId term) const { return doc_freq_[term]; }
+  double idf(TermId term) const { return idf_[term]; }
+  /// Mean fitted document length in normalized words (BM25's avgdl),
+  /// frozen at fit() time so incremental adds don't reweight old docs.
+  double average_doc_length() const { return avg_doc_len_; }
 
  private:
-  std::map<std::string, std::size_t> vocab_;
+  std::map<std::string, TermId> vocab_;
   std::vector<double> idf_;
+  std::vector<std::uint32_t> doc_freq_;
   std::size_t documents_ = 0;
+  double avg_doc_len_ = 0.0;
 };
 
 /// Cosine similarity of two sparse vectors (both assumed L2-normalized,
-/// so this is just the dot product).
-double cosine(const std::map<std::size_t, double>& a,
-              const std::map<std::size_t, double>& b);
+/// so this is just the dot product over the sorted-merge intersection).
+double cosine(const SparseVector& a, const SparseVector& b);
 
 /// A scored retrieval hit.
 struct Hit {
@@ -41,7 +69,9 @@ struct Hit {
   std::string text;
 };
 
-/// In-memory vector store with top-k cosine retrieval.
+/// In-memory vector store with brute-force top-k cosine retrieval. Kept as
+/// the demo-scale baseline (and for grounding in the analysis service);
+/// `SearchEngine` in engine.hpp is the indexed production path.
 class VectorStore {
  public:
   explicit VectorStore(TfidfEmbedder embedder) : embedder_(std::move(embedder)) {}
@@ -59,7 +89,7 @@ class VectorStore {
  private:
   TfidfEmbedder embedder_;
   std::vector<std::string> chunks_;
-  std::vector<std::map<std::size_t, double>> vectors_;
+  std::vector<SparseVector> vectors_;
 };
 
 }  // namespace hpcgpt::retrieval

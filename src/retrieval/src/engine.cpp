@@ -1,0 +1,389 @@
+#include "hpcgpt/retrieval/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/trace.hpp"
+
+namespace hpcgpt::retrieval {
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& what) {
+  throw std::invalid_argument("RetrievalConfig: " + what);
+}
+
+}  // namespace
+
+void RetrievalConfig::validate() const {
+  if (hybrid_expand == 0) invalid("hybrid_expand must be >= 1");
+  if (rrf_k == 0) invalid("rrf_k must be >= 1");
+  if (bm25_k1 <= 0.0) invalid("bm25_k1 must be > 0");
+  if (bm25_b < 0.0 || bm25_b > 1.0) invalid("bm25_b must be in [0, 1]");
+  if (index.block_size == 0) invalid("index.block_size must be >= 1");
+  if (index.seal_threshold == 0) invalid("index.seal_threshold must be >= 1");
+  if (index.merge_fanin < 2) invalid("index.merge_fanin must be >= 2");
+  if (ivf.dim == 0) invalid("ivf.dim must be >= 1");
+}
+
+std::string_view engine_name(RetrievalConfig::Engine engine) {
+  switch (engine) {
+    case RetrievalConfig::Engine::Scan: return "scan";
+    case RetrievalConfig::Engine::Indexed: return "indexed";
+    case RetrievalConfig::Engine::Hybrid: return "hybrid";
+  }
+  return "indexed";
+}
+
+RetrievalConfig::Engine engine_by_name(std::string_view name) {
+  if (name == "scan") return RetrievalConfig::Engine::Scan;
+  if (name == "indexed") return RetrievalConfig::Engine::Indexed;
+  if (name == "hybrid") return RetrievalConfig::Engine::Hybrid;
+  throw std::invalid_argument("unknown retrieval engine: " + std::string(name) +
+                              " (expected scan|indexed|hybrid)");
+}
+
+std::string_view fusion_name(RetrievalConfig::Fusion fusion) {
+  return fusion == RetrievalConfig::Fusion::Rerank ? "rerank" : "rrf";
+}
+
+RetrievalConfig::Fusion fusion_by_name(std::string_view name) {
+  if (name == "rerank") return RetrievalConfig::Fusion::Rerank;
+  if (name == "rrf") return RetrievalConfig::Fusion::Rrf;
+  throw std::invalid_argument("unknown fusion mode: " + std::string(name) +
+                              " (expected rerank|rrf)");
+}
+
+std::string_view weighting_name(RetrievalConfig::Weighting weighting) {
+  return weighting == RetrievalConfig::Weighting::Tfidf ? "tfidf" : "bm25";
+}
+
+RetrievalConfig::Weighting weighting_by_name(std::string_view name) {
+  if (name == "tfidf") return RetrievalConfig::Weighting::Tfidf;
+  if (name == "bm25") return RetrievalConfig::Weighting::Bm25;
+  throw std::invalid_argument("unknown weighting: " + std::string(name) +
+                              " (expected tfidf|bm25)");
+}
+
+SearchEngine::SearchEngine(TfidfEmbedder embedder, RetrievalConfig config)
+    : embedder_(std::move(embedder)),
+      config_(config),
+      index_(config.index),
+      ivf_(config.ivf),
+      terms_hll_(12),
+      term_seen_(embedder_.vocabulary_size(), false) {
+  config_.validate();
+  if (config_.weighting == RetrievalConfig::Weighting::Bm25) {
+    // BM25's per-term doc weight is bounded by k1 + 1; quantize against it.
+    impact_scale_ = (config_.bm25_k1 + 1.0) / 255.0;
+  }
+}
+
+SearchEngine::DocVec SearchEngine::doc_weights(const std::string& text) const {
+  DocVec out;
+  if (config_.weighting == RetrievalConfig::Weighting::Tfidf) {
+    // L2-normalized TF-IDF weights are in [0, 1].
+    for (const auto& [term, weight] : embedder_.embed(text)) {
+      const double q = std::round(static_cast<double>(weight) / impact_scale_);
+      const auto impact =
+          static_cast<std::uint8_t>(std::clamp(q, 0.0, 255.0));
+      if (impact > 0) out.emplace_back(term, impact);
+    }
+    return out;
+  }
+  const SparseVector counts = embedder_.term_counts(text);
+  double dl = 0.0;
+  for (const auto& [term, tf] : counts) dl += static_cast<double>(tf);
+  const double avgdl = std::max(embedder_.average_doc_length(), 1e-9);
+  const double k1 = config_.bm25_k1;
+  const double b = config_.bm25_b;
+  for (const auto& [term, tf_f] : counts) {
+    const double tf = static_cast<double>(tf_f);
+    const double w =
+        tf * (k1 + 1.0) / (tf + k1 * (1.0 - b + b * dl / avgdl));
+    const double q = std::round(w / impact_scale_);
+    const auto impact = static_cast<std::uint8_t>(std::clamp(q, 0.0, 255.0));
+    if (impact > 0) out.emplace_back(term, impact);
+  }
+  return out;
+}
+
+std::vector<std::pair<TermId, double>> SearchEngine::query_weights(
+    const std::string& query) const {
+  std::vector<std::pair<TermId, double>> out;
+  if (config_.weighting == RetrievalConfig::Weighting::Tfidf) {
+    for (const auto& [term, weight] : embedder_.embed(query)) {
+      if (weight > 0.0f) out.emplace_back(term, static_cast<double>(weight));
+    }
+    return out;
+  }
+  const double n = static_cast<double>(embedder_.documents());
+  for (const auto& [term, tf] : embedder_.term_counts(query)) {
+    const double df = static_cast<double>(embedder_.doc_frequency(term));
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    const double weight = static_cast<double>(tf) * idf;
+    if (weight > 0.0) out.emplace_back(term, weight);
+  }
+  return out;
+}
+
+void SearchEngine::add(std::string chunk) {
+  const auto doc = static_cast<DocId>(texts_.size());
+  DocVec weights = doc_weights(chunk);
+  index_.add_document(doc, weights);
+  ivf_.add(doc, project_dense(embedder_.embed(chunk), config_.ivf.dim,
+                              config_.ivf.seed));
+  if (term_seen_.size() < embedder_.vocabulary_size())
+    term_seen_.resize(embedder_.vocabulary_size(), false);
+  for (const auto& [term, impact] : weights) {
+    terms_hll_.add(term);
+    if (!term_seen_[term]) {
+      term_seen_[term] = true;
+      ++distinct_terms_;
+    }
+  }
+  vectors_.push_back(std::move(weights));
+  texts_.push_back(std::move(chunk));
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Gauge& docs_gauge = registry.gauge("retrieval.index.docs");
+  static obs::Gauge& postings_gauge = registry.gauge("retrieval.index.postings");
+  static obs::Gauge& segments_gauge = registry.gauge("retrieval.index.segments");
+  static obs::Gauge& distinct_gauge =
+      registry.gauge("retrieval.index.distinct_terms_estimate");
+  const InvertedIndex::Stats s = index_.stats();
+  docs_gauge.set(static_cast<std::int64_t>(s.docs));
+  postings_gauge.set(static_cast<std::int64_t>(s.postings));
+  segments_gauge.set(static_cast<std::int64_t>(s.sealed_segments));
+  distinct_gauge.set(static_cast<std::int64_t>(terms_hll_.estimate()));
+}
+
+void SearchEngine::add_all(const std::vector<std::string>& chunks) {
+  for (const std::string& c : chunks) add(c);
+}
+
+// Exact per-document score: merge-join of the quantized doc vector with
+// the query, accumulated in ascending term-id order. WAND's evaluation
+// uses the identical expression and order, so both paths produce bitwise
+// equal doubles — the foundation of the ranking-equivalence guarantee.
+double SearchEngine::doc_score(
+    const DocVec& doc,
+    const std::vector<std::pair<TermId, double>>& query) const {
+  double score = 0.0;
+  auto id = doc.begin();
+  auto iq = query.begin();
+  while (id != doc.end() && iq != query.end()) {
+    if (id->first < iq->first) {
+      ++id;
+    } else if (iq->first < id->first) {
+      ++iq;
+    } else {
+      score += iq->second * (static_cast<double>(id->second) * impact_scale_);
+      ++id;
+      ++iq;
+    }
+  }
+  return score;
+}
+
+std::vector<Hit> SearchEngine::top_k(const std::string& query,
+                                     std::size_t k) const {
+  return top_k_with(query, k, config_.engine);
+}
+
+std::vector<Hit> SearchEngine::top_k_with(
+    const std::string& query, std::size_t k,
+    RetrievalConfig::Engine engine) const {
+  HPCGPT_TRACE("retrieval.query");
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& queries = registry.counter("retrieval.query.count");
+  static obs::Histogram& seconds = registry.histogram("retrieval.query.seconds");
+  const auto start = std::chrono::steady_clock::now();
+  queries.add();
+
+  const std::vector<std::pair<TermId, double>> weights = query_weights(query);
+  std::vector<Hit> hits;
+  switch (engine) {
+    case RetrievalConfig::Engine::Scan:
+      hits = scan_top_k(weights, k);
+      break;
+    case RetrievalConfig::Engine::Indexed:
+      hits = indexed_top_k(weights, k);
+      break;
+    case RetrievalConfig::Engine::Hybrid:
+      hits = hybrid_top_k(weights, k, query);
+      break;
+  }
+
+  seconds.observe(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  return hits;
+}
+
+std::vector<Hit> SearchEngine::scan_top_k(
+    const std::vector<std::pair<TermId, double>>& query, std::size_t k) const {
+  std::vector<Hit> hits;
+  hits.reserve(texts_.size());
+  for (std::size_t i = 0; i < texts_.size(); ++i) {
+    Hit h;
+    h.index = i;
+    h.score = doc_score(vectors_[i], query);
+    hits.push_back(std::move(h));
+  }
+  const std::size_t keep = std::min(k, hits.size());
+  std::partial_sort(hits.begin(),
+                    hits.begin() + static_cast<std::ptrdiff_t>(keep),
+                    hits.end(), [](const Hit& x, const Hit& y) {
+                      return x.score > y.score ||
+                             (x.score == y.score && x.index < y.index);
+                    });
+  hits.resize(keep);
+  for (Hit& h : hits) h.text = texts_[h.index];
+  return hits;
+}
+
+std::vector<Hit> SearchEngine::finalize(std::vector<ScoredDoc> scored,
+                                        std::size_t k) const {
+  std::vector<Hit> hits;
+  hits.reserve(std::min(k, scored.size()));
+  for (const ScoredDoc& s : scored) {
+    if (hits.size() >= k) break;
+    Hit h;
+    h.index = s.doc;
+    h.score = s.score;
+    h.text = texts_[s.doc];
+    hits.push_back(std::move(h));
+  }
+  return hits;
+}
+
+void SearchEngine::fill_unmatched(std::vector<Hit>& hits,
+                                  std::size_t k) const {
+  if (hits.size() >= k) return;
+  std::vector<std::size_t> taken;
+  taken.reserve(hits.size());
+  for (const Hit& h : hits) taken.push_back(h.index);
+  std::sort(taken.begin(), taken.end());
+  for (std::size_t i = 0; i < texts_.size() && hits.size() < k; ++i) {
+    if (std::binary_search(taken.begin(), taken.end(), i)) continue;
+    Hit h;
+    h.index = i;
+    h.score = 0.0;
+    h.text = texts_[i];
+    hits.push_back(std::move(h));
+  }
+}
+
+std::vector<Hit> SearchEngine::indexed_top_k(
+    const std::vector<std::pair<TermId, double>>& query, std::size_t k) const {
+  WandStats wstats;
+  std::vector<ScoredDoc> scored =
+      wand_top_k(index_, query, impact_scale_, k, &wstats);
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& docs_scored =
+      registry.counter("retrieval.query.docs_scored");
+  static obs::Counter& blocks_skipped =
+      registry.counter("retrieval.query.blocks_skipped");
+  static obs::Counter& postings_decoded =
+      registry.counter("retrieval.query.postings_decoded");
+  docs_scored.add(wstats.docs_scored);
+  blocks_skipped.add(wstats.blocks_skipped);
+  postings_decoded.add(wstats.postings_decoded);
+
+  std::vector<Hit> hits = finalize(std::move(scored), k);
+  fill_unmatched(hits, k);
+  return hits;
+}
+
+std::vector<Hit> SearchEngine::hybrid_top_k(
+    const std::vector<std::pair<TermId, double>>& query, std::size_t k,
+    const std::string& raw_query) const {
+  const std::size_t expand = k * config_.hybrid_expand;
+  std::vector<ScoredDoc> lexical =
+      wand_top_k(index_, query, impact_scale_, expand, nullptr);
+  std::vector<IvfFlatIndex::Result> dense;
+  if (ivf_.size() > 0) {
+    dense = ivf_.top_k(
+        project_dense(embedder_.embed(raw_query), config_.ivf.dim,
+                      config_.ivf.seed),
+        expand, config_.ivf.probes);
+  }
+
+  if (config_.fusion == RetrievalConfig::Fusion::Rerank) {
+    // Union the candidate ids, then re-score exactly against the stored
+    // sparse vectors. The WAND list alone already contains the true top-k
+    // (expand >= 1), so the reranked order provably equals the scan's.
+    std::vector<DocId> candidates;
+    candidates.reserve(lexical.size() + dense.size());
+    for (const ScoredDoc& s : lexical) candidates.push_back(s.doc);
+    for (const IvfFlatIndex::Result& r : dense) candidates.push_back(r.doc);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<ScoredDoc> rescored;
+    rescored.reserve(candidates.size());
+    for (const DocId doc : candidates) {
+      const double score = doc_score(vectors_[doc], query);
+      // Zero-score (vector-only) candidates are dropped: the scan ranks
+      // unmatched docs purely by index order, which fill_unmatched
+      // reproduces.
+      if (score > 0.0) rescored.push_back(ScoredDoc{score, doc});
+    }
+    std::sort(rescored.begin(), rescored.end(),
+              [](const ScoredDoc& a, const ScoredDoc& b) {
+                return a.score > b.score ||
+                       (a.score == b.score && a.doc < b.doc);
+              });
+    std::vector<Hit> hits = finalize(std::move(rescored), k);
+    fill_unmatched(hits, k);
+    return hits;
+  }
+
+  // Reciprocal-rank fusion: score = sum over lists of 1 / (rrf_k + rank).
+  std::vector<std::pair<DocId, double>> fused;
+  const auto accumulate = [&](DocId doc, std::size_t rank) {
+    const double contribution =
+        1.0 / (static_cast<double>(config_.rrf_k) + static_cast<double>(rank) +
+               1.0);
+    for (auto& [d, s] : fused) {
+      if (d == doc) {
+        s += contribution;
+        return;
+      }
+    }
+    fused.emplace_back(doc, contribution);
+  };
+  for (std::size_t r = 0; r < lexical.size(); ++r)
+    accumulate(lexical[r].doc, r);
+  for (std::size_t r = 0; r < dense.size(); ++r) accumulate(dense[r].doc, r);
+  std::sort(fused.begin(), fused.end(),
+            [](const auto& a, const auto& b) {
+              return a.second > b.second ||
+                     (a.second == b.second && a.first < b.first);
+            });
+  std::vector<ScoredDoc> scored;
+  scored.reserve(fused.size());
+  for (const auto& [doc, score] : fused) scored.push_back(ScoredDoc{score, doc});
+  std::vector<Hit> hits = finalize(std::move(scored), k);
+  fill_unmatched(hits, k);
+  return hits;
+}
+
+IndexStats SearchEngine::stats() const {
+  const InvertedIndex::Stats s = index_.stats();
+  IndexStats out;
+  out.documents = s.docs;
+  out.postings = s.postings;
+  out.sealed_segments = s.sealed_segments;
+  out.tail_documents = s.tail_docs;
+  out.compressed_bytes = s.compressed_bytes;
+  out.distinct_terms = distinct_terms_;
+  out.distinct_terms_estimate = terms_hll_.estimate();
+  return out;
+}
+
+}  // namespace hpcgpt::retrieval

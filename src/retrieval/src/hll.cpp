@@ -1,0 +1,79 @@
+#include "hpcgpt/retrieval/hll.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcgpt::retrieval {
+
+namespace {
+
+// splitmix64 finalizer: integer term ids are nearly sequential, so they
+// need a full-avalanche mix before bucketing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double alpha(std::size_t m) {
+  switch (m) {
+    case 16: return 0.673;
+    case 32: return 0.697;
+    case 64: return 0.709;
+    default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(unsigned precision) : precision_(precision) {
+  if (precision_ < 4 || precision_ > 16)
+    throw std::invalid_argument("HyperLogLog precision must be in [4, 16]");
+  registers_.assign(std::size_t{1} << precision_, 0);
+}
+
+void HyperLogLog::add(std::uint64_t value) { add_hash(mix(value)); }
+
+void HyperLogLog::add_hash(std::uint64_t hash) {
+  const std::size_t bucket = hash >> (64 - precision_);
+  const std::uint64_t rest = hash << precision_;
+  // Rank = leading-zero count of the remaining bits + 1 (capped so the
+  // all-zero suffix still yields a valid rank).
+  const std::uint8_t rank = static_cast<std::uint8_t>(
+      rest == 0 ? 65 - precision_ : std::countl_zero(rest) + 1);
+  registers_[bucket] = std::max(registers_[bucket], rank);
+}
+
+double HyperLogLog::estimate() const {
+  const std::size_t m = registers_.size();
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  const double raw = alpha(m) * static_cast<double>(m) *
+                     static_cast<double>(m) / inv_sum;
+  // Small-range (linear counting) correction.
+  if (raw <= 2.5 * static_cast<double>(m) && zeros > 0) {
+    return static_cast<double>(m) *
+           std::log(static_cast<double>(m) / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_)
+    throw std::invalid_argument("HyperLogLog precision mismatch in merge");
+  for (std::size_t i = 0; i < registers_.size(); ++i)
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+}
+
+void HyperLogLog::reset() {
+  std::fill(registers_.begin(), registers_.end(), std::uint8_t{0});
+}
+
+}  // namespace hpcgpt::retrieval

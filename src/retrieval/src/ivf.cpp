@@ -1,0 +1,177 @@
+#include "hpcgpt/retrieval/ivf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hpcgpt/support/rng.hpp"
+
+namespace hpcgpt::retrieval {
+
+namespace {
+
+// Deterministic ±1 projection sign for (term, dim coordinate).
+float projection_sign(std::uint64_t seed, TermId term, std::uint64_t j) {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(term) << 32 | j);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return (x & 1ull) != 0 ? 1.0f : -1.0f;
+}
+
+float dot(const float* a, const float* b, std::size_t n) {
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+std::vector<float> project_dense(const SparseVector& sparse, std::size_t dim,
+                                 std::uint64_t seed) {
+  std::vector<float> out(dim, 0.0f);
+  for (const auto& [term, weight] : sparse) {
+    for (std::size_t j = 0; j < dim; ++j)
+      out[j] += weight * projection_sign(seed, term, j);
+  }
+  double norm_sq = 0.0;
+  for (const float v : out) norm_sq += static_cast<double>(v) * v;
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : out) v *= inv;
+  }
+  return out;
+}
+
+IvfFlatIndex::IvfFlatIndex(IvfOptions opts) : opts_(opts) {
+  if (opts_.dim == 0) throw std::invalid_argument("IvfOptions.dim must be > 0");
+}
+
+void IvfFlatIndex::add(DocId doc, std::span<const float> vec) {
+  if (vec.size() != opts_.dim)
+    throw std::invalid_argument("IvfFlatIndex::add: dimension mismatch");
+  const auto slot = static_cast<std::uint32_t>(docs_.size());
+  vectors_.insert(vectors_.end(), vec.begin(), vec.end());
+  docs_.push_back(doc);
+  if (trained()) {
+    lists_[nearest_centroid(vec.data())].push_back(slot);
+  } else if (docs_.size() >= opts_.train_threshold) {
+    train();
+  }
+}
+
+std::size_t IvfFlatIndex::nearest_centroid(const float* vec) const {
+  const std::size_t clusters = centroids_.size() / opts_.dim;
+  std::size_t best = 0;
+  float best_dot = dot(vec, centroids_.data(), opts_.dim);
+  for (std::size_t c = 1; c < clusters; ++c) {
+    const float d = dot(vec, centroids_.data() + c * opts_.dim, opts_.dim);
+    if (d > best_dot) {
+      best_dot = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void IvfFlatIndex::train() {
+  const std::size_t n = docs_.size();
+  std::size_t clusters = opts_.clusters;
+  if (clusters == 0) {
+    clusters = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(n)));
+    clusters = std::clamp<std::size_t>(clusters, 4, 256);
+  }
+  clusters = std::min(clusters, n);
+
+  // Seed centroids from a random sample, then run a few Lloyd iterations
+  // with cosine (= inner product on normalized vectors) assignment.
+  Rng rng(opts_.seed);
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  shuffle(perm, rng);
+  centroids_.assign(clusters * opts_.dim, 0.0f);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    const float* src = vectors_.data() + perm[c] * opts_.dim;
+    std::copy(src, src + opts_.dim, centroids_.begin() + c * opts_.dim);
+  }
+
+  std::vector<std::size_t> assign(n, 0);
+  for (std::size_t iter = 0; iter < opts_.kmeans_iters; ++iter) {
+    for (std::size_t i = 0; i < n; ++i)
+      assign[i] = nearest_centroid(vectors_.data() + i * opts_.dim);
+    std::vector<float> sums(clusters * opts_.dim, 0.0f);
+    std::vector<std::size_t> counts(clusters, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* v = vectors_.data() + i * opts_.dim;
+      float* s = sums.data() + assign[i] * opts_.dim;
+      for (std::size_t j = 0; j < opts_.dim; ++j) s[j] += v[j];
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < clusters; ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid for empty lists
+      float* dst = centroids_.data() + c * opts_.dim;
+      const float* s = sums.data() + c * opts_.dim;
+      double norm_sq = 0.0;
+      for (std::size_t j = 0; j < opts_.dim; ++j)
+        norm_sq += static_cast<double>(s[j]) * s[j];
+      const float inv = norm_sq > 0.0
+                            ? static_cast<float>(1.0 / std::sqrt(norm_sq))
+                            : 0.0f;
+      for (std::size_t j = 0; j < opts_.dim; ++j) dst[j] = s[j] * inv;
+    }
+  }
+
+  lists_.assign(clusters, {});
+  for (std::size_t i = 0; i < n; ++i)
+    lists_[nearest_centroid(vectors_.data() + i * opts_.dim)].push_back(
+        static_cast<std::uint32_t>(i));
+}
+
+std::vector<IvfFlatIndex::Result> IvfFlatIndex::top_k(
+    std::span<const float> query, std::size_t k, std::size_t probes) const {
+  std::vector<Result> results;
+  if (k == 0 || docs_.empty() || query.size() != opts_.dim) return results;
+
+  const auto better = [](const Result& a, const Result& b) {
+    return a.score > b.score || (a.score == b.score && a.doc < b.doc);
+  };
+  const auto scan_slot = [&](std::uint32_t slot) {
+    results.push_back(Result{
+        dot(query.data(), vectors_.data() + slot * opts_.dim, opts_.dim),
+        docs_[slot]});
+  };
+
+  if (!trained()) {
+    for (std::uint32_t i = 0; i < docs_.size(); ++i) scan_slot(i);
+  } else {
+    const std::size_t clusters = lists_.size();
+    std::size_t nprobe = probes != 0 ? probes : opts_.probes;
+    if (nprobe == 0) nprobe = std::max<std::size_t>(1, clusters / 4);
+    nprobe = std::min(nprobe, clusters);
+    std::vector<std::pair<float, std::size_t>> ranked(clusters);
+    for (std::size_t c = 0; c < clusters; ++c)
+      ranked[c] = {dot(query.data(), centroids_.data() + c * opts_.dim,
+                       opts_.dim),
+                   c};
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(nprobe),
+                      ranked.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first ||
+                               (a.first == b.first && a.second < b.second);
+                      });
+    for (std::size_t p = 0; p < nprobe; ++p)
+      for (const std::uint32_t slot : lists_[ranked[p].second])
+        scan_slot(slot);
+  }
+
+  const std::size_t keep = std::min(k, results.size());
+  std::partial_sort(results.begin(),
+                    results.begin() + static_cast<std::ptrdiff_t>(keep),
+                    results.end(), better);
+  results.resize(keep);
+  return results;
+}
+
+}  // namespace hpcgpt::retrieval

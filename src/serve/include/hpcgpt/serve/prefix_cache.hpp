@@ -16,13 +16,16 @@ namespace hpcgpt::serve {
 /// cousin of the RediSearch trie: path-compressed nodes keyed by their
 /// first token, here with fixed chunk granularity).
 ///
-/// Keying: one node per KV page — a node holds up to
-/// KvPagePool::kPageSize tokens (one page's worth of positions) plus one
-/// retained page id per layer containing exactly those positions' K/V.
-/// Children are keyed by the first token of the next chunk, so lookup is
-/// O(prompt length). A node's chunk may be *partial* (a prompt ended
-/// mid-page); partial nodes are always leaves and may later be extended
-/// in place when a longer prompt shares their tokens.
+/// Keying: nodes live on page-slot boundaries — a node covers a token
+/// span inside one KV page slot (`offset` .. `offset + tokens.size()`,
+/// both ≤ kPageSize) plus one retained page id per layer whose rows are
+/// valid through the span's end. A slot is usually one node, but inserts
+/// that diverge mid-chunk *split* the node at the divergence point, so a
+/// slot can hold a chain of nodes sharing the same page rows: prefix
+/// node, then per-branch suffix nodes. Children are keyed by the first
+/// token of the next span (the next slot when the node completes its
+/// slot, the same slot otherwise), so lookup is O(prompt length) and
+/// two prompts sharing only part of a chunk still both get prefix hits.
 ///
 /// Sharing contract: lookup() returns page ids for the longest cached
 /// prefix of a prompt; the caller adopts them into a fresh
@@ -63,10 +66,11 @@ class PrefixCache {
   Match lookup(std::span<const text::TokenId> prompt, std::size_t max_tokens);
 
   /// Publishes the prompt pages of a prefilled session (state.length() >=
-  /// prompt.size()): descends existing chunks, extends a matching partial
-  /// leaf, and creates nodes (retaining the stream's pages) for the new
-  /// tail. Stops quietly at a token mismatch mid-chunk (no node
-  /// splitting) or when the node budget cannot be freed.
+  /// prompt.size()): descends existing spans, splits a node at a
+  /// mid-chunk token mismatch (both the old and the new prompt keep their
+  /// cached prefixes), and creates nodes (retaining the stream's pages)
+  /// for the new tail. Stops quietly only when the node budget cannot be
+  /// freed.
   void insert(std::span<const text::TokenId> prompt,
               const nn::DecodeState& state);
 
@@ -83,7 +87,11 @@ class PrefixCache {
 
  private:
   struct Node {
-    std::vector<text::TokenId> tokens;   // this chunk, ≤ kPageSize tokens
+    std::vector<text::TokenId> tokens;   // this span's tokens
+    /// Position of tokens[0] within the node's page slot; offset +
+    /// tokens.size() <= kPageSize, with equality iff the node completes
+    /// its slot (only then do children start a new slot).
+    std::size_t offset = 0;
     std::vector<std::uint32_t> pages;    // one page per layer
     std::map<text::TokenId, std::unique_ptr<Node>> children;
     Node* parent = nullptr;
@@ -91,6 +99,10 @@ class PrefixCache {
   };
 
   void touch(Node& node) { node.last_used = ++clock_; }
+  /// Splits `node` at token position `at` (0 < at < tokens.size()): the
+  /// node keeps the prefix span, a new child takes the suffix span and the
+  /// original children; both retain the same per-layer pages.
+  void split_node(Node& node, std::size_t at);
   void release_pages(Node& node);
   void destroy_subtree(Node& node);
   bool evict_lru_except(const Node* keep);

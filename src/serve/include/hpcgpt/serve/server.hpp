@@ -18,6 +18,7 @@
 #include "hpcgpt/nn/transformer.hpp"
 #include "hpcgpt/obs/metrics.hpp"
 #include "hpcgpt/obs/trace.hpp"
+#include "hpcgpt/retrieval/engine.hpp"
 #include "hpcgpt/serve/prefix_cache.hpp"
 
 namespace hpcgpt::serve {
@@ -49,6 +50,23 @@ struct SpeculationConfig {
   /// Draft model spec. Must share the target's vocabulary (it reuses the
   /// target's tokenizer); typically core::spec_for(BaseModel::Llama).
   core::ModelOptions draft;
+};
+
+/// Serve-path retrieval augmentation (one section of ServeConfig): when
+/// enabled, every generation request's prompt is augmented at submit time
+/// with the top-k chunks the attached SearchEngine retrieves for it
+/// (the paper's §5 RAG route, served). The engine is shared and read-only
+/// here — index it before attaching; queries are const-thread-safe.
+struct RagConfig {
+  bool enabled = false;
+  /// The indexed hybrid retrieval engine (required when enabled). Which
+  /// query path runs — scan, indexed or hybrid — is the engine's own
+  /// RetrievalConfig::engine; indexed is the default.
+  std::shared_ptr<const retrieval::SearchEngine> engine;
+  std::size_t top_k = 2;
+  /// Hits below this score are dropped; a request whose hits all fall
+  /// below it is served unaugmented (counted in serve.rag.skipped).
+  double min_score = 0.05;
 };
 
 /// The one typed configuration surface of the inference server — serving
@@ -84,6 +102,8 @@ struct ServeConfig {
   /// Knobs of the co-hosted analysis service (cache capacity, verifier
   /// options, grounding) behind the typed verification request kind.
   analysis::ServiceOptions verification;
+  /// Retrieval-augmented generation pre-stage.
+  RagConfig rag;
 
   /// Throws InvalidArgument on inconsistent settings (zero lanes,
   /// speculation without draft tokens, a page budget too small for one
@@ -112,6 +132,8 @@ struct ServerStats {
   std::size_t prefix_tokens_reused = 0;  ///< prompt tokens not re-prefilled
   std::size_t speculative_drafted = 0;   ///< draft tokens proposed
   std::size_t speculative_accepted = 0;  ///< draft tokens verified + kept
+  std::size_t rag_augmented = 0;  ///< requests whose prompt gained context
+  std::size_t rag_skipped = 0;    ///< RAG-enabled requests left unaugmented
   std::size_t kv_pages_in_use = 0;     ///< pool pages live at snapshot
   double busy_seconds = 0.0;           ///< wall time in prefill/decode work
   double latency_seconds_sum = 0.0;    ///< Σ submit→completion per request
@@ -286,6 +308,8 @@ class InferenceServer {
     obs::Counter& prefix_reused;    ///< serve.prefix.tokens_reused
     obs::Counter& spec_drafted;     ///< serve.spec.drafted
     obs::Counter& spec_accepted;    ///< serve.spec.accepted
+    obs::Counter& rag_augmented;    ///< serve.rag.augmented
+    obs::Counter& rag_skipped;      ///< serve.rag.skipped
     obs::Gauge& queue_depth;        ///< serve.queue.depth (max = peak)
     obs::Gauge& lanes;              ///< serve.batch.lanes (max = peak)
     obs::Gauge& weight_bytes;       ///< serve.model.weight_bytes

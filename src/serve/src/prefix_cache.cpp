@@ -44,27 +44,41 @@ PrefixCache::Match PrefixCache::lookup(std::span<const text::TokenId> prompt,
   std::size_t consumed = 0;
   const std::size_t limit = std::min(prompt.size(), max_tokens);
   while (consumed < limit) {
-    const auto it = cur->children.find(prompt[consumed]);
-    if (it == cur->children.end()) break;
-    Node* child = it->second.get();
-    const std::size_t n = std::min(child->tokens.size(), limit - consumed);
-    std::size_t matched = 0;
-    while (matched < n && child->tokens[matched] == prompt[consumed + matched]) {
-      ++matched;
+    // Walk one page slot: descend the within-slot node chain as far as
+    // tokens keep matching, then adopt the *deepest* matched node's page
+    // (per layer) — its rows cover every shallower span of the slot, and
+    // a partial match shares the page up to the match point (the adopting
+    // stream copy-on-writes before appending past it).
+    Node* deepest = nullptr;
+    bool slot_complete = false;
+    while (consumed < limit) {
+      const auto it = cur->children.find(prompt[consumed]);
+      if (it == cur->children.end()) break;
+      Node* child = it->second.get();
+      const std::size_t n = std::min(child->tokens.size(), limit - consumed);
+      std::size_t matched = 0;
+      while (matched < n &&
+             child->tokens[matched] == prompt[consumed + matched]) {
+        ++matched;
+      }
+      if (matched == 0) break;
+      touch(*child);
+      consumed += matched;
+      deepest = child;
+      if (matched < child->tokens.size()) break;  // diverged or hit limit
+      cur = child;
+      if (child->offset + child->tokens.size() == kPage) {
+        slot_complete = true;
+        break;
+      }
+      // Slot-incomplete node fully matched: continue the chain in-slot.
     }
-    if (matched == 0) break;
-    // Adopt this node's page (per layer) for the matched positions — a
-    // partial match shares the page up to the match point; the adopting
-    // stream copy-on-writes it before appending past that point.
+    if (deepest == nullptr) break;
     for (std::size_t l = 0; l < n_layers_; ++l) {
-      match.pages[l].push_back(child->pages[l]);
+      match.pages[l].push_back(deepest->pages[l]);
     }
-    consumed += matched;
-    touch(*child);
-    // Descend only through fully-matched full chunks: a partial node is a
-    // leaf, and a mid-chunk stop means deeper chunks don't apply.
-    if (matched < child->tokens.size() || child->tokens.size() < kPage) break;
-    cur = child;
+    // A mid-slot stop means deeper slots don't apply.
+    if (!slot_complete) break;
   }
   match.tokens = consumed;
   return match;
@@ -77,70 +91,89 @@ void PrefixCache::insert(std::span<const text::TokenId> prompt,
   Node* cur = &root_;
   std::size_t consumed = 0;
   while (consumed < prompt.size()) {
-    const std::size_t chunk_len = std::min(kPage, prompt.size() - consumed);
-    const std::size_t chunk_idx = consumed / kPage;
-    const text::TokenId* chunk = prompt.data() + consumed;
-    const auto it = cur->children.find(chunk[0]);
+    const std::size_t offset = consumed % kPage;
+    const std::size_t slot = consumed / kPage;
+    const std::size_t span_len = std::min(kPage - offset, prompt.size() - consumed);
+    const text::TokenId* span = prompt.data() + consumed;
+    const auto it = cur->children.find(span[0]);
     if (it != cur->children.end()) {
       Node* child = it->second.get();
-      const std::size_t n = std::min(child->tokens.size(), chunk_len);
+      const std::size_t n = std::min(child->tokens.size(), span_len);
       std::size_t matched = 0;
-      while (matched < n && child->tokens[matched] == chunk[matched]) {
+      while (matched < n && child->tokens[matched] == span[matched]) {
         ++matched;
       }
-      if (matched < n) return;  // diverges mid-chunk: no splitting, stop
       touch(*child);
-      if (matched == child->tokens.size() && matched == chunk_len) {
-        // Identical chunk already cached.
-        if (chunk_len < kPage) return;  // final partial chunk
-        cur = child;
-        consumed += chunk_len;
-        continue;
-      }
       if (matched == child->tokens.size()) {
-        // Existing partial leaf prefixes our longer chunk: extend it in
-        // place with the longer tokens and this stream's (fuller) pages.
-        release_pages(*child);
-        child->tokens.assign(chunk, chunk + chunk_len);
-        child->pages.reserve(n_layers_);
-        for (std::size_t l = 0; l < n_layers_; ++l) {
-          const std::uint32_t page = state.layer_pages(l)[chunk_idx];
-          pool_->retain(page);
-          child->pages.push_back(page);
-        }
-        pages_held_ += n_layers_;
-        if (chunk_len < kPage) return;
+        // Node fully matched: keep descending — within the same slot when
+        // the node is slot-incomplete, into the next slot otherwise.
+        consumed += matched;
         cur = child;
-        consumed += chunk_len;
         continue;
       }
-      // Our final partial chunk prefixes an existing longer one — the
-      // cached node already covers it.
-      return;
+      if (matched == span_len) {
+        // Our prompt ends inside this node's span — already covered.
+        return;
+      }
+      // Mid-span divergence (matched >= 1: children are keyed by their
+      // first token). Split the node at the match point so both the old
+      // and the new prompt keep a cached prefix; the next iteration hangs
+      // the diverging branch off the shared prefix node.
+      if (max_nodes_ > 0 && nodes_ >= max_nodes_) {
+        if (!evict_lru_except(child)) return;
+      }
+      split_node(*child, matched);
+      consumed += matched;
+      cur = child;
+      continue;
     }
-    // New tail: create a node for this chunk, evicting an old leaf when
+    // New tail: create a node for this span, evicting an old leaf when
     // the budget is full (never the node we are extending from).
     if (max_nodes_ > 0 && nodes_ >= max_nodes_) {
       if (!evict_lru_except(cur)) return;
     }
     auto node = std::make_unique<Node>();
-    node->tokens.assign(chunk, chunk + chunk_len);
+    node->tokens.assign(span, span + span_len);
+    node->offset = offset;
     node->parent = cur;
     node->pages.reserve(n_layers_);
     for (std::size_t l = 0; l < n_layers_; ++l) {
-      const std::uint32_t page = state.layer_pages(l)[chunk_idx];
+      const std::uint32_t page = state.layer_pages(l)[slot];
       pool_->retain(page);
       node->pages.push_back(page);
     }
     pages_held_ += n_layers_;
     touch(*node);
     Node* created = node.get();
-    cur->children.emplace(chunk[0], std::move(node));
+    cur->children.emplace(span[0], std::move(node));
     ++nodes_;
-    if (chunk_len < kPage) return;
     cur = created;
-    consumed += chunk_len;
+    consumed += span_len;
   }
+}
+
+void PrefixCache::split_node(Node& node, std::size_t at) {
+  auto suffix = std::make_unique<Node>();
+  suffix->tokens.assign(node.tokens.begin() + static_cast<std::ptrdiff_t>(at),
+                        node.tokens.end());
+  suffix->offset = node.offset + at;
+  // Both halves reference the same per-layer pages: the page rows up to
+  // the split point are the shared prefix's K/V (causal attention), and
+  // each node holds its own reference so eviction stays per-node.
+  suffix->pages = node.pages;
+  for (const std::uint32_t page : suffix->pages) pool_->retain(page);
+  pages_held_ += n_layers_;
+  suffix->children = std::move(node.children);
+  for (auto& [key, grandchild] : suffix->children) {
+    grandchild->parent = suffix.get();
+  }
+  suffix->parent = &node;
+  suffix->last_used = node.last_used;
+  node.tokens.resize(at);
+  node.children.clear();
+  const text::TokenId key = suffix->tokens.front();
+  node.children.emplace(key, std::move(suffix));
+  ++nodes_;
 }
 
 bool PrefixCache::evict_lru_except(const Node* keep) {

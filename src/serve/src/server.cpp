@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "hpcgpt/core/rag.hpp"
 #include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/support/error.hpp"
 #include "hpcgpt/support/thread_pool.hpp"
@@ -62,6 +63,11 @@ void ServeConfig::validate() const {
     require(kv.prefix_cache_max_nodes >= 1,
             "ServeConfig: prefix cache enabled with zero node budget");
   }
+  if (rag.enabled) {
+    require(rag.engine != nullptr,
+            "ServeConfig: rag enabled without an attached SearchEngine");
+    require(rag.top_k >= 1, "ServeConfig: rag enabled with top_k == 0");
+  }
 }
 
 InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
@@ -79,6 +85,8 @@ InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
       prefix_reused(r.counter("serve.prefix.tokens_reused")),
       spec_drafted(r.counter("serve.spec.drafted")),
       spec_accepted(r.counter("serve.spec.accepted")),
+      rag_augmented(r.counter("serve.rag.augmented")),
+      rag_skipped(r.counter("serve.rag.skipped")),
       queue_depth(r.gauge("serve.queue.depth")),
       lanes(r.gauge("serve.batch.lanes")),
       weight_bytes(r.gauge("serve.model.weight_bytes")),
@@ -158,6 +166,24 @@ std::future<core::GenerationResult> InferenceServer::submit(
   if (request.max_new_tokens == 0) {
     request.max_new_tokens = config_.max_new_tokens;
   }
+  // RAG pre-stage (caller thread, engine queries are const-thread-safe):
+  // splice the retrieved context into the prompt before admission, so the
+  // scheduler — and the prefix cache, which sees identical augmented
+  // prompts for identical questions — treats it like any other request.
+  bool rag_hit = false;
+  bool rag_miss = false;
+  if (config_.rag.enabled) {
+    HPCGPT_TRACE("serve.rag");
+    std::vector<retrieval::Hit> hits =
+        config_.rag.engine->top_k(request.prompt, config_.rag.top_k);
+    core::trim_context(hits, config_.rag.min_score);
+    if (!hits.empty()) {
+      request.prompt = core::rag_prompt(hits, request.prompt);
+      rag_hit = true;
+    } else {
+      rag_miss = true;
+    }
+  }
   Request entry;
   entry.request = std::move(request);
   entry.submitted = std::chrono::steady_clock::now();
@@ -175,6 +201,8 @@ std::future<core::GenerationResult> InferenceServer::submit(
   std::future<core::GenerationResult> future = entry.promise.get_future();
   {
     std::lock_guard lock(mutex_);
+    if (rag_hit) metrics_.rag_augmented.add(1);
+    if (rag_miss) metrics_.rag_skipped.add(1);
     if (entry.request.id == 0) entry.request.id = next_id_++;
     if (stopping_) {
       // A request the scheduler will never see resolves (rather than
@@ -272,6 +300,8 @@ ServerStats InferenceServer::stats() const {
   s.prefix_tokens_reused = metrics_.prefix_reused.value();
   s.speculative_drafted = metrics_.spec_drafted.value();
   s.speculative_accepted = metrics_.spec_accepted.value();
+  s.rag_augmented = metrics_.rag_augmented.value();
+  s.rag_skipped = metrics_.rag_skipped.value();
   s.kv_pages_in_use = pool_->pages_in_use();
   s.busy_seconds = metrics_.round_seconds.sum();
   s.latency_seconds_sum = metrics_.request_latency_seconds.sum();

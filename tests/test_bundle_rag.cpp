@@ -83,6 +83,21 @@ retrieval::VectorStore demo_store() {
   return store;
 }
 
+retrieval::SearchEngine demo_engine(retrieval::RetrievalConfig config = {}) {
+  const std::vector<std::string> facts{
+      "The system is gb200_nvl72 if the accelerator used is NVIDIA GB200 "
+      "and the software used is PyTorch Release 24.10.",
+      "The CodeTrans dataset can be used for code translation tasks from "
+      "Java to C#.",
+      "The private clause gives each thread its own copy of a variable.",
+  };
+  retrieval::TfidfEmbedder emb;
+  emb.fit(facts);
+  retrieval::SearchEngine engine(emb, config);
+  engine.add_all(facts);
+  return engine;
+}
+
 TEST(Rag, RetrievesRelevantContext) {
   HpcGpt model(tiny_spec(), tokenizer());
   const auto store = demo_store();
@@ -92,6 +107,34 @@ TEST(Rag, RetrievesRelevantContext) {
   ASSERT_TRUE(answer.used_context);
   ASSERT_FALSE(answer.context.empty());
   EXPECT_NE(answer.context[0].text.find("gb200_nvl72"), std::string::npos);
+}
+
+TEST(Rag, SearchEngineRouteRetrievesSameContextOnEveryEngine) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  const char* question =
+      "which system pairs the GB200 accelerator with PyTorch Release 24.10?";
+  for (const auto engine_kind : {retrieval::RetrievalConfig::Engine::Scan,
+                                 retrieval::RetrievalConfig::Engine::Indexed,
+                                 retrieval::RetrievalConfig::Engine::Hybrid}) {
+    retrieval::RetrievalConfig config;
+    config.engine = engine_kind;
+    const auto engine = demo_engine(config);
+    const RagAnswer answer = rag_ask(model, engine, question);
+    ASSERT_TRUE(answer.used_context)
+        << retrieval::engine_name(engine_kind);
+    ASSERT_FALSE(answer.context.empty());
+    EXPECT_NE(answer.context[0].text.find("gb200_nvl72"), std::string::npos)
+        << retrieval::engine_name(engine_kind);
+  }
+}
+
+TEST(Rag, SearchEngineIrrelevantQueryFallsBack) {
+  HpcGpt model(tiny_spec(), tokenizer());
+  const auto engine = demo_engine();
+  const RagAnswer answer =
+      rag_ask(model, engine, "zzz qqq completely unrelated vvv");
+  EXPECT_FALSE(answer.used_context);
+  EXPECT_TRUE(answer.context.empty());
 }
 
 TEST(Rag, IrrelevantQueryFallsBackToModel) {

@@ -138,7 +138,9 @@ TEST(Retrieval, EmbedderVocabularyAndNorm) {
   const auto v = emb.embed(corpus()[0]);
   double norm = 0;
   for (const auto& [term, w] : v) norm += w * w;
-  EXPECT_NEAR(norm, 1.0, 1e-9);
+  // Sparse vectors store float weights: unit norm holds to single
+  // precision, not 1e-9.
+  EXPECT_NEAR(norm, 1.0, 1e-6);
 }
 
 TEST(Retrieval, TopHitMatchesTopic) {
@@ -154,7 +156,8 @@ TEST(Retrieval, CosineIdenticalIsOne) {
   retrieval::TfidfEmbedder emb;
   emb.fit(corpus());
   const auto v = emb.embed(corpus()[2]);
-  EXPECT_NEAR(retrieval::cosine(v, v), 1.0, 1e-9);
+  // Float-stored weights: self-similarity is 1 to single precision.
+  EXPECT_NEAR(retrieval::cosine(v, v), 1.0, 1e-6);
 }
 
 TEST(Retrieval, UnknownWordsEmbedEmpty) {

@@ -161,6 +161,57 @@ TEST(PagedTrie, LruEvictionReleasesPagesAndBoundsNodes) {
   EXPECT_EQ(pool.pages_in_use(), base_pages);
 }
 
+TEST(PagedTrie, MidChunkDivergenceSplitsNodeAndBothPromptsHit) {
+  core::HpcGpt model = make_model();
+  nn::Transformer& net = model.model();
+  const std::size_t layers = net.config().n_layers;
+
+  // Two prompts sharing the first 7 tokens of a chunk, diverging well
+  // before the page boundary (kPageSize = 16).
+  std::vector<text::TokenId> a;
+  for (int i = 0; i < 12; ++i) a.push_back(100 + i);
+  std::vector<text::TokenId> b(a.begin(), a.begin() + 7);
+  for (int i = 0; i < 5; ++i) b.push_back(60 + i);
+
+  nn::DecodeState cold_a = net.new_decode_state();
+  const std::vector<text::TokenId> want_a =
+      greedy_continue(net, cold_a, a, 8);
+  nn::DecodeState cold_b = net.new_decode_state();
+  const std::vector<text::TokenId> want_b =
+      greedy_continue(net, cold_b, b, 8);
+
+  serve::PrefixCache cache(net.page_pool(), layers, /*max_nodes=*/64);
+  cache.insert(a, cold_a);
+  EXPECT_EQ(cache.node_count(), 1u);
+  // Inserting b splits a's node at the divergence point: shared 7-token
+  // prefix node (page shared with a's suffix node) plus one branch each.
+  cache.insert(b, cold_b);
+  EXPECT_EQ(cache.node_count(), 3u);
+  EXPECT_EQ(cache.pages_held(), 3 * layers);
+
+  // Both prompts get full-length prefix hits, and adopting the pages
+  // reproduces the cold decode exactly.
+  for (const auto* p : {&a, &b}) {
+    const std::vector<text::TokenId>& prompt = *p;
+    const serve::PrefixCache::Match m =
+        cache.lookup(prompt, prompt.size() - 1);
+    ASSERT_EQ(m.tokens, prompt.size() - 1);
+    nn::DecodeState warm = net.new_decode_state();
+    warm.adopt_prefix(m.pages, m.tokens);
+    const std::vector<text::TokenId> suffix(prompt.begin() + m.tokens,
+                                            prompt.end());
+    const std::vector<text::TokenId> got =
+        greedy_continue(net, warm, suffix, 8);
+    EXPECT_EQ(got, prompt == a ? want_a : want_b);
+  }
+
+  // A third prompt sharing only the common 7 tokens hits the shared
+  // prefix node without any insert of its own.
+  std::vector<text::TokenId> c(a.begin(), a.begin() + 7);
+  for (int i = 0; i < 4; ++i) c.push_back(80 + i);
+  EXPECT_EQ(cache.lookup(c, c.size() - 1).tokens, 7u);
+}
+
 // ---- admission control ------------------------------------------------
 
 TEST(PagedServe, NeverFittingRequestIsShedAsTypedRejected) {

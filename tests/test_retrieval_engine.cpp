@@ -1,0 +1,476 @@
+// Retrieval engine property tests: the indexed (WAND) and hybrid
+// (rerank-fusion) query paths must reproduce the brute-force scan ranking
+// exactly — same doc order AND same scores — on randomized corpora,
+// including tied scores, incremental adds, sealing/merging segment
+// boundaries and empty/out-of-vocabulary queries. Plus unit coverage for
+// the posting iterators, HyperLogLog sketch, IVF-flat index and the
+// RetrievalConfig name maps. Labeled "retrieval" so the sanitize preset
+// exercises the varint codec and iterator paths under ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hpcgpt/retrieval/engine.hpp"
+#include "hpcgpt/retrieval/hll.hpp"
+#include "hpcgpt/retrieval/index.hpp"
+#include "hpcgpt/retrieval/ivf.hpp"
+#include "hpcgpt/retrieval/vector_store.hpp"
+#include "hpcgpt/support/rng.hpp"
+
+namespace {
+
+using namespace hpcgpt;
+using retrieval::RetrievalConfig;
+
+using Engine = RetrievalConfig::Engine;
+using Weighting = RetrievalConfig::Weighting;
+using Fusion = RetrievalConfig::Fusion;
+
+// Small word pool => heavy term overlap, frequent exact score ties.
+std::vector<std::string> make_pool(std::size_t n) {
+  std::vector<std::string> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string w = "w";
+    w += static_cast<char>('a' + i / 26);
+    w += static_cast<char>('a' + i % 26);
+    pool.push_back(std::move(w));
+  }
+  return pool;
+}
+
+std::string random_doc(Rng& rng, const std::vector<std::string>& pool,
+                       std::size_t min_words, std::size_t max_words) {
+  const std::size_t len =
+      min_words + rng.next_below(max_words - min_words + 1);
+  std::string doc;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (!doc.empty()) doc += ' ';
+    doc += pool[rng.next_below(pool.size())];
+  }
+  return doc;
+}
+
+// Engine with aggressive segment churn (tiny blocks, frequent seals and
+// merges) so the equivalence tests cross every storage boundary.
+RetrievalConfig churny_config(Weighting weighting) {
+  RetrievalConfig cfg;
+  cfg.weighting = weighting;
+  cfg.index.block_size = 4;
+  cfg.index.seal_threshold = 16;
+  cfg.index.merge_fanin = 3;
+  cfg.ivf.dim = 16;
+  cfg.ivf.train_threshold = 32;
+  return cfg;
+}
+
+void expect_same_hits(const std::vector<retrieval::Hit>& want,
+                      const std::vector<retrieval::Hit>& got,
+                      const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].index, got[i].index) << what << " rank " << i;
+    // Bitwise equality is the design contract: both paths accumulate the
+    // same dequantized impacts in the same (ascending term id) order.
+    EXPECT_EQ(want[i].score, got[i].score) << what << " rank " << i;
+    EXPECT_EQ(want[i].text, got[i].text) << what << " rank " << i;
+  }
+}
+
+// ---- scan == indexed == hybrid equivalence ---------------------------
+
+TEST(RetrievalEquivalence, IndexedAndHybridMatchScanOnRandomCorpora) {
+  const std::vector<std::string> pool = make_pool(24);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    for (const Weighting weighting : {Weighting::Tfidf, Weighting::Bm25}) {
+      Rng rng(0x5eed1000 + seed);
+      const std::size_t n_docs = 20 + rng.next_below(100);
+      std::vector<std::string> corpus;
+      for (std::size_t d = 0; d < n_docs; ++d) {
+        corpus.push_back(random_doc(rng, pool, 1, 12));
+      }
+      retrieval::TfidfEmbedder embedder;
+      embedder.fit(corpus);
+      retrieval::SearchEngine engine(embedder, churny_config(weighting));
+      engine.add_all(corpus);
+
+      for (int q = 0; q < 8; ++q) {
+        std::string query = random_doc(rng, pool, 1, 4);
+        if (q == 6) query += " zzzoutofvocab";
+        if (q == 7) query = "";
+        for (const std::size_t k :
+             {std::size_t{1}, std::size_t{3}, std::size_t{10}, n_docs + 10}) {
+          const std::string what = "seed=" + std::to_string(seed) +
+                                   " weighting=" + std::to_string(int(weighting)) +
+                                   " q=\"" + query + "\" k=" + std::to_string(k);
+          const auto scan = engine.top_k_with(query, k, Engine::Scan);
+          expect_same_hits(scan, engine.top_k_with(query, k, Engine::Indexed),
+                           what + " [indexed]");
+          expect_same_hits(scan, engine.top_k_with(query, k, Engine::Hybrid),
+                           what + " [hybrid]");
+        }
+      }
+    }
+  }
+}
+
+TEST(RetrievalEquivalence, TiedScoresBreakByAscendingIndexOnBothPaths) {
+  // Duplicate documents guarantee exact score ties.
+  const std::vector<std::string> corpus = {
+      "mpi race detection", "openmp pragma",    "mpi race detection",
+      "cuda kernel launch", "mpi race detection", "openmp pragma"};
+  retrieval::TfidfEmbedder embedder;
+  embedder.fit(corpus);
+  retrieval::SearchEngine engine(embedder, churny_config(Weighting::Tfidf));
+  engine.add_all(corpus);
+
+  const auto scan = engine.top_k_with("mpi race detection", 6, Engine::Scan);
+  ASSERT_EQ(scan.size(), 6u);
+  // Ties resolve to ascending index: the three duplicates come first, in
+  // insertion order.
+  EXPECT_EQ(scan[0].index, 0u);
+  EXPECT_EQ(scan[1].index, 2u);
+  EXPECT_EQ(scan[2].index, 4u);
+  EXPECT_EQ(scan[0].score, scan[2].score);
+  expect_same_hits(scan, engine.top_k_with("mpi race detection", 6,
+                                           Engine::Indexed),
+                   "tied [indexed]");
+  expect_same_hits(scan, engine.top_k_with("mpi race detection", 6,
+                                           Engine::Hybrid),
+                   "tied [hybrid]");
+}
+
+TEST(RetrievalEquivalence, IncrementalAddsStayImmediatelySearchable) {
+  const std::vector<std::string> pool = make_pool(16);
+  Rng rng(0xadd5);
+  std::vector<std::string> corpus;
+  for (std::size_t d = 0; d < 80; ++d) {
+    corpus.push_back(random_doc(rng, pool, 2, 8));
+  }
+  retrieval::TfidfEmbedder embedder;
+  embedder.fit(corpus);
+  retrieval::SearchEngine engine(embedder, churny_config(Weighting::Tfidf));
+
+  // Add one document at a time; after every add the indexed path must see
+  // the new document (tail segment) and still match the scan exactly.
+  for (std::size_t d = 0; d < corpus.size(); ++d) {
+    engine.add(corpus[d]);
+    const std::string query = corpus[d];  // the fresh doc must surface
+    const auto scan = engine.top_k_with(query, 5, Engine::Scan);
+    const auto indexed = engine.top_k_with(query, 5, Engine::Indexed);
+    expect_same_hits(scan, indexed, "after add " + std::to_string(d));
+    ASSERT_FALSE(indexed.empty());
+    EXPECT_GT(indexed[0].score, 0.0);
+  }
+
+  // 80 docs through seal_threshold=16 / merge_fanin=3 must have sealed
+  // and merged along the way.
+  const retrieval::IndexStats stats = engine.stats();
+  EXPECT_EQ(stats.documents, corpus.size());
+  EXPECT_GT(stats.sealed_segments, 0u);
+  EXPECT_GT(stats.postings, 0u);
+  EXPECT_GT(stats.compressed_bytes, 0u);
+  EXPECT_GT(stats.distinct_terms, 0u);
+  // HLL sketch tracks the exact distinct-term count closely at this size.
+  EXPECT_NEAR(stats.distinct_terms_estimate,
+              static_cast<double>(stats.distinct_terms),
+              0.2 * static_cast<double>(stats.distinct_terms) + 2.0);
+}
+
+TEST(RetrievalEquivalence, EmptyAndOovQueriesMatchScanShape) {
+  const std::vector<std::string> corpus = {"alpha beta", "gamma delta",
+                                           "epsilon zeta"};
+  retrieval::TfidfEmbedder embedder;
+  embedder.fit(corpus);
+  retrieval::SearchEngine engine(embedder, churny_config(Weighting::Bm25));
+  engine.add_all(corpus);
+
+  for (const char* query : {"", "qqq zzz totallyunknown"}) {
+    const auto scan = engine.top_k_with(query, 2, Engine::Scan);
+    ASSERT_EQ(scan.size(), 2u);
+    // No term matches: the scan ranks all-zero scores by ascending index.
+    EXPECT_EQ(scan[0].index, 0u);
+    EXPECT_EQ(scan[0].score, 0.0);
+    EXPECT_EQ(scan[1].index, 1u);
+    expect_same_hits(scan, engine.top_k_with(query, 2, Engine::Indexed),
+                     std::string("oov [indexed] q=") + query);
+    expect_same_hits(scan, engine.top_k_with(query, 2, Engine::Hybrid),
+                     std::string("oov [hybrid] q=") + query);
+  }
+}
+
+TEST(RetrievalEquivalence, RrfFusionStillReturnsKRankedHits) {
+  // RRF intentionally blends lexical and vector order (not scan-equal),
+  // but must stay well-formed: k hits, scores non-increasing.
+  const std::vector<std::string> pool = make_pool(12);
+  Rng rng(0x44f);
+  std::vector<std::string> corpus;
+  for (std::size_t d = 0; d < 40; ++d) {
+    corpus.push_back(random_doc(rng, pool, 2, 8));
+  }
+  retrieval::TfidfEmbedder embedder;
+  embedder.fit(corpus);
+  RetrievalConfig cfg = churny_config(Weighting::Tfidf);
+  cfg.engine = Engine::Hybrid;
+  cfg.fusion = Fusion::Rrf;
+  retrieval::SearchEngine engine(embedder, cfg);
+  engine.add_all(corpus);
+
+  const auto hits = engine.top_k(corpus[7], 5);
+  ASSERT_EQ(hits.size(), 5u);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+  EXPECT_GT(hits[0].score, 0.0);
+}
+
+// ---- posting iterators ------------------------------------------------
+
+retrieval::InvertedIndex build_index(
+    const std::vector<std::vector<std::pair<retrieval::TermId, std::uint8_t>>>&
+        docs,
+    retrieval::IndexOptions opts) {
+  retrieval::InvertedIndex index(opts);
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    index.add_document(static_cast<retrieval::DocId>(d), docs[d]);
+  }
+  return index;
+}
+
+TEST(PostingIterators, AdvanceSkipsBlocksAndLandsOnFirstDocAtLeastTarget) {
+  // Term 7 in every third doc: postings 0, 3, 6, ..., 297.
+  std::vector<std::vector<std::pair<retrieval::TermId, std::uint8_t>>> docs(
+      300);
+  for (std::size_t d = 0; d < docs.size(); d += 3) {
+    docs[d] = {{7u, static_cast<std::uint8_t>(1 + d % 200)}};
+  }
+  retrieval::IndexOptions opts;
+  opts.block_size = 4;
+  opts.seal_threshold = 1 << 20;  // manual seal below
+  auto index = build_index(docs, opts);
+  index.seal_tail();
+
+  retrieval::PostingIterator it = index.iterator(7);
+  ASSERT_FALSE(it.at_end());
+  EXPECT_EQ(it.doc(), 0u);
+  it.advance(250);  // far jump: must skip whole blocks
+  EXPECT_EQ(it.doc(), 252u);
+  EXPECT_GT(it.blocks_skipped(), 0u);
+  it.advance(252);  // advance to current doc is a no-op
+  EXPECT_EQ(it.doc(), 252u);
+  it.next();
+  EXPECT_EQ(it.doc(), 255u);
+  it.advance(9999);
+  EXPECT_TRUE(it.at_end());
+
+  // Unknown term: immediately exhausted.
+  EXPECT_TRUE(index.iterator(9999).at_end());
+}
+
+TEST(PostingIterators, UnionAndIntersectionMatchNaiveSetOps) {
+  Rng rng(0x5e7);
+  const std::size_t n_docs = 400;
+  std::vector<std::set<retrieval::DocId>> term_docs(3);
+  std::vector<std::vector<std::pair<retrieval::TermId, std::uint8_t>>> docs(
+      n_docs);
+  for (std::size_t d = 0; d < n_docs; ++d) {
+    for (retrieval::TermId t = 0; t < 3; ++t) {
+      if (rng.next_below(10) < 3) {
+        docs[d].emplace_back(t, std::uint8_t{1});
+        term_docs[t].insert(static_cast<retrieval::DocId>(d));
+      }
+    }
+  }
+  retrieval::IndexOptions opts;
+  opts.block_size = 8;
+  opts.seal_threshold = 128;  // mix sealed segments and tail
+  auto index = build_index(docs, opts);
+
+  std::set<retrieval::DocId> want_union;
+  std::set<retrieval::DocId> want_isect;
+  for (retrieval::DocId d = 0; d < n_docs; ++d) {
+    bool any = false;
+    bool all = true;
+    for (retrieval::TermId t = 0; t < 3; ++t) {
+      const bool has = term_docs[t].count(d) > 0;
+      any = any || has;
+      all = all && has;
+    }
+    if (any) want_union.insert(d);
+    if (all) want_isect.insert(d);
+  }
+
+  auto children = [&] {
+    std::vector<retrieval::PostingIterator> its;
+    for (retrieval::TermId t = 0; t < 3; ++t) its.push_back(index.iterator(t));
+    return its;
+  };
+  std::vector<retrieval::DocId> got_union;
+  for (retrieval::UnionIterator u(children()); !u.at_end(); u.next()) {
+    got_union.push_back(u.doc());
+    EXPECT_GT(u.impact_sum(), 0u);
+  }
+  EXPECT_EQ(got_union,
+            std::vector<retrieval::DocId>(want_union.begin(), want_union.end()));
+
+  std::vector<retrieval::DocId> got_isect;
+  for (retrieval::IntersectionIterator a(children()); !a.at_end(); a.next()) {
+    got_isect.push_back(a.doc());
+  }
+  EXPECT_EQ(got_isect,
+            std::vector<retrieval::DocId>(want_isect.begin(), want_isect.end()));
+}
+
+TEST(PostingIterators, CompressedRoundTripAcrossBlockSizes) {
+  Rng rng(0xc0dec);
+  std::vector<retrieval::Posting> postings;
+  retrieval::DocId doc = 0;
+  for (int i = 0; i < 1000; ++i) {
+    doc += 1 + static_cast<retrieval::DocId>(rng.next_below(1 << 14));
+    postings.push_back(
+        {doc, static_cast<std::uint8_t>(1 + rng.next_below(255))});
+  }
+  for (const std::size_t block_size : {1u, 3u, 64u, 2048u}) {
+    const auto list = retrieval::CompressedPostings::encode(
+        postings, block_size);
+    EXPECT_EQ(list.count(), postings.size());
+    std::vector<retrieval::Posting> decoded;
+    std::vector<retrieval::Posting> buf(block_size);
+    for (std::size_t b = 0; b < list.skips().size(); ++b) {
+      const std::size_t n = list.decode_block(b, buf.data());
+      ASSERT_EQ(n, list.skips()[b].count);
+      decoded.insert(decoded.end(), buf.begin(), buf.begin() + n);
+    }
+    ASSERT_EQ(decoded.size(), postings.size());
+    for (std::size_t i = 0; i < postings.size(); ++i) {
+      EXPECT_EQ(decoded[i].doc, postings[i].doc);
+      EXPECT_EQ(decoded[i].impact, postings[i].impact);
+    }
+  }
+}
+
+// ---- HyperLogLog ------------------------------------------------------
+
+TEST(HyperLogLogSketch, EstimatesWithinExpectedErrorAndMerges) {
+  retrieval::HyperLogLog a(12);
+  retrieval::HyperLogLog b(12);
+  const std::size_t n = 10000;
+  for (std::size_t i = 0; i < n; ++i) a.add(i);
+  for (std::size_t i = n / 2; i < n + n / 2; ++i) b.add(i);
+  // σ ≈ 1.04/√4096 ≈ 1.6%; 5% is > 3σ.
+  EXPECT_NEAR(a.estimate(), static_cast<double>(n), 0.05 * n);
+  EXPECT_NEAR(b.estimate(), static_cast<double>(n), 0.05 * n);
+  // Union covers 1.5n distinct values; merge is register-wise max.
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), 1.5 * n, 0.05 * 1.5 * n);
+
+  a.reset();
+  EXPECT_EQ(a.estimate(), 0.0);
+  // Small cardinalities: linear counting keeps the estimate tight.
+  for (std::size_t i = 0; i < 10; ++i) a.add(i * 7919);
+  EXPECT_NEAR(a.estimate(), 10.0, 1.0);
+
+  retrieval::HyperLogLog narrow(8);
+  EXPECT_THROW(a.merge(narrow), std::invalid_argument);
+  EXPECT_THROW(retrieval::HyperLogLog{3}, std::invalid_argument);
+}
+
+// ---- IVF-flat ---------------------------------------------------------
+
+TEST(IvfFlat, ProbingAllClustersEqualsBruteForce) {
+  retrieval::IvfOptions opts;
+  opts.dim = 16;
+  opts.train_threshold = 64;
+  retrieval::IvfFlatIndex index(opts);
+
+  Rng rng(0x1f5);
+  std::vector<std::vector<float>> vecs;
+  for (std::size_t d = 0; d < 300; ++d) {
+    retrieval::SparseVector sparse;
+    for (retrieval::TermId t = 0; t < 32; ++t) {
+      if (rng.next_below(4) == 0) sparse.emplace_back(t, rng.next_float());
+    }
+    if (sparse.empty()) sparse.emplace_back(0u, 1.0f);
+    vecs.push_back(retrieval::project_dense(sparse, opts.dim, opts.seed));
+    index.add(static_cast<retrieval::DocId>(d), vecs.back());
+  }
+  ASSERT_TRUE(index.trained());
+  ASSERT_GT(index.cluster_count(), 1u);
+
+  const std::vector<float>& query = vecs[123];
+  // Reference scores in double (the index accumulates in float, so allow
+  // FP noise: compare via tolerance, and check top-k *optimality* — the
+  // returned set's total score matches the best achievable — instead of
+  // demanding a bitwise-identical ranking).
+  constexpr double kTol = 1e-4;
+  std::vector<double> naive(vecs.size(), 0.0);
+  for (std::size_t d = 0; d < vecs.size(); ++d) {
+    for (std::size_t j = 0; j < opts.dim; ++j) {
+      naive[d] += static_cast<double>(query[j]) * vecs[d][j];
+    }
+  }
+  std::vector<double> best(naive);
+  std::sort(best.begin(), best.end(), std::greater<>());
+  double want_total = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) want_total += best[i];
+
+  const auto got = index.top_k(query, 10, index.cluster_count());
+  ASSERT_EQ(got.size(), 10u);
+  double got_total = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, naive[got[i].doc], kTol) << "rank " << i;
+    if (i > 0) EXPECT_GE(got[i - 1].score + kTol, got[i].score);
+    got_total += naive[got[i].doc];
+  }
+  EXPECT_NEAR(got_total, want_total, 10 * kTol);
+  // The self-query's nearest neighbor is itself.
+  EXPECT_EQ(got[0].doc, 123u);
+
+  // Default (partial) probing still returns k well-formed results.
+  const auto approx = index.top_k(query, 10);
+  ASSERT_EQ(approx.size(), 10u);
+  EXPECT_EQ(approx[0].doc, 123u);  // own cluster is always probed
+}
+
+// ---- config -----------------------------------------------------------
+
+TEST(RetrievalConfigNames, RoundTripAndValidation) {
+  using retrieval::engine_by_name;
+  using retrieval::engine_name;
+  using retrieval::fusion_by_name;
+  using retrieval::fusion_name;
+  using retrieval::weighting_by_name;
+  using retrieval::weighting_name;
+
+  for (const Engine e : {Engine::Scan, Engine::Indexed, Engine::Hybrid}) {
+    EXPECT_EQ(engine_by_name(engine_name(e)), e);
+  }
+  for (const Fusion f : {Fusion::Rerank, Fusion::Rrf}) {
+    EXPECT_EQ(fusion_by_name(fusion_name(f)), f);
+  }
+  for (const Weighting w : {Weighting::Tfidf, Weighting::Bm25}) {
+    EXPECT_EQ(weighting_by_name(weighting_name(w)), w);
+  }
+  EXPECT_THROW(engine_by_name("linear"), std::invalid_argument);
+  EXPECT_THROW(fusion_by_name("concat"), std::invalid_argument);
+  EXPECT_THROW(weighting_by_name("tf"), std::invalid_argument);
+
+  RetrievalConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.hybrid_expand = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.index.merge_fanin = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.bm25_b = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace

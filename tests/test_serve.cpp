@@ -17,7 +17,9 @@
 
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/json/json.hpp"
+#include "hpcgpt/retrieval/engine.hpp"
 #include "hpcgpt/serve/server.hpp"
+#include "hpcgpt/support/error.hpp"
 
 namespace {
 
@@ -270,6 +272,60 @@ TEST(Serve, MetricsJsonExposesServerAndProcessRegistries) {
   const json::Value& process = root.at("process");
   EXPECT_GT(process.at("counters").at("tensor.gemm.calls").as_int(), 0);
   EXPECT_GT(process.at("counters").at("nn.decode.rounds").as_int(), 0);
+}
+
+TEST(Serve, RagPreStageAugmentsRelevantPromptsOnly) {
+  auto engine = [] {
+    const std::vector<std::string> facts{
+        "A data race occurs when two threads access the same variable "
+        "without synchronization and at least one access is a write.",
+        "The reduction clause privatizes the accumulator per thread.",
+    };
+    retrieval::TfidfEmbedder emb;
+    emb.fit(facts);
+    auto e = std::make_shared<retrieval::SearchEngine>(emb);
+    e->add_all(facts);
+    return e;
+  }();
+
+  // Unaugmented baseline: the same question served without RAG.
+  std::size_t bare_tokens = 0;
+  {
+    serve::InferenceServer bare(
+        shared_model(),
+        serve::ServeConfig{.max_batch = 1, .max_new_tokens = 4});
+    bare_tokens = submit_question(bare, 4).get().prompt_tokens;
+    bare.shutdown();
+  }
+
+  serve::ServeConfig config{.max_batch = 2, .max_new_tokens = 4};
+  config.rag.enabled = true;
+  config.rag.engine = engine;
+  config.rag.top_k = 1;
+  serve::InferenceServer server(shared_model(), config);
+
+  core::GenerationRequest relevant;
+  relevant.prompt = kQuestion;  // overlaps the data-race fact
+  relevant.max_new_tokens = 4;
+  const core::GenerationResult got = server.submit(std::move(relevant)).get();
+  EXPECT_GT(got.prompt_tokens, bare_tokens)
+      << "context should have been spliced into the prompt";
+
+  core::GenerationRequest irrelevant;
+  irrelevant.prompt = "zzz qqq vvv unrelated";
+  irrelevant.max_new_tokens = 4;
+  (void)server.submit(std::move(irrelevant)).get();
+  server.shutdown();
+
+  const serve::ServerStats st = server.stats();
+  EXPECT_EQ(st.rag_augmented, 1u);
+  EXPECT_EQ(st.rag_skipped, 1u);
+}
+
+TEST(Serve, RagEnabledWithoutEngineIsRejectedAtConstruction) {
+  serve::ServeConfig config{.max_batch = 1, .max_new_tokens = 4};
+  config.rag.enabled = true;  // no engine attached
+  EXPECT_THROW(serve::InferenceServer(shared_model(), config), Error);
 }
 
 }  // namespace

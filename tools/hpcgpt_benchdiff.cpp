@@ -63,7 +63,7 @@ Direction classify(const std::string& name) {
   if (contains("hit_rate") || contains("accept_rate")) {
     return Direction::HigherBetter;
   }
-  if (contains("per_second") || contains("gflops")) {
+  if (contains("per_second") || contains("gflops") || contains("qps")) {
     return Direction::HigherBetter;
   }
   if (contains("latency") || contains("ttft") || contains("seconds")) {
@@ -74,9 +74,11 @@ Direction classify(const std::string& name) {
 
 /// Metrics whose removal fails the diff outright instead of printing a
 /// REMOVED warning. The wide-stream serving family is the paged-KV
-/// acceptance surface — dropping it would silently un-gate the headline.
+/// acceptance surface, and the retrieval QPS family is the search
+/// engine's — dropping either would silently un-gate a headline.
 bool removal_is_failure(const std::string& name) {
-  return name.rfind("server_64stream_", 0) == 0;
+  return name.rfind("server_64stream_", 0) == 0 ||
+         name.rfind("retrieval_qps_", 0) == 0;
 }
 
 /// Worker count encoded in a train metric name ("..._workersN");

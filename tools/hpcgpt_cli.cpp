@@ -11,8 +11,13 @@
 //       (0 = all cores), --micro-batch B averages B sequences per
 //       optimizer step, --pack concatenates short examples to the
 //       context window, --trace-out writes a Perfetto trace of the run
-//   hpcgpt ask --model model.bin [--quant int8|fp16|fp32] "question..."
-//       free-form Task-1 question answering
+//   hpcgpt ask --model model.bin [--quant int8|fp16|fp32] [--rag]
+//          [--retrieval scan|indexed|hybrid] [--fusion rerank|rrf]
+//          [--rag-top-k K] [--rag-min-score S] "question..."
+//       free-form Task-1 question answering; --rag retrieves context from
+//       the built-in knowledge base through the indexed hybrid search
+//       engine first (--retrieval picks the query path, --fusion the
+//       hybrid candidate fusion)
 //   hpcgpt detect [--model model.bin] file.c|file.f90
 //       race-check a source file with the four tools (and, when a model
 //       is given, the LLM-based method of Task 2)
@@ -22,7 +27,8 @@
 //          [--quant int8|fp16|fp32] [--batch N] [--max-new-tokens T]
 //          [--window SECONDS] [--kv-pages N] [--prefix-cache on|off]
 //          [--speculate] [--draft llama|llama2|gpt35|gpt4]
-//          [--draft-tokens K]
+//          [--draft-tokens K] [--rag] [--retrieval scan|indexed|hybrid]
+//          [--fusion rerank|rrf] [--rag-top-k K] [--rag-min-score S]
 //       answer questions from stdin, one per line (Figure-1 deployment).
 //       Every flag maps 1:1 onto a serve::ServeConfig field:
 //       --metrics prints the server's metrics JSON on shutdown,
@@ -34,7 +40,8 @@
 //       admission window, --kv-pages the paged-KV budget (0 = derived),
 //       --prefix-cache toggles the radix-trie prompt cache, --speculate
 //       enables speculative decoding with a --draft preset model
-//       proposing --draft-tokens per verify round
+//       proposing --draft-tokens per verify round, --rag augments every
+//       prompt with retrieved knowledge-base context at submit time
 //   hpcgpt obs dump [--model model.bin] [--question "..."] [--compact]
 //          [--format json|prom|perfetto|folded]
 //       dump the process metrics registry (and, when a model is given,
@@ -60,12 +67,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "hpcgpt/analysis/service.hpp"
 #include "hpcgpt/core/evaluation.hpp"
 #include "hpcgpt/core/hpcgpt.hpp"
+#include "hpcgpt/core/rag.hpp"
+#include "hpcgpt/retrieval/engine.hpp"
 #include <filesystem>
 
 #include "hpcgpt/datagen/pipeline.hpp"
@@ -93,7 +103,8 @@ struct Args {
 // and verify nothing).
 bool is_boolean_flag(const std::string& name) {
   return name == "pack" || name == "metrics" || name == "compact" ||
-         name == "compat" || name == "explain" || name == "speculate";
+         name == "compat" || name == "explain" || name == "speculate" ||
+         name == "rag";
 }
 
 Args parse_args(int argc, char** argv, int from) {
@@ -239,11 +250,59 @@ void apply_quant(core::HpcGpt& model, const Args& args) {
               static_cast<double>(before) / static_cast<double>(after));
 }
 
+/// --rag support, shared by ask and serve: a SearchEngine over the
+/// built-in knowledge base (unstructured paragraphs plus every flattened
+/// PLP/MLPerf record), with --retrieval picking the query path and
+/// --fusion the hybrid candidate fusion.
+std::shared_ptr<retrieval::SearchEngine> build_rag_engine(const Args& args) {
+  std::vector<std::string> chunks = kb::unstructured_corpus();
+  const kb::KnowledgeBase& base = kb::KnowledgeBase::expanded();
+  for (const auto& entry : base.plp) chunks.push_back(kb::flatten(entry));
+  for (const auto& entry : base.mlperf) chunks.push_back(kb::flatten(entry));
+  retrieval::TfidfEmbedder embedder;
+  embedder.fit(chunks);
+  retrieval::RetrievalConfig config;
+  config.engine = retrieval::engine_by_name(opt(args, "retrieval", "indexed"));
+  config.fusion = retrieval::fusion_by_name(opt(args, "fusion", "rerank"));
+  auto engine =
+      std::make_shared<retrieval::SearchEngine>(std::move(embedder), config);
+  engine->add_all(chunks);
+  return engine;
+}
+
+core::RagOptions rag_options(const Args& args) {
+  core::RagOptions options;
+  options.top_k = std::stoul(opt(args, "rag-top-k", "2"));
+  // RRF scores are rank reciprocals (at most 1/61 per source), so the
+  // cosine-similarity floor of 0.05 would silently drop every hit; only
+  // similarity-scored fusion gets a non-zero default.
+  const bool rrf = opt(args, "fusion", "rerank") == "rrf";
+  options.min_score = std::stod(opt(args, "rag-min-score", rrf ? "0.0" : "0.05"));
+  return options;
+}
+
 int cmd_ask(const Args& args) {
   core::HpcGpt model =
       core::HpcGpt::load_bundle_file(opt(args, "model", "model.bin"));
   apply_quant(model, args);
   require(!args.positional.empty(), "usage: hpcgpt ask --model M \"question\"");
+  if (args.options.count("rag") > 0) {
+    const std::shared_ptr<retrieval::SearchEngine> engine =
+        build_rag_engine(args);
+    const core::RagOptions options = rag_options(args);
+    for (const std::string& q : args.positional) {
+      const core::RagAnswer answer = core::rag_ask(model, *engine, q, options);
+      std::printf("Q: %s\nA: %s\n", q.c_str(), answer.text.c_str());
+      if (answer.used_context) {
+        for (const retrieval::Hit& hit : answer.context) {
+          std::printf("  [context %.3f] %s\n", hit.score, hit.text.c_str());
+        }
+      } else {
+        std::printf("  [no relevant context — answered unaided]\n");
+      }
+    }
+    return 0;
+  }
   for (const std::string& q : args.positional) {
     std::printf("Q: %s\nA: %s\n", q.c_str(), model.ask(q).c_str());
   }
@@ -353,6 +412,13 @@ int cmd_serve(const Args& args) {
   if (config.speculation.enabled) {
     config.speculation.draft =
         core::spec_for(base_by_name(opt(args, "draft", "llama")));
+  }
+  if (args.options.count("rag") > 0) {
+    config.rag.enabled = true;
+    config.rag.engine = build_rag_engine(args);
+    const core::RagOptions rag = rag_options(args);
+    config.rag.top_k = rag.top_k;
+    config.rag.min_score = rag.min_score;
   }
   serve::InferenceServer server(model, std::move(config));
   std::printf("hpcgpt serving '%s' — one question per line, EOF to stop\n",
@@ -561,6 +627,11 @@ int main(int argc, char** argv) {
     if (command == "export-drb") return cmd_export_drb(args);
     return usage();
   } catch (const Error& e) {
+    std::fprintf(stderr, "hpcgpt: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Library-level validation (e.g. retrieval::engine_by_name on a bad
+    // --retrieval value) throws std::invalid_argument, not hpcgpt::Error.
     std::fprintf(stderr, "hpcgpt: %s\n", e.what());
     return 1;
   }
