@@ -144,6 +144,10 @@ class VerificationService {
   /// analysis.cache.{hits,misses,evictions}, analysis.parse_failures,
   /// analysis.verify.seconds.
   const obs::MetricsRegistry& metrics() const { return registry_; }
+  /// Mutable overload so a telemetry pipeline can attach to the service
+  /// registry (the collector records its obs.collector.* self-metrics
+  /// into the registry it samples).
+  obs::MetricsRegistry& metrics() { return registry_; }
   std::string metrics_json() const { return registry_.snapshot_json(); }
   const ServiceOptions& options() const { return options_; }
 

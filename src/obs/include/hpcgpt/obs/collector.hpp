@@ -1,0 +1,143 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "hpcgpt/json/json.hpp"
+#include "hpcgpt/obs/metrics.hpp"
+
+namespace hpcgpt::obs {
+
+/// One time-series observation: wall-clock (unix seconds, so dashboards
+/// can line samples up with external logs) plus the derived value.
+struct Sample {
+  double unix_seconds = 0.0;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring of samples. Not thread-safe on its own — the
+/// collector serializes access under its mutex. A zero-capacity ring is a
+/// valid configuration that stores nothing: push() reports the drop so
+/// the caller can count it instead of writing out of bounds.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(std::size_t capacity);
+
+  /// Returns false when the sample was dropped (capacity == 0). Once the
+  /// ring is full the oldest sample is overwritten — that is windowing,
+  /// not a drop, and reports true.
+  bool push(Sample s);
+
+  /// Oldest-first copy of the retained window.
+  std::vector<Sample> samples() const;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::vector<Sample> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;  // slot the next push writes
+  std::size_t size_ = 0;
+};
+
+struct CollectorOptions {
+  /// Background sampling period. <= 0 disables the thread entirely:
+  /// start() becomes a no-op and the owner drives tick() by hand (how
+  /// the deterministic tests run).
+  double interval_seconds = 0.1;
+  /// Per-series ring capacity. 600 samples at the default 100 ms
+  /// interval keeps one minute of history per metric.
+  std::size_t capacity = 600;
+};
+
+/// Stage 1 of the telemetry pipeline: turns point-in-time
+/// MetricsRegistry snapshots into bounded per-metric history.
+///
+/// Each tick() walks registry.snapshot() and appends one sample per
+/// derived series:
+///   counters     -> "<name>"        kind counter_delta (value - previous
+///                                   cumulative, clamped to the raw value
+///                                   on counter reset, so rates are a
+///                                   division away)
+///   gauges       -> "<name>"        kind gauge (current level)
+///                   "<name>.peak"   kind gauge (high-water mark)
+///   histograms   -> "<name>.p50/.p95/.p99"  kind quantile
+///                   "<name>.count" / "<name>.sum"  kind counter_delta
+///
+/// Self-accounting lands in the *sampled* registry (obs.collector.ticks,
+/// obs.collector.samples, obs.collector.samples_dropped counters and the
+/// obs.collector.tick_seconds histogram), created eagerly so every
+/// snapshot carries them from the first scrape — a dashboard never has
+/// to special-case their absence.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(MetricsRegistry& registry,
+                            CollectorOptions options = {});
+  ~MetricsCollector();
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  /// Spawns the sampling thread (no-op when interval_seconds <= 0 or
+  /// already running).
+  void start();
+  /// Stops and joins the thread; safe to call repeatedly.
+  void stop();
+
+  /// Takes one sample now. Also what the background thread calls, so
+  /// manual ticks interleave safely with a running collector.
+  void tick();
+
+  bool has_series(std::string_view name) const;
+  /// Oldest-first window for one series; empty when the series does not
+  /// exist (use has_series to distinguish "unknown" from "no data yet").
+  std::vector<Sample> series(std::string_view name) const;
+  std::vector<std::string> series_names() const;
+  std::uint64_t ticks() const { return ticks_.value(); }
+
+  const CollectorOptions& options() const { return options_; }
+
+  /// Deterministic dump: {"interval_seconds", "capacity", "series":
+  /// {name: {"kind": ..., "samples": [[unix_seconds, value], ...]}}}
+  /// with sorted series names (json::Object is map-backed).
+  json::Object history_json() const;
+
+ private:
+  struct Series {
+    std::string kind;
+    TimeSeriesRing ring;
+    double last_cumulative = 0.0;  // counter_delta bookkeeping
+  };
+
+  void ingest(const json::Object& snapshot, double unix_now);
+  void record(std::string_view name, std::string_view kind, double unix_now,
+              double value);
+  void record_delta(std::string_view name, double unix_now,
+                    double cumulative);
+  void run_loop();
+
+  MetricsRegistry& registry_;
+  CollectorOptions options_;
+
+  Counter& ticks_;
+  Counter& samples_;
+  Counter& samples_dropped_;
+  Histogram& tick_seconds_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Series, std::less<>> series_;
+
+  std::thread thread_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace hpcgpt::obs

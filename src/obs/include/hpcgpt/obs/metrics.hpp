@@ -39,6 +39,13 @@ class Gauge {
   }
   std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
   std::int64_t max_value() const { return max_.load(std::memory_order_relaxed); }
+  /// Re-arms the peak tracker to the current level without touching the
+  /// live value, so a long-running server can report per-scrape-window
+  /// peaks instead of process-lifetime ones.
+  void reset_peak() {
+    max_.store(value_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
   void reset() {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);

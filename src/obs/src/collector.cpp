@@ -1,0 +1,213 @@
+#include "hpcgpt/obs/collector.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "hpcgpt/support/timer.hpp"
+
+namespace hpcgpt::obs {
+
+namespace {
+
+double unix_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TimeSeriesRing::TimeSeriesRing(std::size_t capacity) : capacity_(capacity) {
+  ring_.resize(capacity_);
+}
+
+bool TimeSeriesRing::push(Sample s) {
+  if (capacity_ == 0) return false;
+  ring_[next_] = s;
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+  return true;
+}
+
+std::vector<Sample> TimeSeriesRing::samples() const {
+  std::vector<Sample> out;
+  out.reserve(size_);
+  // When full, next_ points at the oldest sample; when filling, the
+  // window starts at slot 0.
+  const std::size_t start = size_ < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+MetricsCollector::MetricsCollector(MetricsRegistry& registry,
+                                   CollectorOptions options)
+    : registry_(registry),
+      options_(options),
+      ticks_(registry.counter("obs.collector.ticks")),
+      samples_(registry.counter("obs.collector.samples")),
+      samples_dropped_(registry.counter("obs.collector.samples_dropped")),
+      tick_seconds_(registry.histogram("obs.collector.tick_seconds")) {}
+
+MetricsCollector::~MetricsCollector() { stop(); }
+
+void MetricsCollector::start() {
+  if (options_.interval_seconds <= 0.0 || running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void MetricsCollector::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void MetricsCollector::run_loop() {
+  const auto period = std::chrono::duration<double>(options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    tick();
+    lock.lock();
+    stop_cv_.wait_for(lock, period, [this] { return stop_requested_; });
+  }
+}
+
+void MetricsCollector::tick() {
+  Timer timer;
+  const json::Object snapshot = registry_.snapshot();
+  const double now = unix_now_seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ingest(snapshot, now);
+  }
+  ticks_.add(1);
+  tick_seconds_.observe(timer.seconds());
+}
+
+void MetricsCollector::record(std::string_view name, std::string_view kind,
+                              double unix_now, double value) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(name),
+                      Series{std::string(kind),
+                             TimeSeriesRing(options_.capacity), 0.0})
+             .first;
+  }
+  if (it->second.ring.push(Sample{unix_now, value})) {
+    samples_.add(1);
+  } else {
+    samples_dropped_.add(1);
+  }
+}
+
+void MetricsCollector::record_delta(std::string_view name, double unix_now,
+                                    double cumulative) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(name),
+                      Series{"counter_delta", TimeSeriesRing(options_.capacity),
+                             0.0})
+             .first;
+  }
+  Series& s = it->second;
+  // A cumulative value below the last observation means the counter was
+  // reset (reset_values() in tests, a restarted component): treat the raw
+  // value as the delta, the Prometheus rate() convention.
+  double delta = cumulative - s.last_cumulative;
+  if (delta < 0.0) delta = cumulative;
+  s.last_cumulative = cumulative;
+  if (s.ring.push(Sample{unix_now, delta})) {
+    samples_.add(1);
+  } else {
+    samples_dropped_.add(1);
+  }
+}
+
+void MetricsCollector::ingest(const json::Object& snapshot, double unix_now) {
+  const auto find_object = [&](const char* key) -> const json::Object* {
+    const auto it = snapshot.find(key);
+    return it != snapshot.end() && it->second.is_object()
+               ? &it->second.as_object()
+               : nullptr;
+  };
+
+  if (const json::Object* counters = find_object("counters")) {
+    for (const auto& [name, value] : *counters) {
+      record_delta(name, unix_now, value.as_number());
+    }
+  }
+  if (const json::Object* gauges = find_object("gauges")) {
+    for (const auto& [name, entry] : *gauges) {
+      record(name, "gauge", unix_now, entry.at("value").as_number());
+      record(name + ".peak", "gauge", unix_now, entry.at("max").as_number());
+    }
+  }
+  if (const json::Object* histograms = find_object("histograms")) {
+    for (const auto& [name, entry] : *histograms) {
+      record(name + ".p50", "quantile", unix_now,
+             entry.at("p50").as_number());
+      record(name + ".p95", "quantile", unix_now,
+             entry.at("p95").as_number());
+      record(name + ".p99", "quantile", unix_now,
+             entry.at("p99").as_number());
+      record_delta(name + ".count", unix_now, entry.at("count").as_number());
+      record_delta(name + ".sum", unix_now, entry.at("sum").as_number());
+    }
+  }
+}
+
+bool MetricsCollector::has_series(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_.find(name) != series_.end();
+}
+
+std::vector<Sample> MetricsCollector::series(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return it->second.ring.samples();
+}
+
+std::vector<std::string> MetricsCollector::series_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, series] : series_) out.push_back(name);
+  return out;
+}
+
+json::Object MetricsCollector::history_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  json::Object series_obj;
+  for (const auto& [name, series] : series_) {
+    json::Array samples;
+    for (const Sample& s : series.ring.samples()) {
+      json::Array pair;
+      pair.push_back(s.unix_seconds);
+      pair.push_back(s.value);
+      samples.push_back(std::move(pair));
+    }
+    json::Object entry;
+    entry["kind"] = series.kind;
+    entry["samples"] = std::move(samples);
+    series_obj[name] = std::move(entry);
+  }
+  json::Object root;
+  root["interval_seconds"] = options_.interval_seconds;
+  root["capacity"] = options_.capacity;
+  root["series"] = std::move(series_obj);
+  return root;
+}
+
+}  // namespace hpcgpt::obs

@@ -109,19 +109,35 @@ std::string prometheus_text(const json::Object& snapshot) {
                : nullptr;
   };
 
+  // Each family gets the full # HELP / # TYPE preamble Prometheus
+  // expects. The registry stores no per-metric help strings, so HELP
+  // carries the original (pre-sanitization) dotted name — exactly the
+  // detail the exposition format otherwise destroys.
+  const auto family_header = [&](const std::string& prom,
+                                 const std::string& original,
+                                 const char* type, const char* note) {
+    out += "# HELP " + prom + " hpcgpt metric " + original;
+    if (note != nullptr) {
+      out += " (";
+      out += note;
+      out += ")";
+    }
+    out += "\n# TYPE " + prom + " " + type + "\n";
+  };
+
   if (const json::Object* counters = find_object("counters")) {
     for (const auto& [name, value] : *counters) {
       const std::string prom = sanitize_metric_name(name);
-      out += "# TYPE " + prom + " counter\n";
+      family_header(prom, name, "counter", nullptr);
       out += prom + " " + format_number(value.as_number()) + "\n";
     }
   }
   if (const json::Object* gauges = find_object("gauges")) {
     for (const auto& [name, entry] : *gauges) {
       const std::string prom = sanitize_metric_name(name);
-      out += "# TYPE " + prom + " gauge\n";
+      family_header(prom, name, "gauge", nullptr);
       out += prom + " " + format_number(entry.at("value").as_number()) + "\n";
-      out += "# TYPE " + prom + "_peak gauge\n";
+      family_header(prom + "_peak", name, "gauge", "high-water mark");
       out += prom + "_peak " + format_number(entry.at("max").as_number()) +
              "\n";
     }
@@ -129,7 +145,7 @@ std::string prometheus_text(const json::Object& snapshot) {
   if (const json::Object* histograms = find_object("histograms")) {
     for (const auto& [name, entry] : *histograms) {
       const std::string prom = sanitize_metric_name(name);
-      out += "# TYPE " + prom + " histogram\n";
+      family_header(prom, name, "histogram", nullptr);
       double cumulative = 0.0;
       for (const json::Value& bucket : entry.at("buckets").as_array()) {
         cumulative += bucket.at("count").as_number();

@@ -52,6 +52,10 @@ TraceSink::TraceSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       epoch_(std::chrono::steady_clock::now()) {
   ring_.reserve(capacity_);
+  // Touch the drop counter eagerly so "obs.trace.dropped" is a
+  // first-class member of every snapshot (value 0) from the moment a
+  // sink exists — scrapers never have to special-case its absence.
+  trace_dropped_counter();
 }
 
 TraceSink& TraceSink::global() {

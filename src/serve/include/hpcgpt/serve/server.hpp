@@ -17,6 +17,7 @@
 #include "hpcgpt/nn/kv_cache.hpp"
 #include "hpcgpt/nn/transformer.hpp"
 #include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/telemetry.hpp"
 #include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/retrieval/engine.hpp"
 #include "hpcgpt/serve/prefix_cache.hpp"
@@ -104,12 +105,28 @@ struct ServeConfig {
   analysis::ServiceOptions verification;
   /// Retrieval-augmented generation pre-stage.
   RagConfig rag;
+  /// Live telemetry (one section of ServeConfig): when telemetry.enabled
+  /// the server runs an obs::TelemetryPipeline over its private registry —
+  /// collector ticks at telemetry.sample_interval_seconds, the SLO rules
+  /// are re-evaluated each tick, and telemetry.metrics_port >= 0 exposes
+  /// /metrics, /healthz, /snapshot and /history over HTTP (port 0 picks
+  /// an ephemeral one; see InferenceServer::telemetry()->http_port()).
+  /// default_telemetry() fills in the stock serving rule set.
+  obs::TelemetryConfig telemetry;
 
   /// Throws InvalidArgument on inconsistent settings (zero lanes,
   /// speculation without draft tokens, a page budget too small for one
   /// stream — checked against the model at server construction).
   void validate() const;
 };
+
+/// The stock SLO rule set for a serving telemetry pipeline: a TTFT
+/// latency burn-rate rule (p(> ttft_threshold_seconds) against a 95%
+/// objective, 5 s fast / 30 s slow windows), a shed-ratio burn-rate rule
+/// (shed vs completed against a 99% objective), and a queue-depth
+/// threshold rule. Returned enabled but without an HTTP port — callers
+/// set telemetry.metrics_port (0 = ephemeral) to expose it.
+obs::TelemetryConfig default_telemetry(double ttft_threshold_seconds = 0.25);
 
 /// Server statistics — a consistent snapshot view over the server's
 /// metrics registry (the registry holds the live values; stats() samples
@@ -137,6 +154,10 @@ struct ServerStats {
   std::size_t kv_pages_in_use = 0;     ///< pool pages live at snapshot
   double busy_seconds = 0.0;           ///< wall time in prefill/decode work
   double latency_seconds_sum = 0.0;    ///< Σ submit→completion per request
+  /// Last SLO evaluation of the telemetry pipeline (overall Ok with no
+  /// rules when telemetry is disabled). health.shed_hint is the signal an
+  /// SLO-aware admission layer consumes.
+  obs::HealthReport health;
 
   /// Aggregate decode throughput while the scheduler was busy.
   double tokens_per_second() const {
@@ -248,6 +269,19 @@ class InferenceServer {
 
   /// This server's private metric registry (live values).
   const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// The live telemetry pipeline, or nullptr when config.telemetry is
+  /// disabled. Stays up through shutdown() — the exposition endpoints
+  /// keep answering while the server drains — and is torn down with the
+  /// server (before the registry it samples).
+  const obs::TelemetryPipeline* telemetry() const { return telemetry_.get(); }
+
+  /// True while any SLO rule is Breached — the load-shedding hint an
+  /// admission layer polls before accepting new work. Always false when
+  /// telemetry is disabled.
+  bool shed_hint() const {
+    return telemetry_ != nullptr && telemetry_->shed_hint();
+  }
 
   /// JSON snapshot: {"server": <this server's registry>, "process":
   /// <obs::MetricsRegistry::global()>} — the substrate layers (tensor,
@@ -368,6 +402,10 @@ class InferenceServer {
   std::unique_ptr<PrefixCache> prefix_;  ///< scheduler-thread only
   /// Draft model for speculative decoding (speculation.enabled only).
   std::unique_ptr<core::HpcGpt> draft_;
+  /// Live telemetry over registry_ (telemetry.enabled only). Declared
+  /// after registry_ so it is destroyed first — the collector and HTTP
+  /// threads never outlive the registry they sample.
+  std::unique_ptr<obs::TelemetryPipeline> telemetry_;
   mutable std::mutex mutex_;
   std::condition_variable available_;
   std::deque<Request> queue_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -68,6 +69,53 @@ void ServeConfig::validate() const {
             "ServeConfig: rag enabled without an attached SearchEngine");
     require(rag.top_k >= 1, "ServeConfig: rag enabled with top_k == 0");
   }
+  if (telemetry.enabled) {
+    // Rule definitions get their own typed validation when the pipeline
+    // builds its SloMonitor; only the pipeline-level knobs are checked
+    // here.
+    require(std::isfinite(telemetry.sample_interval_seconds),
+            "ServeConfig: telemetry.sample_interval_seconds must be finite");
+    require(telemetry.metrics_port <= 65535,
+            "ServeConfig: telemetry.metrics_port must be <= 65535");
+  }
+}
+
+obs::TelemetryConfig default_telemetry(double ttft_threshold_seconds) {
+  require(ttft_threshold_seconds > 0.0,
+          "default_telemetry: ttft threshold must be > 0");
+  obs::TelemetryConfig config;
+  config.enabled = true;
+
+  obs::LatencyBurnRule ttft;
+  ttft.name = "slo.ttft";
+  ttft.histogram = "serve.ttft.seconds";
+  ttft.threshold_seconds = ttft_threshold_seconds;
+  ttft.objective = 0.95;
+  ttft.fast_window_seconds = 5.0;
+  ttft.slow_window_seconds = 30.0;
+  ttft.threshold = 1.0;
+  config.latency_rules.push_back(std::move(ttft));
+
+  obs::BurnRateRule shed;
+  shed.name = "slo.shed";
+  shed.bad_metric = "serve.requests.shed";
+  shed.good_metric = "serve.requests.completed";
+  shed.objective = 0.99;
+  shed.fast_window_seconds = 5.0;
+  shed.slow_window_seconds = 30.0;
+  shed.threshold = 1.0;
+  config.burn_rules.push_back(std::move(shed));
+
+  obs::SloRule queue;
+  queue.name = "slo.queue";
+  queue.metric = "serve.queue.depth";
+  queue.window_seconds = 10.0;
+  queue.aggregation = obs::Aggregation::Max;
+  queue.comparison = obs::Comparison::Above;
+  queue.threshold = 256.0;
+  queue.degraded_threshold = 128.0;
+  config.rules.push_back(std::move(queue));
+  return config;
 }
 
 InferenceServer::Metrics::Metrics(obs::MetricsRegistry& r)
@@ -156,6 +204,15 @@ InferenceServer::InferenceServer(core::HpcGpt& model, ServeConfig config)
   // quantization saving next to the throughput counters.
   metrics_.weight_bytes.set(
       static_cast<std::int64_t>(model_.model().weight_memory_bytes()));
+
+  // Live telemetry over the private registry: collector + SLO monitor +
+  // optional HTTP exposition. Started before the scheduler so the very
+  // first decode rounds are already covered by history.
+  if (config_.telemetry.enabled) {
+    telemetry_ =
+        std::make_unique<obs::TelemetryPipeline>(registry_, config_.telemetry);
+    telemetry_->start();
+  }
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -305,6 +362,9 @@ ServerStats InferenceServer::stats() const {
   s.kv_pages_in_use = pool_->pages_in_use();
   s.busy_seconds = metrics_.round_seconds.sum();
   s.latency_seconds_sum = metrics_.request_latency_seconds.sum();
+  // The pipeline has its own lock; it never takes mutex_, so sampling its
+  // report here cannot deadlock.
+  if (telemetry_ != nullptr) s.health = telemetry_->health();
   return s;
 }
 

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cctype>
 #include <limits>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,6 +41,23 @@ TEST(Metrics, GaugeTracksPeak) {
   EXPECT_EQ(g.max_value(), 7);
   g.reset();
   EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST(Metrics, GaugeResetPeakRearmsToCurrentValue) {
+  // reset_peak() re-arms the high-water mark to the live value without
+  // touching it — per-scrape-window peaks for long-running servers.
+  obs::Gauge g;
+  g.set(9);
+  g.set(4);
+  EXPECT_EQ(g.max_value(), 9);
+  g.reset_peak();
+  EXPECT_EQ(g.value(), 4);
+  EXPECT_EQ(g.max_value(), 4);
+  g.set(6);
+  EXPECT_EQ(g.max_value(), 6);
+  g.set(1);
+  g.reset_peak();
+  EXPECT_EQ(g.max_value(), 1);
 }
 
 TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
@@ -330,6 +350,148 @@ TEST(Export, PrometheusTextExposesAllThreeMetricKinds) {
   EXPECT_NE(text.find("lat_s_bucket{le=\"1\"} 2\n"), std::string::npos);
   EXPECT_NE(text.find("lat_s_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("lat_s_count 3\n"), std::string::npos);
+}
+
+TEST(Export, PrometheusTextFollowsExpositionLineFormat) {
+  // Strict line-format check over the whole exposition: every line is a
+  // # HELP, a # TYPE, or a sample; each family announces HELP then TYPE
+  // immediately before its samples; names are sanitized to the
+  // [a-zA-Z_][a-zA-Z0-9_]* grammar; histogram buckets are cumulative,
+  // end at +Inf, and the +Inf bucket equals _count.
+  obs::MetricsRegistry registry;
+  registry.counter("serve.requests.completed").add(7);
+  registry.gauge("serve.queue.depth").set(3);
+  obs::Histogram& lat = registry.histogram(
+      "serve.ttft.seconds", std::array<double, 3>{0.01, 0.1, 1.0});
+  lat.observe(0.005);
+  lat.observe(0.05);
+  lat.observe(0.5);
+  lat.observe(5.0);
+
+  const std::string text = obs::prometheus_text(registry);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');  // every line newline-terminated
+
+  const auto is_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_')) {
+      return false;
+    }
+    for (const char c : s) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::istringstream lines(text);
+  std::string line;
+  std::string pending_help;   // family announced by # HELP, awaiting TYPE
+  std::string current_family; // family whose samples may follow
+  std::string current_type;
+  double last_bucket = 0.0;
+  bool saw_inf_bucket = false;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    std::istringstream fields(line);
+    if (line.rfind("# ", 0) == 0) {
+      std::string hash, keyword, name;
+      fields >> hash >> keyword >> name;
+      ASSERT_TRUE(is_name(name)) << line;
+      if (keyword == "HELP") {
+        pending_help = name;
+        std::string rest;
+        std::getline(fields, rest);
+        EXPECT_FALSE(rest.empty()) << "HELP without text: " << line;
+      } else {
+        ASSERT_EQ(keyword, "TYPE") << line;
+        // TYPE directly follows the HELP of the same family.
+        EXPECT_EQ(name, pending_help) << line;
+        std::string type;
+        fields >> type;
+        EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                    type == "histogram")
+            << line;
+        current_family = name;
+        current_type = type;
+        last_bucket = 0.0;
+        saw_inf_bucket = false;
+      }
+      continue;
+    }
+    // Sample line: <name>[{le="..."}] <value>
+    std::string name_and_labels, value_text;
+    fields >> name_and_labels >> value_text;
+    ASSERT_FALSE(value_text.empty()) << line;
+    EXPECT_NO_THROW(std::stod(value_text)) << line;
+    std::string name = name_and_labels;
+    const std::size_t brace = name_and_labels.find('{');
+    if (brace != std::string::npos) {
+      name = name_and_labels.substr(0, brace);
+      ASSERT_EQ(name_and_labels.back(), '}') << line;
+    }
+    ASSERT_TRUE(is_name(name)) << line;
+    ASSERT_FALSE(current_family.empty()) << "sample before any TYPE: "
+                                         << line;
+    // Histogram series carry the family name plus a reserved suffix.
+    if (current_type == "histogram") {
+      ASSERT_TRUE(name.rfind(current_family, 0) == 0) << line;
+      const std::string suffix = name.substr(current_family.size());
+      EXPECT_TRUE(suffix == "_bucket" || suffix == "_sum" ||
+                  suffix == "_count")
+          << line;
+      if (suffix == "_bucket") {
+        const std::size_t le = name_and_labels.find("{le=\"");
+        ASSERT_NE(le, std::string::npos) << line;
+        const std::string edge = name_and_labels.substr(
+            le + 5, name_and_labels.size() - le - 5 - 2);
+        const double count = std::stod(value_text);
+        EXPECT_GE(count, last_bucket) << "non-cumulative bucket: " << line;
+        last_bucket = count;
+        if (edge == "+Inf") saw_inf_bucket = true;
+      }
+      if (suffix == "_count") {
+        EXPECT_TRUE(saw_inf_bucket) << "histogram without +Inf bucket";
+        EXPECT_DOUBLE_EQ(std::stod(value_text), last_bucket)
+            << "+Inf bucket != _count";
+      }
+    } else {
+      // Counter/gauge samples: the family name or its _peak companion.
+      EXPECT_TRUE(name == current_family) << line;
+    }
+    ++samples;
+  }
+  EXPECT_GE(samples, 9u);  // 1 counter + 2 gauge + (4+2) histogram series
+  EXPECT_TRUE(saw_inf_bucket);
+}
+
+TEST(Export, PrometheusTextEmitsHelpBeforeEveryFamily) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.b").add(1);
+  registry.gauge("q.depth").set(2);
+  const std::string text = obs::prometheus_text(registry);
+  // HELP carries the original dotted name the sanitizer destroyed, and
+  // the gauge's _peak companion is announced as its own family.
+  EXPECT_NE(text.find("# HELP a_b hpcgpt metric a.b\n# TYPE a_b counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# HELP q_depth hpcgpt metric q.depth\n"
+                "# TYPE q_depth gauge\nq_depth 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# HELP q_depth_peak hpcgpt metric q.depth "
+                      "(high-water mark)\n# TYPE q_depth_peak gauge\n"),
+            std::string::npos);
+}
+
+TEST(Trace, DroppedCounterIsRegisteredBeforeAnyDrop) {
+  // Constructing a sink eagerly touches obs.trace.dropped, so scrapers
+  // see the series at 0 instead of having to special-case its absence.
+  obs::TraceSink sink(/*capacity=*/2);
+  const json::Object snapshot = obs::MetricsRegistry::global().snapshot();
+  const json::Object& counters = snapshot.at("counters").as_object();
+  ASSERT_NE(counters.find("obs.trace.dropped"), counters.end());
 }
 
 TEST(Export, FoldedStacksChargeSelfTimeAndJoinPaths) {

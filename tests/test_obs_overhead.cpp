@@ -13,10 +13,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "hpcgpt/core/hpcgpt.hpp"
 #include "hpcgpt/nn/transformer.hpp"
+#include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/telemetry.hpp"
 #include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/support/timer.hpp"
 
@@ -96,6 +102,57 @@ TEST(ObsOverhead, TracingStaysWithinFivePercentOfDisabled) {
   EXPECT_LE(ratio, kMaxSlowdown)
       << "tracing-enabled decode is " << (ratio - 1.0) * 100.0
       << "% slower than disabled (budget: 5%)";
+}
+
+TEST(ObsOverhead, CollectorAndScraperStayWithinFivePercent) {
+  // The telemetry extension of the same gate: the decode loop with a
+  // live collector sampling the global registry every 100 ms AND a
+  // scraper hammering /metrics over loopback HTTP must stay within the
+  // identical 5% budget of the loop running bare. The telemetry path is
+  // pull-based by design — ticks and scrapes read snapshots off the hot
+  // path — so its cost must not scale with decode throughput.
+#if defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer build: timing guard is not meaningful";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  GTEST_SKIP() << "sanitizer build: timing guard is not meaningful";
+#endif
+#endif
+  constexpr int kReps = 5;
+  constexpr int kAttempts = 4;
+  constexpr double kMaxSlowdown = 1.05;
+
+  double ratio = 1e30;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const double bare = best_seconds(kReps);
+
+    obs::TelemetryConfig config;
+    config.sample_interval_seconds = 0.1;
+    config.metrics_port = 0;
+    obs::TelemetryPipeline pipeline(obs::MetricsRegistry::global(),
+                                    std::move(config));
+    pipeline.start();
+    const std::string url = "http://127.0.0.1:" +
+                            std::to_string(pipeline.http_port()) +
+                            "/metrics";
+    std::atomic<bool> stop{false};
+    std::thread scraper([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)obs::http_get(url);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    const double monitored = best_seconds(kReps);
+    stop.store(true);
+    scraper.join();
+    pipeline.stop();
+
+    ratio = monitored / bare;
+    if (ratio <= kMaxSlowdown) break;
+  }
+  EXPECT_LE(ratio, kMaxSlowdown)
+      << "decode under an active collector + scraper is "
+      << (ratio - 1.0) * 100.0 << "% slower than bare (budget: 5%)";
 }
 
 }  // namespace

@@ -13,11 +13,13 @@
 //       context window, --trace-out writes a Perfetto trace of the run
 //   hpcgpt ask --model model.bin [--quant int8|fp16|fp32] [--rag]
 //          [--retrieval scan|indexed|hybrid] [--fusion rerank|rrf]
-//          [--rag-top-k K] [--rag-min-score S] "question..."
+//          [--rag-score impact|bm25] [--rag-top-k K] [--rag-min-score S]
+//          "question..."
 //       free-form Task-1 question answering; --rag retrieves context from
 //       the built-in knowledge base through the indexed hybrid search
 //       engine first (--retrieval picks the query path, --fusion the
-//       hybrid candidate fusion)
+//       hybrid candidate fusion, --rag-score the document-side index
+//       weighting: impact = TF-IDF, bm25 = Okapi BM25)
 //   hpcgpt detect [--model model.bin] file.c|file.f90
 //       race-check a source file with the four tools (and, when a model
 //       is given, the LLM-based method of Task 2)
@@ -28,10 +30,17 @@
 //          [--window SECONDS] [--kv-pages N] [--prefix-cache on|off]
 //          [--speculate] [--draft llama|llama2|gpt35|gpt4]
 //          [--draft-tokens K] [--rag] [--retrieval scan|indexed|hybrid]
-//          [--fusion rerank|rrf] [--rag-top-k K] [--rag-min-score S]
+//          [--fusion rerank|rrf] [--rag-score impact|bm25]
+//          [--rag-top-k K] [--rag-min-score S]
+//          [--metrics-port N] [--slo-ttft SECONDS]
 //       answer questions from stdin, one per line (Figure-1 deployment).
 //       Every flag maps 1:1 onto a serve::ServeConfig field:
 //       --metrics prints the server's metrics JSON on shutdown,
+//       --metrics-port starts the live telemetry pipeline and serves
+//       GET /metrics /healthz /snapshot /history on 127.0.0.1:N
+//       (0 = ephemeral; the bound port is printed at startup) with the
+//       stock SLO rule set — --slo-ttft sets the TTFT burn-rate
+//       objective threshold in seconds (default 0.25),
 //       --trace-out writes a Perfetto/Chrome trace of every request,
 //       --quant requantizes the loaded weights for inference (bundles
 //       always store fp32; int8/fp16 shrink the resident footprint and
@@ -49,7 +58,7 @@
 //       prom = Prometheus text exposition, perfetto = trace-event JSON,
 //       folded = flamegraph.pl folded stacks
 //   hpcgpt verify-serve [--compat] [--explain] [--cache N] [--metrics]
-//          [file...]
+//          [--metrics-port N] [file...]
 //       analysis-as-a-service loop (no model needed): positional files
 //       are each verified as a single-function unit, then every stdin
 //       line of whitespace-separated paths is served as one translation
@@ -57,19 +66,32 @@
 //       output). --explain attaches the Task-2 rationale and its DRB
 //       knowledge-base grounding, --compat restricts to the
 //       LLOV-compatible scope, --metrics prints the service registry
-//       (analysis.cache.{hits,misses,evictions} and friends) at EOF
+//       (analysis.cache.{hits,misses,evictions} and friends) at EOF,
+//       --metrics-port attaches a telemetry pipeline to the service
+//       registry and serves it over HTTP exactly like `serve`
+//   hpcgpt top <url|file> [--interval S] [--frames N] [--plain]
+//       live terminal dashboard over a telemetry endpoint: polls
+//       <url>/history every --interval seconds (default 1) and renders
+//       throughput, TTFT p50/p95, queue depth, KV pages, prefix-hit rate
+//       and the SLO lights; --frames N stops after N frames (0 = until
+//       the endpoint goes away), --plain disables ANSI color/clearing.
+//       A file argument renders one frame from a saved /history payload
 //   hpcgpt export-drb --dir DIR [--language c|fortran|both]
 //       write the DataRaceBench-style evaluation suite to disk as
 //       .c/.f90 sources plus a labels.csv (the dataset-release artifact)
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "hpcgpt/analysis/service.hpp"
 #include "hpcgpt/core/evaluation.hpp"
@@ -82,8 +104,10 @@
 #include "hpcgpt/eval/metrics.hpp"
 #include "hpcgpt/kb/kb.hpp"
 #include "hpcgpt/minilang/parse.hpp"
+#include "hpcgpt/json/json.hpp"
 #include "hpcgpt/obs/export.hpp"
 #include "hpcgpt/obs/metrics.hpp"
+#include "hpcgpt/obs/telemetry.hpp"
 #include "hpcgpt/obs/trace.hpp"
 #include "hpcgpt/race/detector.hpp"
 #include "hpcgpt/serve/server.hpp"
@@ -104,7 +128,7 @@ struct Args {
 bool is_boolean_flag(const std::string& name) {
   return name == "pack" || name == "metrics" || name == "compact" ||
          name == "compat" || name == "explain" || name == "speculate" ||
-         name == "rag";
+         name == "rag" || name == "plain";
 }
 
 Args parse_args(int argc, char** argv, int from) {
@@ -264,6 +288,17 @@ std::shared_ptr<retrieval::SearchEngine> build_rag_engine(const Args& args) {
   retrieval::RetrievalConfig config;
   config.engine = retrieval::engine_by_name(opt(args, "retrieval", "indexed"));
   config.fusion = retrieval::fusion_by_name(opt(args, "fusion", "rerank"));
+  // --rag-score picks the document-side index weighting: "impact" is the
+  // TF-IDF impact-ordered default, "bm25" switches to Okapi BM25.
+  const std::string score = opt(args, "rag-score", "impact");
+  if (score == "impact") {
+    config.weighting = retrieval::RetrievalConfig::Weighting::Tfidf;
+  } else if (score == "bm25") {
+    config.weighting = retrieval::RetrievalConfig::Weighting::Bm25;
+  } else {
+    throw InvalidArgument("unknown --rag-score: " + score +
+                          " (expected impact or bm25)");
+  }
   auto engine =
       std::make_shared<retrieval::SearchEngine>(std::move(embedder), config);
   engine->add_all(chunks);
@@ -420,18 +455,44 @@ int cmd_serve(const Args& args) {
     config.rag.top_k = rag.top_k;
     config.rag.min_score = rag.min_score;
   }
+  const std::string metrics_port = opt(args, "metrics-port", "");
+  if (!metrics_port.empty()) {
+    // The stock SLO rule set (TTFT latency burn, shed-ratio burn, queue
+    // depth), sampled every 100 ms and served over loopback HTTP.
+    config.telemetry =
+        serve::default_telemetry(std::stod(opt(args, "slo-ttft", "0.25")));
+    config.telemetry.metrics_port = std::stoi(metrics_port);
+  }
+  const std::size_t max_inflight = std::max<std::size_t>(config.max_batch, 1) * 2;
   serve::InferenceServer server(model, std::move(config));
+  if (server.telemetry() != nullptr && server.telemetry()->http_port() >= 0) {
+    std::printf("telemetry on http://127.0.0.1:%d — /metrics /healthz "
+                "/snapshot /history (try: hpcgpt top "
+                "http://127.0.0.1:%d)\n",
+                server.telemetry()->http_port(),
+                server.telemetry()->http_port());
+  }
   std::printf("hpcgpt serving '%s' — one question per line, EOF to stop\n",
               model.name().c_str());
+  // Submit ahead of the printer: keeping up to 2x the lane count in
+  // flight lets piped stdin actually exercise continuous batching (the
+  // old submit-then-get loop serialized every request). Answers still
+  // print in submission order — the FIFO drain below preserves it.
+  std::deque<std::future<core::GenerationResult>> inflight;
+  const auto drain_front = [&] {
+    std::printf("%s\n", inflight.front().get().text.c_str());
+    std::fflush(stdout);
+    inflight.pop_front();
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
     core::GenerationRequest request;
     request.prompt = line;
-    const core::GenerationResult result = server.submit(std::move(request)).get();
-    std::printf("%s\n", result.text.c_str());
-    std::fflush(stdout);
+    inflight.push_back(server.submit(std::move(request)));
+    while (inflight.size() >= max_inflight) drain_front();
   }
+  while (!inflight.empty()) drain_front();
   server.shutdown();
   std::printf("served %zu requests\n", server.stats().requests_served);
   if (args.options.count("metrics") > 0) {
@@ -493,6 +554,31 @@ int cmd_verify_serve(const Args& args) {
   const bool explain = args.options.count("explain") > 0;
   sopts.ground_rationales = explain;
   analysis::VerificationService service(sopts);
+
+  // --metrics-port: same telemetry pipeline `serve` runs, attached to the
+  // verification service's private registry, with a burn-rate rule on the
+  // parse-failure ratio (a CI lane feeding garbage trips /healthz).
+  std::unique_ptr<obs::TelemetryPipeline> telemetry;
+  const std::string metrics_port = opt(args, "metrics-port", "");
+  if (!metrics_port.empty()) {
+    obs::TelemetryConfig tc;
+    tc.enabled = true;
+    tc.metrics_port = std::stoi(metrics_port);
+    obs::BurnRateRule parse_rule;
+    parse_rule.name = "slo.parse_failures";
+    parse_rule.bad_metric = "analysis.parse_failures";
+    parse_rule.good_metric = "analysis.functions";
+    parse_rule.objective = 0.9;
+    parse_rule.fast_window_seconds = 5.0;
+    parse_rule.slow_window_seconds = 30.0;
+    tc.burn_rules.push_back(parse_rule);
+    telemetry = std::make_unique<obs::TelemetryPipeline>(service.metrics(),
+                                                         std::move(tc));
+    telemetry->start();
+    std::printf("telemetry on http://127.0.0.1:%d — /metrics /healthz "
+                "/snapshot /history\n",
+                telemetry->http_port());
+  }
 
   bool any_errors = false;
   const auto print_response = [&](const analysis::VerifyResponse& r) {
@@ -563,6 +649,50 @@ int cmd_verify_serve(const Args& args) {
   return any_errors ? 1 : 0;
 }
 
+/// `hpcgpt top`: the terminal dashboard over a /history telemetry
+/// payload. A URL target polls the live endpoint once per --interval; a
+/// file target renders one frame from a saved payload (useful for
+/// post-mortems and tests).
+int cmd_top(const Args& args) {
+  require(!args.positional.empty(),
+          "usage: hpcgpt top <url|file> [--interval S] [--frames N] "
+          "[--plain]");
+  std::string target = args.positional.front();
+  const bool is_url = target.rfind("http://", 0) == 0;
+  const bool plain = args.options.count("plain") > 0;
+  const double interval = std::stod(opt(args, "interval", "1"));
+  require(interval > 0.0, "top: --interval must be positive");
+  // 0 = poll until the endpoint goes away; a file has exactly one frame.
+  const std::size_t frames =
+      std::stoull(opt(args, "frames", is_url ? "0" : "1"));
+  while (!target.empty() && target.back() == '/') target.pop_back();
+
+  std::size_t rendered = 0;
+  while (frames == 0 || rendered < frames) {
+    std::string payload;
+    if (is_url) {
+      obs::HttpResult r = obs::http_get(target + "/history");
+      require(r.status == 200,
+              "GET " + target + "/history returned HTTP " +
+                  std::to_string(r.status));
+      payload = std::move(r.body);
+    } else {
+      payload = read_file(target);
+    }
+    const json::Value history = json::parse(payload);
+    // Home + clear between frames so the dashboard repaints in place.
+    if (!plain) std::printf("\033[H\033[2J");
+    std::printf("%s", obs::render_top_dashboard(history, !plain).c_str());
+    std::fflush(stdout);
+    ++rendered;
+    if (!is_url) break;
+    if (frames == 0 || rendered < frames) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+  }
+  return 0;
+}
+
 int cmd_export_drb(const Args& args) {
   const std::string dir = opt(args, "dir", "drb_export");
   const std::string language = opt(args, "language", "both");
@@ -604,7 +734,7 @@ int cmd_export_drb(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: hpcgpt <collect|train|ask|detect|eval|serve|"
-               "verify-serve|obs|export-drb> [options]\n"
+               "verify-serve|top|obs|export-drb> [options]\n"
                "(see the header of tools/hpcgpt_cli.cpp)\n");
   return 2;
 }
@@ -623,6 +753,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "serve") return cmd_serve(args);
     if (command == "verify-serve") return cmd_verify_serve(args);
+    if (command == "top") return cmd_top(args);
     if (command == "obs") return cmd_obs(args);
     if (command == "export-drb") return cmd_export_drb(args);
     return usage();
